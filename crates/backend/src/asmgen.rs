@@ -1,0 +1,260 @@
+//! The `Asmgen` pass: emit Asm-O code from Mach
+//! (paper Table 3, convention `ext·MA ↠ ext·MA`; App. C.3).
+//!
+//! Each function gets a prologue (`AllocFrame` + `SaveRa`) and epilogue
+//! (`RestoreRa` + `FreeFrame` + `Ret`); around calls, `sp` is temporarily
+//! advanced to the outgoing-arguments area so the callee's incoming `sp`
+//! matches the `M`-level convention.
+//!
+//! `asmgen` also returns the *return-address map* used to build the
+//! [`crate::mach::RaOracle`] (CompCert's `return_address_offset`): for each
+//! Mach call site, the Asm-level address execution resumes at — this is what
+//! lets the `MA` convention require `ra` equality between the two levels.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use compcerto_core::symtab::SymbolTable;
+use mem::{Chunk, Val};
+
+use crate::asm::{AsmFunction, AsmInst, AsmProgram};
+use crate::mach::{MOp, MachFunction, MachInst, MachProgram, RaOracle};
+
+/// Map from (function, Mach pc of a call) to the Asm instruction index at
+/// which execution resumes after the call.
+pub type RaMap = BTreeMap<(String, usize), i64>;
+
+/// Offset of the return-address save slot (fixed by `Stacking`'s layout).
+const RA_SLOT: i64 = 8;
+
+/// Lower a Mach program to Asm-O, returning the return-address map.
+pub fn asmgen(prog: &MachProgram) -> (AsmProgram, RaMap) {
+    let mut ra_map = RaMap::new();
+    let functions = prog
+        .functions
+        .iter()
+        .map(|f| gen_function(f, &mut ra_map))
+        .collect();
+    (
+        AsmProgram {
+            functions,
+            externs: prog.externs.clone(),
+        },
+        ra_map,
+    )
+}
+
+/// Build the oracle for [`crate::mach::MachSem::with_ra_oracle`] from the
+/// return-address map.
+pub fn make_ra_oracle(ra_map: RaMap, symtab: SymbolTable) -> RaOracle {
+    Arc::new(move |fname: &str, mach_pc: usize| {
+        match (
+            ra_map.get(&(fname.to_string(), mach_pc)),
+            symtab.block_of(fname),
+        ) {
+            (Some(idx), Some(b)) => Val::Ptr(b, *idx),
+            _ => Val::Undef,
+        }
+    })
+}
+
+fn gen_function(f: &MachFunction, ra_map: &mut RaMap) -> AsmFunction {
+    let mut code: Vec<AsmInst> = Vec::new();
+    code.push(AsmInst::AllocFrame(f.frame_size));
+    code.push(AsmInst::SaveRa(RA_SLOT));
+    for (mach_pc, inst) in f.code.iter().enumerate() {
+        match inst {
+            MachInst::Label(l) => code.push(AsmInst::Label(*l)),
+            MachInst::Goto(l) => code.push(AsmInst::Jmp(*l)),
+            MachInst::CondGoto(r, l) => code.push(AsmInst::Jcc(*r, *l)),
+            MachInst::Op(op, dst) => match op {
+                MOp::Move(s) => code.push(AsmInst::Mov(*dst, *s)),
+                MOp::Int(n) => code.push(AsmInst::MovImm32(*dst, *n)),
+                MOp::Long(n) => code.push(AsmInst::MovImm64(*dst, *n)),
+                MOp::AddrGlobal(s, d) => code.push(AsmInst::LoadSym(*dst, s.clone(), *d)),
+                MOp::FrameAddr(o) => code.push(AsmInst::LeaSp(*dst, *o)),
+                MOp::Unop(m, a) => code.push(AsmInst::Unop(*m, *dst, *a)),
+                MOp::Binop(m, a, b) => code.push(AsmInst::Binop(*m, *dst, *a, *b)),
+                MOp::BinopImm(m, a, i) => code.push(AsmInst::BinopImm(*m, *dst, *a, *i)),
+            },
+            MachInst::Load(c, base, disp, dst) => {
+                code.push(AsmInst::Load(*c, *dst, *base, *disp));
+            }
+            MachInst::Store(c, base, disp, src) => {
+                code.push(AsmInst::Store(*c, *src, *base, *disp));
+            }
+            MachInst::GetStack(o, dst) => code.push(AsmInst::LoadSp(Chunk::Any64, *dst, *o)),
+            MachInst::SetStack(src, o) => code.push(AsmInst::StoreSp(Chunk::Any64, *src, *o)),
+            MachInst::GetParam(o, dst) => {
+                // The parent sp sits in the link slot; use dst as carrier.
+                code.push(AsmInst::LoadSp(Chunk::Any64, *dst, 0));
+                code.push(AsmInst::Load(Chunk::Any64, *dst, *dst, *o));
+            }
+            MachInst::Call(callee, _sig) => {
+                code.push(AsmInst::AddSp(f.outgoing_ofs));
+                let call_idx = code.len() as i64;
+                code.push(AsmInst::Call(callee.clone()));
+                // Execution resumes at the instruction after the call.
+                ra_map.insert((f.name.clone(), mach_pc), call_idx + 1);
+                code.push(AsmInst::AddSp(-f.outgoing_ofs));
+            }
+            MachInst::Return => {
+                code.push(AsmInst::RestoreRa(RA_SLOT));
+                code.push(AsmInst::FreeFrame(f.frame_size));
+                code.push(AsmInst::Ret);
+            }
+        }
+    }
+    AsmFunction {
+        name: f.name.clone(),
+        sig: f.sig.clone(),
+        code,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::AsmSem;
+    use crate::mach::MachSem;
+    use crate::stacking::{stacking, tests::backend_to_linear};
+    use compcerto_core::cc::Ma;
+    use compcerto_core::conv::SimConv;
+    use compcerto_core::iface::{abi, ARegs, MQuery, MReply, Signature};
+    use compcerto_core::lts::run;
+    use compcerto_core::regs::NREGS;
+    use compcerto_core::symtab::SymbolTable;
+    use mem::{extends, Chunk, Val};
+
+    fn make_mquery(tbl: &SymbolTable, fname: &str, sig: &Signature, args: &[Val]) -> MQuery {
+        let mut m = tbl.build_init_mem().unwrap();
+        let asize = abi::size_arguments(sig);
+        let spb = m.alloc(0, asize.max(0));
+        for (i, v) in args.iter().enumerate().skip(abi::PARAM_REGS.len()) {
+            let ofs = ((i - abi::PARAM_REGS.len()) as i64) * 8;
+            m.store(Chunk::Any64, spb, ofs, *v).unwrap();
+        }
+        let rab = m.alloc(0, 0);
+        let mut rs = [Val::Undef; NREGS];
+        for (i, v) in args.iter().enumerate().take(abi::PARAM_REGS.len()) {
+            rs[abi::PARAM_REGS[i].index()] = *v;
+        }
+        for (i, r) in abi::CALLEE_SAVE.iter().enumerate() {
+            rs[r.index()] = Val::Long(9000 + i as i64);
+        }
+        MQuery {
+            vf: tbl.func_ptr(fname).unwrap(),
+            sp: Val::Ptr(spb, 0),
+            ra: Val::Ptr(rab, 0),
+            rs,
+            mem: m,
+        }
+    }
+
+    /// Differential check for `Asmgen` under `ext·MA`: MA-related questions
+    /// produce replies with equal-or-refined registers, `pc = ra`, `sp`
+    /// restored, and extension-related memories.
+    fn differential(src: &str, fname: &str, args: Vec<Val>) -> ARegs {
+        let (lin, tbl) = backend_to_linear(src);
+        let mach = stacking(&lin).unwrap();
+        let (asm, ra_map) = asmgen(&mach);
+        let oracle = make_ra_oracle(ra_map, tbl.clone());
+
+        let sig = lin.function(fname).unwrap().sig.clone();
+        let qm = make_mquery(&tbl, fname, &sig, &args);
+        let (w, qa) = Ma.transport_query(&qm).expect("MA marshals");
+        assert_eq!(Ma.match_query(&qm, &qa).len(), 1);
+
+        let s1 = MachSem::new(mach, tbl.clone()).with_ra_oracle(oracle);
+        let s2 = AsmSem::new(asm, tbl);
+        let r1 = run(&s1, &qm, &mut |_: &MQuery| None::<MReply>, 4_000_000).expect_complete();
+        let r2 = run(&s2, &qa, &mut |_: &ARegs| None::<ARegs>, 4_000_000).expect_complete();
+
+        // Control returned to the environment's return address, stack intact.
+        assert_eq!(r2.rs.pc, w.ra);
+        assert_eq!(r2.rs.sp, w.sp);
+        // Registers refined pointwise (Mach leaves more Undefs around).
+        for i in 0..NREGS {
+            assert!(
+                r1.rs[i].lessdef(&r2.rs.regs[i]),
+                "r{i} differs: {} vs {}",
+                r1.rs[i],
+                r2.rs.regs[i]
+            );
+        }
+        // Memories extension-related: Asm writes links and return addresses
+        // into slots Mach leaves undefined.
+        assert!(extends(&r1.mem, &r2.mem), "memories not ext-related");
+        r2
+    }
+
+    #[test]
+    fn straightline() {
+        let r = differential(
+            "int f(int a, int b) { return (a + b) * (a - b); }",
+            "f",
+            vec![Val::Int(10), Val::Int(4)],
+        );
+        assert_eq!(r.rs.get(abi::RESULT_REG), Val::Int(84));
+    }
+
+    #[test]
+    fn loops_and_memory() {
+        let src = "
+            long f(long n) {
+                long a[4]; long s; int i;
+                for (i = 0; i < 4; i = i + 1) { a[i] = n * (long) (i + 1); }
+                s = 0L;
+                for (i = 0; i < 4; i = i + 1) { s = s + a[i]; }
+                return s;
+            }";
+        let r = differential(src, "f", vec![Val::Long(3)]);
+        assert_eq!(r.rs.get(abi::RESULT_REG), Val::Long(30));
+    }
+
+    #[test]
+    fn internal_calls_and_ra_discipline() {
+        let src = "
+            int dbl(int x) { return x + x; }
+            int f(int a) { int b; int c; b = dbl(a); c = dbl(b); return c + 1; }";
+        let r = differential(src, "f", vec![Val::Int(5)]);
+        assert_eq!(r.rs.get(abi::RESULT_REG), Val::Int(21));
+    }
+
+    #[test]
+    fn callee_save_preserved_at_machine_level() {
+        let src = "
+            int id(int x) { return x; }
+            int f(int a) { int b; b = id(a); return a + b; }";
+        let r = differential(src, "f", vec![Val::Int(8)]);
+        for (i, reg) in abi::CALLEE_SAVE.iter().enumerate() {
+            assert_eq!(r.rs.get(*reg), Val::Long(9000 + i as i64));
+        }
+        assert_eq!(r.rs.get(abi::RESULT_REG), Val::Int(16));
+    }
+
+    #[test]
+    fn stack_args_through_the_whole_backend() {
+        let src = "
+            int sum6(int a, int b, int c, int d, int e, int f) {
+                return a + b + c + d + e + f;
+            }
+            int g(int x) { int r; r = sum6(x, 2, 3, 4, 5, 6); return r; }";
+        let r = differential(src, "g", vec![Val::Int(1)]);
+        assert_eq!(r.rs.get(abi::RESULT_REG), Val::Int(21));
+    }
+
+    #[test]
+    fn recursion_at_machine_level() {
+        let src = "
+            int fib(int n) {
+                int a; int b;
+                if (n < 2) { return n; }
+                a = fib(n - 1);
+                b = fib(n - 2);
+                return a + b;
+            }";
+        let r = differential(src, "fib", vec![Val::Int(10)]);
+        assert_eq!(r.rs.get(abi::RESULT_REG), Val::Int(55));
+    }
+}

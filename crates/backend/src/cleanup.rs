@@ -1,0 +1,68 @@
+//! The `CleanupLabels` pass: drop labels no branch targets
+//! (paper Table 3, convention `id ↠ id`).
+
+use std::collections::BTreeSet;
+
+use crate::linear::{Label, LinFunction, LinInst, LinProgram};
+
+/// Remove unreferenced labels from every function.
+pub fn cleanup_labels(prog: &LinProgram) -> LinProgram {
+    prog.map_functions(cleanup_function)
+}
+
+fn cleanup_function(f: &LinFunction) -> LinFunction {
+    let targets: BTreeSet<Label> = f
+        .code
+        .iter()
+        .filter_map(|i| match i {
+            LinInst::Goto(l) | LinInst::CondGoto(_, l) => Some(*l),
+            _ => None,
+        })
+        .collect();
+    let mut out = f.clone();
+    out.code.retain(|i| match i {
+        LinInst::Label(l) => targets.contains(l),
+        _ => true,
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ltl::LOp;
+    use compcerto_core::iface::Signature;
+    use compcerto_core::regs::{Loc, Mreg};
+
+    #[test]
+    fn drops_only_unreferenced_labels() {
+        let f = LinFunction {
+            name: "f".into(),
+            sig: Signature::int_fn(0),
+            stack_size: 0,
+            locals_size: 0,
+            outgoing_size: 0,
+            used_callee_save: vec![],
+            debug: vec![],
+            code: vec![
+                LinInst::Label(0),
+                LinInst::Op(LOp::Int(1), Loc::Reg(Mreg(0))),
+                LinInst::Label(1),
+                LinInst::CondGoto(Loc::Reg(Mreg(0)), 1),
+                LinInst::Label(2),
+                LinInst::Return,
+            ],
+        };
+        let out = cleanup_function(&f);
+        let labels: Vec<Label> = out
+            .code
+            .iter()
+            .filter_map(|i| match i {
+                LinInst::Label(l) => Some(*l),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(labels, vec![1]);
+        assert_eq!(out.code.len(), 4);
+    }
+}

@@ -1,0 +1,63 @@
+//! The `Debugvar` pass: attach debug-variable annotations to Linear
+//! functions (paper Table 3, convention `id ↠ id`).
+//!
+//! CompCert's `Debugvar` threads the availability of source variables through
+//! the code for the debugger; it never changes behaviour. Our analog records,
+//! per function, where each parameter lives at entry (its ABI location).
+
+use compcerto_core::iface::abi;
+use compcerto_core::regs::Loc;
+
+use crate::linear::LinProgram;
+
+/// Annotate every function with parameter-location debug info.
+pub fn debugvar(prog: &LinProgram) -> LinProgram {
+    prog.map_functions(|f| {
+        let mut out = f.clone();
+        out.debug = abi::loc_arguments(&f.sig)
+            .into_iter()
+            .enumerate()
+            .map(|(i, l)| {
+                // Parameters arrive in Incoming slots from the callee's view.
+                let l = match l {
+                    Loc::Outgoing(o) => Loc::Incoming(o),
+                    other => other,
+                };
+                (format!("arg{i}"), l)
+            })
+            .collect();
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinFunction;
+    use compcerto_core::iface::Signature;
+    use compcerto_core::regs::Mreg;
+
+    #[test]
+    fn annotations_added_code_unchanged() {
+        let f = LinFunction {
+            name: "f".into(),
+            sig: Signature::int_fn(5),
+            stack_size: 0,
+            locals_size: 0,
+            outgoing_size: 0,
+            used_callee_save: vec![],
+            debug: vec![],
+            code: vec![crate::linear::LinInst::Return],
+        };
+        let prog = LinProgram {
+            functions: vec![f.clone()],
+            externs: vec![],
+        };
+        let out = debugvar(&prog);
+        let g = &out.functions[0];
+        assert_eq!(g.code, f.code);
+        assert_eq!(g.debug.len(), 5);
+        assert_eq!(g.debug[0], ("arg0".into(), Loc::Reg(Mreg(0))));
+        assert_eq!(g.debug[4], ("arg4".into(), Loc::Incoming(0)));
+    }
+}

@@ -1,0 +1,441 @@
+//! Linear: LTL with instructions in a list, labels, and explicit branches
+//! (paper Table 3; language interface `L`).
+
+use std::collections::BTreeMap;
+
+use compcerto_core::iface::{LQuery, LReply, Signature, L};
+use compcerto_core::lts::{Lts, Step, Stuck};
+use compcerto_core::regs::{Loc, Locset, Mreg};
+use compcerto_core::symtab::{Ident, SymbolTable};
+use mem::{BlockId, Chunk, Mem, Val};
+
+use crate::ltl::{return_regs, LOp};
+
+/// A branch label.
+pub type Label = u32;
+
+/// Linear instructions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinInst {
+    /// `dst := op`.
+    Op(LOp, Loc),
+    /// `dst := chunk[addr + disp]`.
+    Load(Chunk, Loc, i64, Loc),
+    /// `chunk[addr + disp] := src`.
+    Store(Chunk, Loc, i64, Loc),
+    /// ABI call.
+    Call(Ident, Signature),
+    /// A jump target.
+    Label(Label),
+    /// Unconditional branch.
+    Goto(Label),
+    /// Branch when the location is true; fall through otherwise.
+    CondGoto(Loc, Label),
+    /// Return.
+    Return,
+}
+
+/// A Linear function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinFunction {
+    /// Name.
+    pub name: Ident,
+    /// Signature.
+    pub sig: Signature,
+    /// Stack-data size.
+    pub stack_size: i64,
+    /// Spill-area size.
+    pub locals_size: i64,
+    /// Outgoing-arguments area size.
+    pub outgoing_size: i64,
+    /// Callee-save registers written by the body.
+    pub used_callee_save: Vec<Mreg>,
+    /// Debug-variable annotations (maintained by the `Debugvar` pass).
+    pub debug: Vec<(String, Loc)>,
+    /// Instruction list.
+    pub code: Vec<LinInst>,
+}
+
+impl LinFunction {
+    /// Index of a label in the code, if present.
+    pub fn label_index(&self, l: Label) -> Option<usize> {
+        self.code
+            .iter()
+            .position(|i| matches!(i, LinInst::Label(x) if *x == l))
+    }
+}
+
+/// A Linear translation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinProgram {
+    /// Function definitions.
+    pub functions: Vec<LinFunction>,
+    /// Known externals.
+    pub externs: Vec<(Ident, Signature)>,
+}
+
+impl LinProgram {
+    /// Find a function by name.
+    pub fn function(&self, name: &str) -> Option<&LinFunction> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Map functions through `f`.
+    pub fn map_functions(&self, f: impl Fn(&LinFunction) -> LinFunction) -> LinProgram {
+        LinProgram {
+            functions: self.functions.iter().map(f).collect(),
+            externs: self.externs.clone(),
+        }
+    }
+}
+
+/// A Linear activation.
+#[derive(Debug, Clone)]
+pub struct LinFrame {
+    fname: Ident,
+    pc: usize,
+    ls: Locset,
+    entry_ls: Locset,
+    sp: BlockId,
+}
+
+/// States of the Linear LTS.
+#[derive(Debug, Clone)]
+pub enum LinState {
+    /// Entering an internal function.
+    Call {
+        /// Callee.
+        fname: Ident,
+        /// Locations.
+        ls: Locset,
+        /// Memory.
+        mem: Mem,
+        /// Suspended callers.
+        stack: Vec<LinFrame>,
+    },
+    /// Executing.
+    Exec {
+        /// Active frame.
+        cur: LinFrame,
+        /// Memory.
+        mem: Mem,
+        /// Suspended callers.
+        stack: Vec<LinFrame>,
+    },
+    /// Suspended on an external call.
+    External {
+        /// The question.
+        q: LQuery,
+        /// Active frame.
+        cur: LinFrame,
+        /// Suspended callers.
+        stack: Vec<LinFrame>,
+    },
+    /// Returning.
+    Ret {
+        /// Final locations.
+        ls: Locset,
+        /// Memory.
+        mem: Mem,
+        /// Suspended callers.
+        stack: Vec<LinFrame>,
+    },
+}
+
+/// The open semantics `Linear(p) : L ↠ L`.
+#[derive(Debug, Clone)]
+pub struct LinearSem {
+    prog: LinProgram,
+    symtab: SymbolTable,
+    label: String,
+}
+
+impl LinearSem {
+    /// Wrap a program with the shared symbol table.
+    pub fn new(prog: LinProgram, symtab: SymbolTable) -> LinearSem {
+        LinearSem {
+            prog,
+            symtab,
+            label: "Linear".into(),
+        }
+    }
+
+    /// Override the display label.
+    pub fn with_label(mut self, label: impl Into<String>) -> LinearSem {
+        self.label = label.into();
+        self
+    }
+
+    /// The program.
+    pub fn program(&self) -> &LinProgram {
+        &self.prog
+    }
+
+    /// The symbol table.
+    pub fn symtab(&self) -> &SymbolTable {
+        &self.symtab
+    }
+
+    fn stuck<T>(&self, msg: impl Into<String>) -> Result<T, Stuck> {
+        Err(Stuck::new(format!("{}: {}", self.label, msg.into())))
+    }
+
+    fn eval_op(&self, frame: &LinFrame, op: &LOp) -> Result<Val, Stuck> {
+        Ok(match op {
+            LOp::Move(l) => frame.ls.get(*l),
+            LOp::Int(n) => Val::Int(*n),
+            LOp::Long(n) => Val::Long(*n),
+            LOp::AddrGlobal(s, d) => match self.symtab.block_of(s) {
+                Some(b) => Val::Ptr(b, *d),
+                None => return self.stuck(format!("unknown symbol `{s}`")),
+            },
+            LOp::AddrStack(o) => Val::Ptr(frame.sp, *o),
+            LOp::Unop(m, l) => m.eval(frame.ls.get(*l)),
+            LOp::Binop(m, a, b) => m.eval(frame.ls.get(*a), frame.ls.get(*b)),
+            LOp::BinopImm(m, a, i) => m.eval(frame.ls.get(*a), *i),
+        })
+    }
+
+    fn exec_inst(
+        &self,
+        f: &LinFunction,
+        cur: &LinFrame,
+        mem: &Mem,
+        stack: &[LinFrame],
+    ) -> Result<LinState, Stuck> {
+        let Some(inst) = f.code.get(cur.pc) else {
+            return self.stuck(format!("pc {} past end of `{}`", cur.pc, cur.fname));
+        };
+        let seq = |frame: LinFrame, mem: Mem| LinState::Exec {
+            cur: frame,
+            mem,
+            stack: stack.to_vec(),
+        };
+        match inst {
+            LinInst::Label(_) => {
+                let mut frame = cur.clone();
+                frame.pc += 1;
+                Ok(seq(frame, mem.clone()))
+            }
+            LinInst::Op(op, dst) => {
+                let v = self.eval_op(cur, op)?;
+                let mut frame = cur.clone();
+                frame.ls.set(*dst, v);
+                frame.pc += 1;
+                Ok(seq(frame, mem.clone()))
+            }
+            LinInst::Load(chunk, base, disp, dst) => {
+                let addr = cur.ls.get(*base).add(Val::Long(*disp));
+                let v = match mem.loadv(*chunk, addr) {
+                    Ok(v) => v,
+                    Err(e) => return self.stuck(format!("load failed: {e}")),
+                };
+                let mut frame = cur.clone();
+                frame.ls.set(*dst, v);
+                frame.pc += 1;
+                Ok(seq(frame, mem.clone()))
+            }
+            LinInst::Store(chunk, base, disp, src) => {
+                let addr = cur.ls.get(*base).add(Val::Long(*disp));
+                let mut mem2 = mem.clone();
+                if let Err(e) = mem2.storev(*chunk, addr, cur.ls.get(*src)) {
+                    return self.stuck(format!("store failed: {e}"));
+                }
+                let mut frame = cur.clone();
+                frame.pc += 1;
+                Ok(seq(frame, mem2))
+            }
+            LinInst::Goto(l) => match f.label_index(*l) {
+                Some(i) => {
+                    let mut frame = cur.clone();
+                    frame.pc = i;
+                    Ok(seq(frame, mem.clone()))
+                }
+                None => self.stuck(format!("missing label {l}")),
+            },
+            LinInst::CondGoto(loc, l) => match cur.ls.get(*loc).truth() {
+                Some(true) => match f.label_index(*l) {
+                    Some(i) => {
+                        let mut frame = cur.clone();
+                        frame.pc = i;
+                        Ok(seq(frame, mem.clone()))
+                    }
+                    None => self.stuck(format!("missing label {l}")),
+                },
+                Some(false) => {
+                    let mut frame = cur.clone();
+                    frame.pc += 1;
+                    Ok(seq(frame, mem.clone()))
+                }
+                None => self.stuck("undefined branch condition"),
+            },
+            LinInst::Call(callee, sig) => {
+                if self.prog.function(callee).is_some() {
+                    let mut stack = stack.to_vec();
+                    stack.push(cur.clone());
+                    Ok(LinState::Call {
+                        fname: callee.clone(),
+                        ls: cur.ls.clone(),
+                        mem: mem.clone(),
+                        stack,
+                    })
+                } else {
+                    let Some(vf) = self.symtab.func_ptr(callee) else {
+                        return self.stuck(format!("unknown callee `{callee}`"));
+                    };
+                    Ok(LinState::External {
+                        q: LQuery {
+                            vf,
+                            sig: sig.clone(),
+                            ls: cur.ls.clone(),
+                            mem: mem.clone(),
+                        },
+                        cur: cur.clone(),
+                        stack: stack.to_vec(),
+                    })
+                }
+            }
+            LinInst::Return => {
+                let mut mem = mem.clone();
+                if let Err(e) = mem.free(cur.sp, 0, f.stack_size) {
+                    return self.stuck(format!("freeing stack data: {e}"));
+                }
+                let ls = return_regs(&cur.entry_ls, &cur.ls);
+                Ok(LinState::Ret {
+                    ls,
+                    mem,
+                    stack: stack.to_vec(),
+                })
+            }
+        }
+    }
+}
+
+impl Lts for LinearSem {
+    type I = L;
+    type O = L;
+    type State = LinState;
+
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn accepts(&self, q: &LQuery) -> bool {
+        match &q.vf {
+            Val::Ptr(b, 0) => match self.symtab.ident_of(*b) {
+                Some(name) => self
+                    .prog
+                    .function(name)
+                    .map(|f| f.sig == q.sig)
+                    .unwrap_or(false),
+                None => false,
+            },
+            _ => false,
+        }
+    }
+
+    fn initial(&self, q: &LQuery) -> Result<LinState, Stuck> {
+        if !self.accepts(q) {
+            return self.stuck("query not accepted");
+        }
+        let Val::Ptr(b, 0) = q.vf else { unreachable!() };
+        let name = self.symtab.ident_of(b).expect("accepted");
+        Ok(LinState::Call {
+            fname: name.to_string(),
+            ls: q.ls.clone(),
+            mem: q.mem.clone(),
+            stack: vec![],
+        })
+    }
+
+    fn step(&self, s: &LinState) -> Step<LinState, LQuery, LReply> {
+        match s {
+            LinState::Call {
+                fname,
+                ls,
+                mem,
+                stack,
+            } => {
+                let Some(f) = self.prog.function(fname) else {
+                    return Step::Stuck(Stuck::new(format!("unknown function `{fname}`")));
+                };
+                let mut mem = mem.clone();
+                let sp = mem.alloc(0, f.stack_size);
+                let entry_ls = ls.shift_incoming();
+                Step::Internal(
+                    LinState::Exec {
+                        cur: LinFrame {
+                            fname: fname.clone(),
+                            pc: 0,
+                            ls: entry_ls.clone(),
+                            entry_ls,
+                            sp,
+                        },
+                        mem,
+                        stack: stack.clone(),
+                    },
+                    vec![],
+                )
+            }
+            LinState::Exec { cur, mem, stack } => {
+                let Some(f) = self.prog.function(&cur.fname) else {
+                    return Step::Stuck(Stuck::new("frame names unknown function"));
+                };
+                match self.exec_inst(f, cur, mem, stack) {
+                    Ok(next) => Step::Internal(next, vec![]),
+                    Err(stuck) => Step::Stuck(stuck),
+                }
+            }
+            LinState::Ret { ls, mem, stack } => {
+                if stack.is_empty() {
+                    return Step::Final(LReply {
+                        ls: ls.clone(),
+                        mem: mem.clone(),
+                    });
+                }
+                let mut stack = stack.clone();
+                let mut caller = stack.pop().expect("nonempty");
+                caller.ls = return_regs(&caller.ls, ls);
+                caller.pc += 1;
+                Step::Internal(
+                    LinState::Exec {
+                        cur: caller,
+                        mem: mem.clone(),
+                        stack,
+                    },
+                    vec![],
+                )
+            }
+            LinState::External { q, .. } => Step::External(q.clone()),
+        }
+    }
+
+    fn resume(&self, s: &LinState, a: LReply) -> Result<LinState, Stuck> {
+        match s {
+            LinState::External { cur, stack, .. } => {
+                let mut frame = cur.clone();
+                frame.ls = return_regs(&cur.ls, &a.ls);
+                frame.pc += 1;
+                Ok(LinState::Exec {
+                    cur: frame,
+                    mem: a.mem,
+                    stack: stack.clone(),
+                })
+            }
+            _ => self.stuck("resume in non-external state"),
+        }
+    }
+}
+
+/// Map from labels to instruction indices (used by `Linearize` tests and the
+/// `CleanupLabels` pass).
+pub fn label_targets(f: &LinFunction) -> BTreeMap<Label, usize> {
+    f.code
+        .iter()
+        .enumerate()
+        .filter_map(|(i, inst)| match inst {
+            LinInst::Label(l) => Some((*l, i)),
+            _ => None,
+        })
+        .collect()
+}

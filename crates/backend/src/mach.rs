@@ -1,0 +1,526 @@
+//! Mach: Linear with concrete activation records (paper Table 3; language
+//! interface `M`, Table 2).
+//!
+//! Each activation owns a frame block laid out by `Stacking`
+//! (see [`crate::stacking::FrameLayout`]); spill slots and the former
+//! Cminor stack data live inside it, stack-passed arguments are read from the
+//! *caller's* frame through the incoming stack pointer (`GetParam`), and
+//! callee-save registers are saved/restored explicitly by generated code.
+//!
+//! Return addresses are opaque at this level; the [`RaOracle`] predicts the
+//! Asm-level return address for outgoing calls (CompCert's
+//! `return_address_offset`), letting the `MA` convention check `ra` equality
+//! between Mach and Asm executions.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use compcerto_core::iface::{MQuery, MReply, Signature, M};
+use compcerto_core::lts::{Lts, Step, Stuck};
+use compcerto_core::regs::{Mreg, NREGS};
+use compcerto_core::symtab::{Ident, SymbolTable};
+use mem::{BlockId, Chunk, Mem, Val};
+use minor::{MBinop, MUnop};
+
+/// A branch label.
+pub type Label = u32;
+
+/// Pure operations over machine registers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MOp {
+    /// Copy a register.
+    Move(Mreg),
+    /// 32-bit constant.
+    Int(i32),
+    /// 64-bit constant.
+    Long(i64),
+    /// Global address plus displacement.
+    AddrGlobal(Ident, i64),
+    /// Address within the own frame (used for the merged stack data).
+    FrameAddr(i64),
+    /// Unary operation.
+    Unop(MUnop, Mreg),
+    /// Binary operation.
+    Binop(MBinop, Mreg, Mreg),
+    /// Binary operation with immediate.
+    BinopImm(MBinop, Mreg, Val),
+}
+
+/// Mach instructions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MachInst {
+    /// `dst := op`.
+    Op(MOp, Mreg),
+    /// `dst := chunk[base + disp]`.
+    Load(Chunk, Mreg, i64, Mreg),
+    /// `chunk[base + disp] := src`.
+    Store(Chunk, Mreg, i64, Mreg),
+    /// Read an own-frame slot (untyped 8-byte).
+    GetStack(i64, Mreg),
+    /// Write an own-frame slot.
+    SetStack(Mreg, i64),
+    /// Read a stack-passed parameter from the caller's outgoing area.
+    GetParam(i64, Mreg),
+    /// ABI call.
+    Call(Ident, Signature),
+    /// A jump target.
+    Label(Label),
+    /// Unconditional branch.
+    Goto(Label),
+    /// Conditional branch.
+    CondGoto(Mreg, Label),
+    /// Return (frame freed by the semantics; epilogue code restored
+    /// callee-saves already).
+    Return,
+}
+
+/// A Mach function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachFunction {
+    /// Name.
+    pub name: Ident,
+    /// Signature.
+    pub sig: Signature,
+    /// Total frame size in bytes.
+    pub frame_size: i64,
+    /// Offset of the merged Cminor stack data within the frame.
+    pub stackdata_ofs: i64,
+    /// Offset of the outgoing-arguments area within the frame.
+    pub outgoing_ofs: i64,
+    /// Instruction list.
+    pub code: Vec<MachInst>,
+}
+
+impl MachFunction {
+    /// Index of a label.
+    pub fn label_index(&self, l: Label) -> Option<usize> {
+        self.code
+            .iter()
+            .position(|i| matches!(i, MachInst::Label(x) if *x == l))
+    }
+}
+
+/// A Mach translation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MachProgram {
+    /// Function definitions.
+    pub functions: Vec<MachFunction>,
+    /// Known externals.
+    pub externs: Vec<(Ident, Signature)>,
+}
+
+impl MachProgram {
+    /// Find a function by name.
+    pub fn function(&self, name: &str) -> Option<&MachFunction> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+/// Oracle predicting the Asm-level return address of a call at a Mach
+/// program point (CompCert's `return_address_offset`). Built by `Asmgen`;
+/// before it runs, the default oracle answers `Undef`.
+pub type RaOracle = Arc<dyn Fn(&str, usize) -> Val + Send + Sync>;
+
+/// A Mach activation.
+#[derive(Debug, Clone)]
+pub struct MachFrame {
+    fname: Ident,
+    pc: usize,
+    regs: [Val; NREGS],
+    /// Own frame block.
+    fp: BlockId,
+    /// Incoming stack pointer (caller's outgoing area).
+    parent_sp: Val,
+}
+
+/// States of the Mach LTS.
+#[derive(Debug, Clone)]
+pub enum MachState {
+    /// Entering an internal function.
+    Call {
+        /// Callee.
+        fname: Ident,
+        /// Registers.
+        regs: [Val; NREGS],
+        /// Stack pointer handed to the callee.
+        sp: Val,
+        /// Memory.
+        mem: Mem,
+        /// Suspended callers.
+        stack: Vec<MachFrame>,
+    },
+    /// Executing.
+    Exec {
+        /// Active frame.
+        cur: MachFrame,
+        /// Memory.
+        mem: Mem,
+        /// Suspended callers.
+        stack: Vec<MachFrame>,
+    },
+    /// Suspended on an external call.
+    External {
+        /// The question.
+        q: MQuery,
+        /// Active frame.
+        cur: MachFrame,
+        /// Suspended callers.
+        stack: Vec<MachFrame>,
+    },
+    /// Returning.
+    Ret {
+        /// Registers at return.
+        regs: [Val; NREGS],
+        /// Memory.
+        mem: Mem,
+        /// Suspended callers.
+        stack: Vec<MachFrame>,
+    },
+}
+
+/// The open semantics `Mach(p) : M ↠ M`.
+#[derive(Clone)]
+pub struct MachSem {
+    prog: MachProgram,
+    symtab: SymbolTable,
+    ra_oracle: RaOracle,
+    label: String,
+}
+
+impl std::fmt::Debug for MachSem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MachSem")
+            .field("label", &self.label)
+            .finish()
+    }
+}
+
+impl MachSem {
+    /// Wrap a program; the return-address oracle defaults to `Undef`.
+    pub fn new(prog: MachProgram, symtab: SymbolTable) -> MachSem {
+        MachSem {
+            prog,
+            symtab,
+            ra_oracle: Arc::new(|_, _| Val::Undef),
+            label: "Mach".into(),
+        }
+    }
+
+    /// Install the return-address oracle produced by `Asmgen`.
+    pub fn with_ra_oracle(mut self, oracle: RaOracle) -> MachSem {
+        self.ra_oracle = oracle;
+        self
+    }
+
+    /// Override the display label.
+    pub fn with_label(mut self, label: impl Into<String>) -> MachSem {
+        self.label = label.into();
+        self
+    }
+
+    /// The program.
+    pub fn program(&self) -> &MachProgram {
+        &self.prog
+    }
+
+    /// The symbol table.
+    pub fn symtab(&self) -> &SymbolTable {
+        &self.symtab
+    }
+
+    fn stuck<T>(&self, msg: impl Into<String>) -> Result<T, Stuck> {
+        Err(Stuck::new(format!("{}: {}", self.label, msg.into())))
+    }
+
+    fn eval_op(&self, frame: &MachFrame, op: &MOp) -> Result<Val, Stuck> {
+        Ok(match op {
+            MOp::Move(r) => frame.regs[r.index()],
+            MOp::Int(n) => Val::Int(*n),
+            MOp::Long(n) => Val::Long(*n),
+            MOp::AddrGlobal(s, d) => match self.symtab.block_of(s) {
+                Some(b) => Val::Ptr(b, *d),
+                None => return self.stuck(format!("unknown symbol `{s}`")),
+            },
+            MOp::FrameAddr(o) => Val::Ptr(frame.fp, *o),
+            MOp::Unop(m, r) => m.eval(frame.regs[r.index()]),
+            MOp::Binop(m, a, b) => m.eval(frame.regs[a.index()], frame.regs[b.index()]),
+            MOp::BinopImm(m, a, i) => m.eval(frame.regs[a.index()], *i),
+        })
+    }
+
+    fn exec_inst(
+        &self,
+        f: &MachFunction,
+        cur: &MachFrame,
+        mem: &Mem,
+        stack: &[MachFrame],
+    ) -> Result<MachState, Stuck> {
+        let Some(inst) = f.code.get(cur.pc) else {
+            return self.stuck(format!("pc {} past end of `{}`", cur.pc, cur.fname));
+        };
+        let seq = |frame: MachFrame, mem: Mem| MachState::Exec {
+            cur: frame,
+            mem,
+            stack: stack.to_vec(),
+        };
+        match inst {
+            MachInst::Label(_) => {
+                let mut fr = cur.clone();
+                fr.pc += 1;
+                Ok(seq(fr, mem.clone()))
+            }
+            MachInst::Op(op, dst) => {
+                let v = self.eval_op(cur, op)?;
+                let mut fr = cur.clone();
+                fr.regs[dst.index()] = v;
+                fr.pc += 1;
+                Ok(seq(fr, mem.clone()))
+            }
+            MachInst::Load(chunk, base, disp, dst) => {
+                let addr = cur.regs[base.index()].add(Val::Long(*disp));
+                let v = match mem.loadv(*chunk, addr) {
+                    Ok(v) => v,
+                    Err(e) => return self.stuck(format!("load failed: {e}")),
+                };
+                let mut fr = cur.clone();
+                fr.regs[dst.index()] = v;
+                fr.pc += 1;
+                Ok(seq(fr, mem.clone()))
+            }
+            MachInst::Store(chunk, base, disp, src) => {
+                let addr = cur.regs[base.index()].add(Val::Long(*disp));
+                let mut mem2 = mem.clone();
+                if let Err(e) = mem2.storev(*chunk, addr, cur.regs[src.index()]) {
+                    return self.stuck(format!("store failed: {e}"));
+                }
+                let mut fr = cur.clone();
+                fr.pc += 1;
+                Ok(seq(fr, mem2))
+            }
+            MachInst::GetStack(ofs, dst) => {
+                let v = match mem.load(Chunk::Any64, cur.fp, *ofs) {
+                    Ok(v) => v,
+                    Err(e) => return self.stuck(format!("getstack failed: {e}")),
+                };
+                let mut fr = cur.clone();
+                fr.regs[dst.index()] = v;
+                fr.pc += 1;
+                Ok(seq(fr, mem.clone()))
+            }
+            MachInst::SetStack(src, ofs) => {
+                let mut mem2 = mem.clone();
+                if let Err(e) = mem2.store(Chunk::Any64, cur.fp, *ofs, cur.regs[src.index()]) {
+                    return self.stuck(format!("setstack failed: {e}"));
+                }
+                let mut fr = cur.clone();
+                fr.pc += 1;
+                Ok(seq(fr, mem2))
+            }
+            MachInst::GetParam(ofs, dst) => {
+                let v = match mem.loadv(Chunk::Any64, cur.parent_sp.add(Val::Long(*ofs))) {
+                    Ok(v) => v,
+                    Err(e) => return self.stuck(format!("getparam failed: {e}")),
+                };
+                let mut fr = cur.clone();
+                fr.regs[dst.index()] = v;
+                fr.pc += 1;
+                Ok(seq(fr, mem.clone()))
+            }
+            MachInst::Goto(l) => match f.label_index(*l) {
+                Some(i) => {
+                    let mut fr = cur.clone();
+                    fr.pc = i;
+                    Ok(seq(fr, mem.clone()))
+                }
+                None => self.stuck(format!("missing label {l}")),
+            },
+            MachInst::CondGoto(r, l) => match cur.regs[r.index()].truth() {
+                Some(true) => match f.label_index(*l) {
+                    Some(i) => {
+                        let mut fr = cur.clone();
+                        fr.pc = i;
+                        Ok(seq(fr, mem.clone()))
+                    }
+                    None => self.stuck(format!("missing label {l}")),
+                },
+                Some(false) => {
+                    let mut fr = cur.clone();
+                    fr.pc += 1;
+                    Ok(seq(fr, mem.clone()))
+                }
+                None => self.stuck("undefined branch condition"),
+            },
+            MachInst::Call(callee, _sig) => {
+                // The callee's stack pointer is this frame's outgoing area.
+                let sp = Val::Ptr(cur.fp, f.outgoing_ofs);
+                if self.prog.function(callee).is_some() {
+                    let mut stack = stack.to_vec();
+                    stack.push(cur.clone());
+                    Ok(MachState::Call {
+                        fname: callee.clone(),
+                        regs: cur.regs,
+                        sp,
+                        mem: mem.clone(),
+                        stack,
+                    })
+                } else {
+                    let Some(vf) = self.symtab.func_ptr(callee) else {
+                        return self.stuck(format!("unknown callee `{callee}`"));
+                    };
+                    let ra = (self.ra_oracle)(&cur.fname, cur.pc);
+                    Ok(MachState::External {
+                        q: MQuery {
+                            vf,
+                            sp,
+                            ra,
+                            rs: cur.regs,
+                            mem: mem.clone(),
+                        },
+                        cur: cur.clone(),
+                        stack: stack.to_vec(),
+                    })
+                }
+            }
+            MachInst::Return => {
+                let Some(f) = self.prog.function(&cur.fname) else {
+                    return self.stuck("frame names unknown function");
+                };
+                let mut mem = mem.clone();
+                if let Err(e) = mem.free(cur.fp, 0, f.frame_size) {
+                    return self.stuck(format!("freeing frame: {e}"));
+                }
+                Ok(MachState::Ret {
+                    regs: cur.regs,
+                    mem,
+                    stack: stack.to_vec(),
+                })
+            }
+        }
+    }
+}
+
+impl Lts for MachSem {
+    type I = M;
+    type O = M;
+    type State = MachState;
+
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn accepts(&self, q: &MQuery) -> bool {
+        match &q.vf {
+            Val::Ptr(b, 0) => self
+                .symtab
+                .ident_of(*b)
+                .and_then(|n| self.prog.function(n))
+                .is_some(),
+            _ => false,
+        }
+    }
+
+    fn initial(&self, q: &MQuery) -> Result<MachState, Stuck> {
+        if !self.accepts(q) {
+            return self.stuck("query not accepted");
+        }
+        let Val::Ptr(b, 0) = q.vf else { unreachable!() };
+        let name = self.symtab.ident_of(b).expect("accepted");
+        Ok(MachState::Call {
+            fname: name.to_string(),
+            regs: q.rs,
+            sp: q.sp,
+            mem: q.mem.clone(),
+            stack: vec![],
+        })
+    }
+
+    fn step(&self, s: &MachState) -> Step<MachState, MQuery, MReply> {
+        match s {
+            MachState::Call {
+                fname,
+                regs,
+                sp,
+                mem,
+                stack,
+            } => {
+                let Some(f) = self.prog.function(fname) else {
+                    return Step::Stuck(Stuck::new(format!("unknown function `{fname}`")));
+                };
+                let mut mem = mem.clone();
+                let fp = mem.alloc(0, f.frame_size);
+                Step::Internal(
+                    MachState::Exec {
+                        cur: MachFrame {
+                            fname: fname.clone(),
+                            pc: 0,
+                            regs: *regs,
+                            fp,
+                            parent_sp: *sp,
+                        },
+                        mem,
+                        stack: stack.clone(),
+                    },
+                    vec![],
+                )
+            }
+            MachState::Exec { cur, mem, stack } => {
+                let Some(f) = self.prog.function(&cur.fname) else {
+                    return Step::Stuck(Stuck::new("frame names unknown function"));
+                };
+                match self.exec_inst(f, cur, mem, stack) {
+                    Ok(next) => Step::Internal(next, vec![]),
+                    Err(stuck) => Step::Stuck(stuck),
+                }
+            }
+            MachState::Ret { regs, mem, stack } => {
+                if stack.is_empty() {
+                    return Step::Final(MReply {
+                        rs: *regs,
+                        mem: mem.clone(),
+                    });
+                }
+                let mut stack = stack.clone();
+                let mut caller = stack.pop().expect("nonempty");
+                caller.regs = *regs;
+                caller.pc += 1;
+                Step::Internal(
+                    MachState::Exec {
+                        cur: caller,
+                        mem: mem.clone(),
+                        stack,
+                    },
+                    vec![],
+                )
+            }
+            MachState::External { q, .. } => Step::External(q.clone()),
+        }
+    }
+
+    fn resume(&self, s: &MachState, a: MReply) -> Result<MachState, Stuck> {
+        match s {
+            MachState::External { cur, stack, .. } => {
+                let mut frame = cur.clone();
+                frame.regs = a.rs;
+                frame.pc += 1;
+                Ok(MachState::Exec {
+                    cur: frame,
+                    mem: a.mem,
+                    stack: stack.clone(),
+                })
+            }
+            _ => self.stuck("resume in non-external state"),
+        }
+    }
+}
+
+/// Map from labels to indices.
+pub fn label_targets(f: &MachFunction) -> BTreeMap<Label, usize> {
+    f.code
+        .iter()
+        .enumerate()
+        .filter_map(|(i, inst)| match inst {
+            MachInst::Label(l) => Some((*l, i)),
+            _ => None,
+        })
+        .collect()
+}

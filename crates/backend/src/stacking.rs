@@ -1,0 +1,424 @@
+//! The `Stacking` pass: lay out concrete activation records
+//! (paper Table 3, convention `injp·LM ↠ LM·inj`; App. C.2).
+//!
+//! Linear's abstract stack slots and the separate Cminor stack-data block are
+//! consolidated into a single frame block:
+//!
+//! ```text
+//!   0 ..  8   back link (written by Asm's AllocFrame)
+//!   8 .. 16   return-address save slot (written by Asm prologue)
+//!  16 .. +cs  callee-save save area
+//!     .. +lo  spill slots (Linear `Local` slots)
+//!     .. +sd  merged Cminor stack data
+//!     .. +out outgoing-arguments area (the callee's `sp` points here)
+//! ```
+//!
+//! The Linear-level memory *injects* into the Mach-level memory (the
+//! stack-data block maps into the frame at `stackdata_ofs`), and the
+//! argument-passing region is exactly the `LM` convention's protected region
+//! (paper Fig. 13): the separation that caused "much pain in previous
+//! CompCert extensions" is a constraint of the convention here.
+
+use std::fmt;
+
+use compcerto_core::regs::{Loc, Mreg};
+
+use crate::linear::{LinFunction, LinInst, LinProgram};
+use crate::ltl::LOp;
+use crate::mach::{MOp, MachFunction, MachInst, MachProgram};
+
+/// Scratch register for slot-to-slot moves.
+const SCRATCH: Mreg = Mreg(15);
+
+/// The concrete layout of a function's frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameLayout {
+    /// Offset of the back-link slot.
+    pub link_ofs: i64,
+    /// Offset of the return-address save slot.
+    pub ra_ofs: i64,
+    /// Offset of the callee-save area.
+    pub cs_ofs: i64,
+    /// Offset of the spill-slot area.
+    pub locals_ofs: i64,
+    /// Offset of the merged stack data.
+    pub stackdata_ofs: i64,
+    /// Offset of the outgoing-arguments area.
+    pub outgoing_ofs: i64,
+    /// Total frame size.
+    pub size: i64,
+}
+
+/// Compute the frame layout of a Linear function.
+pub fn frame_layout(f: &LinFunction) -> FrameLayout {
+    let cs_ofs = 16;
+    let locals_ofs = cs_ofs + 8 * f.used_callee_save.len() as i64;
+    let stackdata_ofs = locals_ofs + f.locals_size;
+    let outgoing_ofs = stackdata_ofs + f.stack_size;
+    // Round the stack-data boundary to 8 (Cminor data is 8-aligned already).
+    let size = outgoing_ofs + f.outgoing_size;
+    FrameLayout {
+        link_ofs: 0,
+        ra_ofs: 8,
+        cs_ofs,
+        locals_ofs,
+        stackdata_ofs,
+        outgoing_ofs,
+        size,
+    }
+}
+
+/// Errors raised by `Stacking` (all indicate input not produced by the
+/// allocator, e.g. a non-move operation with stack-slot operands).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StackingError {
+    /// Function being translated.
+    pub function: String,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for StackingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stacking in `{}`: {}", self.function, self.message)
+    }
+}
+
+impl std::error::Error for StackingError {}
+
+/// Lower a Linear program to Mach.
+///
+/// # Errors
+/// Fails on instructions whose operands are not in the allocator's normal
+/// form (see [`StackingError`]).
+pub fn stacking(prog: &LinProgram) -> Result<MachProgram, StackingError> {
+    Ok(MachProgram {
+        functions: prog
+            .functions
+            .iter()
+            .map(stack_function)
+            .collect::<Result<_, _>>()?,
+        externs: prog.externs.clone(),
+    })
+}
+
+struct Ctx<'f> {
+    f: &'f LinFunction,
+    layout: FrameLayout,
+}
+
+impl Ctx<'_> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, StackingError> {
+        Err(StackingError {
+            function: self.f.name.clone(),
+            message: message.into(),
+        })
+    }
+
+    fn reg(&self, l: Loc) -> Result<Mreg, StackingError> {
+        match l {
+            Loc::Reg(r) => Ok(r),
+            other => self.err(format!("expected a register operand, got {other}")),
+        }
+    }
+
+    /// Frame offset of a slot location.
+    fn slot_ofs(&self, l: Loc) -> Result<i64, StackingError> {
+        match l {
+            Loc::Local(o) => Ok(self.layout.locals_ofs + o),
+            Loc::Outgoing(o) => Ok(self.layout.outgoing_ofs + o),
+            other => self.err(format!("not a frame slot: {other}")),
+        }
+    }
+}
+
+fn stack_function(f: &LinFunction) -> Result<MachFunction, StackingError> {
+    let layout = frame_layout(f);
+    let ctx = Ctx {
+        f,
+        layout: layout.clone(),
+    };
+    let mut code: Vec<MachInst> = Vec::new();
+
+    // Prologue: save used callee-save registers.
+    for (i, r) in f.used_callee_save.iter().enumerate() {
+        code.push(MachInst::SetStack(*r, layout.cs_ofs + 8 * i as i64));
+    }
+
+    for inst in &f.code {
+        translate_inst(&ctx, inst, &mut code)?;
+    }
+    Ok(MachFunction {
+        name: f.name.clone(),
+        sig: f.sig.clone(),
+        frame_size: layout.size,
+        stackdata_ofs: layout.stackdata_ofs,
+        outgoing_ofs: layout.outgoing_ofs,
+        code,
+    })
+}
+
+fn translate_inst(
+    ctx: &Ctx<'_>,
+    inst: &LinInst,
+    out: &mut Vec<MachInst>,
+) -> Result<(), StackingError> {
+    match inst {
+        LinInst::Label(l) => out.push(MachInst::Label(*l)),
+        LinInst::Goto(l) => out.push(MachInst::Goto(*l)),
+        LinInst::CondGoto(l, target) => {
+            let r = ctx.reg(*l)?;
+            out.push(MachInst::CondGoto(r, *target));
+        }
+        LinInst::Call(callee, sig) => out.push(MachInst::Call(callee.clone(), sig.clone())),
+        LinInst::Return => {
+            // Epilogue: restore callee-saves, then return.
+            for (i, r) in ctx.f.used_callee_save.iter().enumerate() {
+                out.push(MachInst::GetStack(ctx.layout.cs_ofs + 8 * i as i64, *r));
+            }
+            out.push(MachInst::Return);
+        }
+        LinInst::Load(chunk, base, disp, dst) => {
+            let b = ctx.reg(*base)?;
+            let d = ctx.reg(*dst)?;
+            out.push(MachInst::Load(*chunk, b, *disp, d));
+        }
+        LinInst::Store(chunk, base, disp, src) => {
+            let b = ctx.reg(*base)?;
+            let s = ctx.reg(*src)?;
+            out.push(MachInst::Store(*chunk, b, *disp, s));
+        }
+        LinInst::Op(LOp::Move(src), dst) => match (*src, *dst) {
+            (Loc::Reg(s), Loc::Reg(d)) => out.push(MachInst::Op(MOp::Move(s), d)),
+            (Loc::Incoming(o), Loc::Reg(d)) => out.push(MachInst::GetParam(o, d)),
+            (src @ (Loc::Local(_) | Loc::Outgoing(_)), Loc::Reg(d)) => {
+                out.push(MachInst::GetStack(ctx.slot_ofs(src)?, d));
+            }
+            (Loc::Reg(s), dst @ (Loc::Local(_) | Loc::Outgoing(_))) => {
+                out.push(MachInst::SetStack(s, ctx.slot_ofs(dst)?));
+            }
+            (Loc::Incoming(o), dst @ (Loc::Local(_) | Loc::Outgoing(_))) => {
+                out.push(MachInst::GetParam(o, SCRATCH));
+                out.push(MachInst::SetStack(SCRATCH, ctx.slot_ofs(dst)?));
+            }
+            (
+                src @ (Loc::Local(_) | Loc::Outgoing(_)),
+                dst @ (Loc::Local(_) | Loc::Outgoing(_)),
+            ) => {
+                out.push(MachInst::GetStack(ctx.slot_ofs(src)?, SCRATCH));
+                out.push(MachInst::SetStack(SCRATCH, ctx.slot_ofs(dst)?));
+            }
+            (s, d) => return ctx.err(format!("unsupported move {s} -> {d}")),
+        },
+        LinInst::Op(op, dst) => {
+            let d = ctx.reg(*dst)?;
+            let mop = match op {
+                LOp::Move(_) => unreachable!("handled above"),
+                LOp::Int(n) => MOp::Int(*n),
+                LOp::Long(n) => MOp::Long(*n),
+                LOp::AddrGlobal(s, disp) => MOp::AddrGlobal(s.clone(), *disp),
+                // The merged stack data lives at stackdata_ofs in the frame.
+                LOp::AddrStack(o) => MOp::FrameAddr(ctx.layout.stackdata_ofs + o),
+                LOp::Unop(m, a) => MOp::Unop(*m, ctx.reg(*a)?),
+                LOp::Binop(m, a, b) => MOp::Binop(*m, ctx.reg(*a)?, ctx.reg(*b)?),
+                LOp::BinopImm(m, a, i) => MOp::BinopImm(*m, ctx.reg(*a)?, *i),
+            };
+            out.push(MachInst::Op(mop, d));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::alloc::allocation;
+    use crate::cleanup::cleanup_labels;
+    use crate::debugvar::debugvar;
+    use crate::linear::{LinProgram, LinearSem};
+    use crate::linearize::linearize;
+    use crate::mach::MachSem;
+    use crate::tunneling::tunneling;
+    use compcerto_core::iface::{abi, LQuery, LReply, MQuery, MReply, Signature};
+    use compcerto_core::lts::run;
+    use compcerto_core::regs::NREGS;
+    use compcerto_core::symtab::SymbolTable;
+    use mem::{mem_inject, Chunk, MemInj, Val};
+
+    pub(crate) fn backend_to_linear(src: &str) -> (LinProgram, SymbolTable) {
+        use clight::{build_symtab, parse, simpl_locals, typecheck};
+        use minor::{cminorgen, cshmgen, selection};
+        let p = simpl_locals(&typecheck(&parse(src).unwrap()).unwrap());
+        let r = rtl::renumber(&rtl::rtlgen(&selection(
+            &cminorgen(&cshmgen(&p).unwrap()).unwrap(),
+        )));
+        let lin = debugvar(&cleanup_labels(&linearize(&tunneling(&allocation(&r)))));
+        let tbl = build_symtab(&[&p]).unwrap();
+        (lin, tbl)
+    }
+
+    /// Build matching Linear (L-level) and Mach (M-level) queries for a
+    /// C-level call intent, sharing the argument region per the LM
+    /// convention.
+    fn make_queries(
+        tbl: &SymbolTable,
+        fname: &str,
+        sig: &Signature,
+        args: &[Val],
+    ) -> (LQuery, MQuery) {
+        let mut m = tbl.build_init_mem().unwrap();
+        let asize = abi::size_arguments(sig);
+        let spb = m.alloc(0, asize.max(0));
+        for (i, v) in args.iter().enumerate().skip(abi::PARAM_REGS.len()) {
+            let ofs = ((i - abi::PARAM_REGS.len()) as i64) * 8;
+            m.store(Chunk::Any64, spb, ofs, *v).unwrap();
+        }
+        let mut rs = [Val::Undef; NREGS];
+        for (i, v) in args.iter().enumerate().take(abi::PARAM_REGS.len()) {
+            rs[abi::PARAM_REGS[i].index()] = *v;
+        }
+        // Sentinels in callee-save registers so preservation is observable.
+        for (i, r) in abi::CALLEE_SAVE.iter().enumerate() {
+            rs[r.index()] = Val::Long(7000 + i as i64);
+        }
+        let vf = tbl.func_ptr(fname).unwrap();
+        let qm = MQuery {
+            vf,
+            sp: Val::Ptr(spb, 0),
+            ra: Val::Undef,
+            rs,
+            mem: m,
+        };
+        let (_, ql) = compcerto_core::cc::Lm
+            .source_of_with_sig(sig, &qm)
+            .expect("LM source view");
+        (ql, qm)
+    }
+
+    /// Differential check for `Stacking` under (the observable content of)
+    /// `injp·LM ↠ LM·inj`: result register agrees, callee-save registers
+    /// are preserved, and the final memories are injection-related.
+    fn differential(src: &str, fname: &str, args: Vec<Val>) -> (LReply, MReply) {
+        let (lin, tbl) = backend_to_linear(src);
+        let mach = stacking(&lin).unwrap();
+        let sig = lin.function(fname).unwrap().sig.clone();
+        let (ql, qm) = make_queries(&tbl, fname, &sig, &args);
+
+        let s1 = LinearSem::new(lin, tbl.clone());
+        let s2 = MachSem::new(mach, tbl.clone());
+        let r1 = run(&s1, &ql, &mut |_: &LQuery| None::<LReply>, 2_000_000).expect_complete();
+        let r2 = run(&s2, &qm, &mut |_: &MQuery| None::<MReply>, 2_000_000).expect_complete();
+
+        // Result agreement (rs' ≡R ls', App. C.2).
+        if sig.ret.is_some() {
+            let res = abi::loc_result(&sig);
+            let v1 = r1.ls.get(Loc::Reg(res));
+            let v2 = r2.rs[res.index()];
+            assert!(v1.lessdef(&v2), "result differs: {v1} vs {v2}");
+        }
+        // Callee-save preservation (rs' ≡CS rs): the query put sentinel
+        // values there; they must come back unchanged.
+        for r in abi::CALLEE_SAVE {
+            assert_eq!(
+                qm.rs[r.index()],
+                r2.rs[r.index()],
+                "callee-save {r} clobbered"
+            );
+        }
+        // Final memories injection-related via identity on globals (all
+        // activations freed on return).
+        let f = MemInj::identity_below(tbl.len() as u32);
+        assert_eq!(mem_inject(&f, &r1.mem, &r2.mem), Ok(()));
+        (r1, r2)
+    }
+
+    #[test]
+    fn layout_is_ordered() {
+        let f = LinFunction {
+            name: "f".into(),
+            sig: Signature::int_fn(1),
+            stack_size: 24,
+            locals_size: 16,
+            outgoing_size: 8,
+            used_callee_save: vec![Mreg(8), Mreg(9)],
+            debug: vec![],
+            code: vec![],
+        };
+        let l = frame_layout(&f);
+        assert_eq!(l.cs_ofs, 16);
+        assert_eq!(l.locals_ofs, 32);
+        assert_eq!(l.stackdata_ofs, 48);
+        assert_eq!(l.outgoing_ofs, 72);
+        assert_eq!(l.size, 80);
+    }
+
+    #[test]
+    fn straightline() {
+        let (_, r2) = differential(
+            "int f(int a, int b) { return a * b + 7; }",
+            "f",
+            vec![Val::Int(6), Val::Int(6)],
+        );
+        assert_eq!(r2.rs[abi::RESULT_REG.index()], Val::Int(43));
+    }
+
+    #[test]
+    fn stack_data_merged_into_frame() {
+        let src = "
+            long f(long x) {
+                long a[3];
+                a[0] = x; a[1] = x * 2; a[2] = a[0] + a[1];
+                return a[2];
+            }";
+        let (_, r2) = differential(src, "f", vec![Val::Long(7)]);
+        assert_eq!(r2.rs[abi::RESULT_REG.index()], Val::Long(21));
+    }
+
+    #[test]
+    fn internal_calls_and_callee_save() {
+        let src = "
+            int id(int x) { return x; }
+            int f(int a) { int b; b = id(a + 1); return a * 10 + b; }";
+        let (_, r2) = differential(src, "f", vec![Val::Int(4)]);
+        assert_eq!(r2.rs[abi::RESULT_REG.index()], Val::Int(45));
+    }
+
+    #[test]
+    fn stack_passed_arguments() {
+        let src = "
+            int sum6(int a, int b, int c, int d, int e, int f) {
+                return a + b + c + d + e + f;
+            }";
+        let (_, r2) = differential(src, "sum6", (1..=6).map(Val::Int).collect());
+        assert_eq!(r2.rs[abi::RESULT_REG.index()], Val::Int(21));
+    }
+
+    #[test]
+    fn nested_calls_with_stack_args() {
+        // An internal call that itself passes arguments on the stack.
+        let src = "
+            int sum6(int a, int b, int c, int d, int e, int f) {
+                return a + b + c + d + e + f;
+            }
+            int g(int x) {
+                int r;
+                r = sum6(x, x, x, x, x, x);
+                return r;
+            }";
+        let (_, r2) = differential(src, "g", vec![Val::Int(3)]);
+        assert_eq!(r2.rs[abi::RESULT_REG.index()], Val::Int(18));
+    }
+
+    #[test]
+    fn recursion_with_frames() {
+        let src = "
+            int fact(int n) {
+                int r;
+                if (n <= 1) { return 1; }
+                r = fact(n - 1);
+                return n * r;
+            }";
+        let (_, r2) = differential(src, "fact", vec![Val::Int(6)]);
+        assert_eq!(r2.rs[abi::RESULT_REG.index()], Val::Int(720));
+    }
+}

@@ -1,0 +1,92 @@
+//! The `Tunneling` pass: shorten chains of no-op jumps in LTL
+//! (paper Table 3, convention `ext ↠ ext`).
+
+use std::collections::BTreeMap;
+
+use crate::ltl::{LtlFunction, LtlInst, LtlProgram, Node};
+
+/// Run branch tunneling over every function.
+pub fn tunneling(prog: &LtlProgram) -> LtlProgram {
+    prog.map_functions(tunnel_function)
+}
+
+/// Follow chains of `Nop` nodes to their ultimate target (with cycle
+/// protection: a `Nop` loop tunnels to itself).
+fn resolve(code: &BTreeMap<Node, LtlInst>, mut n: Node) -> Node {
+    let mut hops = 0;
+    while let Some(LtlInst::Nop(next)) = code.get(&n) {
+        n = *next;
+        hops += 1;
+        if hops > code.len() {
+            break; // Nop cycle: diverging code, leave as-is
+        }
+    }
+    n
+}
+
+fn tunnel_function(f: &LtlFunction) -> LtlFunction {
+    let mut out = f.clone();
+    let rn = |n: &Node| resolve(&f.code, *n);
+    for (n, inst) in &f.code {
+        let new = match inst {
+            LtlInst::Op(op, d, nn) => LtlInst::Op(op.clone(), *d, rn(nn)),
+            LtlInst::Load(c, b, disp, d, nn) => LtlInst::Load(*c, *b, *disp, *d, rn(nn)),
+            LtlInst::Store(c, b, disp, s, nn) => LtlInst::Store(*c, *b, *disp, *s, rn(nn)),
+            LtlInst::Call(f2, sig, nn) => LtlInst::Call(f2.clone(), sig.clone(), rn(nn)),
+            LtlInst::Cond(l, t, e) => LtlInst::Cond(*l, rn(t), rn(e)),
+            LtlInst::Nop(nn) => LtlInst::Nop(rn(nn)),
+            LtlInst::Return => LtlInst::Return,
+        };
+        out.code.insert(*n, new);
+    }
+    out.entry = rn(&f.entry);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ltl::LOp;
+    use compcerto_core::iface::Signature;
+    use compcerto_core::regs::{Loc, Mreg};
+
+    #[test]
+    fn collapses_nop_chains() {
+        let mut code = BTreeMap::new();
+        code.insert(0, LtlInst::Nop(1));
+        code.insert(1, LtlInst::Nop(2));
+        code.insert(2, LtlInst::Op(LOp::Int(1), Loc::Reg(Mreg(0)), 3));
+        code.insert(3, LtlInst::Return);
+        let f = LtlFunction {
+            name: "f".into(),
+            sig: Signature::int_fn(0),
+            stack_size: 0,
+            locals_size: 0,
+            outgoing_size: 0,
+            used_callee_save: vec![],
+            entry: 0,
+            code,
+        };
+        let out = tunnel_function(&f);
+        assert_eq!(out.entry, 2);
+        assert_eq!(out.code[&2], LtlInst::Op(LOp::Int(1), Loc::Reg(Mreg(0)), 3));
+    }
+
+    #[test]
+    fn nop_cycles_do_not_hang() {
+        let mut code = BTreeMap::new();
+        code.insert(0, LtlInst::Nop(1));
+        code.insert(1, LtlInst::Nop(0));
+        let f = LtlFunction {
+            name: "f".into(),
+            sig: Signature::int_fn(0),
+            stack_size: 0,
+            locals_size: 0,
+            outgoing_size: 0,
+            used_callee_save: vec![],
+            entry: 0,
+            code,
+        };
+        let _ = tunnel_function(&f); // must terminate
+    }
+}

@@ -1,0 +1,179 @@
+//! The remaining Table 3 rows checked at their exact conventions: the
+//! L-interface passes (`Tunneling : ext ↠ ext`, `Linearize`/`CleanupLabels`/
+//! `Debugvar : id ↠ id`) via the differential simulation checker.
+
+use backend::{allocation, cleanup_labels, debugvar, linearize, tunneling, LinearSem, LtlSem};
+use compcerto_core::cklr::{CklrL, Ext};
+use compcerto_core::conv::IdConv;
+use compcerto_core::iface::{abi, LQuery, LReply, Signature, L};
+use compcerto_core::lts::Env;
+use compcerto_core::regs::{Loc, Locset, Mreg};
+use compcerto_core::sim::check_fwd_sim;
+use compcerto_core::symtab::SymbolTable;
+use mem::Val;
+
+/// Build the LTL program for a source text (front end + allocation).
+fn to_ltl(src: &str) -> (backend::LtlProgram, SymbolTable) {
+    use clight::{build_symtab, parse, simpl_locals, typecheck};
+    use minor::{cminorgen, cshmgen, selection};
+    let p = simpl_locals(&typecheck(&parse(src).unwrap()).unwrap());
+    let r = rtl::renumber(&rtl::rtlgen(&selection(
+        &cminorgen(&cshmgen(&p).unwrap()).unwrap(),
+    )));
+    let tbl = build_symtab(&[&p]).unwrap();
+    (allocation(&r), tbl)
+}
+
+fn l_query(tbl: &SymbolTable, fname: &str, sig: Signature, args: &[Val]) -> LQuery {
+    let mut ls = Locset::new();
+    for (v, l) in args.iter().zip(abi::loc_arguments(&sig)) {
+        ls.set(l, *v);
+    }
+    // Callee-save sentinels make preservation observable.
+    for (i, r) in abi::CALLEE_SAVE.iter().enumerate() {
+        ls.set(Loc::Reg(*r), Val::Long(4000 + i as i64));
+    }
+    LQuery {
+        vf: tbl.func_ptr(fname).unwrap(),
+        sig,
+        ls,
+        mem: tbl.build_init_mem().unwrap(),
+    }
+}
+
+fn l_env() -> impl FnMut(&LQuery) -> Option<LReply> {
+    |m: &LQuery| {
+        let mut ls = Locset::new();
+        for r in Mreg::all() {
+            if abi::is_callee_save(r) {
+                ls.set(Loc::Reg(r), m.ls.get(Loc::Reg(r)));
+            }
+        }
+        let x = m.ls.get(Loc::Reg(abi::PARAM_REGS[0]));
+        ls.set(Loc::Reg(abi::RESULT_REG), x.add(Val::Int(1)));
+        Some(LReply {
+            ls,
+            mem: m.mem.clone(),
+        })
+    }
+}
+
+const SRC: &str = "
+    extern int inc(int);
+    int entry(int a, int b) {
+        int c; int d; int r;
+        c = a * b;
+        if (c > 10) { d = c - a; } else { d = c + b; }
+        r = inc(d);
+        return r + c;
+    }";
+
+#[test]
+fn tunneling_at_ext_l() {
+    let (ltl, tbl) = to_ltl(SRC);
+    let tunneled = tunneling(&ltl);
+    let sig = ltl.function("entry").unwrap().sig.clone();
+    let q = l_query(&tbl, "entry", sig, &[Val::Int(4), Val::Int(7)]);
+    let ext_l = CklrL { k: Ext };
+    let mut env = l_env();
+    let env: &mut Env<'_, LQuery, LReply> = &mut env;
+    check_fwd_sim(
+        &LtlSem::new(ltl, tbl.clone()),
+        &LtlSem::new(tunneled, tbl),
+        &ext_l,
+        &ext_l,
+        &q,
+        env,
+        1_000_000,
+    )
+    .expect("Tunneling simulation at ext ↠ ext (L interface)");
+}
+
+#[test]
+fn linearize_cleanup_debugvar_at_id_l() {
+    let (ltl, tbl) = to_ltl(SRC);
+    let tunneled = tunneling(&ltl);
+    let lin0 = linearize(&tunneled);
+    let lin1 = cleanup_labels(&lin0);
+    let lin2 = debugvar(&lin1);
+    let sig = ltl.function("entry").unwrap().sig.clone();
+    let q = l_query(&tbl, "entry", sig, &[Val::Int(3), Val::Int(9)]);
+    let id = IdConv::<L>::new();
+    let mut env = l_env();
+    let env: &mut Env<'_, LQuery, LReply> = &mut env;
+
+    // Linearize: LTL vs Linear at id ↠ id.
+    check_fwd_sim(
+        &LtlSem::new(tunneled, tbl.clone()),
+        &LinearSem::new(lin0.clone(), tbl.clone()),
+        &id,
+        &id,
+        &q,
+        env,
+        1_000_000,
+    )
+    .expect("Linearize simulation at id ↠ id");
+
+    // CleanupLabels and Debugvar: Linear vs Linear at id ↠ id.
+    let mut env = l_env();
+    let env: &mut Env<'_, LQuery, LReply> = &mut env;
+    check_fwd_sim(
+        &LinearSem::new(lin0, tbl.clone()),
+        &LinearSem::new(lin1.clone(), tbl.clone()),
+        &id,
+        &id,
+        &q,
+        env,
+        1_000_000,
+    )
+    .expect("CleanupLabels simulation at id ↠ id");
+
+    let mut env = l_env();
+    let env: &mut Env<'_, LQuery, LReply> = &mut env;
+    check_fwd_sim(
+        &LinearSem::new(lin1, tbl.clone()),
+        &LinearSem::new(lin2, tbl),
+        &id,
+        &id,
+        &q,
+        env,
+        1_000_000,
+    )
+    .expect("Debugvar simulation at id ↠ id");
+}
+
+#[test]
+fn tunneling_detects_broken_redirect() {
+    // Sabotage the tunneled program: make one branch target wrong.
+    let (ltl, tbl) = to_ltl(SRC);
+    let mut bad = tunneling(&ltl);
+    let f = bad
+        .functions
+        .iter_mut()
+        .find(|f| f.name == "entry")
+        .unwrap();
+    // Redirect the first conditional's then-branch to its else-branch.
+    for inst in f.code.values_mut() {
+        if let backend::LtlInst::Cond(_, t, e) = inst {
+            if t != e {
+                *t = *e;
+                break;
+            }
+        }
+    }
+    let sig = ltl.function("entry").unwrap().sig.clone();
+    let q = l_query(&tbl, "entry", sig, &[Val::Int(4), Val::Int(7)]);
+    let ext_l = CklrL { k: Ext };
+    let mut env = l_env();
+    let env: &mut Env<'_, LQuery, LReply> = &mut env;
+    let res = check_fwd_sim(
+        &LtlSem::new(ltl, tbl.clone()),
+        &LtlSem::new(bad, tbl),
+        &ext_l,
+        &ext_l,
+        &q,
+        env,
+        1_000_000,
+    );
+    assert!(res.is_err(), "broken redirect must be caught");
+}

@@ -1,0 +1,91 @@
+//! B1 (added experiment): compile-time per pass over a program-size sweep.
+//!
+//! Not in the paper — its evaluation is structural — but a production
+//! compiler library needs to know where its time goes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use clight::{build_symtab, parse, simpl_locals, typecheck};
+use compiler::{WorkloadCfg, WorkloadGen};
+use minor::{cminorgen, cshmgen, selection};
+use rtl::{renumber, rtlgen, Romem};
+
+/// Generate a source of roughly `n` functions.
+fn source(n: usize) -> String {
+    let mut g = WorkloadGen::new(1234);
+    let cfg = WorkloadCfg {
+        functions: n,
+        stmts_per_fn: 10,
+        external_calls: false,
+        ..WorkloadCfg::default()
+    };
+    g.gen_program(&cfg).0
+}
+
+fn bench_passes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("passes");
+    for n in [2usize, 8, 24] {
+        let src = source(n);
+        let typed = typecheck(&parse(&src).unwrap()).unwrap();
+        let tbl = build_symtab(&[&typed]).unwrap();
+        let simpl = simpl_locals(&typed);
+        let cs = cshmgen(&simpl).unwrap();
+        let cm = cminorgen(&cs).unwrap();
+        let sel = selection(&cm);
+        let r = renumber(&rtlgen(&sel));
+        let romem = Romem::new(&tbl);
+        let ltl = backend::allocation(&r);
+        let lin = backend::debugvar(&backend::cleanup_labels(&backend::linearize(
+            &backend::tunneling(&ltl),
+        )));
+        let mach = backend::stacking(&lin).unwrap();
+
+        group.bench_with_input(BenchmarkId::new("parse+typecheck", n), &src, |b, s| {
+            b.iter(|| typecheck(&parse(black_box(s)).unwrap()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("SimplLocals", n), &typed, |b, p| {
+            b.iter(|| simpl_locals(black_box(p)))
+        });
+        group.bench_with_input(BenchmarkId::new("Cshmgen", n), &simpl, |b, p| {
+            b.iter(|| cshmgen(black_box(p)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("Cminorgen", n), &cs, |b, p| {
+            b.iter(|| cminorgen(black_box(p)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("Selection", n), &cm, |b, p| {
+            b.iter(|| selection(black_box(p)))
+        });
+        group.bench_with_input(BenchmarkId::new("RTLgen", n), &sel, |b, p| {
+            b.iter(|| rtlgen(black_box(p)))
+        });
+        group.bench_with_input(BenchmarkId::new("Constprop", n), &r, |b, p| {
+            b.iter(|| rtl::constprop(black_box(p), &romem))
+        });
+        group.bench_with_input(BenchmarkId::new("CSE", n), &r, |b, p| {
+            b.iter(|| rtl::cse(black_box(p)))
+        });
+        group.bench_with_input(BenchmarkId::new("Deadcode", n), &r, |b, p| {
+            b.iter(|| rtl::deadcode(black_box(p)))
+        });
+        group.bench_with_input(BenchmarkId::new("Inlining", n), &r, |b, p| {
+            b.iter(|| rtl::inlining(black_box(p)))
+        });
+        group.bench_with_input(BenchmarkId::new("Allocation", n), &r, |b, p| {
+            b.iter(|| backend::allocation(black_box(p)))
+        });
+        group.bench_with_input(BenchmarkId::new("Linearize", n), &ltl, |b, p| {
+            b.iter(|| backend::linearize(&backend::tunneling(black_box(p))))
+        });
+        group.bench_with_input(BenchmarkId::new("Stacking", n), &lin, |b, p| {
+            b.iter(|| backend::stacking(black_box(p)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("Asmgen", n), &mach, |b, p| {
+            b.iter(|| backend::asmgen(black_box(p)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_passes);
+criterion_main!(benches);

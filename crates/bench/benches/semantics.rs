@@ -1,0 +1,75 @@
+//! B2 (added experiment): interpreter throughput at every language level and
+//! the overhead of horizontal composition, over a call-depth sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use compcerto_core::cc::Ca;
+use compcerto_core::conv::SimConv;
+use compcerto_core::hcomp::HComp;
+use compcerto_core::lts::run;
+use compiler::{c_query, compile_all, CompilerOptions};
+use mem::Val;
+
+const FIB: &str = "
+    int fib(int n) {
+        int a; int b;
+        if (n < 2) { return n; }
+        a = fib(n - 1);
+        b = fib(n - 2);
+        return a + b;
+    }
+";
+
+fn bench_levels(c: &mut Criterion) {
+    let (units, tbl) = compile_all(&[FIB], CompilerOptions::default()).unwrap();
+    let u = &units[0];
+    let mut group = c.benchmark_group("semantics");
+    for n in [8, 12] {
+        let q = c_query(&tbl, u, "fib", vec![Val::Int(n)]);
+        let clight = u.clight_sem(&tbl);
+        group.bench_with_input(BenchmarkId::new("Clight", n), &q, |b, q| {
+            b.iter(|| run(&clight, black_box(q), &mut |_m| None, 100_000_000).expect_complete())
+        });
+        let rtl = rtl::RtlSem::new(u.rtl_opt.clone(), tbl.clone());
+        group.bench_with_input(BenchmarkId::new("RTL", n), &q, |b, q| {
+            b.iter(|| run(&rtl, black_box(q), &mut |_m| None, 100_000_000).expect_complete())
+        });
+        let asm = u.asm_sem(&tbl);
+        let (_, qa) = Ca::new(tbl.len() as u32).transport_query(&q).unwrap();
+        group.bench_with_input(BenchmarkId::new("Asm", n), &qa, |b, qa| {
+            b.iter(|| run(&asm, black_box(qa), &mut |_m| None, 100_000_000).expect_complete())
+        });
+    }
+    group.finish();
+}
+
+fn bench_hcomp_overhead(c: &mut Criterion) {
+    // Mutual recursion across two components vs the linked single component.
+    let even = "extern int is_odd(int); int is_even(int n) { int r; if (n == 0) { return 1; } r = is_odd(n - 1); return r; }";
+    let odd = "extern int is_even(int); int is_odd(int n) { int r; if (n == 0) { return 0; } r = is_even(n - 1); return r; }";
+    let (units, tbl) = compile_all(&[even, odd], CompilerOptions::default()).unwrap();
+    let mut group = c.benchmark_group("hcomp");
+    for n in [50, 200] {
+        let q = c_query(&tbl, &units[0], "is_even", vec![Val::Int(n)]);
+        let composed = HComp::new(units[0].clight_sem(&tbl), units[1].clight_sem(&tbl));
+        group.bench_with_input(BenchmarkId::new("Clight ⊕ Clight", n), &q, |b, q| {
+            b.iter(|| run(&composed, black_box(q), &mut |_m| None, 100_000_000).expect_complete())
+        });
+        let linked_clight = clight::link(&units[0].clight, &units[1].clight).expect("sources link");
+        let whole = clight::ClightSem::new(linked_clight, tbl.clone());
+        group.bench_with_input(BenchmarkId::new("Clight(linked)", n), &q, |b, q| {
+            b.iter(|| run(&whole, black_box(q), &mut |_m| None, 100_000_000).expect_complete())
+        });
+        let linked_asm = backend::link_asm(&units[0].asm, &units[1].asm).unwrap();
+        let asm = backend::AsmSem::new(linked_asm, tbl.clone());
+        let (_, qa) = Ca::new(tbl.len() as u32).transport_query(&q).unwrap();
+        group.bench_with_input(BenchmarkId::new("Asm(linked)", n), &qa, |b, qa| {
+            b.iter(|| run(&asm, black_box(qa), &mut |_m| None, 100_000_000).expect_complete())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_levels, bench_hcomp_overhead);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! B3 (added experiment): throughput of the differential simulation checker
+//! and of the convention-algebra derivation engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use compcerto_core::algebra::derive;
+use compiler::registry::composed_incoming;
+use compiler::{c_query, check_thm38, compile_all, CompilerOptions, ExtLib};
+use mem::Val;
+
+const CHURN: &str = "
+    extern int inc(int);
+    int churn(int seed, int rounds) {
+        int i; int x; int r;
+        x = seed;
+        for (i = 0; i < rounds; i = i + 1) {
+            r = inc(x);
+            x = (r * 31 + 7) % 1000;
+        }
+        return x;
+    }
+";
+
+fn bench_simcheck(c: &mut Criterion) {
+    let (units, tbl) = compile_all(&[CHURN], CompilerOptions::default()).unwrap();
+    let lib = ExtLib::demo(tbl.clone());
+    let mut group = c.benchmark_group("simcheck");
+    // Each external call is a Fig. 6c boundary check (injection inference +
+    // memory relation decision), so rounds sweep the checker's hot path.
+    for rounds in [1, 8, 32] {
+        let q = c_query(
+            &tbl,
+            &units[0],
+            "churn",
+            vec![Val::Int(5), Val::Int(rounds)],
+        );
+        group.bench_with_input(BenchmarkId::new("thm38_boundaries", rounds), &q, |b, q| {
+            b.iter(|| check_thm38(&units[0], &tbl, &lib, black_box(q)).expect("holds"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_derivation(c: &mut Criterion) {
+    let chain = composed_incoming();
+    c.bench_function("algebra_derivation", |b| {
+        b.iter(|| {
+            let d = derive(black_box(chain.clone())).expect("derives");
+            d.verify().expect("verifies");
+            d.steps.len()
+        })
+    });
+}
+
+criterion_group!(benches, bench_simcheck, bench_derivation);
+criterion_main!(benches);

@@ -1,0 +1,280 @@
+//! Hand-written lexer for Clight-mini surface syntax.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier.
+    Ident(String),
+    /// Integer literal (`42`); type determined by suffix/context.
+    Int(i64),
+    /// Integer literal with `L` suffix (`42L`).
+    Long(i64),
+    /// A keyword (`int`, `while`, …).
+    Kw(Kw),
+    /// Punctuation or operator.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// Keywords of the language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kw {
+    /// `int`
+    Int,
+    /// `long`
+    Long,
+    /// `void`
+    Void,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `return`
+    Return,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    /// `extern`
+    Extern,
+    /// `const`
+    Const,
+    /// `sizeof`
+    Sizeof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "identifier `{s}`"),
+            Token::Int(n) => write!(f, "literal `{n}`"),
+            Token::Long(n) => write!(f, "literal `{n}L`"),
+            Token::Kw(k) => write!(f, "keyword `{k:?}`"),
+            Token::Punct(p) => write!(f, "`{p}`"),
+            Token::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A lexing error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset of the error.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// A token with its source line (for parse diagnostics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based line it starts on.
+    pub line: usize,
+}
+
+/// Tokenize `src`.
+///
+/// # Errors
+/// Reports unknown characters and malformed literals.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LexError {
+                            offset: i,
+                            line: start_line,
+                            message: "unterminated block comment".into(),
+                        });
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let token = match word {
+                    "int" => Token::Kw(Kw::Int),
+                    "long" => Token::Kw(Kw::Long),
+                    "void" => Token::Kw(Kw::Void),
+                    "if" => Token::Kw(Kw::If),
+                    "else" => Token::Kw(Kw::Else),
+                    "while" => Token::Kw(Kw::While),
+                    "for" => Token::Kw(Kw::For),
+                    "return" => Token::Kw(Kw::Return),
+                    "break" => Token::Kw(Kw::Break),
+                    "continue" => Token::Kw(Kw::Continue),
+                    "extern" => Token::Kw(Kw::Extern),
+                    "const" => Token::Kw(Kw::Const),
+                    "sizeof" => Token::Kw(Kw::Sizeof),
+                    _ => Token::Ident(word.to_string()),
+                };
+                out.push(Spanned { token, line });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let value: i64 = text.parse().map_err(|_| LexError {
+                    offset: start,
+                    line,
+                    message: format!("integer literal `{text}` out of range"),
+                })?;
+                if i < bytes.len() && (bytes[i] == b'L' || bytes[i] == b'l') {
+                    i += 1;
+                    out.push(Spanned {
+                        token: Token::Long(value),
+                        line,
+                    });
+                } else {
+                    out.push(Spanned {
+                        token: Token::Int(value),
+                        line,
+                    });
+                }
+            }
+            _ => {
+                // Multi-character punctuation first.
+                const PUNCTS: [&str; 31] = [
+                    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "(", ")", "{", "}", "[", "]",
+                    ";", ",", "=", "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "?",
+                    ":",
+                ];
+                let rest = &src[i..];
+                let hit = PUNCTS.iter().find(|p| rest.starts_with(**p));
+                match hit {
+                    Some(p) => {
+                        out.push(Spanned {
+                            token: Token::Punct(p),
+                            line,
+                        });
+                        i += p.len();
+                    }
+                    None => {
+                        return Err(LexError {
+                            offset: i,
+                            line,
+                            message: format!("unexpected character `{c}`"),
+                        })
+                    }
+                }
+            }
+        }
+    }
+    out.push(Spanned {
+        token: Token::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("int foo"),
+            vec![Token::Kw(Kw::Int), Token::Ident("foo".into()), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(
+            toks("42 7L"),
+            vec![Token::Int(42), Token::Long(7), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn multi_char_puncts() {
+        assert_eq!(
+            toks("a<<b <= == !="),
+            vec![
+                Token::Ident("a".into()),
+                Token::Punct("<<"),
+                Token::Ident("b".into()),
+                Token::Punct("<="),
+                Token::Punct("=="),
+                Token::Punct("!="),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("a // line\n/* block\nstill */ b"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Ident("b".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        let err = lex("a\n@").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(lex("/* unterminated").is_err());
+    }
+}

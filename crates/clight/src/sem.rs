@@ -1,0 +1,791 @@
+//! Open semantics of Clight-mini: an LTS over the game `C ↠ C`
+//! (paper §3.2).
+//!
+//! The component is activated by a [`CQuery`] naming one of its defined
+//! functions; calls to functions it does not define suspend on an external
+//! question (`X`), to be resumed by the environment's [`CReply`] (`Y`).
+//! Locals live in memory blocks allocated at function entry and freed at
+//! return, so the `SimplLocals` pass is observable in the memory footprint.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use compcerto_core::iface::{CQuery, CReply, C};
+use compcerto_core::lts::{Lts, Step, Stuck};
+use compcerto_core::symtab::{Ident, SymbolTable};
+use mem::{BlockId, Mem, Val};
+
+use crate::ast::{Binop, CallDest, Expr, Function, Program, Stmt, TempId, Unop};
+use crate::ty::Ty;
+
+/// The open semantics `Clight(p) : C ↠ C` of a translation unit.
+///
+/// All components of a linked program share a [`SymbolTable`] assigning
+/// global blocks (paper App. A.3); the incoming memory is expected to contain
+/// those blocks (build it with
+/// [`SymbolTable::build_init_mem`]).
+#[derive(Debug, Clone)]
+pub struct ClightSem {
+    prog: Program,
+    symtab: SymbolTable,
+    label: String,
+}
+
+impl ClightSem {
+    /// Wrap a typed program as an open transition system.
+    pub fn new(prog: Program, symtab: SymbolTable) -> ClightSem {
+        ClightSem {
+            prog,
+            symtab,
+            label: "Clight".into(),
+        }
+    }
+
+    /// Override the display name (useful when several units coexist).
+    pub fn with_label(mut self, label: impl Into<String>) -> ClightSem {
+        self.label = label.into();
+        self
+    }
+
+    /// The underlying program.
+    pub fn program(&self) -> &Program {
+        &self.prog
+    }
+
+    /// The shared symbol table.
+    pub fn symtab(&self) -> &SymbolTable {
+        &self.symtab
+    }
+
+    fn function_of_val(&self, vf: &Val) -> Option<&Function> {
+        match vf {
+            Val::Ptr(b, 0) => {
+                let name = self.symtab.ident_of(*b)?;
+                self.prog.function(name)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A function activation's local environment.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Name of the running function.
+    fname: Ident,
+    /// Memory-resident locals: name → (block, type).
+    env: BTreeMap<Ident, (BlockId, Ty)>,
+    /// Temporaries.
+    temps: BTreeMap<TempId, Val>,
+}
+
+/// Continuations (what to do after the current statement).
+#[derive(Debug, Clone)]
+pub enum Kont {
+    /// Return to the incoming caller (the environment).
+    Stop,
+    /// Execute a statement next.
+    Seq(Stmt, Rc<Kont>),
+    /// Re-test a `while` loop.
+    Loop(Expr, Stmt, Rc<Kont>),
+    /// Return into a suspended internal caller.
+    Call {
+        dest: CallDest,
+        frame: Frame,
+        kont: Rc<Kont>,
+    },
+}
+
+/// States of the Clight LTS.
+#[derive(Debug, Clone)]
+pub enum State {
+    /// About to enter a (locally-defined) function.
+    Entry {
+        /// Callee address.
+        vf: Val,
+        /// Argument values.
+        args: Vec<Val>,
+        /// Memory.
+        mem: Mem,
+        /// Pending continuation.
+        kont: Kont,
+    },
+    /// Executing a statement.
+    Stmt {
+        /// Current statement.
+        s: Stmt,
+        /// Activation frame.
+        frame: Frame,
+        /// Continuation.
+        kont: Kont,
+        /// Memory.
+        mem: Mem,
+    },
+    /// Unwinding a return value toward the caller (locals already freed).
+    Returning {
+        /// Value being returned.
+        v: Val,
+        /// Memory.
+        mem: Mem,
+        /// Continuation (always `Stop` or `Call`).
+        kont: Kont,
+    },
+    /// Suspended on an external call.
+    External {
+        /// The outgoing question.
+        q: CQuery,
+        /// Where the result goes.
+        dest: CallDest,
+        /// Suspended frame.
+        frame: Frame,
+        /// Continuation.
+        kont: Kont,
+    },
+}
+
+// The `Kont` type is private; states embed it, so `State` exposes no public
+// fields of type `Kont` directly (fields are doc(hidden) by privacy of Kont).
+
+impl ClightSem {
+    fn stuck<T>(&self, msg: impl Into<String>) -> Result<T, Stuck> {
+        Err(Stuck::new(format!("{}: {}", self.label, msg.into())))
+    }
+
+    /// Evaluate an expression to a value.
+    fn eval(&self, frame: &Frame, mem: &Mem, e: &Expr) -> Result<Val, Stuck> {
+        match e {
+            Expr::ConstInt(n) => Ok(Val::Int(*n)),
+            Expr::ConstLong(n) => Ok(Val::Long(*n)),
+            Expr::SizeOf(t) => Ok(Val::Long(t.size())),
+            Expr::Temp(t, _) => match frame.temps.get(t) {
+                Some(v) => Ok(*v),
+                None => self.stuck(format!("unbound temporary $t{t} in `{}`", frame.fname)),
+            },
+            Expr::Var(_, _) | Expr::Deref(_, _) => {
+                let (b, ofs, ty) = self.eval_lvalue(frame, mem, e)?;
+                match ty.chunk() {
+                    Some(chunk) => match mem.load(chunk, b, ofs) {
+                        Ok(v) => Ok(v),
+                        Err(err) => self.stuck(format!("load failed: {err}")),
+                    },
+                    // Arrays in rvalue position decay (handled by the type
+                    // checker); reaching here means an untypechecked AST.
+                    None => self.stuck(format!("load at non-scalar type {ty}")),
+                }
+            }
+            Expr::Addr(inner, _) => {
+                let (b, ofs, _) = self.eval_lvalue(frame, mem, inner)?;
+                Ok(Val::Ptr(b, ofs))
+            }
+            Expr::Unop(op, a, _) => {
+                let v = self.eval(frame, mem, a)?;
+                Ok(match op {
+                    Unop::Neg => v.neg(),
+                    Unop::Not => v.not(),
+                    Unop::LogicalNot => v.bool_not(),
+                })
+            }
+            Expr::Binop(op, a, b, _) => {
+                let va = self.eval(frame, mem, a)?;
+                let vb = self.eval(frame, mem, b)?;
+                Ok(eval_binop(*op, va, vb))
+            }
+            Expr::Cast(a, target) => {
+                let v = self.eval(frame, mem, a)?;
+                Ok(eval_cast(v, &a.ty(), target))
+            }
+            Expr::Index(_, _, _) => self.stuck("surface Index reached the semantics"),
+        }
+    }
+
+    /// Evaluate an lvalue to a memory location.
+    fn eval_lvalue(&self, frame: &Frame, mem: &Mem, e: &Expr) -> Result<(BlockId, i64, Ty), Stuck> {
+        match e {
+            Expr::Var(name, ty) => {
+                if let Some((b, t)) = frame.env.get(name) {
+                    return Ok((*b, 0, t.clone()));
+                }
+                match self.symtab.block_of(name) {
+                    Some(b) => Ok((b, 0, ty.clone())),
+                    None => self.stuck(format!("unknown variable `{name}`")),
+                }
+            }
+            Expr::Deref(inner, ty) => {
+                let v = self.eval(frame, mem, inner)?;
+                match v {
+                    Val::Ptr(b, ofs) => Ok((b, ofs, ty.clone())),
+                    other => self.stuck(format!("dereference of non-pointer {other}")),
+                }
+            }
+            other => self.stuck(format!("not an lvalue: {other}")),
+        }
+    }
+
+    /// Enter function `f` with `args` in `mem`: allocate locals, bind
+    /// parameters.
+    fn enter(&self, f: &Function, args: &[Val], mem: &Mem, kont: Kont) -> Result<State, Stuck> {
+        if args.len() != f.params.len() {
+            return self.stuck(format!(
+                "`{}` expects {} arguments, got {}",
+                f.name,
+                f.params.len(),
+                args.len()
+            ));
+        }
+        let mut mem = mem.clone();
+        let mut env = BTreeMap::new();
+        for (name, ty) in &f.vars {
+            let b = mem.alloc(0, ty.size());
+            env.insert(name.clone(), (b, ty.clone()));
+        }
+        let mut temps: BTreeMap<TempId, Val> = BTreeMap::new();
+        for (tid, _, _) in &f.temps {
+            temps.insert(*tid, Val::Undef);
+        }
+        // Bind parameters: into memory if the name is a var, into the
+        // matching temp otherwise.
+        for ((pname, pty), v) in f.params.iter().zip(args) {
+            if let Some((b, _)) = env.get(pname) {
+                let chunk = match pty.chunk() {
+                    Some(c) => c,
+                    None => return self.stuck(format!("parameter `{pname}` not scalar")),
+                };
+                if let Err(e) = mem.store(chunk, *b, 0, *v) {
+                    return self.stuck(format!("storing parameter `{pname}`: {e}"));
+                }
+            } else if let Some((tid, _, _)) = f
+                .temps
+                .iter()
+                .find(|(_, _, n)| n.as_deref() == Some(pname.as_str()))
+            {
+                temps.insert(*tid, *v);
+            } else {
+                return self.stuck(format!("parameter `{pname}` has no storage"));
+            }
+        }
+        Ok(State::Stmt {
+            s: f.body.clone(),
+            frame: Frame {
+                fname: f.name.clone(),
+                env,
+                temps,
+            },
+            kont,
+            mem,
+        })
+    }
+
+    /// Free a frame's locals on return.
+    fn free_locals(&self, frame: &Frame, mem: &Mem) -> Result<Mem, Stuck> {
+        let mut mem = mem.clone();
+        for (name, (b, ty)) in &frame.env {
+            if let Err(e) = mem.free(*b, 0, ty.size()) {
+                return self.stuck(format!("freeing local `{name}`: {e}"));
+            }
+        }
+        Ok(mem)
+    }
+
+    /// Write a call result into its destination.
+    fn write_dest(
+        &self,
+        dest: &CallDest,
+        v: Val,
+        frame: &mut Frame,
+        mem: &mut Mem,
+    ) -> Result<(), Stuck> {
+        match dest {
+            CallDest::None => Ok(()),
+            CallDest::Temp(t, _) => {
+                frame.temps.insert(*t, v);
+                Ok(())
+            }
+            CallDest::Lvalue(lv) => {
+                let (b, ofs, ty) = self.eval_lvalue(frame, mem, lv)?;
+                let chunk = match ty.chunk() {
+                    Some(c) => c,
+                    None => return self.stuck("call destination not scalar"),
+                };
+                match mem.store(chunk, b, ofs, v) {
+                    Ok(()) => Ok(()),
+                    Err(e) => self.stuck(format!("storing call result: {e}")),
+                }
+            }
+        }
+    }
+
+    fn step_stmt(&self, s: &Stmt, frame: &Frame, kont: &Kont, mem: &Mem) -> Result<State, Stuck> {
+        match s {
+            Stmt::Skip => match kont {
+                Kont::Seq(next, k) => Ok(State::Stmt {
+                    s: next.clone(),
+                    frame: frame.clone(),
+                    kont: (**k).clone(),
+                    mem: mem.clone(),
+                }),
+                Kont::Loop(cond, body, k) => Ok(State::Stmt {
+                    s: Stmt::While(cond.clone(), Box::new(body.clone())),
+                    frame: frame.clone(),
+                    kont: (**k).clone(),
+                    mem: mem.clone(),
+                }),
+                // Fell off the end of the function: implicit `return;`.
+                Kont::Stop | Kont::Call { .. } => {
+                    let mem = self.free_locals(frame, mem)?;
+                    Ok(State::Returning {
+                        v: Val::Undef,
+                        mem,
+                        kont: kont.clone(),
+                    })
+                }
+            },
+            Stmt::Assign(lv, rhs) => {
+                let (b, ofs, ty) = self.eval_lvalue(frame, mem, lv)?;
+                let v = self.eval(frame, mem, rhs)?;
+                let chunk = match ty.chunk() {
+                    Some(c) => c,
+                    None => return self.stuck("assignment at non-scalar type"),
+                };
+                let mut mem = mem.clone();
+                if let Err(e) = mem.store(chunk, b, ofs, v) {
+                    return self.stuck(format!("store failed: {e}"));
+                }
+                Ok(State::Stmt {
+                    s: Stmt::Skip,
+                    frame: frame.clone(),
+                    kont: kont.clone(),
+                    mem,
+                })
+            }
+            Stmt::Set(t, rhs) => {
+                let v = self.eval(frame, mem, rhs)?;
+                let mut frame = frame.clone();
+                frame.temps.insert(*t, v);
+                Ok(State::Stmt {
+                    s: Stmt::Skip,
+                    frame,
+                    kont: kont.clone(),
+                    mem: mem.clone(),
+                })
+            }
+            Stmt::Call(dest, fname, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(frame, mem, a)?);
+                }
+                let Some(vf) = self.symtab.func_ptr(fname) else {
+                    return self.stuck(format!("call to unknown symbol `{fname}`"));
+                };
+                let kont = Kont::Call {
+                    dest: dest.clone(),
+                    frame: frame.clone(),
+                    kont: Rc::new(kont.clone()),
+                };
+                if self.prog.function(fname).is_some() {
+                    Ok(State::Entry {
+                        vf,
+                        args: vals,
+                        mem: mem.clone(),
+                        kont,
+                    })
+                } else {
+                    let Some(sig) = self.prog.sig_of(fname) else {
+                        return self.stuck(format!("no signature for `{fname}`"));
+                    };
+                    let Kont::Call { dest, frame, kont } = kont else {
+                        unreachable!()
+                    };
+                    Ok(State::External {
+                        q: CQuery {
+                            vf,
+                            sig,
+                            args: vals,
+                            mem: mem.clone(),
+                        },
+                        dest,
+                        frame,
+                        kont: (*kont).clone(),
+                    })
+                }
+            }
+            Stmt::Seq(a, b) => Ok(State::Stmt {
+                s: (**a).clone(),
+                frame: frame.clone(),
+                kont: Kont::Seq((**b).clone(), Rc::new(kont.clone())),
+                mem: mem.clone(),
+            }),
+            Stmt::If(c, a, b) => {
+                let v = self.eval(frame, mem, c)?;
+                match v.truth() {
+                    Some(t) => Ok(State::Stmt {
+                        s: if t { (**a).clone() } else { (**b).clone() },
+                        frame: frame.clone(),
+                        kont: kont.clone(),
+                        mem: mem.clone(),
+                    }),
+                    None => self.stuck(format!("undefined condition: {c} = {v}")),
+                }
+            }
+            Stmt::While(c, body) => {
+                let v = self.eval(frame, mem, c)?;
+                match v.truth() {
+                    Some(true) => Ok(State::Stmt {
+                        s: (**body).clone(),
+                        frame: frame.clone(),
+                        kont: Kont::Loop(c.clone(), (**body).clone(), Rc::new(kont.clone())),
+                        mem: mem.clone(),
+                    }),
+                    Some(false) => Ok(State::Stmt {
+                        s: Stmt::Skip,
+                        frame: frame.clone(),
+                        kont: kont.clone(),
+                        mem: mem.clone(),
+                    }),
+                    None => self.stuck(format!("undefined loop condition: {c} = {v}")),
+                }
+            }
+            Stmt::Break => {
+                let mut k = kont.clone();
+                loop {
+                    match k {
+                        Kont::Seq(_, next) => k = (*next).clone(),
+                        Kont::Loop(_, _, next) => {
+                            return Ok(State::Stmt {
+                                s: Stmt::Skip,
+                                frame: frame.clone(),
+                                kont: (*next).clone(),
+                                mem: mem.clone(),
+                            })
+                        }
+                        Kont::Stop | Kont::Call { .. } => {
+                            return self.stuck("break outside a loop")
+                        }
+                    }
+                }
+            }
+            Stmt::Continue => {
+                let mut k = kont.clone();
+                loop {
+                    match k {
+                        Kont::Seq(_, next) => k = (*next).clone(),
+                        Kont::Loop(c, body, next) => {
+                            return Ok(State::Stmt {
+                                s: Stmt::While(c, Box::new(body)),
+                                frame: frame.clone(),
+                                kont: (*next).clone(),
+                                mem: mem.clone(),
+                            })
+                        }
+                        Kont::Stop | Kont::Call { .. } => {
+                            return self.stuck("continue outside a loop")
+                        }
+                    }
+                }
+            }
+            Stmt::Return(e) => {
+                let v = match e {
+                    Some(e) => self.eval(frame, mem, e)?,
+                    None => Val::Undef,
+                };
+                let mem = self.free_locals(frame, mem)?;
+                // Unwind to the enclosing Call/Stop.
+                let mut k = kont.clone();
+                loop {
+                    match k {
+                        Kont::Seq(_, next) | Kont::Loop(_, _, next) => k = (*next).clone(),
+                        Kont::Stop | Kont::Call { .. } => break,
+                    }
+                }
+                Ok(State::Returning { v, mem, kont: k })
+            }
+        }
+    }
+}
+
+fn eval_binop(op: Binop, a: Val, b: Val) -> Val {
+    match op {
+        Binop::Add => a.add(b),
+        Binop::Sub => a.sub(b),
+        Binop::Mul => a.mul(b),
+        Binop::Div => a.divs(b),
+        Binop::Mod => a.mods(b),
+        Binop::And => a.and(b),
+        Binop::Or => a.or(b),
+        Binop::Xor => a.xor(b),
+        Binop::Shl => a.shl(b),
+        Binop::Shr => a.shr(b),
+        Binop::Cmp(c) => a.cmp(c, b),
+    }
+}
+
+fn eval_cast(v: Val, from: &Ty, to: &Ty) -> Val {
+    match (from, to) {
+        (Ty::Int, Ty::Int) | (Ty::Long, Ty::Long) => v,
+        (Ty::Int, Ty::Long) => v.longofint(),
+        (Ty::Long, Ty::Int) => v.intoflong(),
+        // Pointer values are preserved across pointer/long casts
+        // (64-bit model).
+        (Ty::Ptr(_), Ty::Ptr(_)) | (Ty::Ptr(_), Ty::Long) | (Ty::Long, Ty::Ptr(_)) => v,
+        _ => Val::Undef,
+    }
+}
+
+impl Lts for ClightSem {
+    type I = C;
+    type O = C;
+    type State = State;
+
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn accepts(&self, q: &CQuery) -> bool {
+        match self.function_of_val(&q.vf) {
+            Some(f) => f.signature() == q.sig && q.args.len() == f.params.len(),
+            None => false,
+        }
+    }
+
+    fn initial(&self, q: &CQuery) -> Result<State, Stuck> {
+        if !self.accepts(q) {
+            return self.stuck("query not accepted");
+        }
+        Ok(State::Entry {
+            vf: q.vf,
+            args: q.args.clone(),
+            mem: q.mem.clone(),
+            kont: Kont::Stop,
+        })
+    }
+
+    fn step(&self, s: &State) -> Step<State, CQuery, CReply> {
+        match s {
+            State::Entry {
+                vf,
+                args,
+                mem,
+                kont,
+            } => {
+                let Some(f) = self.function_of_val(vf) else {
+                    return Step::Stuck(Stuck::new(format!(
+                        "{}: entry into unknown function",
+                        self.label
+                    )));
+                };
+                match self.enter(f, args, mem, kont.clone()) {
+                    Ok(next) => Step::Internal(next, vec![]),
+                    Err(stuck) => Step::Stuck(stuck),
+                }
+            }
+            State::Stmt {
+                s,
+                frame,
+                kont,
+                mem,
+            } => match self.step_stmt(s, frame, kont, mem) {
+                Ok(next) => Step::Internal(next, vec![]),
+                Err(stuck) => Step::Stuck(stuck),
+            },
+            State::Returning { v, mem, kont } => match kont {
+                Kont::Stop => Step::Final(CReply {
+                    retval: *v,
+                    mem: mem.clone(),
+                }),
+                Kont::Call { dest, frame, kont } => {
+                    let mut frame = frame.clone();
+                    let mut mem = mem.clone();
+                    match self.write_dest(dest, *v, &mut frame, &mut mem) {
+                        Ok(()) => Step::Internal(
+                            State::Stmt {
+                                s: Stmt::Skip,
+                                frame,
+                                kont: (**kont).clone(),
+                                mem,
+                            },
+                            vec![],
+                        ),
+                        Err(stuck) => Step::Stuck(stuck),
+                    }
+                }
+                _ => Step::Stuck(Stuck::new("return into a non-call continuation")),
+            },
+            State::External { q, .. } => Step::External(q.clone()),
+        }
+    }
+
+    fn resume(&self, s: &State, a: CReply) -> Result<State, Stuck> {
+        match s {
+            State::External {
+                dest, frame, kont, ..
+            } => {
+                let mut frame = frame.clone();
+                let mut mem = a.mem;
+                self.write_dest(dest, a.retval, &mut frame, &mut mem)?;
+                Ok(State::Stmt {
+                    s: Stmt::Skip,
+                    frame,
+                    kont: kont.clone(),
+                    mem,
+                })
+            }
+            _ => self.stuck("resume in non-external state"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::build_symtab;
+    use crate::parser::parse;
+    use crate::typecheck::typecheck;
+    use compcerto_core::lts::{run, RunOutcome};
+
+    /// Compile source to a semantics plus symbol table and initial memory.
+    pub(crate) fn load(src: &str) -> (ClightSem, Mem) {
+        let prog = typecheck(&parse(src).unwrap()).unwrap();
+        let symtab = build_symtab(&[&prog]).unwrap();
+        let mem = symtab.build_init_mem().unwrap();
+        (ClightSem::new(prog, symtab), mem)
+    }
+
+    fn call(sem: &ClightSem, mem: &Mem, fname: &str, args: Vec<Val>) -> RunOutcome<CReply> {
+        let vf = sem.symtab().func_ptr(fname).unwrap();
+        let sig = sem.program().sig_of(fname).unwrap();
+        let q = CQuery {
+            vf,
+            sig,
+            args,
+            mem: mem.clone(),
+        };
+        run(sem, &q, &mut |_q: &CQuery| None, 100_000)
+    }
+
+    #[test]
+    fn arithmetic_and_return() {
+        let (sem, mem) = load("int add(int a, int b) { return a + b * 2; }");
+        let r = call(&sem, &mem, "add", vec![Val::Int(3), Val::Int(4)]).expect_complete();
+        assert_eq!(r.retval, Val::Int(11));
+    }
+
+    #[test]
+    fn locals_and_loops() {
+        let src = "
+            int sum(int n) {
+                int i; int s;
+                s = 0;
+                for (i = 1; i <= n; i = i + 1) { s = s + i; }
+                return s;
+            }";
+        let (sem, mem) = load(src);
+        let r = call(&sem, &mem, "sum", vec![Val::Int(10)]).expect_complete();
+        assert_eq!(r.retval, Val::Int(55));
+    }
+
+    #[test]
+    fn internal_recursion() {
+        let src = "
+            int fact(int n) {
+                int r;
+                if (n <= 1) { return 1; }
+                r = fact(n - 1);
+                return n * r;
+            }";
+        let (sem, mem) = load(src);
+        let r = call(&sem, &mem, "fact", vec![Val::Int(6)]).expect_complete();
+        assert_eq!(r.retval, Val::Int(720));
+    }
+
+    #[test]
+    fn pointers_and_addressof() {
+        let src = "
+            int deref_roundtrip(int x) {
+                int y; int* p;
+                p = &y;
+                *p = x + 1;
+                return y;
+            }";
+        let (sem, mem) = load(src);
+        let r = call(&sem, &mem, "deref_roundtrip", vec![Val::Int(9)]).expect_complete();
+        assert_eq!(r.retval, Val::Int(10));
+    }
+
+    #[test]
+    fn arrays_and_globals() {
+        let src = "
+            long buf[4];
+            int fill(void) {
+                int i;
+                for (i = 0; i < 4; i = i + 1) { buf[i] = (long) (i * i); }
+                return (int) buf[3];
+            }";
+        let (sem, mem) = load(src);
+        let r = call(&sem, &mem, "fill", vec![]).expect_complete();
+        assert_eq!(r.retval, Val::Int(9));
+    }
+
+    #[test]
+    fn external_calls_suspend() {
+        let src = "
+            extern int twice(int);
+            int f(int x) { int r; r = twice(x); return r + 1; }";
+        let (sem, mem) = load(src);
+        let vf = sem.symtab().func_ptr("f").unwrap();
+        let q = CQuery {
+            vf,
+            sig: sem.program().sig_of("f").unwrap(),
+            args: vec![Val::Int(5)],
+            mem,
+        };
+        let out = run(
+            &sem,
+            &q,
+            &mut |eq: &CQuery| {
+                Some(CReply {
+                    retval: eq.args[0].mul(Val::Int(2)),
+                    mem: eq.mem.clone(),
+                })
+            },
+            100_000,
+        );
+        assert_eq!(out.expect_complete().retval, Val::Int(11));
+    }
+
+    #[test]
+    fn division_by_zero_goes_wrong() {
+        let (sem, mem) = load("int f(int x) { if (x / 0) { return 1; } return 0; }");
+        let out = call(&sem, &mem, "f", vec![Val::Int(1)]);
+        assert!(matches!(out, RunOutcome::Wrong(_)));
+    }
+
+    #[test]
+    fn out_of_bounds_access_goes_wrong() {
+        let src = "long buf[2]; long f(int i) { return buf[i]; }";
+        let (sem, mem) = load(src);
+        let out = call(&sem, &mem, "f", vec![Val::Int(7)]);
+        assert!(matches!(out, RunOutcome::Wrong(_)));
+    }
+
+    #[test]
+    fn locals_are_freed_on_return() {
+        let (sem, mem) = load("int f(void) { int x; x = 1; return x; }");
+        let before = mem.next_block();
+        let r = call(&sem, &mem, "f", vec![]).expect_complete();
+        // The local block was allocated and freed; support grew but the
+        // block is invalid.
+        assert_eq!(r.mem.next_block(), before + 1);
+        assert!(!r.mem.valid_block(before));
+    }
+
+    #[test]
+    fn query_with_wrong_signature_rejected() {
+        let (sem, mem) = load("int f(int x) { return x; }");
+        let q = CQuery {
+            vf: sem.symtab().func_ptr("f").unwrap(),
+            sig: compcerto_core::iface::Signature::int_fn(2),
+            args: vec![Val::Int(1), Val::Int(2)],
+            mem,
+        };
+        assert!(!sem.accepts(&q));
+    }
+}

@@ -1,0 +1,286 @@
+//! The `SimplLocals` pass (paper Table 3, Example 4.4).
+//!
+//! Scalar local variables whose address is never taken are pulled out of
+//! memory and turned into temporaries. This is the first pass whose
+//! simulation convention is non-trivial: the target allocates fewer blocks,
+//! so source and target memories are related by an *injection* that drops
+//! the lifted locals' blocks — and because the lifted values now live only in
+//! the simulation relation, external calls must respect the `injp`
+//! protection of unmapped source blocks (paper §4.5). Its convention is
+//! `injp ↠ inj`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use compcerto_core::symtab::Ident;
+
+use crate::ast::{CallDest, Expr, Function, Program, Stmt, TempId};
+
+/// Run `SimplLocals` on a typed program.
+///
+/// # Example
+///
+/// ```
+/// let p = clight::parse("int f(int x) { return x + 1; }")?;
+/// let p = clight::typecheck(&p).unwrap();
+/// let p = clight::simpl_locals(&p);
+/// // `x` is now a temporary, not a memory-resident variable.
+/// assert!(p.functions[0].vars.is_empty());
+/// assert_eq!(p.functions[0].temps.len(), 1);
+/// # Ok::<(), clight::ParseError>(())
+/// ```
+pub fn simpl_locals(prog: &Program) -> Program {
+    let mut out = prog.clone();
+    for f in &mut out.functions {
+        simplify_function(f);
+    }
+    out
+}
+
+fn simplify_function(f: &mut Function) {
+    let addressed = addressed_vars(&f.body);
+    let mut next_temp: TempId = f.temps.iter().map(|(t, _, _)| t + 1).max().unwrap_or(0);
+    let mut lifted: BTreeMap<Ident, (TempId, crate::ty::Ty)> = BTreeMap::new();
+    let mut kept = Vec::new();
+    for (name, ty) in &f.vars {
+        if ty.is_scalar() && !addressed.contains(name) {
+            lifted.insert(name.clone(), (next_temp, ty.clone()));
+            next_temp += 1;
+        } else {
+            kept.push((name.clone(), ty.clone()));
+        }
+    }
+    f.vars = kept;
+    for (name, (tid, ty)) in &lifted {
+        f.temps.push((*tid, ty.clone(), Some(name.clone())));
+    }
+    f.body = rewrite_stmt(&f.body, &lifted);
+}
+
+/// Variables whose address is taken anywhere in the statement.
+fn addressed_vars(s: &Stmt) -> BTreeSet<Ident> {
+    let mut out = BTreeSet::new();
+    collect_stmt(s, &mut out);
+    out
+}
+
+fn collect_stmt(s: &Stmt, out: &mut BTreeSet<Ident>) {
+    match s {
+        Stmt::Skip | Stmt::Break | Stmt::Continue | Stmt::Return(None) => {}
+        Stmt::Assign(a, b) => {
+            collect_expr(a, out);
+            collect_expr(b, out);
+        }
+        Stmt::Set(_, e) | Stmt::Return(Some(e)) => collect_expr(e, out),
+        Stmt::Call(dest, _, args) => {
+            if let CallDest::Lvalue(lv) = dest {
+                collect_expr(lv, out);
+            }
+            for a in args {
+                collect_expr(a, out);
+            }
+        }
+        Stmt::Seq(a, b) => {
+            collect_stmt(a, out);
+            collect_stmt(b, out);
+        }
+        Stmt::If(c, a, b) => {
+            collect_expr(c, out);
+            collect_stmt(a, out);
+            collect_stmt(b, out);
+        }
+        Stmt::While(c, body) => {
+            collect_expr(c, out);
+            collect_stmt(body, out);
+        }
+    }
+}
+
+fn collect_expr(e: &Expr, out: &mut BTreeSet<Ident>) {
+    match e {
+        Expr::Addr(inner, _) => {
+            if let Some(root) = lvalue_root(inner) {
+                out.insert(root.to_string());
+            }
+            collect_expr(inner, out);
+        }
+        Expr::Deref(inner, _) => collect_expr(inner, out),
+        Expr::Unop(_, a, _) | Expr::Cast(a, _) => collect_expr(a, out),
+        Expr::Binop(_, a, b, _) | Expr::Index(a, b, _) => {
+            collect_expr(a, out);
+            collect_expr(b, out);
+        }
+        _ => {}
+    }
+}
+
+/// The root variable of an lvalue expression, if it is a named variable.
+fn lvalue_root(e: &Expr) -> Option<&str> {
+    match e {
+        Expr::Var(name, _) => Some(name),
+        _ => None,
+    }
+}
+
+fn rewrite_stmt(s: &Stmt, lifted: &BTreeMap<Ident, (TempId, crate::ty::Ty)>) -> Stmt {
+    match s {
+        Stmt::Skip | Stmt::Break | Stmt::Continue | Stmt::Return(None) => s.clone(),
+        Stmt::Assign(lv, rhs) => {
+            let rhs = rewrite_expr(rhs, lifted);
+            if let Expr::Var(name, _) = lv {
+                if let Some((tid, _)) = lifted.get(name) {
+                    return Stmt::Set(*tid, rhs);
+                }
+            }
+            Stmt::Assign(rewrite_expr(lv, lifted), rhs)
+        }
+        Stmt::Set(t, e) => Stmt::Set(*t, rewrite_expr(e, lifted)),
+        Stmt::Return(Some(e)) => Stmt::Return(Some(rewrite_expr(e, lifted))),
+        Stmt::Call(dest, fname, args) => {
+            let dest = match dest {
+                CallDest::Lvalue(Expr::Var(name, ty)) => match lifted.get(name) {
+                    Some((tid, _)) => CallDest::Temp(*tid, ty.clone()),
+                    None => CallDest::Lvalue(Expr::Var(name.clone(), ty.clone())),
+                },
+                CallDest::Lvalue(lv) => CallDest::Lvalue(rewrite_expr(lv, lifted)),
+                other => other.clone(),
+            };
+            Stmt::Call(
+                dest,
+                fname.clone(),
+                args.iter().map(|a| rewrite_expr(a, lifted)).collect(),
+            )
+        }
+        Stmt::Seq(a, b) => Stmt::Seq(
+            Box::new(rewrite_stmt(a, lifted)),
+            Box::new(rewrite_stmt(b, lifted)),
+        ),
+        Stmt::If(c, a, b) => Stmt::If(
+            rewrite_expr(c, lifted),
+            Box::new(rewrite_stmt(a, lifted)),
+            Box::new(rewrite_stmt(b, lifted)),
+        ),
+        Stmt::While(c, body) => Stmt::While(
+            rewrite_expr(c, lifted),
+            Box::new(rewrite_stmt(body, lifted)),
+        ),
+    }
+}
+
+fn rewrite_expr(e: &Expr, lifted: &BTreeMap<Ident, (TempId, crate::ty::Ty)>) -> Expr {
+    match e {
+        Expr::Var(name, ty) => match lifted.get(name) {
+            Some((tid, _)) => Expr::Temp(*tid, ty.clone()),
+            None => e.clone(),
+        },
+        Expr::Deref(a, t) => Expr::Deref(Box::new(rewrite_expr(a, lifted)), t.clone()),
+        Expr::Addr(a, t) => Expr::Addr(Box::new(rewrite_expr(a, lifted)), t.clone()),
+        Expr::Unop(op, a, t) => Expr::Unop(*op, Box::new(rewrite_expr(a, lifted)), t.clone()),
+        Expr::Binop(op, a, b, t) => Expr::Binop(
+            *op,
+            Box::new(rewrite_expr(a, lifted)),
+            Box::new(rewrite_expr(b, lifted)),
+            t.clone(),
+        ),
+        Expr::Cast(a, t) => Expr::Cast(Box::new(rewrite_expr(a, lifted)), t.clone()),
+        Expr::Index(a, i, t) => Expr::Index(
+            Box::new(rewrite_expr(a, lifted)),
+            Box::new(rewrite_expr(i, lifted)),
+            t.clone(),
+        ),
+        _ => e.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::build_symtab;
+    use crate::parser::parse;
+    use crate::sem::ClightSem;
+    use crate::typecheck::typecheck;
+    use compcerto_core::iface::{CQuery, CReply};
+    use compcerto_core::lts::run;
+    use mem::Val;
+
+    fn pass(src: &str) -> (Program, Program) {
+        let p = typecheck(&parse(src).unwrap()).unwrap();
+        let q = simpl_locals(&p);
+        (p, q)
+    }
+
+    #[test]
+    fn lifts_unaddressed_scalars() {
+        let (_, q) = pass("int f(int a, int b) { int c; c = a + b; return c; }");
+        let f = &q.functions[0];
+        assert!(f.vars.is_empty());
+        assert_eq!(f.temps.len(), 3);
+        // Parameters keep their names for binding.
+        assert!(f.temps.iter().any(|(_, _, n)| n.as_deref() == Some("a")));
+    }
+
+    #[test]
+    fn keeps_addressed_and_arrays() {
+        let (_, q) = pass(
+            "int f(void) { int x; int arr[3]; int* p; p = &x; *p = 1; arr[0] = x; return arr[0]; }",
+        );
+        let f = &q.functions[0];
+        let var_names: Vec<_> = f.vars.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(var_names.contains(&"x"), "addressed x stays: {var_names:?}");
+        assert!(var_names.contains(&"arr"), "array stays: {var_names:?}");
+        assert!(!var_names.contains(&"p"), "p is lifted: {var_names:?}");
+    }
+
+    #[test]
+    fn behaviour_preserved() {
+        let src = "
+            int fact(int n) {
+                int r;
+                if (n <= 1) { return 1; }
+                r = fact(n - 1);
+                return n * r;
+            }";
+        let (p, q) = pass(src);
+        let tbl = build_symtab(&[&p]).unwrap();
+        let mem = tbl.build_init_mem().unwrap();
+        let s1 = ClightSem::new(p, tbl.clone());
+        let s2 = ClightSem::new(q, tbl.clone());
+        let query = CQuery {
+            vf: tbl.func_ptr("fact").unwrap(),
+            sig: s1.program().sig_of("fact").unwrap(),
+            args: vec![Val::Int(5)],
+            mem,
+        };
+        let r1 = run(&s1, &query, &mut |_: &CQuery| None::<CReply>, 100_000).expect_complete();
+        let r2 = run(&s2, &query, &mut |_: &CQuery| None::<CReply>, 100_000).expect_complete();
+        assert_eq!(r1.retval, r2.retval);
+        assert_eq!(r1.retval, Val::Int(120));
+    }
+
+    #[test]
+    fn target_allocates_fewer_blocks() {
+        let src = "int f(void) { int a; int b; int c; a = 1; b = 2; c = 3; return a + b + c; }";
+        let (p, q) = pass(src);
+        let tbl = build_symtab(&[&p]).unwrap();
+        let mem = tbl.build_init_mem().unwrap();
+        let s1 = ClightSem::new(p, tbl.clone());
+        let s2 = ClightSem::new(q, tbl.clone());
+        let query = CQuery {
+            vf: tbl.func_ptr("f").unwrap(),
+            sig: s1.program().sig_of("f").unwrap(),
+            args: vec![],
+            mem,
+        };
+        let r1 = run(&s1, &query, &mut |_: &CQuery| None::<CReply>, 100_000).expect_complete();
+        let r2 = run(&s2, &query, &mut |_: &CQuery| None::<CReply>, 100_000).expect_complete();
+        assert_eq!(r1.retval, r2.retval);
+        // The simplified program allocated 3 fewer blocks.
+        assert_eq!(r1.mem.next_block(), r2.mem.next_block() + 3);
+    }
+
+    #[test]
+    fn idempotent_on_already_simplified() {
+        let (_, q) = pass("int f(int x) { return x; }");
+        let q2 = simpl_locals(&q);
+        assert_eq!(q, q2);
+    }
+}

@@ -1,0 +1,115 @@
+//! Source-level types of Clight-mini.
+
+use std::fmt;
+
+use mem::{Chunk, Typ};
+
+/// A Clight-mini type.
+///
+/// The language is deliberately small (see DESIGN.md §2): 32/64-bit integers,
+/// pointers, one-dimensional arrays of scalars, and `void` for function
+/// results.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// 32-bit signed integer (`int`).
+    Int,
+    /// 64-bit signed integer (`long`).
+    Long,
+    /// Pointer to `T`.
+    Ptr(Box<Ty>),
+    /// Array of `n` elements of a scalar type.
+    Array(Box<Ty>, i64),
+    /// No value (function results only).
+    Void,
+}
+
+impl Ty {
+    /// Size of a value of this type in bytes (`sizeof`).
+    pub fn size(&self) -> i64 {
+        match self {
+            Ty::Int => 4,
+            Ty::Long => 8,
+            Ty::Ptr(_) => 8,
+            Ty::Array(t, n) => t.size() * n.max(&0),
+            Ty::Void => 0,
+        }
+    }
+
+    /// Natural alignment in bytes.
+    pub fn align(&self) -> i64 {
+        match self {
+            Ty::Int => 4,
+            Ty::Long | Ty::Ptr(_) => 8,
+            Ty::Array(t, _) => t.align(),
+            Ty::Void => 1,
+        }
+    }
+
+    /// Is this a scalar (register-representable) type?
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, Ty::Int | Ty::Long | Ty::Ptr(_))
+    }
+
+    /// The machine type used to pass values of this type
+    /// (arrays decay to pointers).
+    pub fn machine_typ(&self) -> Option<Typ> {
+        match self {
+            Ty::Int => Some(Typ::I32),
+            Ty::Long | Ty::Ptr(_) | Ty::Array(_, _) => Some(Typ::I64),
+            Ty::Void => None,
+        }
+    }
+
+    /// The memory chunk used to load/store values of this type, if scalar.
+    pub fn chunk(&self) -> Option<Chunk> {
+        match self {
+            Ty::Int => Some(Chunk::I32),
+            Ty::Long => Some(Chunk::I64),
+            Ty::Ptr(_) => Some(Chunk::Ptr),
+            _ => None,
+        }
+    }
+
+    /// The element type of a pointer or array, if any.
+    pub fn element(&self) -> Option<&Ty> {
+        match self {
+            Ty::Ptr(t) | Ty::Array(t, _) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Int => write!(f, "int"),
+            Ty::Long => write!(f, "long"),
+            Ty::Ptr(t) => write!(f, "{t}*"),
+            Ty::Array(t, n) => write!(f, "{t}[{n}]"),
+            Ty::Void => write!(f, "void"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Ty::Int.size(), 4);
+        assert_eq!(Ty::Ptr(Box::new(Ty::Int)).size(), 8);
+        assert_eq!(Ty::Array(Box::new(Ty::Long), 5).size(), 40);
+        assert_eq!(Ty::Array(Box::new(Ty::Int), 3).align(), 4);
+    }
+
+    #[test]
+    fn machine_types() {
+        assert_eq!(Ty::Int.machine_typ(), Some(Typ::I32));
+        assert_eq!(
+            Ty::Array(Box::new(Ty::Int), 3).machine_typ(),
+            Some(Typ::I64)
+        );
+        assert_eq!(Ty::Void.machine_typ(), None);
+    }
+}

@@ -1,0 +1,478 @@
+//! Type checker and elaborator for Clight-mini.
+//!
+//! Turns the parser's untyped AST into a fully-typed program:
+//! * every expression node is annotated with its type;
+//! * array indexing desugars into pointer arithmetic + dereference;
+//! * arrays decay to pointers in rvalue position;
+//! * `int`/`long` mixes get implicit widening casts (C-style);
+//! * statements are checked (assignment compatibility, call signatures,
+//!   return types, scalar conditions).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::ast::{Binop, CallDest, Expr, Program, Stmt, Unop};
+use crate::ty::Ty;
+
+/// A type error with context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeError {
+    /// Function in which the error occurred, if any.
+    pub function: Option<String>,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.function {
+            Some(name) => write!(f, "type error in `{name}`: {}", self.message),
+            None => write!(f, "type error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+struct Ctx<'p> {
+    prog: &'p Program,
+    fname: String,
+    locals: BTreeMap<String, Ty>,
+    ret: Ty,
+}
+
+impl Ctx<'_> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, TypeError> {
+        Err(TypeError {
+            function: Some(self.fname.clone()),
+            message: message.into(),
+        })
+    }
+
+    fn var_ty(&self, name: &str) -> Option<Ty> {
+        if let Some(t) = self.locals.get(name) {
+            return Some(t.clone());
+        }
+        self.prog
+            .globals
+            .iter()
+            .find(|g| g.name == name)
+            .map(|g| g.ty.clone())
+    }
+}
+
+/// Type-check and elaborate a parsed program.
+///
+/// # Errors
+/// Reports the first type error found, naming the enclosing function.
+///
+/// # Example
+///
+/// ```
+/// let p = clight::parse("int id(int x) { return x; }")?;
+/// let typed = clight::typecheck(&p)?;
+/// assert_eq!(typed.functions[0].ret, clight::Ty::Int);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn typecheck(prog: &Program) -> Result<Program, TypeError> {
+    let mut out = prog.clone();
+    for g in &prog.globals {
+        if g.ty == Ty::Void {
+            return Err(TypeError {
+                function: None,
+                message: format!("global `{}` has type void", g.name),
+            });
+        }
+        if g.init.is_some() && !g.ty.is_scalar() {
+            return Err(TypeError {
+                function: None,
+                message: format!("global `{}`: initializer on non-scalar", g.name),
+            });
+        }
+    }
+    for f in &mut out.functions {
+        let mut locals = BTreeMap::new();
+        for (name, t) in &f.vars {
+            if !t.is_scalar() && !matches!(t, Ty::Array(_, _)) {
+                return Err(TypeError {
+                    function: Some(f.name.clone()),
+                    message: format!("local `{name}` has invalid type {t}"),
+                });
+            }
+            if locals.insert(name.clone(), t.clone()).is_some() {
+                return Err(TypeError {
+                    function: Some(f.name.clone()),
+                    message: format!("duplicate local `{name}`"),
+                });
+            }
+        }
+        let ctx = Ctx {
+            prog,
+            fname: f.name.clone(),
+            locals,
+            ret: f.ret.clone(),
+        };
+        f.body = check_stmt(&ctx, &f.body)?;
+    }
+    Ok(out)
+}
+
+fn check_stmt(ctx: &Ctx<'_>, s: &Stmt) -> Result<Stmt, TypeError> {
+    match s {
+        Stmt::Skip | Stmt::Break | Stmt::Continue => Ok(s.clone()),
+        Stmt::Assign(lv, rhs) => {
+            let lv = lvalue(ctx, lv)?;
+            let lty = lv.ty();
+            if !lty.is_scalar() {
+                return ctx.err(format!("cannot assign to value of type {lty}"));
+            }
+            let rhs = rvalue(ctx, rhs)?;
+            let rhs = coerce(ctx, rhs, &lty)?;
+            Ok(Stmt::Assign(lv, rhs))
+        }
+        Stmt::Set(_, _) => ctx.err("temporaries cannot appear before SimplLocals"),
+        Stmt::Call(dest, fname, args) => {
+            let Some(sig_tys) = call_param_types(ctx.prog, fname) else {
+                return ctx.err(format!("call to unknown function `{fname}`"));
+            };
+            let (param_tys, ret_ty) = sig_tys;
+            if args.len() != param_tys.len() {
+                return ctx.err(format!(
+                    "`{fname}` expects {} arguments, got {}",
+                    param_tys.len(),
+                    args.len()
+                ));
+            }
+            let mut checked_args = Vec::with_capacity(args.len());
+            for (a, t) in args.iter().zip(&param_tys) {
+                let a = rvalue(ctx, a)?;
+                checked_args.push(coerce(ctx, a, t)?);
+            }
+            let dest = match dest {
+                CallDest::None => CallDest::None,
+                CallDest::Lvalue(lv) => {
+                    let lv = lvalue(ctx, lv)?;
+                    if ret_ty == Ty::Void {
+                        return ctx.err(format!("`{fname}` returns void"));
+                    }
+                    if lv.ty() != ret_ty {
+                        return ctx.err(format!(
+                            "result of `{fname}` has type {ret_ty}, destination has {}",
+                            lv.ty()
+                        ));
+                    }
+                    CallDest::Lvalue(lv)
+                }
+                CallDest::Temp(t, ty) => CallDest::Temp(*t, ty.clone()),
+            };
+            Ok(Stmt::Call(dest, fname.clone(), checked_args))
+        }
+        Stmt::Seq(a, b) => Ok(Stmt::Seq(
+            Box::new(check_stmt(ctx, a)?),
+            Box::new(check_stmt(ctx, b)?),
+        )),
+        Stmt::If(c, a, b) => {
+            let c = rvalue(ctx, c)?;
+            if !c.ty().is_scalar() {
+                return ctx.err("condition is not scalar");
+            }
+            Ok(Stmt::If(
+                c,
+                Box::new(check_stmt(ctx, a)?),
+                Box::new(check_stmt(ctx, b)?),
+            ))
+        }
+        Stmt::While(c, body) => {
+            let c = rvalue(ctx, c)?;
+            if !c.ty().is_scalar() {
+                return ctx.err("condition is not scalar");
+            }
+            Ok(Stmt::While(c, Box::new(check_stmt(ctx, body)?)))
+        }
+        Stmt::Return(e) => match (e, &ctx.ret) {
+            (None, Ty::Void) => Ok(Stmt::Return(None)),
+            (None, t) => ctx.err(format!("missing return value of type {t}")),
+            (Some(_), Ty::Void) => ctx.err("void function returns a value"),
+            (Some(e), t) => {
+                let e = rvalue(ctx, e)?;
+                let e = coerce(ctx, e, &t.clone())?;
+                Ok(Stmt::Return(Some(e)))
+            }
+        },
+    }
+}
+
+fn call_param_types(prog: &Program, name: &str) -> Option<(Vec<Ty>, Ty)> {
+    if let Some(f) = prog.function(name) {
+        return Some((
+            f.params.iter().map(|(_, t)| t.clone()).collect(),
+            f.ret.clone(),
+        ));
+    }
+    prog.extern_decl(name)
+        .map(|e| (e.params.clone(), e.ret.clone()))
+}
+
+/// Elaborate an expression in lvalue position.
+fn lvalue(ctx: &Ctx<'_>, e: &Expr) -> Result<Expr, TypeError> {
+    match e {
+        Expr::Var(name, _) => match ctx.var_ty(name) {
+            Some(t) => Ok(Expr::Var(name.clone(), t)),
+            None => ctx.err(format!("unknown variable `{name}`")),
+        },
+        Expr::Deref(inner, _) => {
+            let inner = rvalue(ctx, inner)?;
+            match inner.ty().element() {
+                Some(elem) => {
+                    let elem = elem.clone();
+                    Ok(Expr::Deref(Box::new(inner), elem))
+                }
+                None => ctx.err(format!("cannot dereference value of type {}", inner.ty())),
+            }
+        }
+        Expr::Index(base, idx, _) => {
+            let desugared = desugar_index(ctx, base, idx)?;
+            Ok(desugared)
+        }
+        other => ctx.err(format!("`{other}` is not an lvalue")),
+    }
+}
+
+/// Elaborate an expression in rvalue position (loads from lvalues are
+/// implicit in the semantics; arrays decay to pointers).
+fn rvalue(ctx: &Ctx<'_>, e: &Expr) -> Result<Expr, TypeError> {
+    match e {
+        Expr::ConstInt(n) => Ok(Expr::ConstInt(*n)),
+        Expr::ConstLong(n) => Ok(Expr::ConstLong(*n)),
+        Expr::SizeOf(t) => Ok(Expr::SizeOf(t.clone())),
+        Expr::Var(_, _) | Expr::Deref(_, _) | Expr::Index(_, _, _) => {
+            let lv = lvalue(ctx, e)?;
+            // Array-to-pointer decay.
+            if let Ty::Array(elem, _) = lv.ty() {
+                let pt = Ty::Ptr(elem);
+                return Ok(Expr::Addr(Box::new(lv), pt));
+            }
+            Ok(lv)
+        }
+        Expr::Temp(t, ty) => Ok(Expr::Temp(*t, ty.clone())),
+        Expr::Addr(inner, _) => {
+            let lv = lvalue(ctx, inner)?;
+            let pt = Ty::Ptr(Box::new(lv.ty()));
+            Ok(Expr::Addr(Box::new(lv), pt))
+        }
+        Expr::Unop(op, a, _) => {
+            let a = rvalue(ctx, a)?;
+            let ty = match (op, a.ty()) {
+                (Unop::Neg | Unop::Not, Ty::Int) => Ty::Int,
+                (Unop::Neg | Unop::Not, Ty::Long) => Ty::Long,
+                (Unop::LogicalNot, t) if t.is_scalar() => Ty::Int,
+                (_, t) => return ctx.err(format!("unary {op} on {t}")),
+            };
+            Ok(Expr::Unop(*op, Box::new(a), ty))
+        }
+        Expr::Binop(op, a, b, _) => {
+            let a = rvalue(ctx, a)?;
+            let b = rvalue(ctx, b)?;
+            elaborate_binop(ctx, *op, a, b)
+        }
+        Expr::Cast(a, target) => {
+            let a = rvalue(ctx, a)?;
+            let ok = matches!(
+                (&a.ty(), target),
+                (Ty::Int, Ty::Int | Ty::Long)
+                    | (Ty::Long, Ty::Int | Ty::Long | Ty::Ptr(_))
+                    | (Ty::Ptr(_), Ty::Long | Ty::Ptr(_))
+            );
+            if !ok {
+                return ctx.err(format!("invalid cast from {} to {target}", a.ty()));
+            }
+            Ok(Expr::Cast(Box::new(a), target.clone()))
+        }
+    }
+}
+
+fn desugar_index(ctx: &Ctx<'_>, base: &Expr, idx: &Expr) -> Result<Expr, TypeError> {
+    let base = rvalue(ctx, base)?; // decay already applied
+    let Some(elem) = base.ty().element().cloned() else {
+        return ctx.err(format!("cannot index value of type {}", base.ty()));
+    };
+    if !elem.is_scalar() {
+        return ctx.err("only arrays of scalars are supported");
+    }
+    let idx = rvalue(ctx, idx)?;
+    let idx = coerce(ctx, idx, &Ty::Long)?;
+    let offset = Expr::Binop(
+        Binop::Mul,
+        Box::new(idx),
+        Box::new(Expr::ConstLong(elem.size())),
+        Ty::Long,
+    );
+    let addr = Expr::Binop(
+        Binop::Add,
+        Box::new(base),
+        Box::new(offset),
+        Ty::Ptr(Box::new(elem.clone())),
+    );
+    Ok(Expr::Deref(Box::new(addr), elem))
+}
+
+fn elaborate_binop(ctx: &Ctx<'_>, op: Binop, a: Expr, b: Expr) -> Result<Expr, TypeError> {
+    use Binop::*;
+    let (ta, tb) = (a.ty(), b.ty());
+    // Pointer arithmetic.
+    if matches!(op, Add | Sub) {
+        if let (Ty::Ptr(elem), Ty::Int | Ty::Long) = (&ta, &tb) {
+            let scaled = Expr::Binop(
+                Mul,
+                Box::new(coerce(ctx, b, &Ty::Long)?),
+                Box::new(Expr::ConstLong(elem.size())),
+                Ty::Long,
+            );
+            return Ok(Expr::Binop(op, Box::new(a.clone()), Box::new(scaled), ta));
+        }
+        if op == Sub {
+            if let (Ty::Ptr(e1), Ty::Ptr(e2)) = (&ta, &tb) {
+                if e1 != e2 {
+                    return ctx.err("pointer subtraction on different element types");
+                }
+                // (p - q) / sizeof(elem), in longs.
+                let diff = Expr::Binop(Sub, Box::new(a), Box::new(b), Ty::Long);
+                return Ok(Expr::Binop(
+                    Div,
+                    Box::new(diff),
+                    Box::new(Expr::ConstLong(e1.size())),
+                    Ty::Long,
+                ));
+            }
+        }
+        if op == Add {
+            if let (Ty::Int | Ty::Long, Ty::Ptr(_)) = (&ta, &tb) {
+                return elaborate_binop(ctx, op, b, a);
+            }
+        }
+    }
+    // Pointer comparisons.
+    if let Binop::Cmp(_) = op {
+        if matches!((&ta, &tb), (Ty::Ptr(_), Ty::Ptr(_))) {
+            return Ok(Expr::Binop(op, Box::new(a), Box::new(b), Ty::Int));
+        }
+    }
+    // Shifts: the amount is an `int`; the result has the left operand's type.
+    if matches!(op, Shl | Shr) {
+        if !matches!(ta, Ty::Int | Ty::Long) {
+            return ctx.err(format!("shift on {ta}"));
+        }
+        let b = coerce(ctx, b, &Ty::Int)?;
+        return Ok(Expr::Binop(op, Box::new(a), Box::new(b), ta));
+    }
+    // Integer operations with implicit widening.
+    let common = match (&ta, &tb) {
+        (Ty::Int, Ty::Int) => Ty::Int,
+        (Ty::Long, Ty::Long) | (Ty::Int, Ty::Long) | (Ty::Long, Ty::Int) => Ty::Long,
+        _ => return ctx.err(format!("binary {op} on {ta} and {tb}")),
+    };
+    let a = coerce(ctx, a, &common)?;
+    let b = coerce(ctx, b, &common)?;
+    let result = match op {
+        Binop::Cmp(_) => Ty::Int,
+        // Shifts take an int shift amount; the result has the left type.
+        Shl | Shr => common.clone(),
+        _ => common.clone(),
+    };
+    Ok(Expr::Binop(op, Box::new(a), Box::new(b), result))
+}
+
+/// Insert an implicit cast from the expression's type to `target` where C
+/// would (int↔long); reject anything else.
+fn coerce(ctx: &Ctx<'_>, e: Expr, target: &Ty) -> Result<Expr, TypeError> {
+    let t = e.ty();
+    if &t == target {
+        return Ok(e);
+    }
+    match (&t, target) {
+        (Ty::Int, Ty::Long) | (Ty::Long, Ty::Int) => Ok(Expr::Cast(Box::new(e), target.clone())),
+        _ => ctx.err(format!("expected {target}, found {t}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check(src: &str) -> Result<Program, TypeError> {
+        typecheck(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn annotates_types() {
+        let p = check("int add(int a, int b) { return a + b; }").unwrap();
+        match &p.functions[0].body {
+            Stmt::Return(Some(e)) => assert_eq!(e.ty(), Ty::Int),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_variable() {
+        assert!(check("int f(void) { return zz; }").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_call_arity() {
+        let src = "extern int g(int); int f(void) { int x; x = g(1, 2); return x; }";
+        assert!(check(src).is_err());
+    }
+
+    #[test]
+    fn implicit_widening() {
+        let p = check("long f(int a) { return a + 1L; }").unwrap();
+        match &p.functions[0].body {
+            Stmt::Return(Some(e)) => assert_eq!(e.ty(), Ty::Long),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn index_desugars_to_deref() {
+        let p = check("long buf[4]; long get(int i) { return buf[i]; }").unwrap();
+        match &p.functions[0].body {
+            Stmt::Return(Some(Expr::Deref(addr, t))) => {
+                assert_eq!(*t, Ty::Long);
+                assert!(matches!(&**addr, Expr::Binop(Binop::Add, _, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pointer_arithmetic_scales() {
+        let p = check("long f(long* p) { return *(p + 2); }").unwrap();
+        // p + 2 should become p + (2 * 8).
+        let s = format!("{:?}", p.functions[0].body);
+        assert!(s.contains("ConstLong(8)"), "{s}");
+    }
+
+    #[test]
+    fn rejects_assign_to_non_scalar() {
+        // Assigning to a whole array is rejected by the type checker.
+        assert!(check("int f(void) { int a[3]; int b[3]; a = b; return 0; }").is_err());
+    }
+
+    #[test]
+    fn parser_rejects_assign_to_rvalue() {
+        assert!(crate::parser::parse("int f(int a) { a + 1 = 2; return a; }").is_err());
+    }
+
+    #[test]
+    fn rejects_void_misuse() {
+        assert!(check("extern void g(); int f(void) { int x; x = g(); return x; }").is_err());
+        assert!(check("int f(void) { return; }").is_err());
+    }
+
+    #[test]
+    fn address_of_gives_pointer() {
+        let p = check("int f(void) { int x; int* p; x = 1; p = &x; return *p; }").unwrap();
+        assert!(p.functions.len() == 1);
+    }
+}

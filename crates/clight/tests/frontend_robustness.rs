@@ -1,0 +1,98 @@
+//! Robustness of the front end: whatever bytes arrive, `parse` and
+//! `typecheck` return `Err` or `Ok` — they never panic. A verified-compiler
+//! front end that aborts on bad input would undermine the whole "the
+//! compiler is total on its domain" story, so this is checked on arbitrary
+//! strings, on single-byte mutations of valid programs, and on truncations.
+
+use clight::{parse, typecheck};
+use proptest::prelude::*;
+
+const VALID: &str = "
+    extern int ping(int);
+    int g;
+    int entry(int a, int b) {
+        int c; int r;
+        c = a * b + 2;
+        if (c > a) { g = c; } else { g = a - 1; }
+        while (c > 0) { c = c - b; }
+        r = ping(g);
+        return r + c;
+    }";
+
+/// The full pipeline under test: never panics, errors are `Display`able.
+fn feed(src: &str) {
+    if let Ok(p) = parse(src) {
+        match typecheck(&p) {
+            Ok(tp) => {
+                // A typechecked program survives SimplLocals too.
+                let _ = clight::simpl_locals(&tp);
+            }
+            Err(e) => {
+                let _ = e.to_string();
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Arbitrary text never panics the front end.
+    #[test]
+    fn parser_is_total_on_arbitrary_text(src in ".{0,200}") {
+        feed(&src);
+    }
+
+    /// Arbitrary *token-shaped* soup (identifiers, numbers, punctuation in
+    /// plausible positions) never panics the front end.
+    #[test]
+    fn parser_is_total_on_token_soup(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("int"), Just("long"), Just("extern"), Just("if"),
+                Just("else"), Just("while"), Just("return"), Just("x"),
+                Just("entry"), Just("("), Just(")"), Just("{"), Just("}"),
+                Just(";"), Just(","), Just("="), Just("+"), Just("*"),
+                Just("-"), Just("42"), Just("0"), Just("["), Just("]"),
+                Just("&"), Just("<"), Just(">"),
+            ],
+            0..40,
+        ),
+    ) {
+        feed(&words.join(" "));
+    }
+
+    /// Single-byte corruption of a valid program never panics the front end.
+    #[test]
+    fn parser_survives_single_byte_mutations(
+        pos in 0usize..VALID.len(),
+        byte in 0u8..128,
+    ) {
+        let mut bytes = VALID.as_bytes().to_vec();
+        bytes[pos] = byte;
+        if let Ok(s) = String::from_utf8(bytes) {
+            feed(&s);
+        }
+    }
+
+    /// Every prefix of a valid program is handled (EOF in any production).
+    #[test]
+    fn parser_survives_truncation(len in 0usize..VALID.len()) {
+        feed(&VALID[..len]);
+    }
+}
+
+#[test]
+fn valid_program_still_parses() {
+    // Anchor: the generator baseline is accepted, so the mutation tests
+    // above genuinely start from inside the language.
+    let p = parse(VALID).expect("valid");
+    typecheck(&p).expect("well-typed");
+}
+
+#[test]
+fn error_messages_name_the_problem() {
+    let err = parse("int f( {").unwrap_err().to_string();
+    assert!(!err.is_empty());
+    let p = parse("int f(int a) { return g; }").unwrap();
+    let terr = typecheck(&p).unwrap_err().to_string();
+    assert!(terr.contains('g'), "mentions the unknown name: {terr}");
+}

@@ -1,0 +1,187 @@
+//! Edge-case coverage for the Clight-mini semantics: control-flow corners,
+//! 64-bit arithmetic, pointer discipline and undefined-behaviour detection.
+
+use clight::{build_symtab, parse, simpl_locals, typecheck, ClightSem};
+use compcerto_core::iface::{CQuery, CReply};
+use compcerto_core::lts::{run, RunOutcome};
+use mem::Val;
+
+fn load(src: &str) -> (ClightSem, mem::Mem) {
+    let p = typecheck(&parse(src).unwrap()).unwrap();
+    let tbl = build_symtab(&[&p]).unwrap();
+    let mem = tbl.build_init_mem().unwrap();
+    (ClightSem::new(p, tbl), mem)
+}
+
+fn call(sem: &ClightSem, mem: &mem::Mem, f: &str, args: Vec<Val>) -> RunOutcome<CReply> {
+    let q = CQuery {
+        vf: sem.symtab().func_ptr(f).unwrap(),
+        sig: sem.program().sig_of(f).unwrap(),
+        args,
+        mem: mem.clone(),
+    };
+    run(sem, &q, &mut |_q: &CQuery| None, 1_000_000)
+}
+
+#[test]
+fn nested_loops_with_break_and_continue() {
+    let src = "
+        int f(int n) {
+            int i; int j; int s;
+            s = 0;
+            i = 0;
+            while (i < n) {
+                j = 0;
+                while (1) {
+                    j = j + 1;
+                    if (j > i) { break; }
+                    if (j % 2 == 0) { continue; }
+                    s = s + j;
+                }
+                i = i + 1;
+            }
+            return s;
+        }";
+    let (sem, mem) = load(src);
+    // For each i: sum of odd j in 1..=i. n=5: i=1:1, i=2:1, i=3:1+3=4, i=4:4 → 1+1+4+4=10
+    let r = call(&sem, &mem, "f", vec![Val::Int(5)]).expect_complete();
+    assert_eq!(r.retval, Val::Int(10));
+}
+
+#[test]
+fn long_arithmetic_and_mixed_widths() {
+    let src = "
+        long f(int a, long b) {
+            long x;
+            x = (long) a * b;
+            x = x + 1L;
+            x = x << 3;
+            return x / 2L;
+        }";
+    let (sem, mem) = load(src);
+    let r = call(&sem, &mem, "f", vec![Val::Int(1000), Val::Long(1_000_000)]).expect_complete();
+    assert_eq!(r.retval, Val::Long((1_000_000_001i64 << 3) / 2));
+}
+
+#[test]
+fn pointer_swap_through_memory() {
+    let src = "
+        void swap(int* p, int* q) {
+            int t;
+            t = *p;
+            *p = *q;
+            *q = t;
+        }
+        int f(int a, int b) {
+            int x; int y;
+            x = a; y = b;
+            swap(&x, &y);
+            return x * 100 + y;
+        }";
+    let (sem, mem) = load(src);
+    let r = call(&sem, &mem, "f", vec![Val::Int(3), Val::Int(4)]).expect_complete();
+    assert_eq!(r.retval, Val::Int(403));
+}
+
+#[test]
+fn global_state_persists_across_calls_in_memory() {
+    let src = "
+        int counter = 100;
+        int bump(void) { counter = counter + 1; return counter; }
+        int f(void) {
+            int a; int b; int c;
+            a = bump(); b = bump(); c = bump();
+            return a + b + c;
+        }";
+    let (sem, mem) = load(src);
+    let r = call(&sem, &mem, "f", vec![]).expect_complete();
+    assert_eq!(r.retval, Val::Int(101 + 102 + 103));
+    // And the reply memory carries the final counter.
+    let tbl = sem.symtab();
+    let b = tbl.block_of("counter").unwrap();
+    assert_eq!(r.mem.load(mem::Chunk::I32, b, 0), Ok(Val::Int(103)));
+}
+
+#[test]
+fn writing_readonly_global_goes_wrong() {
+    let src = "
+        const int k = 5;
+        int f(void) { k = 6; return k; }";
+    let (sem, mem) = load(src);
+    assert!(matches!(
+        call(&sem, &mem, "f", vec![]),
+        RunOutcome::Wrong(_)
+    ));
+}
+
+#[test]
+fn uninitialized_local_branch_goes_wrong() {
+    // Branching on an undefined value is undefined behaviour.
+    let src = "int f(void) { int x; if (x > 0) { return 1; } return 0; }";
+    let (sem, mem) = load(src);
+    assert!(matches!(
+        call(&sem, &mem, "f", vec![]),
+        RunOutcome::Wrong(_)
+    ));
+}
+
+#[test]
+fn dangling_pointer_dereference_goes_wrong() {
+    // A pointer to a callee's local dangles after the callee returns.
+    let src = "
+        long leak(void) {
+            int x;
+            x = 5;
+            return (long) &x;
+        }
+        int f(void) {
+            long p;
+            p = leak();
+            return *((int*) p);
+        }";
+    let (sem, mem) = load(src);
+    assert!(matches!(
+        call(&sem, &mem, "f", vec![]),
+        RunOutcome::Wrong(_)
+    ));
+}
+
+#[test]
+fn void_functions_return_undef_silently() {
+    let src = "
+        int g = 0;
+        void set(int v) { g = v; }
+        int f(int v) { set(v * 2); return g; }";
+    let (sem, mem) = load(src);
+    let r = call(&sem, &mem, "f", vec![Val::Int(21)]).expect_complete();
+    assert_eq!(r.retval, Val::Int(42));
+}
+
+#[test]
+fn simpl_locals_preserves_all_of_the_above() {
+    // Run the same scenarios through SimplLocals and compare results.
+    for (src, f, args, expect) in [
+        (
+            "int f(int n) { int s; int i; s = 0; for (i = 0; i < n; i = i + 1) { s = s + i * i; } return s; }",
+            "f",
+            vec![Val::Int(6)],
+            Val::Int(55),
+        ),
+        (
+            "int f(int a, int b) { int x; int y; x = a; y = b; if (x > y) { return x - y; } return y - x; }",
+            "f",
+            vec![Val::Int(3), Val::Int(9)],
+            Val::Int(6),
+        ),
+    ] {
+        let p = typecheck(&parse(src).unwrap()).unwrap();
+        let simplified = simpl_locals(&p);
+        let tbl = build_symtab(&[&p]).unwrap();
+        let mem = tbl.build_init_mem().unwrap();
+        for prog in [p, simplified] {
+            let sem = ClightSem::new(prog, tbl.clone());
+            let r = call(&sem, &mem, f, args.clone()).expect_complete();
+            assert_eq!(r.retval, expect, "source: {src}");
+        }
+    }
+}

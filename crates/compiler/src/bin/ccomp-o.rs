@@ -1,0 +1,182 @@
+//! `ccomp-o`: the command-line front end of CompCertO-rs.
+//!
+//! ```text
+//! ccomp-o [OPTIONS] FILE.c [FILE.c ...]
+//!
+//!   --dump-asm           print the generated Asm-O code
+//!   --dump-rtl           print the optimized RTL
+//!   --run FN ARGS...     run FN on integer arguments (Clight semantics;
+//!                        multiple files are linked, paper App. A.3)
+//!   --check FN ARGS...   additionally check Thm 3.8 on the execution
+//!                        (with two files: Cor 3.9, separate compilation)
+//!   -O0                  disable the optional optimizations
+//! ```
+
+use std::process::ExitCode;
+
+use compiler::{c_query, check_thm38, compile_all, CompilerOptions, ExtLib};
+use mem::Val;
+
+struct Cli {
+    files: Vec<String>,
+    dump_asm: bool,
+    dump_rtl: bool,
+    run: Option<(String, Vec<i32>, bool)>,
+    opts: CompilerOptions,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut cli = Cli {
+        files: Vec::new(),
+        dump_asm: false,
+        dump_rtl: false,
+        run: None,
+        opts: CompilerOptions::default(),
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--dump-asm" => cli.dump_asm = true,
+            "--dump-rtl" => cli.dump_rtl = true,
+            "-O0" => cli.opts = CompilerOptions::none(),
+            "--run" | "--check" => {
+                let f = args
+                    .next()
+                    .ok_or_else(|| format!("{a} requires a function name"))?;
+                let mut vals = Vec::new();
+                while let Some(n) = args.peek() {
+                    match n.parse::<i32>() {
+                        Ok(v) => {
+                            vals.push(v);
+                            args.next();
+                        }
+                        Err(_) => break,
+                    }
+                }
+                cli.run = Some((f, vals, a == "--check"));
+            }
+            "-h" | "--help" => return Err("help".into()),
+            f if !f.starts_with('-') => cli.files.push(f.to_string()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if cli.files.is_empty() {
+        return Err("no input files".into());
+    }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(c) => c,
+        Err(msg) => {
+            if msg != "help" {
+                eprintln!("error: {msg}");
+            }
+            eprintln!(
+                "usage: ccomp-o [--dump-asm] [--dump-rtl] [-O0] \
+                 [--run FN ARGS... | --check FN ARGS...] FILE.c ..."
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut sources = Vec::new();
+    for f in &cli.files {
+        match std::fs::read_to_string(f) {
+            Ok(s) => sources.push(s),
+            Err(e) => {
+                eprintln!("error: cannot read `{f}`: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    let refs: Vec<&str> = sources.iter().map(String::as_str).collect();
+    let (units, symtab) = match compile_all(&refs, cli.opts) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(1);
+        }
+    };
+
+    for (file, unit) in cli.files.iter().zip(&units) {
+        if cli.dump_rtl {
+            println!("; RTL for {file}");
+            for f in &unit.rtl_opt.functions {
+                print!("{}", f.dump());
+            }
+        }
+        if cli.dump_asm {
+            println!("; Asm-O for {file}");
+            for f in &unit.asm.functions {
+                print!("{}", f.dump());
+            }
+        }
+    }
+
+    if let Some((fname, args, check)) = cli.run {
+        let unit = match units.iter().find(|u| u.clight.function(&fname).is_some()) {
+            Some(u) => u,
+            None => {
+                eprintln!("error: no unit defines `{fname}`");
+                return ExitCode::from(1);
+            }
+        };
+        let vals: Vec<Val> = args.iter().map(|n| Val::Int(*n)).collect();
+        let q = c_query(&symtab, unit, &fname, vals);
+        let lib = ExtLib::demo(symtab.clone());
+        // Link all translation units at the Clight level (App. A.3), so
+        // cross-unit calls resolve internally rather than escaping.
+        let mut whole = units[0].clight.clone();
+        for u in &units[1..] {
+            whole = match clight::link(&whole, &u.clight) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("error: linking failed: {e}");
+                    return ExitCode::from(1);
+                }
+            };
+        }
+        let sem = clight::ClightSem::new(whole, symtab.clone());
+        let out = compcerto_core::lts::run(&sem, &q, &mut |m| lib.answer_c(m), 100_000_000);
+        match out {
+            compcerto_core::lts::RunOutcome::Complete { answer, .. } => {
+                println!("{fname}({args:?}) = {}", answer.retval);
+            }
+            other => {
+                eprintln!("error: execution did not complete: {other:?}");
+                return ExitCode::from(1);
+            }
+        }
+        if check {
+            match units.as_slice() {
+                [u] => match check_thm38(u, &symtab, &lib, &q) {
+                    Ok(report) => println!(
+                        "Thm 3.8 ✓  (source {} steps, target {} steps, {} external boundaries)",
+                        report.source_steps, report.target_steps, report.external_calls
+                    ),
+                    Err(e) => {
+                        eprintln!("Thm 3.8 ✗: {e}");
+                        return ExitCode::from(1);
+                    }
+                },
+                [u1, u2] => match compiler::check_cor39(u1, u2, &symtab, &lib, &q) {
+                    Ok(report) => println!(
+                        "Cor 3.9 ✓  (source {} steps, target {} steps, {} external boundaries)",
+                        report.source_steps, report.target_steps, report.external_calls
+                    ),
+                    Err(e) => {
+                        eprintln!("Cor 3.9 ✗: {e}");
+                        return ExitCode::from(1);
+                    }
+                },
+                _ => {
+                    eprintln!("error: --check supports one file (Thm 3.8) or two (Cor 3.9)");
+                    return ExitCode::from(1);
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

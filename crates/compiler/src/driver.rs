@@ -1,0 +1,275 @@
+//! The CompCertO-rs pass pipeline (paper Table 3, §3.4).
+
+use std::fmt;
+
+use backend::{
+    allocation, asmgen, cleanup_labels, debugvar, linearize, stacking, tunneling, AsmProgram,
+    AsmSem, LinProgram, LtlProgram, MachSem,
+};
+use clight::{build_symtab, parse, simpl_locals, typecheck};
+use compcerto_core::symtab::SymbolTable;
+use minor::{cminorgen, cshmgen, selection, CmProgram, CsProgram, SelProgram};
+use rtl::{constprop, cse, deadcode, inlining, renumber, rtlgen, tailcall, Romem, RtlProgram};
+
+/// Options controlling the optional optimization passes (paper Table 3 marks
+/// them with †; the final convention `C` is insensitive to them, §3.4).
+#[derive(Debug, Clone, Copy)]
+pub struct CompilerOptions {
+    /// Run `Tailcall`.
+    pub tailcall: bool,
+    /// Run `Inlining`.
+    pub inlining: bool,
+    /// Run `Constprop`.
+    pub constprop: bool,
+    /// Run `CSE`.
+    pub cse: bool,
+    /// Run `Deadcode`.
+    pub deadcode: bool,
+}
+
+impl Default for CompilerOptions {
+    fn default() -> Self {
+        CompilerOptions {
+            tailcall: true,
+            inlining: true,
+            constprop: true,
+            cse: true,
+            deadcode: true,
+        }
+    }
+}
+
+impl CompilerOptions {
+    /// All optional optimizations off (`-O0`).
+    pub fn none() -> CompilerOptions {
+        CompilerOptions {
+            tailcall: false,
+            inlining: false,
+            constprop: false,
+            cse: false,
+            deadcode: false,
+        }
+    }
+}
+
+/// A compilation error from any stage of the pipeline.
+#[derive(Debug)]
+pub enum CompileError {
+    /// Lexing/parsing failed.
+    Parse(clight::ParseError),
+    /// Type checking failed.
+    Type(clight::TypeError),
+    /// Symbol-table construction failed.
+    Link(clight::LinkError),
+    /// `Cshmgen` failed (ill-typed input).
+    Cshmgen(minor::CshmgenError),
+    /// `Cminorgen` failed.
+    Cminorgen(minor::CminorgenError),
+    /// `Stacking` failed (input not in allocator normal form).
+    Stacking(backend::stacking::StackingError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Parse(e) => write!(f, "{e}"),
+            CompileError::Type(e) => write!(f, "{e}"),
+            CompileError::Link(e) => write!(f, "{e}"),
+            CompileError::Cshmgen(e) => write!(f, "{e}"),
+            CompileError::Cminorgen(e) => write!(f, "{e}"),
+            CompileError::Stacking(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Every intermediate program of one translation unit's compilation — the
+/// full Table 3 pipeline, kept around so each pass's simulation can be
+/// checked and benchmarked.
+#[derive(Debug, Clone)]
+pub struct CompiledUnit {
+    /// The typed Clight-mini program.
+    pub clight: clight::Program,
+    /// After `SimplLocals`.
+    pub clight_simpl: clight::Program,
+    /// After `Cshmgen`.
+    pub csharp: CsProgram,
+    /// After `Cminorgen`.
+    pub cminor: CmProgram,
+    /// After `Selection`.
+    pub cminorsel: SelProgram,
+    /// After `RTLgen`.
+    pub rtl: RtlProgram,
+    /// After the (enabled) RTL optimizations and `Renumber`.
+    pub rtl_opt: RtlProgram,
+    /// After `Allocation`.
+    pub ltl: LtlProgram,
+    /// After `Tunneling`.
+    pub ltl_tunneled: LtlProgram,
+    /// After `Linearize`, `CleanupLabels` and `Debugvar`.
+    pub linear: LinProgram,
+    /// After `Stacking`.
+    pub mach: backend::mach::MachProgram,
+    /// After `Asmgen`.
+    pub asm: AsmProgram,
+    /// The return-address map from `Asmgen`.
+    pub ra_map: backend::asmgen::RaMap,
+}
+
+/// Compile one translation unit against a given symbol table.
+///
+/// # Errors
+/// Any front-end or back-end failure is reported as a [`CompileError`].
+pub fn compile_unit(
+    src: &str,
+    symtab: &SymbolTable,
+    opts: CompilerOptions,
+) -> Result<CompiledUnit, CompileError> {
+    let parsed = parse(src).map_err(CompileError::Parse)?;
+    let typed = typecheck(&parsed).map_err(CompileError::Type)?;
+    compile_program(&typed, symtab, opts)
+}
+
+/// Compile an already-typed program against a given symbol table.
+///
+/// # Errors
+/// See [`compile_unit`].
+pub fn compile_program(
+    typed: &clight::Program,
+    symtab: &SymbolTable,
+    opts: CompilerOptions,
+) -> Result<CompiledUnit, CompileError> {
+    let clight_simpl = simpl_locals(typed);
+    let csharp = cshmgen(&clight_simpl).map_err(CompileError::Cshmgen)?;
+    let cminor = cminorgen(&csharp).map_err(CompileError::Cminorgen)?;
+    let cminorsel = selection(&cminor);
+    let rtl0 = rtlgen(&cminorsel);
+
+    let mut r = rtl0.clone();
+    if opts.tailcall {
+        r = tailcall(&r);
+    }
+    if opts.inlining {
+        r = inlining(&r);
+    }
+    r = renumber(&r);
+    let romem = Romem::new(symtab);
+    if opts.constprop {
+        r = constprop(&r, &romem);
+    }
+    if opts.cse {
+        r = cse(&r);
+    }
+    if opts.deadcode {
+        r = deadcode(&r);
+    }
+
+    let ltl = allocation(&r);
+    let ltl_tunneled = tunneling(&ltl);
+    let linear = debugvar(&cleanup_labels(&linearize(&ltl_tunneled)));
+    let mach = stacking(&linear).map_err(CompileError::Stacking)?;
+    let (asm, ra_map) = asmgen(&mach);
+
+    Ok(CompiledUnit {
+        clight: typed.clone(),
+        clight_simpl,
+        csharp,
+        cminor,
+        cminorsel,
+        rtl: rtl0,
+        rtl_opt: r,
+        ltl,
+        ltl_tunneled,
+        linear,
+        mach,
+        asm,
+        ra_map,
+    })
+}
+
+/// One-stop compilation of a set of sources sharing a symbol table: parses
+/// and type-checks all units, builds the shared table (paper App. A.3), and
+/// compiles each unit against it.
+///
+/// # Errors
+/// See [`compile_unit`].
+pub fn compile_all(
+    sources: &[&str],
+    opts: CompilerOptions,
+) -> Result<(Vec<CompiledUnit>, SymbolTable), CompileError> {
+    let mut typed = Vec::new();
+    for src in sources {
+        let p = parse(src).map_err(CompileError::Parse)?;
+        typed.push(typecheck(&p).map_err(CompileError::Type)?);
+    }
+    let refs: Vec<&clight::Program> = typed.iter().collect();
+    let symtab = build_symtab(&refs).map_err(CompileError::Link)?;
+    let mut units = Vec::new();
+    for t in &typed {
+        units.push(compile_program(t, &symtab, opts)?);
+    }
+    Ok((units, symtab))
+}
+
+impl CompiledUnit {
+    /// The Clight open semantics of this unit.
+    pub fn clight_sem(&self, symtab: &SymbolTable) -> clight::ClightSem {
+        clight::ClightSem::new(self.clight.clone(), symtab.clone())
+    }
+
+    /// The Asm open semantics of this unit.
+    pub fn asm_sem(&self, symtab: &SymbolTable) -> AsmSem {
+        AsmSem::new(self.asm.clone(), symtab.clone())
+    }
+
+    /// The Mach open semantics (with the `Asmgen` return-address oracle
+    /// installed).
+    pub fn mach_sem(&self, symtab: &SymbolTable) -> MachSem {
+        MachSem::new(self.mach.clone(), symtab.clone()).with_ra_oracle(
+            backend::asmgen::make_ra_oracle(self.ra_map.clone(), symtab.clone()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_pipeline_compiles() {
+        let src = "
+            int helper(int x) { return x * 2; }
+            int main_fn(int a) {
+                int b;
+                b = helper(a + 1);
+                return b - a;
+            }";
+        let (units, tbl) = compile_all(&[src], CompilerOptions::default()).unwrap();
+        assert_eq!(units.len(), 1);
+        let u = &units[0];
+        assert_eq!(u.asm.functions.len(), 2);
+        assert!(tbl.block_of("main_fn").is_some());
+    }
+
+    #[test]
+    fn optimizations_are_optional() {
+        let src = "int f(int a) { return a * 1 + 0; }";
+        let (u0, _) = compile_all(&[src], CompilerOptions::none()).unwrap();
+        let (u1, _) = compile_all(&[src], CompilerOptions::default()).unwrap();
+        // Both pipelines produce runnable Asm (sizes may differ).
+        assert_eq!(u0[0].asm.functions.len(), 1);
+        assert_eq!(u1[0].asm.functions.len(), 1);
+    }
+
+    #[test]
+    fn multi_unit_compilation_shares_table() {
+        let a = "extern int mult(int, int); int sqr(int n) { int r; r = mult(n, n); return r; }";
+        let b = "int mult(int n, int p) { return n * p; }";
+        let (units, tbl) = compile_all(&[a, b], CompilerOptions::default()).unwrap();
+        assert_eq!(units.len(), 2);
+        // Both units agree on the block of `mult`.
+        assert!(tbl.block_of("mult").is_some());
+        assert!(tbl.block_of("sqr").is_some());
+    }
+}

@@ -1,0 +1,282 @@
+//! A model external library implemented at every language interface.
+//!
+//! Real environments are compiled code too: the same service answers a
+//! C-level question at the C level and an assembly-level question at the
+//! assembly level, *respecting the calling convention*. [`ExtLib`] models
+//! this: a table of pure functions exposed as environment oracles for the
+//! `C`, `L`, `M` and `A` interfaces. The differential simulation checker
+//! ([`compcerto_core::sim::EnvMode::Dual`]) runs one oracle per side and
+//! verifies the convention relates their answers — exercising the
+//! rely/guarantee reading of simulation conventions (paper §2.1).
+
+use std::collections::BTreeMap;
+
+use compcerto_core::iface::{abi, ARegs, CQuery, CReply, LQuery, LReply, MQuery, MReply};
+use compcerto_core::regs::{Loc, Locset, Mreg};
+use compcerto_core::symtab::SymbolTable;
+use mem::{Chunk, Mem, Val};
+
+/// A pure external function: argument values to result value.
+pub type PureFn = fn(&[Val]) -> Val;
+
+/// An external function that may *read* memory (through pointer arguments):
+/// the uniform-behaviour assumption of paper §4.5 made executable — the same
+/// reads happen at whatever level the function is called.
+pub type MemFn = fn(&[Val], &Mem) -> Val;
+
+/// A library of pure external functions, callable at any language interface.
+#[derive(Clone)]
+pub struct ExtLib {
+    symtab: SymbolTable,
+    fns: BTreeMap<String, PureFn>,
+    mem_fns: BTreeMap<String, MemFn>,
+}
+
+impl std::fmt::Debug for ExtLib {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExtLib")
+            .field("fns", &self.fns.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+/// The behaviour of one external function.
+#[derive(Clone, Copy)]
+enum Behaviour {
+    Pure(PureFn),
+    Mem(MemFn),
+}
+
+impl Behaviour {
+    fn apply(&self, args: &[Val], m: &Mem) -> Val {
+        match self {
+            Behaviour::Pure(f) => f(args),
+            Behaviour::Mem(f) => f(args, m),
+        }
+    }
+}
+
+impl ExtLib {
+    /// An empty library bound to a symbol table.
+    pub fn new(symtab: SymbolTable) -> ExtLib {
+        ExtLib {
+            symtab,
+            fns: BTreeMap::new(),
+            mem_fns: BTreeMap::new(),
+        }
+    }
+
+    /// Register a pure function under a symbol name.
+    pub fn define(mut self, name: impl Into<String>, f: PureFn) -> ExtLib {
+        self.fns.insert(name.into(), f);
+        self
+    }
+
+    /// Register a memory-reading function under a symbol name.
+    pub fn define_memfn(mut self, name: impl Into<String>, f: MemFn) -> ExtLib {
+        self.mem_fns.insert(name.into(), f);
+        self
+    }
+
+    /// The standard demonstration library: `osc(x) = x + 1`,
+    /// `mystery(x) = 2x`, `twice(x) = 2x`, `ext(x) = x`.
+    pub fn demo(symtab: SymbolTable) -> ExtLib {
+        fn inc(args: &[Val]) -> Val {
+            args.first()
+                .copied()
+                .unwrap_or(Val::Int(0))
+                .add(Val::Int(1))
+        }
+        fn dbl(args: &[Val]) -> Val {
+            args.first()
+                .copied()
+                .unwrap_or(Val::Int(0))
+                .mul(Val::Int(2))
+        }
+        fn idf(args: &[Val]) -> Val {
+            args.first().copied().unwrap_or(Val::Int(0))
+        }
+        /// Sum two longs read through the pointer argument (the canonical
+        /// memory-reading external: exercises pointer marshaling and the
+        /// injection machinery end to end).
+        fn sum2(args: &[Val], m: &Mem) -> Val {
+            let Some(p) = args.first() else {
+                return Val::Long(0);
+            };
+            let a = m.loadv(Chunk::I64, *p).unwrap_or(Val::Undef);
+            let b = m
+                .loadv(Chunk::I64, p.add(Val::Long(8)))
+                .unwrap_or(Val::Undef);
+            a.add(b)
+        }
+        ExtLib::new(symtab)
+            .define("osc", inc)
+            .define("inc", inc)
+            .define("mystery", dbl)
+            .define("twice", dbl)
+            .define("ext", idf)
+            .define_memfn("sum2", sum2)
+    }
+
+    /// The behaviour bound to a function-pointer value, if any.
+    fn lookup(&self, vf: &Val) -> Option<Behaviour> {
+        let Val::Ptr(b, 0) = vf else { return None };
+        let name = self.symtab.ident_of(*b)?;
+        if let Some(f) = self.fns.get(name) {
+            return Some(Behaviour::Pure(*f));
+        }
+        self.mem_fns.get(name).map(|f| Behaviour::Mem(*f))
+    }
+
+    /// Answer a C-level question.
+    pub fn answer_c(&self, q: &CQuery) -> Option<CReply> {
+        let f = self.lookup(&q.vf)?;
+        Some(CReply {
+            retval: f.apply(&q.args, &q.mem),
+            mem: q.mem.clone(),
+        })
+    }
+
+    /// Answer an L-level question: arguments from ABI locations, result into
+    /// the result register, callee-save locations preserved.
+    pub fn answer_l(&self, q: &LQuery) -> Option<LReply> {
+        let f = self.lookup(&q.vf)?;
+        let args: Vec<Val> = abi::loc_arguments(&q.sig)
+            .into_iter()
+            .map(|l| q.ls.get(l))
+            .collect();
+        let mut ls = Locset::new();
+        for r in Mreg::all() {
+            if abi::is_callee_save(r) {
+                ls.set(Loc::Reg(r), q.ls.get(Loc::Reg(r)));
+            } else {
+                ls.set(Loc::Reg(r), Val::Undef);
+            }
+        }
+        ls.set(Loc::Reg(abi::RESULT_REG), f.apply(&args, &q.mem));
+        Some(LReply {
+            ls,
+            mem: q.mem.clone(),
+        })
+    }
+
+    /// Answer an M-level question: register arguments from `r0..r3`, stack
+    /// arguments loaded from the argument region at `sp`.
+    pub fn answer_m(&self, q: &MQuery) -> Option<MReply> {
+        let f = self.lookup(&q.vf)?;
+        let sig = self.symtab.sig_of_ptr(&q.vf)?;
+        let mut args = Vec::with_capacity(sig.params.len());
+        for (i, _) in sig.params.iter().enumerate() {
+            if i < abi::PARAM_REGS.len() {
+                args.push(q.rs[abi::PARAM_REGS[i].index()]);
+            } else {
+                let ofs = ((i - abi::PARAM_REGS.len()) as i64) * 8;
+                args.push(q.mem.loadv(Chunk::Any64, q.sp.add(Val::Long(ofs))).ok()?);
+            }
+        }
+        let mut rs = q.rs;
+        for r in Mreg::all() {
+            if !abi::is_callee_save(r) {
+                rs[r.index()] = Val::Undef;
+            }
+        }
+        rs[abi::RESULT_REG.index()] = f.apply(&args, &q.mem);
+        Some(MReply {
+            rs,
+            mem: q.mem.clone(),
+        })
+    }
+
+    /// Answer an A-level question: like [`ExtLib::answer_m`], and additionally
+    /// return control through `ra` with the stack pointer restored —
+    /// a well-behaved assembly-level service per the `CA` convention.
+    pub fn answer_a(&self, q: &ARegs) -> Option<ARegs> {
+        let f = self.lookup(&q.rs.pc)?;
+        let sig = self.symtab.sig_of_ptr(&q.rs.pc)?;
+        let mut args = Vec::with_capacity(sig.params.len());
+        for (i, _) in sig.params.iter().enumerate() {
+            if i < abi::PARAM_REGS.len() {
+                args.push(q.rs.get(abi::PARAM_REGS[i]));
+            } else {
+                let ofs = ((i - abi::PARAM_REGS.len()) as i64) * 8;
+                args.push(
+                    q.mem
+                        .loadv(Chunk::Any64, q.rs.sp.add(Val::Long(ofs)))
+                        .ok()?,
+                );
+            }
+        }
+        let mut rs = q.rs.clone();
+        for r in Mreg::all() {
+            if !abi::is_callee_save(r) {
+                rs.set(r, Val::Undef);
+            }
+        }
+        rs.set(abi::RESULT_REG, f.apply(&args, &q.mem));
+        rs.pc = q.rs.ra; // return
+        Some(ARegs {
+            rs,
+            mem: q.mem.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compcerto_core::cc::Ca;
+    use compcerto_core::conv::SimConv;
+    use compcerto_core::iface::Signature;
+    use compcerto_core::symtab::GlobKind;
+    use mem::Mem;
+
+    fn setup() -> (ExtLib, SymbolTable) {
+        let mut tbl = SymbolTable::new();
+        tbl.define("inc".into(), GlobKind::Func(Signature::int_fn(1)));
+        (ExtLib::demo(tbl.clone()), tbl)
+    }
+
+    #[test]
+    fn c_level_answers() {
+        let (lib, tbl) = setup();
+        let q = CQuery {
+            vf: tbl.func_ptr("inc").unwrap(),
+            sig: Signature::int_fn(1),
+            args: vec![Val::Int(41)],
+            mem: Mem::new(),
+        };
+        let r = lib.answer_c(&q).unwrap();
+        assert_eq!(r.retval, Val::Int(42));
+    }
+
+    #[test]
+    fn c_and_a_answers_are_ca_related() {
+        // The same service answered at C and at A must produce CA-related
+        // replies — the environment side of Thm 3.8.
+        let (lib, tbl) = setup();
+        let mem = tbl.build_init_mem().unwrap();
+        let qc = CQuery {
+            vf: tbl.func_ptr("inc").unwrap(),
+            sig: Signature::int_fn(1),
+            args: vec![Val::Int(9)],
+            mem,
+        };
+        let ca = Ca::new(tbl.len() as u32);
+        let (w, qa) = ca.transport_query(&qc).unwrap();
+        let rc = lib.answer_c(&qc).unwrap();
+        let ra = lib.answer_a(&qa).unwrap();
+        assert!(ca.match_reply(&w, &rc, &ra), "external service broke CA");
+    }
+
+    #[test]
+    fn unknown_functions_are_refused() {
+        let (lib, _) = setup();
+        let q = CQuery {
+            vf: Val::Ptr(999, 0),
+            sig: Signature::int_fn(0),
+            args: vec![],
+            mem: Mem::new(),
+        };
+        assert!(lib.answer_c(&q).is_none());
+    }
+}

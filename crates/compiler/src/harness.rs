@@ -1,0 +1,224 @@
+//! Correctness harnesses: the executable analogs of paper Thm. 3.5,
+//! Thm. 3.8 and Cor. 3.9.
+//!
+//! Each harness instantiates the differential forward-simulation checker
+//! (paper Fig. 6) at the appropriate conventions:
+//!
+//! * [`check_thm38`] — `Clight(p) ≤_{C↠C} Asm(p')` with the end-to-end
+//!   convention `C` (its executable core, [`compcerto_core::cc::Ca`]);
+//! * [`check_thm35`] — `Asm(p1) ⊕ Asm(p2) ≤_{id↠id} Asm(p1 + p2)`;
+//! * [`check_cor39`] — `Clight(M1) ⊕ … ⊕ Clight(Mn) ≤_{C↠C} Asm(M.s)`.
+
+use backend::{link_asm, AsmProgram, AsmSem};
+use clight::ClightSem;
+use compcerto_core::cconv::CConv;
+use compcerto_core::conv::IdConv;
+use compcerto_core::hcomp::HComp;
+use compcerto_core::iface::{ARegs, CQuery, A};
+use compcerto_core::sim::{check_fwd_sim_env, EnvMode, SimCheckError, SimCheckReport};
+use compcerto_core::symtab::SymbolTable;
+
+use crate::driver::CompiledUnit;
+use crate::extlib::ExtLib;
+
+/// Default fuel for harness executions.
+pub const FUEL: u64 = 10_000_000;
+
+/// Check Theorem 3.8 on one execution: run the source component at the C
+/// level and the compiled component at the assembly level on `C`-related
+/// questions, with the external library answering both sides, and verify the
+/// final answers are related by the calling convention.
+///
+/// # Errors
+/// Reports the violated simulation edge.
+pub fn check_thm38(
+    unit: &CompiledUnit,
+    symtab: &SymbolTable,
+    lib: &ExtLib,
+    query: &CQuery,
+) -> Result<SimCheckReport, SimCheckError> {
+    let src = unit.clight_sem(symtab);
+    let tgt = unit.asm_sem(symtab);
+    // The full convention C = R*·wt·CA·vainj (paper §5).
+    let c = CConv::new(symtab.clone());
+    let mut env_c = |q: &CQuery| lib.answer_c(q);
+    let mut env_a = |q: &ARegs| lib.answer_a(q);
+    check_fwd_sim_env(
+        &src,
+        &tgt,
+        &c,
+        &c,
+        query,
+        EnvMode::Dual(&mut env_c, &mut env_a),
+        FUEL,
+    )
+}
+
+/// Check the Theorem 3.5 analog on one execution: the horizontal composition
+/// of two Asm components simulates (at `id ↠ id`) the syntactically linked
+/// program.
+///
+/// # Errors
+/// Reports the violated simulation edge or a linking failure as
+/// [`SimCheckError`]/panic-free result.
+pub fn check_thm35(
+    p1: &AsmProgram,
+    p2: &AsmProgram,
+    symtab: &SymbolTable,
+    lib: &ExtLib,
+    query: &ARegs,
+) -> Result<SimCheckReport, SimCheckError> {
+    let linked = link_asm(p1, p2).expect("programs must link");
+    let composite = HComp::new(
+        AsmSem::new(p1.clone(), symtab.clone()),
+        AsmSem::new(p2.clone(), symtab.clone()),
+    );
+    let whole = AsmSem::new(linked, symtab.clone());
+    let mut env1 = |q: &ARegs| lib.answer_a(q);
+    let mut env2 = |q: &ARegs| lib.answer_a(q);
+    check_fwd_sim_env(
+        &composite,
+        &whole,
+        &IdConv::<A>::new(),
+        &IdConv::<A>::new(),
+        query,
+        EnvMode::Dual(&mut env1, &mut env2),
+        FUEL,
+    )
+}
+
+/// Check the Corollary 3.9 analog on one execution: the horizontal
+/// composition of two source components' Clight semantics is simulated (at
+/// the convention `C`) by the Asm semantics of the compiled-and-linked
+/// program.
+///
+/// # Errors
+/// Reports the violated simulation edge.
+pub fn check_cor39(
+    u1: &CompiledUnit,
+    u2: &CompiledUnit,
+    symtab: &SymbolTable,
+    lib: &ExtLib,
+    query: &CQuery,
+) -> Result<SimCheckReport, SimCheckError> {
+    let linked = link_asm(&u1.asm, &u2.asm).expect("programs must link");
+    let composite = HComp::new(
+        ClightSem::new(u1.clight.clone(), symtab.clone()).with_label("Clight#1"),
+        ClightSem::new(u2.clight.clone(), symtab.clone()).with_label("Clight#2"),
+    );
+    let whole = AsmSem::new(linked, symtab.clone());
+    let c = CConv::new(symtab.clone());
+    let mut env_c = |q: &CQuery| lib.answer_c(q);
+    let mut env_a = |q: &ARegs| lib.answer_a(q);
+    check_fwd_sim_env(
+        &composite,
+        &whole,
+        &c,
+        &c,
+        query,
+        EnvMode::Dual(&mut env_c, &mut env_a),
+        FUEL,
+    )
+}
+
+/// Build a C-level query for a function of a compiled program.
+///
+/// # Panics
+/// Panics when the function is unknown (harness misuse).
+pub fn c_query(
+    symtab: &SymbolTable,
+    unit: &CompiledUnit,
+    fname: &str,
+    args: Vec<mem::Val>,
+) -> CQuery {
+    let sig = unit
+        .clight
+        .sig_of(fname)
+        .unwrap_or_else(|| panic!("unknown function `{fname}`"));
+    CQuery {
+        vf: symtab.func_ptr(fname).expect("function in symbol table"),
+        sig,
+        args,
+        mem: symtab.build_init_mem().expect("initial memory"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{compile_all, CompilerOptions};
+    use mem::Val;
+
+    #[test]
+    fn thm38_simple_arithmetic() {
+        let src = "int f(int a, int b) { return (a + b) * (a - b); }";
+        let (units, tbl) = compile_all(&[src], CompilerOptions::default()).unwrap();
+        let lib = ExtLib::demo(tbl.clone());
+        let q = c_query(&tbl, &units[0], "f", vec![Val::Int(9), Val::Int(4)]);
+        let report = check_thm38(&units[0], &tbl, &lib, &q).expect("Thm 3.8 holds");
+        assert_eq!(report.external_calls, 0);
+    }
+
+    #[test]
+    fn thm38_with_memory_and_calls() {
+        let src = "
+            int counter = 0;
+            int helper(int x) { counter = counter + x; return counter; }
+            int f(int a) {
+                int r1; int r2;
+                r1 = helper(a);
+                r2 = helper(a * 2);
+                return r1 + r2;
+            }";
+        let (units, tbl) = compile_all(&[src], CompilerOptions::default()).unwrap();
+        let lib = ExtLib::demo(tbl.clone());
+        let q = c_query(&tbl, &units[0], "f", vec![Val::Int(3)]);
+        check_thm38(&units[0], &tbl, &lib, &q).expect("Thm 3.8 holds");
+    }
+
+    #[test]
+    fn thm38_with_external_calls() {
+        let src = "
+            extern int inc(int);
+            int f(int a) { int r; r = inc(a); return r * 2; }";
+        let (units, tbl) = compile_all(&[src], CompilerOptions::default()).unwrap();
+        let lib = ExtLib::demo(tbl.clone());
+        let q = c_query(&tbl, &units[0], "f", vec![Val::Int(20)]);
+        let report = check_thm38(&units[0], &tbl, &lib, &q).expect("Thm 3.8 holds");
+        assert_eq!(report.external_calls, 1);
+    }
+
+    #[test]
+    fn thm38_with_stack_arguments() {
+        let src = "
+            int sum6(int a, int b, int c, int d, int e, int f) {
+                return a + b + c + d + e + f;
+            }
+            int g(int x) { int r; r = sum6(x, x, x, x, x, x); return r; }";
+        let (units, tbl) = compile_all(&[src], CompilerOptions::default()).unwrap();
+        let lib = ExtLib::demo(tbl.clone());
+        let q = c_query(&tbl, &units[0], "g", vec![Val::Int(7)]);
+        check_thm38(&units[0], &tbl, &lib, &q).expect("Thm 3.8 holds");
+    }
+
+    #[test]
+    fn thm35_and_cor39_mutual_recursion() {
+        // Fig. 1 of the paper: sqr calls mult across translation units.
+        let a = "extern int mult(int, int); int sqr(int n) { int r; r = mult(n, n); return r; }";
+        let b = "int mult(int n, int p) { return n * p; }";
+        let (units, tbl) = compile_all(&[a, b], CompilerOptions::default()).unwrap();
+        let lib = ExtLib::demo(tbl.clone());
+
+        // Cor. 3.9: composed sources vs linked target.
+        let q = c_query(&tbl, &units[0], "sqr", vec![Val::Int(12)]);
+        check_cor39(&units[0], &units[1], &tbl, &lib, &q).expect("Cor 3.9 holds");
+
+        // Thm 3.5: composed Asm vs linked Asm.
+        let (_, qa) = compcerto_core::conv::SimConv::transport_query(
+            &compcerto_core::cc::Ca::new(tbl.len() as u32),
+            &q,
+        )
+        .unwrap();
+        check_thm35(&units[0].asm, &units[1].asm, &tbl, &lib, &qa).expect("Thm 3.5 holds");
+    }
+}

@@ -1,0 +1,282 @@
+//! The pass registry: paper Table 3 as data.
+//!
+//! Each entry records a pass's source and target languages, its outgoing and
+//! incoming simulation conventions as symbolic [`Chain`]s (feeding the
+//! algebra engine that derives the whole-compiler convention, paper
+//! Figs. 10/11), whether the pass is optional, and the source module
+//! implementing it (feeding the SLOC accounting of Tables 3/5).
+
+use compcerto_core::algebra::{Atom, Chain, CklrTag, IfaceTag};
+
+/// One row of paper Table 3.
+#[derive(Debug, Clone)]
+pub struct PassInfo {
+    /// Pass name.
+    pub name: &'static str,
+    /// Source language.
+    pub source: &'static str,
+    /// Target language.
+    pub target: &'static str,
+    /// Outgoing simulation convention.
+    pub outgoing: Chain,
+    /// Incoming simulation convention.
+    pub incoming: Chain,
+    /// Is the pass an optional optimization (†)?
+    pub optional: bool,
+    /// Repository-relative path of the implementing module.
+    pub module: &'static str,
+}
+
+/// The registry, in pipeline order (paper Table 3).
+pub fn pass_registry() -> Vec<PassInfo> {
+    use Atom::*;
+    use CklrTag::*;
+    use IfaceTag::*;
+    let c = |atoms: &[Atom]| Chain::of(atoms.to_vec());
+    vec![
+        PassInfo {
+            name: "SimplLocals",
+            source: "Clight",
+            target: "Clight",
+            outgoing: c(&[Cklr(Injp, C)]),
+            incoming: c(&[Cklr(Inj, C)]),
+            optional: false,
+            module: "crates/clight/src/simpl_locals.rs",
+        },
+        PassInfo {
+            name: "Cshmgen",
+            source: "Clight",
+            target: "Csharpminor",
+            outgoing: c(&[Id(C)]),
+            incoming: c(&[Id(C)]),
+            optional: false,
+            module: "crates/minor/src/cshmgen.rs",
+        },
+        PassInfo {
+            name: "Cminorgen",
+            source: "Csharpminor",
+            target: "Cminor",
+            outgoing: c(&[Cklr(Injp, C)]),
+            incoming: c(&[Cklr(Inj, C)]),
+            optional: false,
+            module: "crates/minor/src/cminorgen.rs",
+        },
+        PassInfo {
+            name: "Selection",
+            source: "Cminor",
+            target: "CminorSel",
+            outgoing: c(&[Wt, Cklr(Ext, C)]),
+            incoming: c(&[Wt, Cklr(Ext, C)]),
+            optional: false,
+            module: "crates/minor/src/selection.rs",
+        },
+        PassInfo {
+            name: "RTLgen",
+            source: "CminorSel",
+            target: "RTL",
+            outgoing: c(&[Cklr(Ext, C)]),
+            incoming: c(&[Cklr(Ext, C)]),
+            optional: false,
+            module: "crates/rtl/src/gen.rs",
+        },
+        PassInfo {
+            name: "Tailcall",
+            source: "RTL",
+            target: "RTL",
+            outgoing: c(&[Cklr(Ext, C)]),
+            incoming: c(&[Cklr(Ext, C)]),
+            optional: true,
+            module: "crates/rtl/src/tailcall.rs",
+        },
+        PassInfo {
+            name: "Inlining",
+            source: "RTL",
+            target: "RTL",
+            outgoing: c(&[Cklr(Injp, C)]),
+            incoming: c(&[Cklr(Inj, C)]),
+            optional: false,
+            module: "crates/rtl/src/inlining.rs",
+        },
+        PassInfo {
+            name: "Renumber",
+            source: "RTL",
+            target: "RTL",
+            outgoing: c(&[Id(C)]),
+            incoming: c(&[Id(C)]),
+            optional: false,
+            module: "crates/rtl/src/renumber.rs",
+        },
+        PassInfo {
+            name: "Constprop",
+            source: "RTL",
+            target: "RTL",
+            outgoing: c(&[Va, Cklr(Ext, C)]),
+            incoming: c(&[Va, Cklr(Ext, C)]),
+            optional: true,
+            module: "crates/rtl/src/constprop.rs",
+        },
+        PassInfo {
+            name: "CSE",
+            source: "RTL",
+            target: "RTL",
+            outgoing: c(&[Va, Cklr(Ext, C)]),
+            incoming: c(&[Va, Cklr(Ext, C)]),
+            optional: true,
+            module: "crates/rtl/src/cse.rs",
+        },
+        PassInfo {
+            name: "Deadcode",
+            source: "RTL",
+            target: "RTL",
+            outgoing: c(&[Va, Cklr(Ext, C)]),
+            incoming: c(&[Va, Cklr(Ext, C)]),
+            optional: true,
+            module: "crates/rtl/src/deadcode.rs",
+        },
+        PassInfo {
+            name: "Allocation",
+            source: "RTL",
+            target: "LTL",
+            outgoing: c(&[Wt, Cklr(Ext, C), Cl]),
+            incoming: c(&[Wt, Cklr(Ext, C), Cl]),
+            optional: false,
+            module: "crates/backend/src/alloc.rs",
+        },
+        PassInfo {
+            name: "Tunneling",
+            source: "LTL",
+            target: "LTL",
+            outgoing: c(&[Cklr(Ext, L)]),
+            incoming: c(&[Cklr(Ext, L)]),
+            optional: false,
+            module: "crates/backend/src/tunneling.rs",
+        },
+        PassInfo {
+            name: "Linearize",
+            source: "LTL",
+            target: "Linear",
+            outgoing: c(&[Id(L)]),
+            incoming: c(&[Id(L)]),
+            optional: false,
+            module: "crates/backend/src/linearize.rs",
+        },
+        PassInfo {
+            name: "CleanupLabels",
+            source: "Linear",
+            target: "Linear",
+            outgoing: c(&[Id(L)]),
+            incoming: c(&[Id(L)]),
+            optional: false,
+            module: "crates/backend/src/cleanup.rs",
+        },
+        PassInfo {
+            name: "Debugvar",
+            source: "Linear",
+            target: "Linear",
+            outgoing: c(&[Id(L)]),
+            incoming: c(&[Id(L)]),
+            optional: false,
+            module: "crates/backend/src/debugvar.rs",
+        },
+        PassInfo {
+            name: "Stacking",
+            source: "Linear",
+            target: "Mach",
+            outgoing: c(&[Cklr(Injp, L), Lm]),
+            incoming: c(&[Lm, Cklr(Inj, M)]),
+            optional: false,
+            module: "crates/backend/src/stacking.rs",
+        },
+        PassInfo {
+            name: "Asmgen",
+            source: "Mach",
+            target: "Asm",
+            outgoing: c(&[Cklr(Ext, M), Ma]),
+            incoming: c(&[Cklr(Ext, M), Ma]),
+            optional: false,
+            module: "crates/backend/src/asmgen.rs",
+        },
+    ]
+}
+
+/// The language rows of paper Table 3 (self-simulation / semantics entries),
+/// mapping each language to its interface and implementing module.
+pub fn language_registry() -> Vec<(&'static str, &'static str, &'static str)> {
+    vec![
+        ("Clight", "C ↠ C", "crates/clight/src/sem.rs"),
+        ("Csharpminor", "C ↠ C", "crates/minor/src/csharp.rs"),
+        ("Cminor", "C ↠ C", "crates/minor/src/cminor.rs"),
+        ("CminorSel", "C ↠ C", "crates/minor/src/cminorsel.rs"),
+        ("RTL", "C ↠ C", "crates/rtl/src/sem.rs"),
+        ("LTL", "L ↠ L", "crates/backend/src/ltl.rs"),
+        ("Linear", "L ↠ L", "crates/backend/src/linear.rs"),
+        ("Mach", "M ↠ M", "crates/backend/src/mach.rs"),
+        ("Asm", "A ↠ A", "crates/backend/src/asm.rs"),
+    ]
+}
+
+/// Concatenate the per-pass incoming conventions, in pipeline order — the
+/// chain the algebra engine normalizes to `C` (paper Fig. 10).
+pub fn composed_incoming() -> Chain {
+    pass_registry()
+        .into_iter()
+        .map(|p| p.incoming)
+        .fold(Chain::id(), Chain::then)
+}
+
+/// Concatenate the per-pass outgoing conventions, in pipeline order.
+pub fn composed_outgoing() -> Chain {
+    pass_registry()
+        .into_iter()
+        .map(|p| p.outgoing)
+        .fold(Chain::id(), Chain::then)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compcerto_core::algebra::{derive, goal_convention};
+
+    #[test]
+    fn registry_matches_table3_shape() {
+        let reg = pass_registry();
+        assert_eq!(reg.len(), 18);
+        assert_eq!(reg.iter().filter(|p| p.optional).count(), 4);
+        // The pipeline is type-correct end to end.
+        assert_eq!(composed_incoming().typing(), Ok((IfaceTag::C, IfaceTag::A)));
+        assert_eq!(composed_outgoing().typing(), Ok((IfaceTag::C, IfaceTag::A)));
+    }
+
+    #[test]
+    fn registry_chains_derive_to_goal() {
+        // The headline derivation (paper Thm 3.8 via Figs. 10/11): both the
+        // incoming and outgoing composed conventions normalize to
+        // `R* · wt · CA · vainj`.
+        let d_in = derive(composed_incoming()).expect("incoming derivation");
+        assert_eq!(*d_in.current(), goal_convention());
+        d_in.verify().expect("incoming derivation verifies");
+
+        let d_out = derive(composed_outgoing()).expect("outgoing derivation");
+        assert_eq!(*d_out.current(), goal_convention());
+        d_out.verify().expect("outgoing derivation verifies");
+    }
+
+    #[test]
+    fn modules_exist_on_disk() {
+        let root = crate::sloc::repo_root();
+        for p in pass_registry() {
+            assert!(
+                root.join(p.module).exists(),
+                "missing module {} for pass {}",
+                p.module,
+                p.name
+            );
+        }
+        for (lang, _, module) in language_registry() {
+            assert!(
+                root.join(module).exists(),
+                "missing module {module} for language {lang}"
+            );
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! The whole-compiler convention `C = R* · wt · CA · vainj` (paper §5) as a
+//! single executable checker.
+//!
+//! [`CConv`] fuses the four components for the end-to-end harness:
+//!
+//! * the `R*` component is realized by the injection *inference* inside
+//!   [`Ca`] (the caller's choice of CKLR collapses, on concrete data, to the
+//!   injection actually relating the memories — paper Lemma 5.3's fusions
+//!   performed semantically);
+//! * `wt` checks well-typedness of the C-level question and answer
+//!   (paper App. B.2);
+//! * `CA` is the structural calling convention (paper App. C);
+//! * `vainj` additionally requires read-only global constants to hold their
+//!   prescribed values (paper §5, App. B.3) — checked on both memories.
+//!
+//! The symbolic counterpart — that the per-pass conventions of Table 3
+//! compose and normalize to exactly this convention — is established by
+//! [`crate::algebra::derive`].
+
+use crate::cc::{Ca, CaWorld};
+use crate::conv::SimConv;
+use crate::iface::{ARegs, CQuery, CReply, A, C};
+use crate::invariants::{wt_query, wt_reply};
+use crate::symtab::SymbolTable;
+
+/// The executable whole-compiler convention `C : C ⇔ A` (paper §5).
+#[derive(Debug, Clone)]
+pub struct CConv {
+    ca: Ca,
+    symtab: SymbolTable,
+}
+
+impl CConv {
+    /// Build the convention for a program with the given symbol table.
+    pub fn new(symtab: SymbolTable) -> CConv {
+        CConv {
+            ca: Ca::new(symtab.len() as u32),
+            symtab,
+        }
+    }
+
+    /// The underlying structural convention.
+    pub fn ca(&self) -> &Ca {
+        &self.ca
+    }
+}
+
+impl SimConv for CConv {
+    type Left = C;
+    type Right = A;
+    type World = CaWorld;
+
+    fn name(&self) -> String {
+        "R* · wt · CA · vainj".into()
+    }
+
+    fn match_query(&self, q1: &CQuery, q2: &ARegs) -> Vec<CaWorld> {
+        // wt: the C-level call is well-typed.
+        if !wt_query(q1) {
+            return vec![];
+        }
+        // vainj: read-only globals hold their constants (both levels).
+        if !self.symtab.romem_consistent(&q1.mem) || !self.symtab.romem_consistent(&q2.mem) {
+            return vec![];
+        }
+        self.ca.match_query(q1, q2)
+    }
+
+    fn match_reply(&self, w: &CaWorld, r1: &CReply, r2: &ARegs) -> bool {
+        wt_reply(&w.sig, r1)
+            && self.symtab.romem_consistent(&r1.mem)
+            && self.symtab.romem_consistent(&r2.mem)
+            && self.ca.match_reply(w, r1, r2)
+    }
+
+    fn transport_query(&self, q1: &CQuery) -> Option<(CaWorld, ARegs)> {
+        if !wt_query(q1) || !self.symtab.romem_consistent(&q1.mem) {
+            return None;
+        }
+        self.ca.transport_query(q1)
+    }
+
+    fn transport_reply(&self, w: &CaWorld, r1: &CReply, q2: &ARegs) -> Option<ARegs> {
+        self.ca.transport_reply(w, r1, q2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iface::Signature;
+    use crate::symtab::{GlobKind, InitDatum};
+    use mem::{Chunk, Val};
+
+    fn setup() -> (CConv, SymbolTable) {
+        let mut tbl = SymbolTable::new();
+        tbl.define("f".into(), GlobKind::Func(Signature::int_fn(1)));
+        tbl.define(
+            "k".into(),
+            GlobKind::Var {
+                init: vec![InitDatum::Int32(5)],
+                readonly: true,
+            },
+        );
+        (CConv::new(tbl.clone()), tbl)
+    }
+
+    #[test]
+    fn rejects_ill_typed_calls() {
+        let (c, tbl) = setup();
+        let m = tbl.build_init_mem().unwrap();
+        let bad = CQuery {
+            vf: tbl.func_ptr("f").unwrap(),
+            sig: Signature::int_fn(1),
+            args: vec![Val::Long(1)], // wrong type for an int parameter
+            mem: m,
+        };
+        assert!(c.transport_query(&bad).is_none());
+    }
+
+    #[test]
+    fn rejects_corrupted_constants() {
+        let (c, tbl) = setup();
+        let m = tbl.build_init_mem().unwrap();
+        let good = CQuery {
+            vf: tbl.func_ptr("f").unwrap(),
+            sig: Signature::int_fn(1),
+            args: vec![Val::Int(1)],
+            mem: m.clone(),
+        };
+        let (w, qa) = c.transport_query(&good).expect("well-formed call");
+        assert_eq!(c.match_query(&good, &qa).len(), 1);
+
+        // A reply whose memory violates the read-only constant is rejected
+        // even if everything else matches.
+        let mut bad_mem = m;
+        let kb = tbl.block_of("k").unwrap();
+        bad_mem.raise_perm(kb, 0, 4, mem::Perm::Writable).unwrap();
+        bad_mem.store(Chunk::I32, kb, 0, Val::Int(99)).unwrap();
+        let r1 = CReply {
+            retval: Val::Int(0),
+            mem: bad_mem.clone(),
+        };
+        let mut rs = qa.rs.clone();
+        rs.pc = qa.rs.ra;
+        rs.set(crate::iface::abi::RESULT_REG, Val::Int(0));
+        let r2 = ARegs { rs, mem: bad_mem };
+        assert!(!c.match_reply(&w, &r1, &r2));
+    }
+
+    #[test]
+    fn rejects_ill_typed_results() {
+        let (c, tbl) = setup();
+        let m = tbl.build_init_mem().unwrap();
+        let q = CQuery {
+            vf: tbl.func_ptr("f").unwrap(),
+            sig: Signature::int_fn(1),
+            args: vec![Val::Int(1)],
+            mem: m.clone(),
+        };
+        let (w, qa) = c.transport_query(&q).unwrap();
+        let r1 = CReply {
+            retval: Val::Long(3), // int function returning a long
+            mem: m.clone(),
+        };
+        let mut rs = qa.rs.clone();
+        rs.pc = qa.rs.ra;
+        rs.set(crate::iface::abi::RESULT_REG, Val::Long(3));
+        let r2 = ARegs { rs, mem: m };
+        assert!(!c.match_reply(&w, &r1, &r2));
+    }
+}

@@ -1,0 +1,924 @@
+//! CompCert Kripke logical relations (paper §4.4, Fig. 8) as executable
+//! checkers.
+//!
+//! A CKLR provides a Kripke frame `⟨W, {⟩` and, for each type of the memory
+//! model, a `W`-indexed relation. The laws of Fig. 8 ("loads from related
+//! memories yield related values", etc.) are validated by the property tests
+//! in `tests/cklr_laws.rs`.
+//!
+//! Provided instances:
+//!
+//! * [`Ext`] — memory extensions (`W = 1`, paper §4.1);
+//! * [`Inj`] — memory injections (`W = meminj`, frame `⊆`, paper §4.2);
+//! * [`Injp`] — injections with protection of unmapped/out-of-reach regions
+//!   across calls (`W = meminj × mem × mem`, paper §4.5 / Fig. 9);
+//! * [`VaExt`], [`VaInj`] — `ext`/`inj` strengthened with the read-only
+//!   globals part of the value-analysis invariant (paper Lemma 5.8);
+//! * [`RSum`] — the sum `R = injp + inj + ext + vainj + vaext` used by the
+//!   final convention `C = R* · wt · CA · vainj` (paper §5).
+//!
+//! Because these are *checkers* rather than relations-with-proofs, the reply
+//! side of the `^` modality (paper §4.4) is handled by synthesizing a
+//! candidate accessible world with [`extend_parallel`]: blocks allocated
+//! during a call are paired up in allocation order. Our interpreters allocate
+//! in lock-step between source and target, so the heuristic is exact on every
+//! execution the differential harness produces (see DESIGN.md §1).
+
+use std::fmt;
+
+use mem::{extends, mem_inject, val_inject, BlockId, InjpWorld, Mem, MemInj, Val};
+
+use crate::symtab::SymbolTable;
+
+/// An executable CompCert Kripke logical relation (paper §4.4).
+pub trait Cklr: Clone + fmt::Debug {
+    /// The Kripke worlds of the relation.
+    type World: Clone + fmt::Debug;
+
+    /// Display name (`ext`, `inj`, `injp`, …) used in derivations.
+    fn name(&self) -> String;
+
+    /// Candidate worlds relating `m1` and `m2` at a call boundary; empty when
+    /// the memories cannot be related.
+    fn match_mem(&self, m1: &Mem, m2: &Mem) -> Vec<Self::World>;
+
+    /// Candidate worlds relating `m1` and `m2`, *seeded* with the value
+    /// pairs the two sides exchanged (function addresses, arguments) — the
+    /// information a simulation proof's relation would provide. The default
+    /// ignores the seeds; injection-flavoured CKLRs use them to reconstruct
+    /// the injection ([`infer_injection`]).
+    fn infer_world(&self, m1: &Mem, m2: &Mem, seeds: &[(Val, Val)]) -> Vec<Self::World> {
+        let _ = seeds;
+        self.match_mem(m1, m2)
+    }
+
+    /// Are `v1` and `v2` related at `w`?
+    fn match_val(&self, w: &Self::World, v1: &Val, v2: &Val) -> bool;
+
+    /// Reply side (the `^R` modality): find a world accessible from `w`
+    /// relating the post-call memories, or `None` when the call broke the
+    /// relation.
+    fn match_reply_mem(&self, w: &Self::World, m1: &Mem, m2: &Mem) -> Option<Self::World>;
+
+    /// Reply side with seeds: like [`Cklr::match_reply_mem`] but additionally
+    /// given the value pairs of the reply (return values), letting
+    /// injection-flavoured CKLRs extend the world by exactly the blocks the
+    /// reply makes reachable — unmapped private blocks stay unmapped, as the
+    /// relations permit.
+    fn infer_reply_world(
+        &self,
+        w: &Self::World,
+        m1: &Mem,
+        m2: &Mem,
+        seeds: &[(Val, Val)],
+    ) -> Option<Self::World> {
+        let _ = seeds;
+        self.match_reply_mem(w, m1, m2)
+    }
+
+    /// Functional direction: the canonical image of `v` under the world's
+    /// memory transformation (identity for `ext`, pointer relocation for
+    /// injections). `None` when `v` mentions an unmapped block.
+    fn transport_val(&self, w: &Self::World, v: &Val) -> Option<Val>;
+
+    /// Pointwise [`Cklr::match_val`] on argument lists.
+    fn match_vals(&self, w: &Self::World, vs1: &[Val], vs2: &[Val]) -> bool {
+        vs1.len() == vs2.len()
+            && vs1
+                .iter()
+                .zip(vs2.iter())
+                .all(|(a, b)| self.match_val(w, a, b))
+    }
+}
+
+/// Extend `f` by pairing, in ascending identifier order, the valid source
+/// blocks outside `f`'s domain with the valid target blocks outside `f`'s
+/// range (at offset 0).
+///
+/// This synthesizes the evolved injection after a call: both sides of a
+/// correctly-compiled execution allocate corresponding blocks in the same
+/// order, so the pairing recovers exactly the injection a simulation proof
+/// would construct.
+pub fn extend_parallel(f: &MemInj, m1: &Mem, m2: &Mem) -> MemInj {
+    let mut out = f.clone();
+    let in_range = |b: BlockId| f.iter().any(|(_, (tb, _))| tb == b);
+    let fresh_src: Vec<BlockId> = m1.blocks().filter(|b| f.get(*b).is_none()).collect();
+    let fresh_tgt: Vec<BlockId> = m2.blocks().filter(|b| !in_range(*b)).collect();
+    for (s, t) in fresh_src.into_iter().zip(fresh_tgt) {
+        out.insert(s, t, 0);
+    }
+    out
+}
+
+/// Infer the injection a simulation proof would provide, from the values the
+/// two sides actually exchanged.
+///
+/// Starts from the identity on the shared global blocks (`0..globals`),
+/// seeds entries from corresponding pointer pairs (function addresses,
+/// arguments), and closes under pointer fragments reachable through mapped
+/// memory: if `b1 ↦ (b2, δ)` and the byte at `(b1, o)` is a fragment of
+/// `Ptr(c1, _)` while `(b2, o+δ)` holds a fragment of `Ptr(c2, _)`, then
+/// `c1 ↦ c2` is added. Returns `None` on conflicting constraints (no
+/// injection can relate the data).
+///
+/// This reconstructs exactly the footprint-relevant part of the injection:
+/// blocks never reachable from exchanged values stay unmapped, which the
+/// `inj`/`injp` relations permit (paper §4.2).
+pub fn infer_injection(
+    globals: BlockId,
+    m1: &Mem,
+    m2: &Mem,
+    seeds: &[(Val, Val)],
+) -> Option<MemInj> {
+    let mut f = MemInj::new();
+    for b in 0..globals {
+        if m1.valid_block(b) && m2.valid_block(b) {
+            f.insert(b, b, 0);
+        }
+    }
+    let mut work: Vec<(Val, Val)> = seeds.to_vec();
+    let mut scanned: Vec<BlockId> = Vec::new();
+    loop {
+        // Absorb pending value pairs.
+        while let Some((v1, v2)) = work.pop() {
+            if let (Val::Ptr(b1, o1), Val::Ptr(b2, o2)) = (v1, v2) {
+                let delta = o2 - o1;
+                match f.get(b1) {
+                    Some((tb, d)) => {
+                        if (tb, d) != (b2, delta) {
+                            return None; // conflicting constraint
+                        }
+                    }
+                    None => f.insert(b1, b2, delta),
+                }
+            }
+        }
+        // Propagate through the contents of newly mapped blocks.
+        let mut progressed = false;
+        let entries: Vec<(BlockId, (BlockId, i64))> = f.iter().collect();
+        for (b1, (b2, delta)) in entries {
+            if scanned.contains(&b1) || !m1.valid_block(b1) {
+                continue;
+            }
+            scanned.push(b1);
+            progressed = true;
+            let Ok((lo, hi)) = m1.bounds(b1) else {
+                continue;
+            };
+            for o in lo..hi {
+                if let (Some(p1), Some(p2)) = (frag_at(m1, b1, o), frag_at(m2, b2, o + delta)) {
+                    work.push((p1, p2));
+                }
+            }
+        }
+        if work.is_empty() && !progressed {
+            break;
+        }
+    }
+    Some(f)
+}
+
+/// The leading fragment value stored at a byte, if any (helper for
+/// [`infer_injection`]).
+fn frag_at(m: &Mem, b: BlockId, o: i64) -> Option<Val> {
+    match m.content(b, o) {
+        Some(mem::MemVal::Fragment(v, 0)) => Some(*v),
+        _ => None,
+    }
+}
+
+/// Guess an injection relating `m1` to `m2`: identity on every block of `m1`
+/// that is also valid in `m2`. Used by `match_mem` when a pair of memories is
+/// checked without a transported witness.
+fn guess_identity_injection(m1: &Mem, m2: &Mem) -> MemInj {
+    let mut f = MemInj::new();
+    for b in m1.blocks() {
+        if m2.valid_block(b) {
+            f.insert(b, b, 0);
+        }
+    }
+    f
+}
+
+// ---------------------------------------------------------------------------
+// ext
+// ---------------------------------------------------------------------------
+
+/// The `ext` CKLR: memory extensions with value refinement (paper §4.1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ext;
+
+impl Cklr for Ext {
+    type World = ();
+
+    fn name(&self) -> String {
+        "ext".into()
+    }
+
+    fn match_mem(&self, m1: &Mem, m2: &Mem) -> Vec<()> {
+        if extends(m1, m2) {
+            vec![()]
+        } else {
+            vec![]
+        }
+    }
+
+    fn match_val(&self, _w: &(), v1: &Val, v2: &Val) -> bool {
+        v1.lessdef(v2)
+    }
+
+    fn match_reply_mem(&self, _w: &(), m1: &Mem, m2: &Mem) -> Option<()> {
+        if extends(m1, m2) {
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn transport_val(&self, _w: &(), v: &Val) -> Option<Val> {
+        Some(*v)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// inj
+// ---------------------------------------------------------------------------
+
+/// The `inj` CKLR: memory injections, Kripke frame `⟨meminj, ⊆⟩`
+/// (paper §4.2, Example 4.2). `globals` is the number of shared global
+/// blocks, identity-mapped when inferring injections from seeds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Inj {
+    /// Number of shared global blocks.
+    pub globals: BlockId,
+}
+
+impl Inj {
+    /// An `inj` CKLR for a program with `globals` global blocks.
+    pub fn new(globals: BlockId) -> Inj {
+        Inj { globals }
+    }
+}
+
+impl Cklr for Inj {
+    type World = MemInj;
+
+    fn name(&self) -> String {
+        "inj".into()
+    }
+
+    fn match_mem(&self, m1: &Mem, m2: &Mem) -> Vec<MemInj> {
+        let f = guess_identity_injection(m1, m2);
+        if mem_inject(&f, m1, m2).is_ok() {
+            vec![f]
+        } else {
+            vec![]
+        }
+    }
+
+    fn infer_world(&self, m1: &Mem, m2: &Mem, seeds: &[(Val, Val)]) -> Vec<MemInj> {
+        match infer_injection(self.globals, m1, m2, seeds) {
+            Some(f) if mem_inject(&f, m1, m2).is_ok() => vec![f],
+            _ => self.match_mem(m1, m2),
+        }
+    }
+
+    fn match_val(&self, w: &MemInj, v1: &Val, v2: &Val) -> bool {
+        val_inject(w, v1, v2)
+    }
+
+    fn match_reply_mem(&self, w: &MemInj, m1: &Mem, m2: &Mem) -> Option<MemInj> {
+        self.infer_reply_world(w, m1, m2, &[])
+    }
+
+    fn infer_reply_world(
+        &self,
+        w: &MemInj,
+        m1: &Mem,
+        m2: &Mem,
+        seeds: &[(Val, Val)],
+    ) -> Option<MemInj> {
+        // The evolved world: the old entries (as pointer-pair seeds) plus
+        // whatever the reply values connect.
+        let mut all: Vec<(Val, Val)> = w
+            .iter()
+            .map(|(b, (tb, d))| (Val::Ptr(b, 0), Val::Ptr(tb, d)))
+            .collect();
+        all.extend_from_slice(seeds);
+        let f = infer_injection(self.globals, m1, m2, &all)?;
+        if w.included_in(&f) && mem_inject(&f, m1, m2).is_ok() {
+            Some(f)
+        } else {
+            // Fallback: lock-step parallel extension (exact for the
+            // compiled executions the harness produces).
+            let f = extend_parallel(w, m1, m2);
+            (w.included_in(&f) && mem_inject(&f, m1, m2).is_ok()).then_some(f)
+        }
+    }
+
+    fn transport_val(&self, w: &MemInj, v: &Val) -> Option<Val> {
+        w.apply(*v)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// injp
+// ---------------------------------------------------------------------------
+
+/// The `injp` CKLR: injections plus protection of unmapped source regions and
+/// out-of-reach target regions across calls (paper §4.5, Fig. 9). `globals`
+/// as in [`Inj`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Injp {
+    /// Number of shared global blocks.
+    pub globals: BlockId,
+}
+
+impl Injp {
+    /// An `injp` CKLR for a program with `globals` global blocks.
+    pub fn new(globals: BlockId) -> Injp {
+        Injp { globals }
+    }
+}
+
+impl Cklr for Injp {
+    type World = InjpWorld;
+
+    fn name(&self) -> String {
+        "injp".into()
+    }
+
+    fn match_mem(&self, m1: &Mem, m2: &Mem) -> Vec<InjpWorld> {
+        let f = guess_identity_injection(m1, m2);
+        match InjpWorld::new(f, m1.clone(), m2.clone()) {
+            Ok(w) => vec![w],
+            Err(_) => vec![],
+        }
+    }
+
+    fn infer_world(&self, m1: &Mem, m2: &Mem, seeds: &[(Val, Val)]) -> Vec<InjpWorld> {
+        if let Some(f) = infer_injection(self.globals, m1, m2, seeds) {
+            if let Ok(w) = InjpWorld::new(f, m1.clone(), m2.clone()) {
+                return vec![w];
+            }
+        }
+        self.match_mem(m1, m2)
+    }
+
+    fn match_val(&self, w: &InjpWorld, v1: &Val, v2: &Val) -> bool {
+        val_inject(&w.inj, v1, v2)
+    }
+
+    fn match_reply_mem(&self, w: &InjpWorld, m1: &Mem, m2: &Mem) -> Option<InjpWorld> {
+        self.infer_reply_world(w, m1, m2, &[])
+    }
+
+    fn infer_reply_world(
+        &self,
+        w: &InjpWorld,
+        m1: &Mem,
+        m2: &Mem,
+        seeds: &[(Val, Val)],
+    ) -> Option<InjpWorld> {
+        let mut all: Vec<(Val, Val)> = w
+            .inj
+            .iter()
+            .map(|(b, (tb, d))| (Val::Ptr(b, 0), Val::Ptr(tb, d)))
+            .collect();
+        all.extend_from_slice(seeds);
+        let candidate = infer_injection(self.globals, m1, m2, &all)
+            .filter(|f| w.inj.included_in(f))
+            .and_then(|f| InjpWorld::new(f, m1.clone(), m2.clone()).ok())
+            .filter(|w2| w.accessible_to(w2).is_ok());
+        candidate.or_else(|| {
+            let f = extend_parallel(&w.inj, m1, m2);
+            let w2 = InjpWorld::new(f, m1.clone(), m2.clone()).ok()?;
+            w.accessible_to(&w2).ok()?;
+            Some(w2)
+        })
+    }
+
+    fn transport_val(&self, w: &InjpWorld, v: &Val) -> Option<Val> {
+        w.inj.apply(*v)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// vaext / vainj
+// ---------------------------------------------------------------------------
+
+/// `vaext ≡ va · ext` (paper Lemma 5.8): memory extension strengthened with
+/// the interface-level value-analysis invariant — read-only globals hold
+/// their initialization data in the source memory.
+#[derive(Debug, Clone)]
+pub struct VaExt {
+    /// Symbol table defining the read-only globals to check.
+    pub symtab: SymbolTable,
+}
+
+impl Cklr for VaExt {
+    type World = ();
+
+    fn name(&self) -> String {
+        "vaext".into()
+    }
+
+    fn match_mem(&self, m1: &Mem, m2: &Mem) -> Vec<()> {
+        if self.symtab.romem_consistent(m1) {
+            Ext.match_mem(m1, m2)
+        } else {
+            vec![]
+        }
+    }
+
+    fn match_val(&self, w: &(), v1: &Val, v2: &Val) -> bool {
+        Ext.match_val(w, v1, v2)
+    }
+
+    fn match_reply_mem(&self, w: &(), m1: &Mem, m2: &Mem) -> Option<()> {
+        Ext.match_reply_mem(w, m1, m2)
+    }
+
+    fn transport_val(&self, w: &(), v: &Val) -> Option<Val> {
+        Ext.transport_val(w, v)
+    }
+}
+
+/// `vainj ≡ va · inj` (paper Lemma 5.8): memory injection strengthened with
+/// the read-only-globals invariant on the source memory.
+#[derive(Debug, Clone)]
+pub struct VaInj {
+    /// Symbol table defining the read-only globals to check.
+    pub symtab: SymbolTable,
+}
+
+impl VaInj {
+    fn inj(&self) -> Inj {
+        Inj::new(self.symtab.len() as BlockId)
+    }
+}
+
+impl Cklr for VaInj {
+    type World = MemInj;
+
+    fn name(&self) -> String {
+        "vainj".into()
+    }
+
+    fn match_mem(&self, m1: &Mem, m2: &Mem) -> Vec<MemInj> {
+        if self.symtab.romem_consistent(m1) {
+            self.inj().match_mem(m1, m2)
+        } else {
+            vec![]
+        }
+    }
+
+    fn infer_world(&self, m1: &Mem, m2: &Mem, seeds: &[(Val, Val)]) -> Vec<MemInj> {
+        if self.symtab.romem_consistent(m1) {
+            self.inj().infer_world(m1, m2, seeds)
+        } else {
+            vec![]
+        }
+    }
+
+    fn match_val(&self, w: &MemInj, v1: &Val, v2: &Val) -> bool {
+        self.inj().match_val(w, v1, v2)
+    }
+
+    fn match_reply_mem(&self, w: &MemInj, m1: &Mem, m2: &Mem) -> Option<MemInj> {
+        self.inj().match_reply_mem(w, m1, m2)
+    }
+
+    fn transport_val(&self, w: &MemInj, v: &Val) -> Option<Val> {
+        self.inj().transport_val(w, v)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The sum R = injp + inj + ext + vainj + vaext
+// ---------------------------------------------------------------------------
+
+/// Worlds of [`RSum`]: the tagged union of the component CKLRs' worlds
+/// (paper Def. 5.5).
+#[derive(Debug, Clone)]
+pub enum RWorld {
+    /// World of [`Injp`].
+    Injp(Box<InjpWorld>),
+    /// World of [`Inj`].
+    Inj(MemInj),
+    /// World of [`Ext`].
+    Ext,
+    /// World of [`VaInj`].
+    VaInj(MemInj),
+    /// World of [`VaExt`].
+    VaExt,
+}
+
+/// The sum `R := injp + inj + ext + vainj + vaext` of paper §5: the caller
+/// may choose any of the component CKLRs; the chosen component (recorded in
+/// the world tag) governs the answers.
+#[derive(Debug, Clone)]
+pub struct RSum {
+    /// Symbol table used by the `va`-flavored components.
+    pub symtab: SymbolTable,
+}
+
+impl Cklr for RSum {
+    type World = RWorld;
+
+    fn name(&self) -> String {
+        "injp+inj+ext+vainj+vaext".into()
+    }
+
+    fn match_mem(&self, m1: &Mem, m2: &Mem) -> Vec<RWorld> {
+        let g = self.symtab.len() as BlockId;
+        let mut ws: Vec<RWorld> = Vec::new();
+        ws.extend(
+            Injp::new(g)
+                .match_mem(m1, m2)
+                .into_iter()
+                .map(|w| RWorld::Injp(Box::new(w))),
+        );
+        ws.extend(Inj::new(g).match_mem(m1, m2).into_iter().map(RWorld::Inj));
+        ws.extend(Ext.match_mem(m1, m2).into_iter().map(|()| RWorld::Ext));
+        let vainj = VaInj {
+            symtab: self.symtab.clone(),
+        };
+        ws.extend(vainj.match_mem(m1, m2).into_iter().map(RWorld::VaInj));
+        let vaext = VaExt {
+            symtab: self.symtab.clone(),
+        };
+        ws.extend(vaext.match_mem(m1, m2).into_iter().map(|()| RWorld::VaExt));
+        ws
+    }
+
+    fn match_val(&self, w: &RWorld, v1: &Val, v2: &Val) -> bool {
+        match w {
+            RWorld::Injp(w) => Injp::default().match_val(w, v1, v2),
+            RWorld::Inj(f) | RWorld::VaInj(f) => Inj::default().match_val(f, v1, v2),
+            RWorld::Ext | RWorld::VaExt => Ext.match_val(&(), v1, v2),
+        }
+    }
+
+    fn match_reply_mem(&self, w: &RWorld, m1: &Mem, m2: &Mem) -> Option<RWorld> {
+        match w {
+            RWorld::Injp(w) => Injp::default()
+                .match_reply_mem(w, m1, m2)
+                .map(|x| RWorld::Injp(Box::new(x))),
+            RWorld::Inj(f) => Inj::default().match_reply_mem(f, m1, m2).map(RWorld::Inj),
+            RWorld::VaInj(f) => Inj::default().match_reply_mem(f, m1, m2).map(RWorld::VaInj),
+            RWorld::Ext => Ext.match_reply_mem(&(), m1, m2).map(|()| RWorld::Ext),
+            RWorld::VaExt => Ext.match_reply_mem(&(), m1, m2).map(|()| RWorld::VaExt),
+        }
+    }
+
+    fn transport_val(&self, w: &RWorld, v: &Val) -> Option<Val> {
+        match w {
+            RWorld::Injp(w) => Injp::default().transport_val(w, v),
+            RWorld::Inj(f) | RWorld::VaInj(f) => Inj::default().transport_val(f, v),
+            RWorld::Ext | RWorld::VaExt => Ext.transport_val(&(), v),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Promotion of a CKLR to a simulation convention at a language interface
+// ---------------------------------------------------------------------------
+
+/// Promotion `R_X : X ⇔ X` of a CKLR to the C interface (paper §4.4):
+/// questions related iff `vf`, arguments and memory are related at a common
+/// world; replies related iff return value and memory are related at an
+/// accessible world (the `^` modality).
+#[derive(Debug, Clone)]
+pub struct CklrC<K> {
+    /// Underlying CKLR.
+    pub k: K,
+}
+
+impl<K: Cklr> crate::conv::SimConv for CklrC<K> {
+    type Left = crate::iface::C;
+    type Right = crate::iface::C;
+    type World = K::World;
+
+    fn name(&self) -> String {
+        self.k.name()
+    }
+
+    fn match_query(&self, q1: &crate::iface::CQuery, q2: &crate::iface::CQuery) -> Vec<K::World> {
+        if q1.sig != q2.sig {
+            return vec![];
+        }
+        let mut seeds: Vec<(Val, Val)> = vec![(q1.vf, q2.vf)];
+        seeds.extend(q1.args.iter().copied().zip(q2.args.iter().copied()));
+        self.k
+            .infer_world(&q1.mem, &q2.mem, &seeds)
+            .into_iter()
+            .filter(|w| {
+                self.k.match_val(w, &q1.vf, &q2.vf) && self.k.match_vals(w, &q1.args, &q2.args)
+            })
+            .collect()
+    }
+
+    fn match_reply(
+        &self,
+        w: &K::World,
+        r1: &crate::iface::CReply,
+        r2: &crate::iface::CReply,
+    ) -> bool {
+        let seeds = [(r1.retval, r2.retval)];
+        match self.k.infer_reply_world(w, &r1.mem, &r2.mem, &seeds) {
+            Some(w2) => self.k.match_val(&w2, &r1.retval, &r2.retval),
+            None => false,
+        }
+    }
+
+    fn transport_query(
+        &self,
+        q1: &crate::iface::CQuery,
+    ) -> Option<(K::World, crate::iface::CQuery)> {
+        // Canonical target: the same question (identity transformation); the
+        // world is whichever world relates the memory to itself.
+        let w = self.k.match_mem(&q1.mem, &q1.mem).into_iter().next()?;
+        let vf = self.k.transport_val(&w, &q1.vf)?;
+        let args = q1
+            .args
+            .iter()
+            .map(|v| self.k.transport_val(&w, v))
+            .collect::<Option<Vec<_>>>()?;
+        Some((
+            w,
+            crate::iface::CQuery {
+                vf,
+                sig: q1.sig.clone(),
+                args,
+                mem: q1.mem.clone(),
+            },
+        ))
+    }
+
+    fn transport_reply(
+        &self,
+        w: &K::World,
+        r1: &crate::iface::CReply,
+        _q2: &crate::iface::CQuery,
+    ) -> Option<crate::iface::CReply> {
+        let w2 = self.k.match_reply_mem(w, &r1.mem, &r1.mem)?;
+        let retval = self.k.transport_val(&w2, &r1.retval)?;
+        Some(crate::iface::CReply {
+            retval,
+            mem: r1.mem.clone(),
+        })
+    }
+}
+
+/// Promotion of a CKLR to the L interface (used by the `Tunneling` pass's
+/// `ext` convention, paper Table 3): the location maps are related pointwise
+/// and the memories by the CKLR.
+#[derive(Debug, Clone)]
+pub struct CklrL<K> {
+    /// Underlying CKLR.
+    pub k: K,
+}
+
+impl<K: Cklr> crate::conv::SimConv for CklrL<K> {
+    type Left = crate::iface::L;
+    type Right = crate::iface::L;
+    type World = K::World;
+
+    fn name(&self) -> String {
+        format!("{}@L", self.k.name())
+    }
+
+    fn match_query(&self, q1: &crate::iface::LQuery, q2: &crate::iface::LQuery) -> Vec<K::World> {
+        if q1.sig != q2.sig {
+            return vec![];
+        }
+        let mut seeds: Vec<(Val, Val)> = vec![(q1.vf, q2.vf)];
+        for (l, v1) in q1.ls.iter() {
+            seeds.push((v1, q2.ls.get(l)));
+        }
+        self.k
+            .infer_world(&q1.mem, &q2.mem, &seeds)
+            .into_iter()
+            .filter(|w| {
+                self.k.match_val(w, &q1.vf, &q2.vf)
+                    && q1
+                        .ls
+                        .iter()
+                        .all(|(l, v1)| self.k.match_val(w, &v1, &q2.ls.get(l)))
+            })
+            .collect()
+    }
+
+    fn match_reply(
+        &self,
+        w: &K::World,
+        r1: &crate::iface::LReply,
+        r2: &crate::iface::LReply,
+    ) -> bool {
+        let seeds: Vec<(Val, Val)> = r1.ls.iter().map(|(l, v1)| (v1, r2.ls.get(l))).collect();
+        match self.k.infer_reply_world(w, &r1.mem, &r2.mem, &seeds) {
+            Some(w2) => r1
+                .ls
+                .iter()
+                .all(|(l, v1)| self.k.match_val(&w2, &v1, &r2.ls.get(l))),
+            None => false,
+        }
+    }
+
+    fn transport_query(
+        &self,
+        q1: &crate::iface::LQuery,
+    ) -> Option<(K::World, crate::iface::LQuery)> {
+        let w = self.k.match_mem(&q1.mem, &q1.mem).into_iter().next()?;
+        Some((w, q1.clone()))
+    }
+
+    fn transport_reply(
+        &self,
+        _w: &K::World,
+        r1: &crate::iface::LReply,
+        _q2: &crate::iface::LQuery,
+    ) -> Option<crate::iface::LReply> {
+        Some(r1.clone())
+    }
+}
+
+/// Promotion of a CKLR to the A interface (`vainj_A` in the final convention
+/// `C = R* · wt · CA · vainj`, paper §5): all registers related pointwise,
+/// memories related.
+#[derive(Debug, Clone)]
+pub struct CklrA<K> {
+    /// Underlying CKLR.
+    pub k: K,
+}
+
+impl<K: Cklr> crate::conv::SimConv for CklrA<K> {
+    type Left = crate::iface::A;
+    type Right = crate::iface::A;
+    type World = K::World;
+
+    fn name(&self) -> String {
+        format!("{}@A", self.k.name())
+    }
+
+    fn match_query(&self, q1: &crate::iface::ARegs, q2: &crate::iface::ARegs) -> Vec<K::World> {
+        self.k
+            .match_mem(&q1.mem, &q2.mem)
+            .into_iter()
+            .filter(|w| {
+                self.k.match_val(w, &q1.rs.pc, &q2.rs.pc)
+                    && self.k.match_val(w, &q1.rs.sp, &q2.rs.sp)
+                    && self.k.match_val(w, &q1.rs.ra, &q2.rs.ra)
+                    && q1
+                        .rs
+                        .regs
+                        .iter()
+                        .zip(q2.rs.regs.iter())
+                        .all(|(a, b)| self.k.match_val(w, a, b))
+            })
+            .collect()
+    }
+
+    fn match_reply(
+        &self,
+        w: &K::World,
+        r1: &crate::iface::ARegs,
+        r2: &crate::iface::ARegs,
+    ) -> bool {
+        match self.k.match_reply_mem(w, &r1.mem, &r2.mem) {
+            Some(w2) => {
+                self.k.match_val(&w2, &r1.rs.pc, &r2.rs.pc)
+                    && self.k.match_val(&w2, &r1.rs.sp, &r2.rs.sp)
+                    && r1
+                        .rs
+                        .regs
+                        .iter()
+                        .zip(r2.rs.regs.iter())
+                        .all(|(a, b)| self.k.match_val(&w2, a, b))
+            }
+            None => false,
+        }
+    }
+
+    fn transport_query(&self, q1: &crate::iface::ARegs) -> Option<(K::World, crate::iface::ARegs)> {
+        let w = self.k.match_mem(&q1.mem, &q1.mem).into_iter().next()?;
+        Some((w, q1.clone()))
+    }
+
+    fn transport_reply(
+        &self,
+        _w: &K::World,
+        r1: &crate::iface::ARegs,
+        _q2: &crate::iface::ARegs,
+    ) -> Option<crate::iface::ARegs> {
+        Some(r1.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mem::Chunk;
+
+    #[test]
+    fn ext_matches_extended_memories() {
+        let mut m1 = Mem::new();
+        let b = m1.alloc(0, 8);
+        let mut m2 = m1.clone();
+        m2.store(Chunk::I32, b, 0, Val::Int(1)).unwrap();
+        assert_eq!(Ext.match_mem(&m1, &m2).len(), 1);
+        assert!(Ext.match_mem(&m2, &m1).is_empty());
+    }
+
+    #[test]
+    fn inj_identity_guess() {
+        let mut m = Mem::new();
+        m.alloc(0, 8);
+        let ws = Inj::default().match_mem(&m, &m);
+        assert_eq!(ws.len(), 1);
+        assert!(Inj::default().match_val(&ws[0], &Val::Ptr(0, 4), &Val::Ptr(0, 4)));
+    }
+
+    #[test]
+    fn inj_reply_world_evolves_monotonically() {
+        let mut m = Mem::new();
+        m.alloc(0, 8);
+        let w = Inj::default().match_mem(&m, &m).remove(0);
+        // Both sides allocate one new block during the call.
+        let mut m1 = m.clone();
+        let mut m2 = m.clone();
+        let nb1 = m1.alloc(0, 4);
+        let nb2 = m2.alloc(0, 4);
+        // Without seeds the new blocks stay unmapped (permitted by inj)…
+        let w2 = Inj::default()
+            .match_reply_mem(&w, &m1, &m2)
+            .expect("reply related");
+        assert!(w.included_in(&w2));
+        // …but when the reply exchanges pointers into them, the inferred
+        // world maps them (the ^ modality: w ⊆ w').
+        let seeds = [(Val::Ptr(nb1, 0), Val::Ptr(nb2, 0))];
+        let w3 = Inj::default()
+            .infer_reply_world(&w, &m1, &m2, &seeds)
+            .expect("seeded reply related");
+        assert_eq!(w3.get(nb1), Some((nb2, 0)));
+        assert!(w.included_in(&w3));
+    }
+
+    #[test]
+    fn injp_detects_protection_violation() {
+        // Source has a private block; the "call" modifies it.
+        let mut m1 = Mem::new();
+        let private = m1.alloc(0, 8);
+        let shared = m1.alloc(0, 8);
+        let mut m2 = Mem::new();
+        let tgt = m2.alloc(0, 8);
+        let mut f = MemInj::new();
+        f.insert(shared, tgt, 0);
+        let w = InjpWorld::new(f, m1.clone(), m2.clone()).unwrap();
+        let mut m1b = m1.clone();
+        m1b.store(Chunk::I32, private, 0, Val::Int(3)).unwrap();
+        assert!(Injp::default().match_reply_mem(&w, &m1b, &m2).is_none());
+        // An untouched memory is fine.
+        assert!(Injp::default().match_reply_mem(&w, &m1, &m2).is_some());
+    }
+
+    #[test]
+    fn rsum_offers_multiple_worlds() {
+        let m = Mem::new();
+        let r = RSum {
+            symtab: SymbolTable::new(),
+        };
+        // Equal empty memories are related by every component.
+        let ws = r.match_mem(&m, &m);
+        assert!(ws.len() >= 5);
+    }
+
+    #[test]
+    fn vainj_requires_romem_consistency() {
+        use crate::symtab::{GlobKind, InitDatum};
+        let mut t = SymbolTable::new();
+        t.define(
+            "k".into(),
+            GlobKind::Var {
+                init: vec![InitDatum::Int32(7)],
+                readonly: true,
+            },
+        );
+        let m = t.build_init_mem().unwrap();
+        let vainj = VaInj { symtab: t.clone() };
+        assert_eq!(vainj.match_mem(&m, &m).len(), 1);
+        // A memory where the constant is wrong is rejected. Build a fresh
+        // table whose init differs to simulate corruption.
+        let mut t2 = SymbolTable::new();
+        t2.define(
+            "k".into(),
+            GlobKind::Var {
+                init: vec![InitDatum::Int32(8)],
+                readonly: true,
+            },
+        );
+        let m_bad = t2.build_init_mem().unwrap();
+        assert!(vainj.match_mem(&m_bad, &m_bad).is_empty());
+    }
+}

@@ -1,0 +1,201 @@
+//! Invariants as simulation conventions (paper Appendix B).
+//!
+//! An invariant `P = ⟨W, P∘, P•⟩` constrains questions and answers of a
+//! single interface; promoting it to a simulation convention `P̂` relates a
+//! question/answer to *itself* when the invariant holds (paper Def. B.3).
+//!
+//! Two invariants matter for the compiler:
+//!
+//! * [`Wt`] — well-typedness of C-level calls (paper Example B.2), used by
+//!   the `Selection` and `Allocation` passes;
+//! * [`Va`] — the interface-level value-analysis invariant (read-only global
+//!   constants hold their initialization data), used by `Constprop`, `CSE`
+//!   and `Deadcode`.
+
+use crate::conv::SimConv;
+use crate::iface::{CQuery, CReply, Signature, C};
+use crate::symtab::SymbolTable;
+use mem::Val;
+
+/// The typing invariant `wt` (paper Example B.2): arguments match the
+/// signature's parameter types, the result matches its return type. The
+/// world remembers the signature.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Wt;
+
+/// Does a question satisfy `wt`'s question predicate `P∘_wt`?
+pub fn wt_query(q: &CQuery) -> bool {
+    q.args.len() == q.sig.params.len()
+        && q.args
+            .iter()
+            .zip(q.sig.params.iter())
+            .all(|(v, t)| v.has_type(*t))
+}
+
+/// Does a reply satisfy `wt`'s answer predicate `P•_wt` for signature `sig`?
+pub fn wt_reply(sig: &Signature, r: &CReply) -> bool {
+    match sig.ret {
+        Some(t) => r.retval.has_type(t),
+        None => true,
+    }
+}
+
+impl SimConv for Wt {
+    type Left = C;
+    type Right = C;
+    type World = Signature;
+
+    fn name(&self) -> String {
+        "wt".into()
+    }
+
+    fn match_query(&self, q1: &CQuery, q2: &CQuery) -> Vec<Signature> {
+        if q1 == q2 && wt_query(q1) {
+            vec![q1.sig.clone()]
+        } else {
+            vec![]
+        }
+    }
+
+    fn match_reply(&self, sig: &Signature, r1: &CReply, r2: &CReply) -> bool {
+        r1 == r2 && wt_reply(sig, r1)
+    }
+
+    fn transport_query(&self, q1: &CQuery) -> Option<(Signature, CQuery)> {
+        if wt_query(q1) {
+            Some((q1.sig.clone(), q1.clone()))
+        } else {
+            None
+        }
+    }
+
+    fn transport_reply(&self, sig: &Signature, r1: &CReply, _q2: &CQuery) -> Option<CReply> {
+        // Normalize the result to the signature type, mirroring how the
+        // semantics establishes the invariant on the way out.
+        let retval = match sig.ret {
+            Some(t) => r1.retval.ensure_type(t),
+            None => Val::Undef,
+        };
+        Some(CReply {
+            retval,
+            mem: r1.mem.clone(),
+        })
+    }
+}
+
+/// The interface-level value-analysis invariant `va` (paper App. B.3): the
+/// memory is consistent with the static analysis — at the interface, this
+/// means read-only globals hold their prescribed constants.
+#[derive(Debug, Clone)]
+pub struct Va {
+    /// Symbol table defining the read-only globals.
+    pub symtab: SymbolTable,
+}
+
+impl SimConv for Va {
+    type Left = C;
+    type Right = C;
+    type World = ();
+
+    fn name(&self) -> String {
+        "va".into()
+    }
+
+    fn match_query(&self, q1: &CQuery, q2: &CQuery) -> Vec<()> {
+        if q1 == q2 && self.symtab.romem_consistent(&q1.mem) {
+            vec![()]
+        } else {
+            vec![]
+        }
+    }
+
+    fn match_reply(&self, _w: &(), r1: &CReply, r2: &CReply) -> bool {
+        r1 == r2
+    }
+
+    fn transport_query(&self, q1: &CQuery) -> Option<((), CQuery)> {
+        if self.symtab.romem_consistent(&q1.mem) {
+            Some(((), q1.clone()))
+        } else {
+            None
+        }
+    }
+
+    fn transport_reply(&self, _w: &(), r1: &CReply, _q2: &CQuery) -> Option<CReply> {
+        Some(r1.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mem::{Mem, Typ};
+
+    fn q(args: Vec<Val>, sig: Signature) -> CQuery {
+        CQuery {
+            vf: Val::Ptr(0, 0),
+            sig,
+            args,
+            mem: Mem::new(),
+        }
+    }
+
+    #[test]
+    fn wt_accepts_well_typed_calls() {
+        let sig = Signature::new(vec![Typ::I32, Typ::I64], Some(Typ::I32));
+        let good = q(vec![Val::Int(1), Val::Long(2)], sig.clone());
+        assert_eq!(Wt.match_query(&good, &good).len(), 1);
+        let bad = q(vec![Val::Long(1), Val::Long(2)], sig.clone());
+        assert!(Wt.match_query(&bad, &bad).is_empty());
+        let wrong_arity = q(vec![Val::Int(1)], sig);
+        assert!(Wt.match_query(&wrong_arity, &wrong_arity).is_empty());
+    }
+
+    #[test]
+    fn wt_checks_result_type() {
+        let sig = Signature::int_fn(0);
+        let r_ok = CReply {
+            retval: Val::Int(1),
+            mem: Mem::new(),
+        };
+        let r_bad = CReply {
+            retval: Val::Long(1),
+            mem: Mem::new(),
+        };
+        assert!(Wt.match_reply(&sig, &r_ok, &r_ok));
+        assert!(!Wt.match_reply(&sig, &r_bad, &r_bad));
+        // Undef has every type.
+        let r_undef = CReply {
+            retval: Val::Undef,
+            mem: Mem::new(),
+        };
+        assert!(Wt.match_reply(&sig, &r_undef, &r_undef));
+    }
+
+    #[test]
+    fn va_checks_romem() {
+        use crate::symtab::{GlobKind, InitDatum};
+        let mut t = SymbolTable::new();
+        t.define(
+            "k".into(),
+            GlobKind::Var {
+                init: vec![InitDatum::Int32(3)],
+                readonly: true,
+            },
+        );
+        let m = t.build_init_mem().unwrap();
+        let va = Va { symtab: t };
+        let good = CQuery {
+            vf: Val::Ptr(0, 0),
+            sig: Signature::int_fn(0),
+            args: vec![],
+            mem: m,
+        };
+        assert_eq!(va.match_query(&good, &good).len(), 1);
+        let bad = CQuery {
+            mem: Mem::new(), // constant block missing entirely
+            ..good
+        };
+        assert!(va.match_query(&bad, &bad).is_empty());
+    }
+}

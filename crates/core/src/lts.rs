@@ -1,0 +1,321 @@
+//! Open labeled transition systems (paper Def. 3.1) and a deterministic
+//! runner.
+//!
+//! An LTS `L : A ↠ B` describes a strategy for the game `A × E → B`: it is
+//! activated by questions of `B`, takes internal steps emitting events of
+//! `E`, may suspend on outgoing questions of `A` to be resumed by answers of
+//! `A`, and eventually produces an answer of `B`.
+//!
+//! CompCert semantics are deterministic, so this trait exposes deterministic
+//! transition *functions*; the relational Def. 3.1 specializes to this shape
+//! (the runner's environment closure plays the role of the ∀-quantified
+//! environment).
+
+use std::fmt;
+
+use mem::Val;
+
+use crate::iface::{Answer, LanguageInterface, Question};
+
+/// An observable event (CompCert's `E`): system calls and annotations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A system call with its arguments and result.
+    Syscall {
+        /// Name of the primitive.
+        name: String,
+        /// Integer arguments.
+        args: Vec<Val>,
+        /// Result value.
+        result: Val,
+    },
+    /// A source-level annotation (used for tracing/debug).
+    Annot(String),
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Syscall { name, args, result } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ") -> {result}")
+            }
+            Event::Annot(s) => write!(f, "@{s}"),
+        }
+    }
+}
+
+/// Why a semantics got stuck ("went wrong" in CompCert terminology).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stuck {
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl Stuck {
+    /// Build a stuck marker.
+    pub fn new(reason: impl Into<String>) -> Stuck {
+        Stuck {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for Stuck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stuck: {}", self.reason)
+    }
+}
+
+impl std::error::Error for Stuck {}
+
+/// Result of one transition of an open LTS.
+#[derive(Debug, Clone)]
+pub enum Step<S, OQ, IA> {
+    /// An internal step to a new state, emitting events.
+    Internal(S, Vec<Event>),
+    /// The state is final, with an incoming-interface answer (the `F`
+    /// component of Def. 3.1).
+    Final(IA),
+    /// The state is external: it asks the outgoing question (the `X`
+    /// component); the runner must later call
+    /// [`Lts::resume`] on this same state with the environment's answer (the
+    /// `Y` component).
+    External(OQ),
+    /// No transition applies: undefined behaviour.
+    Stuck(Stuck),
+}
+
+/// An open labeled transition system for the game `O ↠ I`
+/// (paper Def. 3.1; `I` is the incoming interface `B`, `O` the outgoing
+/// interface `A`).
+pub trait Lts {
+    /// Incoming language interface (`B` in the paper).
+    type I: LanguageInterface;
+    /// Outgoing language interface (`A` in the paper).
+    type O: LanguageInterface;
+    /// Internal states.
+    type State: Clone + fmt::Debug;
+
+    /// Display name for diagnostics.
+    fn name(&self) -> String;
+
+    /// The domain `D ⊆ B∘`: which incoming questions this component accepts.
+    fn accepts(&self, q: &Question<Self::I>) -> bool;
+
+    /// Initial state for an accepted question (the `I` component).
+    ///
+    /// # Errors
+    /// Returns [`Stuck`] when the question is outside the domain or malformed.
+    fn initial(&self, q: &Question<Self::I>) -> Result<Self::State, Stuck>;
+
+    /// One transition out of `s`.
+    fn step(&self, s: &Self::State) -> Step<Self::State, Question<Self::O>, Answer<Self::I>>;
+
+    /// Resume a suspended external state with the environment's answer.
+    ///
+    /// # Errors
+    /// Returns [`Stuck`] if the answer is unacceptable (e.g. ill-typed).
+    fn resume(&self, s: &Self::State, a: Answer<Self::O>) -> Result<Self::State, Stuck>;
+}
+
+/// Outcome of running an LTS to completion under an environment.
+#[derive(Debug, Clone)]
+pub enum RunOutcome<IA> {
+    /// The component answered its incoming question.
+    Complete {
+        /// The answer.
+        answer: IA,
+        /// Events emitted along the way.
+        trace: Vec<Event>,
+        /// Number of internal steps taken.
+        steps: u64,
+    },
+    /// The component went wrong.
+    Wrong(Stuck),
+    /// The environment declined to answer an outgoing question.
+    EnvRefused(String),
+    /// The fuel bound was exhausted (possibly silent divergence).
+    OutOfFuel,
+}
+
+impl<IA> RunOutcome<IA> {
+    /// Extract the answer of a [`RunOutcome::Complete`] outcome.
+    ///
+    /// # Panics
+    /// Panics (with the failure reason) on any other outcome; intended for
+    /// tests and examples.
+    pub fn expect_complete(self) -> IA {
+        match self {
+            RunOutcome::Complete { answer, .. } => answer,
+            RunOutcome::Wrong(s) => panic!("component went wrong: {s}"),
+            RunOutcome::EnvRefused(q) => panic!("environment refused question: {q}"),
+            RunOutcome::OutOfFuel => panic!("out of fuel"),
+        }
+    }
+}
+
+/// An environment for running an open LTS: answers the component's outgoing
+/// questions. Returning `None` refuses the question (the run aborts with
+/// [`RunOutcome::EnvRefused`]).
+pub type Env<'e, OQ, OA> = dyn FnMut(&OQ) -> Option<OA> + 'e;
+
+/// Run `lts` on incoming question `q`, answering outgoing questions with
+/// `env`, for at most `fuel` internal steps.
+///
+/// This is the analog of closing a strategy against an environment strategy;
+/// with an always-refusing `env` it runs closed components.
+pub fn run<Sem: Lts>(
+    lts: &Sem,
+    q: &Question<Sem::I>,
+    env: &mut Env<'_, Question<Sem::O>, Answer<Sem::O>>,
+    fuel: u64,
+) -> RunOutcome<Answer<Sem::I>> {
+    if !lts.accepts(q) {
+        return RunOutcome::Wrong(Stuck::new(format!(
+            "{}: question not in domain",
+            lts.name()
+        )));
+    }
+    let mut state = match lts.initial(q) {
+        Ok(s) => s,
+        Err(stuck) => return RunOutcome::Wrong(stuck),
+    };
+    let mut trace = Vec::new();
+    let mut steps = 0u64;
+    loop {
+        if steps >= fuel {
+            return RunOutcome::OutOfFuel;
+        }
+        match lts.step(&state) {
+            Step::Internal(s, mut evs) => {
+                trace.append(&mut evs);
+                state = s;
+                steps += 1;
+            }
+            Step::Final(a) => {
+                return RunOutcome::Complete {
+                    answer: a,
+                    trace,
+                    steps,
+                }
+            }
+            Step::External(oq) => match env(&oq) {
+                Some(ans) => match lts.resume(&state, ans) {
+                    Ok(s) => {
+                        state = s;
+                        steps += 1;
+                    }
+                    Err(stuck) => return RunOutcome::Wrong(stuck),
+                },
+                None => return RunOutcome::EnvRefused(format!("{oq:?}")),
+            },
+            Step::Stuck(stuck) => return RunOutcome::Wrong(stuck),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iface::{CQuery, CReply, C};
+    use mem::Mem;
+
+    /// A toy LTS over `C ↠ C`: doubles its single argument, calling out to
+    /// an external `inc` function first.
+    struct Doubler;
+
+    #[derive(Debug, Clone)]
+    enum DState {
+        Start(Val, Mem),
+        Waiting(Val, Mem),
+        Done(Val, Mem),
+    }
+
+    impl Lts for Doubler {
+        type I = C;
+        type O = C;
+        type State = DState;
+
+        fn name(&self) -> String {
+            "doubler".into()
+        }
+
+        fn accepts(&self, q: &CQuery) -> bool {
+            q.vf == Val::Ptr(100, 0)
+        }
+
+        fn initial(&self, q: &CQuery) -> Result<DState, Stuck> {
+            Ok(DState::Start(q.args[0], q.mem.clone()))
+        }
+
+        fn step(&self, s: &DState) -> Step<DState, CQuery, CReply> {
+            match s {
+                DState::Start(v, m) => Step::External(CQuery {
+                    vf: Val::Ptr(200, 0),
+                    sig: crate::iface::Signature::int_fn(1),
+                    args: vec![*v],
+                    mem: m.clone(),
+                }),
+                DState::Waiting(v, m) => Step::Internal(DState::Done(v.add(*v), m.clone()), vec![]),
+                DState::Done(v, m) => Step::Final(CReply {
+                    retval: *v,
+                    mem: m.clone(),
+                }),
+            }
+        }
+
+        fn resume(&self, s: &DState, a: CReply) -> Result<DState, Stuck> {
+            match s {
+                DState::Start(_, _) => Ok(DState::Waiting(a.retval, a.mem)),
+                _ => Err(Stuck::new("resume in non-external state")),
+            }
+        }
+    }
+
+    fn query(n: i32) -> CQuery {
+        CQuery {
+            vf: Val::Ptr(100, 0),
+            sig: crate::iface::Signature::int_fn(1),
+            args: vec![Val::Int(n)],
+            mem: Mem::new(),
+        }
+    }
+
+    #[test]
+    fn run_with_environment() {
+        let out = run(
+            &Doubler,
+            &query(5),
+            &mut |q: &CQuery| {
+                Some(CReply {
+                    retval: q.args[0].add(Val::Int(1)),
+                    mem: q.mem.clone(),
+                })
+            },
+            100,
+        );
+        // inc(5) = 6, doubled = 12.
+        assert_eq!(out.expect_complete().retval, Val::Int(12));
+    }
+
+    #[test]
+    fn refusing_environment_aborts() {
+        let out = run(&Doubler, &query(5), &mut |_q: &CQuery| None, 100);
+        assert!(matches!(out, RunOutcome::EnvRefused(_)));
+    }
+
+    #[test]
+    fn question_outside_domain_is_wrong() {
+        let mut q = query(5);
+        q.vf = Val::Ptr(999, 0);
+        let out = run(&Doubler, &q, &mut |_q: &CQuery| None, 100);
+        assert!(matches!(out, RunOutcome::Wrong(_)));
+    }
+}

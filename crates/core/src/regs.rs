@@ -1,0 +1,224 @@
+//! Machine registers, abstract locations, and register files.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use mem::Val;
+
+/// Number of general-purpose machine registers (`r0..r15`).
+pub const NREGS: usize = 16;
+
+/// A machine register `r0..r15`.
+///
+/// The ABI roles are defined in [`crate::iface::abi`]: `r0..r3` carry
+/// arguments, `r0` the result, `r8..r13` are callee-save, `r14`/`r15` are
+/// code-generator scratch registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Mreg(pub u8);
+
+impl Mreg {
+    /// All machine registers, in index order.
+    pub fn all() -> impl Iterator<Item = Mreg> {
+        (0..NREGS as u8).map(Mreg)
+    }
+
+    /// Index of the register in a register file array.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Mreg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// An abstract location (CompCert's `loc`): either a machine register or a
+/// slot in the activation record.
+///
+/// * `Local` slots are private to the current activation (used for spills);
+/// * `Incoming` slots are the caller's outgoing-argument area, where this
+///   function finds its stack-passed parameters;
+/// * `Outgoing` slots are this function's outgoing-argument area, where it
+///   writes stack-passed arguments for its own calls.
+///
+/// Slot offsets are in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Loc {
+    /// A machine register.
+    Reg(Mreg),
+    /// A spill slot local to the activation, at byte offset `.0`.
+    Local(i64),
+    /// A stack-passed parameter of the current function.
+    Incoming(i64),
+    /// A stack-passed argument for a call performed by the current function.
+    Outgoing(i64),
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Loc::Reg(r) => write!(f, "{r}"),
+            Loc::Local(o) => write!(f, "local({o})"),
+            Loc::Incoming(o) => write!(f, "incoming({o})"),
+            Loc::Outgoing(o) => write!(f, "outgoing({o})"),
+        }
+    }
+}
+
+/// A location map `ls : loc → val` (CompCert's `Locmap.t`), with
+/// [`Val::Undef`] as the default.
+///
+/// This is the data carried by questions and answers of the
+/// [`crate::iface::L`] interface.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Locset {
+    map: BTreeMap<Loc, Val>,
+}
+
+impl Locset {
+    /// The everywhere-`Undef` location map.
+    pub fn new() -> Locset {
+        Locset::default()
+    }
+
+    /// Value at location `l` (`Undef` if never set).
+    pub fn get(&self, l: Loc) -> Val {
+        self.map.get(&l).copied().unwrap_or(Val::Undef)
+    }
+
+    /// Set location `l` to `v`.
+    pub fn set(&mut self, l: Loc, v: Val) {
+        self.map.insert(l, v);
+    }
+
+    /// Builder-style [`Locset::set`].
+    pub fn with(mut self, l: Loc, v: Val) -> Locset {
+        self.set(l, v);
+        self
+    }
+
+    /// Iterate over explicitly-set bindings.
+    pub fn iter(&self) -> impl Iterator<Item = (Loc, Val)> + '_ {
+        self.map.iter().map(|(l, v)| (*l, *v))
+    }
+
+    /// Remove all `Outgoing` bindings (used when entering a function: the
+    /// callee sees the caller's outgoing slots as its `Incoming` slots).
+    pub fn shift_incoming(&self) -> Locset {
+        let mut out = Locset::new();
+        for (l, v) in self.iter() {
+            match l {
+                Loc::Outgoing(o) => out.set(Loc::Incoming(o), v),
+                Loc::Reg(r) => out.set(Loc::Reg(r), v),
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<(Loc, Val)> for Locset {
+    fn from_iter<T: IntoIterator<Item = (Loc, Val)>>(iter: T) -> Self {
+        let mut ls = Locset::new();
+        for (l, v) in iter {
+            ls.set(l, v);
+        }
+        ls
+    }
+}
+
+/// The architecture-level register file of the [`crate::iface::A`] interface:
+/// the sixteen general-purpose registers plus `pc`, `sp` and `ra`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regset {
+    /// General-purpose registers.
+    pub regs: [Val; NREGS],
+    /// Program counter.
+    pub pc: Val,
+    /// Stack pointer.
+    pub sp: Val,
+    /// Return address.
+    pub ra: Val,
+}
+
+impl Default for Regset {
+    fn default() -> Self {
+        Regset {
+            regs: [Val::Undef; NREGS],
+            pc: Val::Undef,
+            sp: Val::Undef,
+            ra: Val::Undef,
+        }
+    }
+}
+
+impl Regset {
+    /// The all-`Undef` register file.
+    pub fn new() -> Regset {
+        Regset::default()
+    }
+
+    /// Value of general-purpose register `r`.
+    pub fn get(&self, r: Mreg) -> Val {
+        self.regs[r.index()]
+    }
+
+    /// Set general-purpose register `r`.
+    pub fn set(&mut self, r: Mreg, v: Val) {
+        self.regs[r.index()] = v;
+    }
+
+    /// Builder-style [`Regset::set`].
+    pub fn with(mut self, r: Mreg, v: Val) -> Regset {
+        self.set(r, v);
+        self
+    }
+}
+
+impl fmt::Display for Regset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pc={} sp={} ra={}", self.pc, self.sp, self.ra)?;
+        for r in Mreg::all() {
+            let v = self.get(r);
+            if v.is_defined() {
+                write!(f, " {r}={v}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locset_defaults_to_undef() {
+        let ls = Locset::new();
+        assert_eq!(ls.get(Loc::Reg(Mreg(3))), Val::Undef);
+        let ls = ls.with(Loc::Reg(Mreg(3)), Val::Int(7));
+        assert_eq!(ls.get(Loc::Reg(Mreg(3))), Val::Int(7));
+    }
+
+    #[test]
+    fn shift_incoming_renames_outgoing_slots() {
+        let ls = Locset::new()
+            .with(Loc::Outgoing(8), Val::Int(1))
+            .with(Loc::Local(0), Val::Int(2))
+            .with(Loc::Reg(Mreg(0)), Val::Int(3));
+        let shifted = ls.shift_incoming();
+        assert_eq!(shifted.get(Loc::Incoming(8)), Val::Int(1));
+        assert_eq!(shifted.get(Loc::Local(0)), Val::Undef);
+        assert_eq!(shifted.get(Loc::Reg(Mreg(0))), Val::Int(3));
+    }
+
+    #[test]
+    fn regset_get_set() {
+        let mut rs = Regset::new();
+        rs.set(Mreg(5), Val::Long(9));
+        assert_eq!(rs.get(Mreg(5)), Val::Long(9));
+        assert_eq!(rs.get(Mreg(6)), Val::Undef);
+    }
+}

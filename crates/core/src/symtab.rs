@@ -1,0 +1,323 @@
+//! The global symbol table and initial-memory construction.
+//!
+//! CompCertO relies on a global symbol table used as-is by every module
+//! (paper App. A.3): linking fixes a single assignment of memory blocks to
+//! global identifiers, and every translation unit resolves symbols against
+//! it. We model this directly: entry `i` of the table owns block `i` of the
+//! initial memory, functions live at `Ptr(block, 0)`, and each module's open
+//! semantics is parameterized by the shared table.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use mem::{BlockId, Chunk, Mem, MemError, Perm, Val};
+
+use crate::iface::Signature;
+
+/// A global identifier (function or variable name).
+pub type Ident = String;
+
+/// Initialization datum for a global variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InitDatum {
+    /// A 32-bit integer.
+    Int32(i32),
+    /// A 64-bit integer.
+    Int64(i64),
+    /// `n` bytes of zeroed space.
+    Space(i64),
+}
+
+impl InitDatum {
+    /// Size of the datum in bytes.
+    pub fn size(&self) -> i64 {
+        match self {
+            InitDatum::Int32(_) => 4,
+            InitDatum::Int64(_) => 8,
+            InitDatum::Space(n) => (*n).max(0),
+        }
+    }
+}
+
+/// What a global identifier denotes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlobKind {
+    /// A function with the given signature.
+    Func(Signature),
+    /// A variable with initialization data.
+    Var {
+        /// Initial contents, laid out in order.
+        init: Vec<InitDatum>,
+        /// Is the variable read-only (a constant)?
+        readonly: bool,
+    },
+}
+
+/// The global symbol table shared by all components of a linked program.
+///
+/// # Example
+///
+/// ```
+/// use compcerto_core::symtab::{GlobKind, SymbolTable};
+/// use compcerto_core::iface::Signature;
+///
+/// let mut tbl = SymbolTable::new();
+/// tbl.define("f".to_string(), GlobKind::Func(Signature::int_fn(1)));
+/// let b = tbl.block_of("f").unwrap();
+/// assert_eq!(tbl.ident_of(b), Some("f"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SymbolTable {
+    entries: Vec<(Ident, GlobKind)>,
+    index: BTreeMap<Ident, BlockId>,
+}
+
+/// Error raised when two definitions of the same identifier clash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DuplicateSymbol(pub Ident);
+
+impl fmt::Display for DuplicateSymbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "duplicate definition of symbol `{}`", self.0)
+    }
+}
+
+impl std::error::Error for DuplicateSymbol {}
+
+impl SymbolTable {
+    /// The empty table.
+    pub fn new() -> SymbolTable {
+        SymbolTable::default()
+    }
+
+    /// Add a definition; returns the block the identifier will occupy.
+    ///
+    /// Re-defining an identifier with an *identical* kind is idempotent
+    /// (several modules may declare the same external function).
+    pub fn define(&mut self, name: Ident, kind: GlobKind) -> BlockId {
+        if let Some(&b) = self.index.get(&name) {
+            return b;
+        }
+        let b = self.entries.len() as BlockId;
+        self.index.insert(name.clone(), b);
+        self.entries.push((name, kind));
+        b
+    }
+
+    /// Add a definition, failing on a clash with a *different* kind.
+    ///
+    /// # Errors
+    /// Returns [`DuplicateSymbol`] when `name` is already defined with a
+    /// different [`GlobKind`].
+    pub fn try_define(&mut self, name: Ident, kind: GlobKind) -> Result<BlockId, DuplicateSymbol> {
+        if let Some(&b) = self.index.get(&name) {
+            if self.entries[b as usize].1 == kind {
+                return Ok(b);
+            }
+            return Err(DuplicateSymbol(name));
+        }
+        Ok(self.define(name, kind))
+    }
+
+    /// Block owned by `name`, if defined.
+    pub fn block_of(&self, name: &str) -> Option<BlockId> {
+        self.index.get(name).copied()
+    }
+
+    /// Identifier owning block `b`, if it is a global block.
+    pub fn ident_of(&self, b: BlockId) -> Option<&str> {
+        self.entries.get(b as usize).map(|(n, _)| n.as_str())
+    }
+
+    /// Kind of the definition owning block `b`.
+    pub fn kind_of(&self, b: BlockId) -> Option<&GlobKind> {
+        self.entries.get(b as usize).map(|(_, k)| k)
+    }
+
+    /// The function pointer value for `name`, if it denotes a function.
+    pub fn func_ptr(&self, name: &str) -> Option<Val> {
+        let b = self.block_of(name)?;
+        match self.kind_of(b)? {
+            GlobKind::Func(_) => Some(Val::Ptr(b, 0)),
+            GlobKind::Var { .. } => None,
+        }
+    }
+
+    /// Signature of the function at pointer value `vf`, if any.
+    pub fn sig_of_ptr(&self, vf: &Val) -> Option<&Signature> {
+        match vf {
+            Val::Ptr(b, 0) => match self.kind_of(*b)? {
+                GlobKind::Func(sg) => Some(sg),
+                GlobKind::Var { .. } => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Number of entries (also the number of global blocks).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over `(block, ident, kind)` in block order.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockId, &str, &GlobKind)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, (n, k))| (i as BlockId, n.as_str(), k))
+    }
+
+    /// Build the initial memory: one block per entry, in table order.
+    /// Function blocks are 1-byte, read-only; variable blocks hold their
+    /// initialization data; read-only variables lose write permission.
+    ///
+    /// # Errors
+    /// Propagates memory errors from writing initialization data (cannot
+    /// happen for well-formed tables).
+    pub fn build_init_mem(&self) -> Result<Mem, MemError> {
+        let mut m = Mem::new();
+        for (_, kind) in &self.entries {
+            match kind {
+                GlobKind::Func(_) => {
+                    let b = m.alloc(0, 1);
+                    m.drop_perm(b, 0, 1, Perm::Readable)?;
+                }
+                GlobKind::Var { init, readonly } => {
+                    let size: i64 = init.iter().map(|d| d.size()).sum();
+                    let b = m.alloc(0, size);
+                    let mut ofs = 0;
+                    for d in init {
+                        match d {
+                            InitDatum::Int32(n) => m.store(Chunk::I32, b, ofs, Val::Int(*n))?,
+                            InitDatum::Int64(n) => m.store(Chunk::I64, b, ofs, Val::Long(*n))?,
+                            InitDatum::Space(_) => {
+                                for z in ofs..ofs + d.size() {
+                                    m.store(Chunk::I8U, b, z, Val::Int(0))?;
+                                }
+                            }
+                        }
+                        ofs += d.size();
+                    }
+                    if *readonly {
+                        m.drop_perm(b, 0, size, Perm::Readable)?;
+                    } else {
+                        m.drop_perm(b, 0, size, Perm::Writable)?;
+                    }
+                }
+            }
+        }
+        Ok(m)
+    }
+
+    /// Check the read-only-globals part of the `va` invariant: every
+    /// read-only variable still holds its initialization data in `m`
+    /// (paper §5, component `vainj`: "global constants have their prescribed
+    /// values in the source memory").
+    pub fn romem_consistent(&self, m: &Mem) -> bool {
+        for (b, _, kind) in self.iter() {
+            if let GlobKind::Var {
+                init,
+                readonly: true,
+            } = kind
+            {
+                let mut ofs = 0;
+                for d in init {
+                    let ok = match d {
+                        InitDatum::Int32(n) => m.load(Chunk::I32, b, ofs) == Ok(Val::Int(*n)),
+                        InitDatum::Int64(n) => m.load(Chunk::I64, b, ofs) == Ok(Val::Long(*n)),
+                        InitDatum::Space(_) => true,
+                    };
+                    if !ok {
+                        return false;
+                    }
+                    ofs += d.size();
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> SymbolTable {
+        let mut t = SymbolTable::new();
+        t.define("f".into(), GlobKind::Func(Signature::int_fn(1)));
+        t.define(
+            "k".into(),
+            GlobKind::Var {
+                init: vec![InitDatum::Int32(42)],
+                readonly: true,
+            },
+        );
+        t.define(
+            "g".into(),
+            GlobKind::Var {
+                init: vec![InitDatum::Int64(-1), InitDatum::Space(8)],
+                readonly: false,
+            },
+        );
+        t
+    }
+
+    #[test]
+    fn blocks_in_definition_order() {
+        let t = table();
+        assert_eq!(t.block_of("f"), Some(0));
+        assert_eq!(t.block_of("k"), Some(1));
+        assert_eq!(t.block_of("g"), Some(2));
+        assert_eq!(t.ident_of(2), Some("g"));
+        assert_eq!(t.func_ptr("f"), Some(Val::Ptr(0, 0)));
+        assert_eq!(t.func_ptr("k"), None);
+    }
+
+    #[test]
+    fn duplicate_definitions() {
+        let mut t = table();
+        // Identical redefinition is idempotent.
+        assert_eq!(
+            t.try_define("f".into(), GlobKind::Func(Signature::int_fn(1))),
+            Ok(0)
+        );
+        // Conflicting redefinition fails.
+        assert!(t
+            .try_define("f".into(), GlobKind::Func(Signature::int_fn(2)))
+            .is_err());
+    }
+
+    #[test]
+    fn init_mem_layout() {
+        let t = table();
+        let m = t.build_init_mem().unwrap();
+        assert_eq!(m.next_block(), 3);
+        assert_eq!(m.load(Chunk::I32, 1, 0), Ok(Val::Int(42)));
+        assert_eq!(m.load(Chunk::I64, 2, 0), Ok(Val::Long(-1)));
+        assert_eq!(m.load(Chunk::I8U, 2, 10), Ok(Val::Int(0)));
+        // Read-only globals reject stores.
+        assert!(m.clone().store(Chunk::I32, 1, 0, Val::Int(0)).is_err());
+        // Writable globals accept them.
+        assert!(m.clone().store(Chunk::I64, 2, 0, Val::Long(5)).is_ok());
+    }
+
+    #[test]
+    fn romem_consistency() {
+        let t = table();
+        let m = t.build_init_mem().unwrap();
+        assert!(t.romem_consistent(&m));
+    }
+
+    #[test]
+    fn sig_of_ptr() {
+        let t = table();
+        assert_eq!(t.sig_of_ptr(&Val::Ptr(0, 0)), Some(&Signature::int_fn(1)));
+        assert_eq!(t.sig_of_ptr(&Val::Ptr(0, 4)), None);
+        assert_eq!(t.sig_of_ptr(&Val::Int(0)), None);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based validation of the simulation-convention algebra
+//! (paper Thm. 5.2, Lemma 5.3, Thm. 5.6): the symbolic laws used by the
+//! derivation engine are checked against randomly generated chains, and the
+//! runtime meaning of key equivalences is checked on concrete data.
+
+use compcerto_core::algebra::{derive, goal_convention, Atom, Chain, CklrTag, IfaceTag, Law};
+use compcerto_core::cklr::{Cklr, Ext, Inj};
+use mem::{Chunk, Mem, Val};
+use proptest::prelude::*;
+
+/// Random C-level CKLR/invariant atoms (the vocabulary of the front end).
+fn c_atom() -> impl Strategy<Value = Vec<Atom>> {
+    use Atom::*;
+    use CklrTag::*;
+    use IfaceTag::*;
+    prop_oneof![
+        Just(vec![Id(C)]),
+        Just(vec![Cklr(Ext, C)]),
+        Just(vec![Cklr(Inj, C)]),
+        Just(vec![Cklr(Injp, C)]),
+        Just(vec![Va, Cklr(Ext, C)]),
+        Just(vec![Va, Cklr(Inj, C)]),
+        Just(vec![Wt, Cklr(Ext, C)]),
+    ]
+}
+
+/// A random well-typed pipeline: a front-end segment at `C` followed by the
+/// fixed structural tail (every real pipeline ends with
+/// `Allocation … Asmgen`).
+fn pipeline() -> impl Strategy<Value = Chain> {
+    prop::collection::vec(c_atom(), 0..8).prop_map(|front| {
+        use Atom::*;
+        use CklrTag::*;
+        use IfaceTag::*;
+        let mut atoms: Vec<Atom> = front.into_iter().flatten().collect();
+        atoms.extend([
+            Wt,
+            Cklr(Ext, C),
+            Cl,
+            Cklr(Ext, L),
+            Lm,
+            Cklr(Inj, M),
+            Cklr(Ext, M),
+            Ma,
+        ]);
+        Chain::of(atoms)
+    })
+}
+
+proptest! {
+    /// The derivation engine normalizes *every* well-typed pipeline built
+    /// from Table 3's vocabulary to the goal convention, and every recorded
+    /// step passes verification — the algebra is closed over the pipelines
+    /// the compiler can express.
+    #[test]
+    fn derivation_total_on_pipelines(chain in pipeline()) {
+        prop_assert_eq!(chain.typing(), Ok((IfaceTag::C, IfaceTag::A)));
+        let d = derive(chain).expect("derivation succeeds");
+        prop_assert_eq!(d.current(), &goal_convention());
+        d.verify().expect("verification succeeds");
+    }
+
+    /// Law checkers are sound w.r.t. their own statements: `CklrFuse` only
+    /// accepts the four Lemma 5.3 equations.
+    #[test]
+    fn cklr_fuse_soundness(
+        k1 in prop_oneof![Just(CklrTag::Ext), Just(CklrTag::Inj), Just(CklrTag::Injp)],
+        k2 in prop_oneof![Just(CklrTag::Ext), Just(CklrTag::Inj), Just(CklrTag::Injp)],
+        k3 in prop_oneof![Just(CklrTag::Ext), Just(CklrTag::Inj), Just(CklrTag::Injp)],
+    ) {
+        use Atom::Cklr;
+        use IfaceTag::C;
+        let before = [Cklr(k1, C), Cklr(k2, C)];
+        let after = [Cklr(k3, C)];
+        let accepted = Law::CklrFuse.justifies(&before, &after);
+        let expected = match (k1, k2) {
+            (CklrTag::Ext, CklrTag::Ext) => k3 == CklrTag::Ext,
+            (CklrTag::Ext, CklrTag::Inj)
+            | (CklrTag::Inj, CklrTag::Ext)
+            | (CklrTag::Inj, CklrTag::Inj) => k3 == CklrTag::Inj,
+            _ => false,
+        };
+        prop_assert_eq!(accepted, expected);
+    }
+}
+
+/// Runtime meaning of Lemma 5.3 `ext · inj ≡ inj` on concrete memories:
+/// whenever `m1 ≤m m2` and `f ⊩ m2 ↩→ m3`, the same `f` relates `m1` to
+/// `m3` directly.
+#[test]
+fn lemma_5_3_ext_then_inj_is_inj() {
+    let mut m1 = Mem::new();
+    let b = m1.alloc(0, 16);
+    m1.store(Chunk::I32, b, 0, Val::Int(5)).unwrap();
+    // m2 refines an undefined slot of m1.
+    let mut m2 = m1.clone();
+    m2.store(Chunk::I32, b, 8, Val::Int(9)).unwrap();
+    assert_eq!(Ext.match_mem(&m1, &m2).len(), 1);
+    // m3 = m2 (identity injection).
+    let m3 = m2.clone();
+    let worlds = Inj::default().match_mem(&m2, &m3);
+    assert_eq!(worlds.len(), 1);
+    // Composition: m1 injects into m3 directly with the same mapping.
+    assert_eq!(mem::mem_inject(&worlds[0], &m1, &m3), Ok(()));
+}
+
+/// Runtime meaning of `wt · wt ≡ wt` (Lemma 5.7): applying the typing
+/// normalization twice equals applying it once.
+#[test]
+fn lemma_5_7_wt_idempotent() {
+    for v in [Val::Int(1), Val::Long(2), Val::Undef, Val::Ptr(0, 0)] {
+        for t in [mem::Typ::I32, mem::Typ::I64] {
+            assert_eq!(v.ensure_type(t).ensure_type(t), v.ensure_type(t));
+        }
+    }
+}
+
+/// Tampering with any single derivation step must be caught by `verify`
+/// (the derivation is evidence, not just a trace).
+#[test]
+fn derivations_are_tamper_evident() {
+    use compcerto_core::algebra::{Atom::*, CklrTag::*, IfaceTag::*};
+    let chain = Chain::of([
+        Cklr(Inj, C),
+        Wt,
+        Cklr(Ext, C),
+        Cl,
+        Lm,
+        Cklr(Inj, M),
+        Cklr(Ext, M),
+        Ma,
+    ]);
+    let d = derive(chain).expect("derives");
+    d.verify().expect("clean derivation verifies");
+    for i in 0..d.steps.len() {
+        let mut bad = d.clone();
+        // Swap the result chain of step i with the goal (usually wrong).
+        bad.steps[i].result = Chain::of([Atom::RStar(IfaceTag::C)]);
+        if bad.steps[i].result != d.steps[i].result {
+            assert!(bad.verify().is_err(), "tampered step {i} not caught");
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Runtime refinement checks (paper Def. 5.1, Lemma 5.3): the equivalences
+//! the algebra engine uses symbolically are sampled on concrete data with
+//! [`check_refinement_on`].
+
+use compcerto_core::cklr::{CklrC, Ext};
+use compcerto_core::conv::{check_refinement_on, ComposeConv, IdConv, SimConv};
+use compcerto_core::iface::{CQuery, CReply, Signature, C};
+use mem::{Chunk, Mem, Val};
+
+fn q(mem: Mem, args: Vec<Val>) -> CQuery {
+    CQuery {
+        vf: Val::Ptr(0, 0),
+        sig: Signature::int_fn(args.len()),
+        args,
+        mem,
+    }
+}
+
+fn r(mem: Mem, v: Val) -> CReply {
+    CReply { retval: v, mem }
+}
+
+/// Sample data: a memory with one block, plus a refinement of it.
+fn sample_mems() -> (Mem, Mem) {
+    let mut m1 = Mem::new();
+    let b = m1.alloc(0, 16);
+    m1.store(Chunk::I32, b, 0, Val::Int(3)).unwrap();
+    let mut m2 = m1.clone();
+    m2.store(Chunk::I32, b, 8, Val::Int(9)).unwrap(); // refines Undef bytes
+    (m1, m2)
+}
+
+/// Lemma 5.3 at runtime, `⊑` direction: `ext · ext ⊑ ext` — every
+/// ext-related question pair is (ext·ext)-related, and (ext·ext)-related
+/// answers are ext-related.
+#[test]
+fn ext_ext_refined_by_ext() {
+    let (m1, m2) = sample_mems();
+    let ext = CklrC { k: Ext };
+    let ext_ext = ComposeConv::new(CklrC { k: Ext }, CklrC { k: Ext });
+    let samples = vec![
+        (
+            q(m1.clone(), vec![Val::Int(1)]),
+            q(m2.clone(), vec![Val::Int(1)]),
+            vec![
+                (r(m1.clone(), Val::Int(5)), r(m2.clone(), Val::Int(5))),
+                (r(m1.clone(), Val::Undef), r(m2.clone(), Val::Int(7))),
+            ],
+        ),
+        (
+            q(m1.clone(), vec![Val::Undef]),
+            q(m2.clone(), vec![Val::Int(2)]),
+            vec![(r(m1.clone(), Val::Int(0)), r(m2.clone(), Val::Int(0)))],
+        ),
+    ];
+    check_refinement_on(&ext_ext, &ext, &samples).expect("ext·ext ⊑ ext on samples");
+}
+
+/// `id ⊑ ext` on samples where the questions are ext-related but the answer
+/// sets only contain equal pairs: identity transports them.
+#[test]
+fn id_transports_equal_answers_under_ext() {
+    let (m1, _) = sample_mems();
+    let id = IdConv::<C>::new();
+    let ext = CklrC { k: Ext };
+    // Only identical questions (id-related) with identical answers.
+    let samples = vec![(
+        q(m1.clone(), vec![Val::Int(1)]),
+        q(m1.clone(), vec![Val::Int(1)]),
+        vec![(r(m1.clone(), Val::Int(5)), r(m1.clone(), Val::Int(5)))],
+    )];
+    check_refinement_on(&id, &ext, &samples).expect("id ⊑ ext on identical samples");
+}
+
+/// The negative direction: `ext` is *not* refined by `id` on a sample with a
+/// strict refinement — `check_refinement_on` reports the counterexample.
+#[test]
+fn strict_refinement_refutes_id() {
+    let (m1, m2) = sample_mems();
+    let id = IdConv::<C>::new();
+    let ext = CklrC { k: Ext };
+    // The questions are ext-related (m1 ≤m m2) but NOT equal.
+    let samples = vec![(
+        q(m1.clone(), vec![Val::Int(1)]),
+        q(m2, vec![Val::Int(1)]),
+        vec![],
+    )];
+    assert!(
+        check_refinement_on(&id, &ext, &samples).is_err(),
+        "a strict memory refinement must refute id ⊑ ext"
+    );
+}
+
+/// The ^-modality at the answer side: worlds evolve — an answer allocating
+/// fresh blocks on both sides is still ext-related (`ext` worlds are trivial,
+/// but the memories changed support in lock-step).
+#[test]
+fn reply_side_world_evolution() {
+    let (m1, m2) = sample_mems();
+    let ext = CklrC { k: Ext };
+    let w = ext.match_query(&q(m1.clone(), vec![]), &q(m2.clone(), vec![]));
+    assert_eq!(w.len(), 1);
+    let mut m1b = m1;
+    let mut m2b = m2;
+    let b1 = m1b.alloc(0, 8);
+    let b2 = m2b.alloc(0, 8);
+    assert_eq!(b1, b2);
+    assert!(ext.match_reply(&w[0], &r(m1b, Val::Int(1)), &r(m2b, Val::Int(1))));
+}

@@ -1,0 +1,135 @@
+//! Memory access chunks (CompCert's `memory_chunk`).
+
+use std::fmt;
+
+use crate::value::{Typ, Val};
+
+/// The granularity and interpretation of a memory access.
+///
+/// A chunk determines how many bytes a [`crate::Mem::load`]/[`crate::Mem::store`]
+/// touches, the required alignment, and how the raw bytes are (de)coded into a
+/// [`Val`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Chunk {
+    /// 1 byte, sign-extended to `Int` on load.
+    I8S,
+    /// 1 byte, zero-extended to `Int` on load.
+    I8U,
+    /// 2 bytes, sign-extended to `Int` on load.
+    I16S,
+    /// 2 bytes, zero-extended to `Int` on load.
+    I16U,
+    /// 4 bytes, a 32-bit integer.
+    I32,
+    /// 8 bytes, a 64-bit integer.
+    I64,
+    /// 4 bytes, a single-precision float.
+    F32,
+    /// 8 bytes, a double-precision float.
+    F64,
+    /// 8 bytes, a pointer (or 64-bit integer); `Mptr` in CompCert's 64-bit
+    /// configuration.
+    Ptr,
+    /// 8 bytes holding *any* value losslessly (CompCert's `Many64`); used for
+    /// untyped stack slots (spills, register saves).
+    Any64,
+}
+
+impl Chunk {
+    /// Number of bytes accessed.
+    pub fn size(self) -> i64 {
+        match self {
+            Chunk::I8S | Chunk::I8U => 1,
+            Chunk::I16S | Chunk::I16U => 2,
+            Chunk::I32 | Chunk::F32 => 4,
+            Chunk::I64 | Chunk::F64 | Chunk::Ptr | Chunk::Any64 => 8,
+        }
+    }
+
+    /// Required alignment of the access offset.
+    pub fn align(self) -> i64 {
+        self.size()
+    }
+
+    /// The machine type of values loaded through this chunk.
+    pub fn typ(self) -> Typ {
+        match self {
+            Chunk::I8S | Chunk::I8U | Chunk::I16S | Chunk::I16U | Chunk::I32 => Typ::I32,
+            Chunk::I64 | Chunk::Ptr | Chunk::Any64 => Typ::I64,
+            Chunk::F32 => Typ::F32,
+            Chunk::F64 => Typ::F64,
+        }
+    }
+
+    /// The chunk used to access a value of machine type `t` at full width.
+    pub fn of_typ(t: Typ) -> Chunk {
+        match t {
+            Typ::I32 => Chunk::I32,
+            Typ::I64 => Chunk::I64,
+            Typ::F32 => Chunk::F32,
+            Typ::F64 => Chunk::F64,
+        }
+    }
+
+    /// Normalization applied by `store`: narrow chunks truncate the stored
+    /// value the way a subsequent load would observe it (CompCert's
+    /// `Val.load_result` composed with the store).
+    pub fn normalize(self, v: Val) -> Val {
+        match (self, v) {
+            (Chunk::I8S, Val::Int(n)) => Val::Int((n as i8) as i32),
+            (Chunk::I8U, Val::Int(n)) => Val::Int((n as u8) as i32),
+            (Chunk::I16S, Val::Int(n)) => Val::Int((n as i16) as i32),
+            (Chunk::I16U, Val::Int(n)) => Val::Int((n as u16) as i32),
+            (Chunk::I32, Val::Int(n)) => Val::Int(n),
+            (Chunk::I64, Val::Long(n)) => Val::Long(n),
+            (Chunk::I64, Val::Ptr(b, o)) => Val::Ptr(b, o),
+            (Chunk::Ptr, Val::Ptr(b, o)) => Val::Ptr(b, o),
+            (Chunk::Ptr, Val::Long(n)) => Val::Long(n),
+            (Chunk::F32, Val::Single(x)) => Val::Single(x),
+            (Chunk::F64, Val::Float(x)) => Val::Float(x),
+            // Any64 preserves every value unchanged.
+            (Chunk::Any64, v) => v,
+            _ => Val::Undef,
+        }
+    }
+}
+
+impl fmt::Display for Chunk {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Chunk::I8S => "i8s",
+            Chunk::I8U => "i8u",
+            Chunk::I16S => "i16s",
+            Chunk::I16U => "i16u",
+            Chunk::I32 => "i32",
+            Chunk::I64 => "i64",
+            Chunk::F32 => "f32",
+            Chunk::F64 => "f64",
+            Chunk::Ptr => "ptr",
+            Chunk::Any64 => "any64",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_types() {
+        assert_eq!(Chunk::I8S.size(), 1);
+        assert_eq!(Chunk::Ptr.size(), 8);
+        assert_eq!(Chunk::I16U.typ(), Typ::I32);
+        assert_eq!(Chunk::Ptr.typ(), Typ::I64);
+    }
+
+    #[test]
+    fn normalize_narrows() {
+        assert_eq!(Chunk::I8S.normalize(Val::Int(0x1FF)), Val::Int(-1));
+        assert_eq!(Chunk::I8U.normalize(Val::Int(0x1FF)), Val::Int(0xFF));
+        assert_eq!(Chunk::I16S.normalize(Val::Int(0x18000)), Val::Int(-32768));
+        assert_eq!(Chunk::I32.normalize(Val::Long(1)), Val::Undef);
+        assert_eq!(Chunk::Ptr.normalize(Val::Ptr(1, 2)), Val::Ptr(1, 2));
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for memory operations.
+
+use std::fmt;
+
+use crate::mem::BlockId;
+use crate::perm::Perm;
+
+/// Reasons a memory operation can fail.
+///
+/// These correspond to the `None` results of CompCert's partial memory
+/// operations (paper Fig. 4); a failing memory operation makes the enclosing
+/// language semantics "go wrong" (undefined behaviour).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// The block identifier does not denote a currently-valid block.
+    InvalidBlock(BlockId),
+    /// The accessed range `[lo, hi)` is outside the block's bounds.
+    OutOfBounds {
+        /// Block accessed.
+        block: BlockId,
+        /// Start of the accessed range.
+        lo: i64,
+        /// End of the accessed range (exclusive).
+        hi: i64,
+    },
+    /// Insufficient permission for the access.
+    Permission {
+        /// Block accessed.
+        block: BlockId,
+        /// Offset at which the permission check failed.
+        offset: i64,
+        /// Permission the access required.
+        required: Perm,
+    },
+    /// The access offset violates the chunk's alignment constraint.
+    Misaligned {
+        /// Offset of the access.
+        offset: i64,
+        /// Required alignment in bytes.
+        align: i64,
+    },
+    /// A `loadv`/`storev` was attempted at a non-pointer address value.
+    NotAPointer,
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::InvalidBlock(b) => write!(f, "invalid block b{b}"),
+            MemError::OutOfBounds { block, lo, hi } => {
+                write!(f, "access [{lo},{hi}) out of bounds of block b{block}")
+            }
+            MemError::Permission {
+                block,
+                offset,
+                required,
+            } => write!(
+                f,
+                "insufficient permission at b{block}+{offset} (need {required})"
+            ),
+            MemError::Misaligned { offset, align } => {
+                write!(f, "offset {offset} not aligned to {align}")
+            }
+            MemError::NotAPointer => write!(f, "address value is not a pointer"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}

@@ -1,0 +1,111 @@
+//! The memory-extension relation `m1 ≤m m2` (paper §4.1).
+
+use crate::mem::Mem;
+use crate::memval::MemVal;
+use crate::perm::Perm;
+
+/// Byte-level refinement `mv1 ≤ mv2`: undefined contents may be refined, and
+/// fragments are related pointwise by value refinement.
+pub fn memval_lessdef(mv1: &MemVal, mv2: &MemVal) -> bool {
+    match (mv1, mv2) {
+        (MemVal::Undef, _) => true,
+        (MemVal::Byte(a), MemVal::Byte(b)) => a == b,
+        (MemVal::Fragment(v1, i), MemVal::Fragment(v2, j)) => i == j && v1.lessdef(v2),
+        _ => false,
+    }
+}
+
+/// Decide the memory extension relation `m1 ≤m m2` on concrete states.
+///
+/// The target `m2` must have the same allocation support, at least the
+/// permissions of `m1` everywhere, and contents that refine those of `m1`
+/// (undefined source bytes may become defined in the target). The target may
+/// have *larger* block bounds — extension passes grow stack blocks.
+pub fn extends(m1: &Mem, m2: &Mem) -> bool {
+    if m1.next_block() != m2.next_block() {
+        return false;
+    }
+    for b in m1.blocks() {
+        let Ok((lo, hi)) = m1.bounds(b) else {
+            return false;
+        };
+        if !m2.valid_block(b) {
+            return false;
+        }
+        for ofs in lo..hi {
+            let p1 = m1.perm(b, ofs);
+            if p1 == Perm::None {
+                continue;
+            }
+            if !m2.perm(b, ofs).allows(p1) {
+                return false;
+            }
+            if p1.allows(Perm::Readable) {
+                let c1 = m1.content(b, ofs);
+                let c2 = m2.content(b, ofs);
+                match (c1, c2) {
+                    (Some(a), Some(b)) => {
+                        if !memval_lessdef(a, b) {
+                            return false;
+                        }
+                    }
+                    _ => return false,
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::Chunk;
+    use crate::value::Val;
+
+    #[test]
+    fn extension_is_reflexive() {
+        let mut m = Mem::new();
+        let b = m.alloc(0, 8);
+        m.store(Chunk::I32, b, 0, Val::Int(1)).unwrap();
+        assert!(extends(&m, &m));
+    }
+
+    #[test]
+    fn target_may_define_undef_bytes() {
+        let mut m1 = Mem::new();
+        let b = m1.alloc(0, 8);
+        let mut m2 = m1.clone();
+        m2.store(Chunk::I32, b, 0, Val::Int(99)).unwrap();
+        assert!(extends(&m1, &m2));
+        assert!(!extends(&m2, &m1));
+    }
+
+    #[test]
+    fn target_may_have_larger_blocks() {
+        let mut m1 = Mem::new();
+        m1.alloc(0, 4);
+        let mut m2 = Mem::new();
+        m2.alloc(0, 16);
+        assert!(extends(&m1, &m2));
+        assert!(!extends(&m2, &m1));
+    }
+
+    #[test]
+    fn support_must_match() {
+        let mut m1 = Mem::new();
+        m1.alloc(0, 4);
+        let m2 = Mem::new();
+        assert!(!extends(&m1, &m2));
+    }
+
+    #[test]
+    fn differing_defined_bytes_not_extension() {
+        let mut m1 = Mem::new();
+        let b = m1.alloc(0, 8);
+        m1.store(Chunk::I32, b, 0, Val::Int(1)).unwrap();
+        let mut m2 = m1.clone();
+        m2.store(Chunk::I32, b, 0, Val::Int(2)).unwrap();
+        assert!(!extends(&m1, &m2));
+    }
+}

@@ -1,0 +1,375 @@
+//! Memory injections (paper §4.2).
+//!
+//! An *injection mapping* `f : block ⇀ block × Z` rearranges the block
+//! structure of memory: source blocks may be dropped (unmapped) or relocated
+//! into a target block at an offset. The mapping induces a relation on values
+//! ([`val_inject`]) and on memory states ([`mem_inject`]), which together form
+//! a logical relation for the memory model.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::mem::{BlockId, Mem};
+use crate::memval::MemVal;
+use crate::perm::Perm;
+use crate::value::Val;
+
+/// An injection mapping `f ∈ meminj` (paper §4.2).
+///
+/// The partial order on injections is inclusion: `f ⊆ f'` means every entry
+/// of `f` is preserved in `f'`. This is the Kripke frame of the `inj` CKLR
+/// (paper Example 4.2).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MemInj {
+    map: BTreeMap<BlockId, (BlockId, i64)>,
+}
+
+impl MemInj {
+    /// The empty injection (maps no block).
+    pub fn new() -> MemInj {
+        MemInj::default()
+    }
+
+    /// The identity injection on all blocks below `next` (maps `b ↦ (b, 0)`).
+    pub fn identity_below(next: BlockId) -> MemInj {
+        let mut inj = MemInj::new();
+        for b in 0..next {
+            inj.map.insert(b, (b, 0));
+        }
+        inj
+    }
+
+    /// Look up the image of block `b`.
+    pub fn get(&self, b: BlockId) -> Option<(BlockId, i64)> {
+        self.map.get(&b).copied()
+    }
+
+    /// Add the entry `b ↦ (b', delta)`.
+    ///
+    /// # Panics
+    /// Panics if `b` is already mapped to a *different* image — injections
+    /// only ever grow monotonically (`f ⊆ f'`).
+    pub fn insert(&mut self, b: BlockId, target: BlockId, delta: i64) {
+        if let Some(prev) = self.map.get(&b) {
+            assert_eq!(
+                *prev,
+                (target, delta),
+                "injection entry for block {b} changed"
+            );
+        }
+        self.map.insert(b, (target, delta));
+    }
+
+    /// Number of mapped blocks.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the mapping empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterate over entries `(b, (b', delta))`.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockId, (BlockId, i64))> + '_ {
+        self.map.iter().map(|(b, t)| (*b, *t))
+    }
+
+    /// Inclusion `self ⊆ other`: every entry preserved (the accessibility
+    /// relation of the `inj` Kripke frame).
+    pub fn included_in(&self, other: &MemInj) -> bool {
+        self.iter().all(|(b, t)| other.get(b) == Some(t))
+    }
+
+    /// Composition of injections: `(f ∘then∘ g)(b) = g(f(b))` with offsets
+    /// added. Used to validate vertical composition of `inj`-based
+    /// conventions (paper Lemma 5.3, `inj · inj ≡ inj`).
+    pub fn compose(&self, other: &MemInj) -> MemInj {
+        let mut out = MemInj::new();
+        for (b, (b1, d1)) in self.iter() {
+            if let Some((b2, d2)) = other.get(b1) {
+                out.map.insert(b, (b2, d1 + d2));
+            }
+        }
+        out
+    }
+
+    /// Apply the injection to a value (partial: unmapped pointers give
+    /// `None`). The functional direction used to *construct* target-level
+    /// questions from source-level ones.
+    pub fn apply(&self, v: Val) -> Option<Val> {
+        match v {
+            Val::Ptr(b, o) => self.get(b).map(|(b2, d)| Val::Ptr(b2, o + d)),
+            other => Some(other),
+        }
+    }
+
+    /// Is some source location `(b1, ofs - delta)` with at least `Readable`
+    /// max-permission mapped onto target location `(b2, ofs)`? The negation
+    /// is CompCert's `loc_out_of_reach`, the region protected by `injp`
+    /// (paper Fig. 9).
+    pub fn reaches(&self, m1: &Mem, b2: BlockId, ofs: i64) -> bool {
+        self.iter()
+            .any(|(b1, (tb, delta))| tb == b2 && m1.perm(b1, ofs - delta) >= Perm::Readable)
+    }
+}
+
+impl fmt::Display for MemInj {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (b, (b2, d))) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "b{b}↦(b{b2},{d})")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Value injection `f ⊩ v1 ↩→v v2` (paper §4.2): `v2` refines `v1`, with
+/// pointers transformed according to `f`.
+pub fn val_inject(f: &MemInj, v1: &Val, v2: &Val) -> bool {
+    match (v1, v2) {
+        (Val::Undef, _) => true,
+        (Val::Ptr(b1, o1), Val::Ptr(b2, o2)) => {
+            matches!(f.get(*b1), Some((tb, d)) if tb == *b2 && o1 + d == *o2)
+        }
+        _ => v1 == v2,
+    }
+}
+
+/// Pointwise value injection on argument lists.
+pub fn val_list_inject(f: &MemInj, vs1: &[Val], vs2: &[Val]) -> bool {
+    vs1.len() == vs2.len() && vs1.iter().zip(vs2).all(|(a, b)| val_inject(f, a, b))
+}
+
+/// Byte-level injection.
+pub fn memval_inject(f: &MemInj, mv1: &MemVal, mv2: &MemVal) -> bool {
+    match (mv1, mv2) {
+        (MemVal::Undef, _) => true,
+        (MemVal::Byte(a), MemVal::Byte(b)) => a == b,
+        (MemVal::Fragment(v1, i), MemVal::Fragment(v2, j)) => i == j && val_inject(f, v1, v2),
+        _ => false,
+    }
+}
+
+/// Reasons a pair of memories fails to be related by an injection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InjectError {
+    /// A mapped source block is not valid.
+    InvalidSource(BlockId),
+    /// The image of a mapped block is not valid in the target.
+    InvalidTarget(BlockId),
+    /// Source permission not preserved at the mapped target location.
+    PermNotPreserved {
+        /// Source block.
+        block: BlockId,
+        /// Source offset.
+        offset: i64,
+    },
+    /// Source contents not related to target contents at a mapped location.
+    ContentMismatch {
+        /// Source block.
+        block: BlockId,
+        /// Source offset.
+        offset: i64,
+    },
+    /// Two distinct source blocks overlap in the target (`meminj_no_overlap`).
+    Overlap(BlockId, BlockId),
+}
+
+impl fmt::Display for InjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InjectError::InvalidSource(b) => write!(f, "mapped source block b{b} is invalid"),
+            InjectError::InvalidTarget(b) => write!(f, "target image of b{b} is invalid"),
+            InjectError::PermNotPreserved { block, offset } => {
+                write!(f, "permission at b{block}+{offset} not preserved")
+            }
+            InjectError::ContentMismatch { block, offset } => {
+                write!(f, "contents at b{block}+{offset} not injection-related")
+            }
+            InjectError::Overlap(a, b) => write!(f, "blocks b{a} and b{b} overlap in target"),
+        }
+    }
+}
+
+impl std::error::Error for InjectError {}
+
+/// Decide the memory injection relation `f ⊩ m1 ↩→m m2` on concrete states.
+///
+/// Checks, for every entry `f(b1) = (b2, δ)`:
+/// * `b1` valid in `m1` and `b2` valid in `m2`;
+/// * permissions preserved: `perm m1 b1 o ≥ p ⇒ perm m2 b2 (o+δ) ≥ p`;
+/// * contents related by [`memval_inject`] at readable offsets;
+/// * no two distinct mapped blocks overlap in the target.
+///
+/// # Errors
+/// Returns the first violation found, for diagnostics in the simulation
+/// checker.
+pub fn mem_inject(f: &MemInj, m1: &Mem, m2: &Mem) -> Result<(), InjectError> {
+    for (b1, (b2, delta)) in f.iter() {
+        if !m1.valid_block(b1) {
+            return Err(InjectError::InvalidSource(b1));
+        }
+        if !m2.valid_block(b2) {
+            return Err(InjectError::InvalidTarget(b1));
+        }
+        let (lo, hi) = m1.bounds(b1).map_err(|_| InjectError::InvalidSource(b1))?;
+        for ofs in lo..hi {
+            let p1 = m1.perm(b1, ofs);
+            if p1 == Perm::None {
+                continue;
+            }
+            if !m2.perm(b2, ofs + delta).allows(p1) {
+                return Err(InjectError::PermNotPreserved {
+                    block: b1,
+                    offset: ofs,
+                });
+            }
+            if p1.allows(Perm::Readable) {
+                let c1 = m1.content(b1, ofs);
+                let c2 = m2.content(b2, ofs + delta);
+                let ok = match (c1, c2) {
+                    (Some(a), Some(b)) => memval_inject(f, a, b),
+                    _ => false,
+                };
+                if !ok {
+                    return Err(InjectError::ContentMismatch {
+                        block: b1,
+                        offset: ofs,
+                    });
+                }
+            }
+        }
+    }
+    // No-overlap: ranges with any permission must be disjoint in the target.
+    let entries: Vec<_> = f.iter().collect();
+    for (i, &(a, (ta, da))) in entries.iter().enumerate() {
+        for &(b, (tb, db)) in entries.iter().skip(i + 1) {
+            if ta != tb {
+                continue;
+            }
+            let (alo, ahi) = match m1.bounds(a) {
+                Ok(x) => x,
+                Err(_) => continue,
+            };
+            let (blo, bhi) = match m1.bounds(b) {
+                Ok(x) => x,
+                Err(_) => continue,
+            };
+            let (alo, ahi) = (alo + da, ahi + da);
+            let (blo, bhi) = (blo + db, bhi + db);
+            if alo < bhi && blo < ahi {
+                return Err(InjectError::Overlap(a, b));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::Chunk;
+
+    #[test]
+    fn identity_injection_relates_memory_to_itself() {
+        let mut m = Mem::new();
+        let b = m.alloc(0, 16);
+        m.store(Chunk::I32, b, 0, Val::Int(5)).unwrap();
+        m.store(Chunk::Ptr, b, 8, Val::Ptr(b, 0)).unwrap();
+        let f = MemInj::identity_below(m.next_block());
+        assert_eq!(mem_inject(&f, &m, &m), Ok(()));
+    }
+
+    #[test]
+    fn dropping_a_block_is_an_injection() {
+        let mut m1 = Mem::new();
+        let kept = m1.alloc(0, 8);
+        let dropped = m1.alloc(0, 8);
+        m1.store(Chunk::I32, kept, 0, Val::Int(1)).unwrap();
+        m1.store(Chunk::I32, dropped, 0, Val::Int(2)).unwrap();
+
+        let mut m2 = Mem::new();
+        let tgt = m2.alloc(0, 8);
+        m2.store(Chunk::I32, tgt, 0, Val::Int(1)).unwrap();
+
+        let mut f = MemInj::new();
+        f.insert(kept, tgt, 0);
+        assert_eq!(mem_inject(&f, &m1, &m2), Ok(()));
+    }
+
+    #[test]
+    fn mapping_at_offset_into_larger_block() {
+        let mut m1 = Mem::new();
+        let a = m1.alloc(0, 8);
+        let b = m1.alloc(0, 8);
+        m1.store(Chunk::I32, a, 0, Val::Int(10)).unwrap();
+        m1.store(Chunk::I32, b, 0, Val::Int(20)).unwrap();
+
+        let mut m2 = Mem::new();
+        let big = m2.alloc(0, 32);
+        m2.store(Chunk::I32, big, 0, Val::Int(10)).unwrap();
+        m2.store(Chunk::I32, big, 16, Val::Int(20)).unwrap();
+
+        let mut f = MemInj::new();
+        f.insert(a, big, 0);
+        f.insert(b, big, 16);
+        assert_eq!(mem_inject(&f, &m1, &m2), Ok(()));
+
+        // Pointers must be shifted by the injection.
+        assert!(val_inject(&f, &Val::Ptr(b, 4), &Val::Ptr(big, 20)));
+        assert!(!val_inject(&f, &Val::Ptr(b, 4), &Val::Ptr(big, 4)));
+    }
+
+    #[test]
+    fn overlap_detected() {
+        let mut m1 = Mem::new();
+        let a = m1.alloc(0, 8);
+        let b = m1.alloc(0, 8);
+        let mut m2 = Mem::new();
+        let big = m2.alloc(0, 12);
+        let mut f = MemInj::new();
+        f.insert(a, big, 0);
+        f.insert(b, big, 4);
+        assert_eq!(mem_inject(&f, &m1, &m2), Err(InjectError::Overlap(a, b)));
+    }
+
+    #[test]
+    fn content_mismatch_detected() {
+        let mut m1 = Mem::new();
+        let a = m1.alloc(0, 4);
+        m1.store(Chunk::I32, a, 0, Val::Int(1)).unwrap();
+        let mut m2 = Mem::new();
+        let t = m2.alloc(0, 4);
+        m2.store(Chunk::I32, t, 0, Val::Int(2)).unwrap();
+        let mut f = MemInj::new();
+        f.insert(a, t, 0);
+        assert!(matches!(
+            mem_inject(&f, &m1, &m2),
+            Err(InjectError::ContentMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn composition_adds_offsets() {
+        let mut f = MemInj::new();
+        f.insert(0, 1, 8);
+        let mut g = MemInj::new();
+        g.insert(1, 2, 16);
+        let h = f.compose(&g);
+        assert_eq!(h.get(0), Some((2, 24)));
+    }
+
+    #[test]
+    fn inclusion() {
+        let mut f = MemInj::new();
+        f.insert(0, 1, 0);
+        let mut g = f.clone();
+        g.insert(2, 3, 4);
+        assert!(f.included_in(&g));
+        assert!(!g.included_in(&f));
+    }
+}

@@ -1,0 +1,250 @@
+//! The `injp` protection discipline on external calls (paper §4.5, Fig. 9).
+//!
+//! Injection passes expect external calls to leave regions outside the
+//! injection's footprint untouched: *unmapped* source blocks (those with no
+//! counterpart in the target) and *out-of-reach* target locations (those no
+//! source location maps onto) must not be modified. `injp` packages an
+//! injection together with snapshots of both memories so that this condition
+//! can be *checked* when the call returns.
+
+use std::fmt;
+
+use crate::inject::{mem_inject, InjectError, MemInj};
+use crate::mem::{BlockId, Mem};
+use crate::perm::Perm;
+
+/// A world of the `injp` CKLR: an injection and the memory states at the time
+/// the world was created (`W_injp := meminj × mem × mem`, paper §4.5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InjpWorld {
+    /// The injection mapping in force.
+    pub inj: MemInj,
+    /// Snapshot of the source memory.
+    pub src: Mem,
+    /// Snapshot of the target memory.
+    pub tgt: Mem,
+}
+
+/// A violation of the `injp` accessibility relation `w {injp w'`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InjpViolation {
+    /// The injection shrank (`f ⊆ f'` fails).
+    InjectionShrank,
+    /// The new memories are not related by the new injection.
+    NotInjected(InjectError),
+    /// An unmapped source location was modified by the call.
+    UnmappedModified {
+        /// The source block.
+        block: BlockId,
+        /// The modified offset.
+        offset: i64,
+    },
+    /// An out-of-reach target location was modified by the call.
+    OutOfReachModified {
+        /// The target block.
+        block: BlockId,
+        /// The modified offset.
+        offset: i64,
+    },
+    /// A block valid at call time was freed by the callee in a protected
+    /// region.
+    ProtectedFreed(BlockId),
+}
+
+impl fmt::Display for InjpViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InjpViolation::InjectionShrank => write!(f, "injection mapping shrank"),
+            InjpViolation::NotInjected(e) => write!(f, "memories not injection-related: {e}"),
+            InjpViolation::UnmappedModified { block, offset } => {
+                write!(f, "unmapped source location b{block}+{offset} was modified")
+            }
+            InjpViolation::OutOfReachModified { block, offset } => {
+                write!(
+                    f,
+                    "out-of-reach target location b{block}+{offset} was modified"
+                )
+            }
+            InjpViolation::ProtectedFreed(b) => write!(f, "protected block b{b} was freed"),
+        }
+    }
+}
+
+impl std::error::Error for InjpViolation {}
+
+impl InjpWorld {
+    /// Create a world, checking that the memories are actually related by the
+    /// injection.
+    ///
+    /// # Errors
+    /// Fails if `inj ⊩ src ↩→m tgt` does not hold.
+    pub fn new(inj: MemInj, src: Mem, tgt: Mem) -> Result<InjpWorld, InjectError> {
+        mem_inject(&inj, &src, &tgt)?;
+        Ok(InjpWorld { inj, src, tgt })
+    }
+
+    /// Decide the accessibility relation
+    /// `(f, m1, m2) {injp (f', m1', m2')` (paper §4.5 and Fig. 9):
+    ///
+    /// * `f ⊆ f'`;
+    /// * `f' ⊩ m1' ↩→m m2'`;
+    /// * source locations that were valid and **unmapped** under `f` are
+    ///   unchanged in `m1'` (contents and permissions);
+    /// * target locations that were valid and **out of reach** of `f` (no
+    ///   readable source byte maps there) are unchanged in `m2'`.
+    ///
+    /// # Errors
+    /// Reports the first violated clause.
+    pub fn accessible_to(&self, next: &InjpWorld) -> Result<(), InjpViolation> {
+        if !self.inj.included_in(&next.inj) {
+            return Err(InjpViolation::InjectionShrank);
+        }
+        mem_inject(&next.inj, &next.src, &next.tgt).map_err(InjpViolation::NotInjected)?;
+
+        // loc_unmapped: unmapped valid source blocks unchanged.
+        for b in self.src.blocks() {
+            if self.inj.get(b).is_some() {
+                continue;
+            }
+            let (lo, hi) = self.src.bounds(b).expect("block listed as valid");
+            if !next.src.valid_block(b) {
+                return Err(InjpViolation::ProtectedFreed(b));
+            }
+            for ofs in lo..hi {
+                if !unchanged_at(&self.src, &next.src, b, ofs) {
+                    return Err(InjpViolation::UnmappedModified {
+                        block: b,
+                        offset: ofs,
+                    });
+                }
+            }
+        }
+
+        // loc_out_of_reach: target bytes no source byte maps onto, unchanged.
+        for b in self.tgt.blocks() {
+            let (lo, hi) = self.tgt.bounds(b).expect("block listed as valid");
+            for ofs in lo..hi {
+                if self.tgt.perm(b, ofs) == Perm::None {
+                    continue;
+                }
+                if self.inj.reaches(&self.src, b, ofs) {
+                    continue;
+                }
+                if !next.tgt.valid_block(b) {
+                    return Err(InjpViolation::ProtectedFreed(b));
+                }
+                if !unchanged_at(&self.tgt, &next.tgt, b, ofs) {
+                    return Err(InjpViolation::OutOfReachModified {
+                        block: b,
+                        offset: ofs,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Is byte `(b, ofs)` unchanged (same permission and contents) between `old`
+/// and `new`?
+fn unchanged_at(old: &Mem, new: &Mem, b: BlockId, ofs: i64) -> bool {
+    if old.perm(b, ofs) != new.perm(b, ofs) {
+        return false;
+    }
+    match (old.content(b, ofs), new.content(b, ofs)) {
+        (Some(a), Some(c)) => a == c,
+        (None, None) => true,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::Chunk;
+    use crate::value::Val;
+
+    /// Source has a private (unmapped) block and a shared (mapped) block.
+    fn setup() -> (Mem, Mem, MemInj, BlockId, BlockId, BlockId) {
+        let mut m1 = Mem::new();
+        let private = m1.alloc(0, 8);
+        let shared = m1.alloc(0, 8);
+        m1.store(Chunk::I32, private, 0, Val::Int(1)).unwrap();
+        m1.store(Chunk::I32, shared, 0, Val::Int(2)).unwrap();
+
+        let mut m2 = Mem::new();
+        let tgt = m2.alloc(0, 16); // offset 8..16 is out of reach
+        m2.store(Chunk::I32, tgt, 0, Val::Int(2)).unwrap();
+        m2.store(Chunk::I32, tgt, 8, Val::Int(3)).unwrap();
+
+        let mut f = MemInj::new();
+        f.insert(shared, tgt, 0);
+        (m1, m2, f, private, shared, tgt)
+    }
+
+    #[test]
+    fn benign_call_is_accessible() {
+        let (m1, m2, f, _, shared, tgt) = setup();
+        let w0 = InjpWorld::new(f.clone(), m1.clone(), m2.clone()).unwrap();
+        // Callee writes to the *mapped* region on both sides consistently and
+        // allocates a fresh pair of blocks.
+        let mut m1b = m1.clone();
+        let mut m2b = m2.clone();
+        m1b.store(Chunk::I32, shared, 4, Val::Int(7)).unwrap();
+        m2b.store(Chunk::I32, tgt, 4, Val::Int(7)).unwrap();
+        let nb1 = m1b.alloc(0, 4);
+        let nb2 = m2b.alloc(0, 4);
+        let mut f2 = f.clone();
+        f2.insert(nb1, nb2, 0);
+        let w1 = InjpWorld::new(f2, m1b, m2b).unwrap();
+        assert_eq!(w0.accessible_to(&w1), Ok(()));
+    }
+
+    #[test]
+    fn writing_unmapped_source_block_violates() {
+        let (m1, m2, f, private, _, _) = setup();
+        let w0 = InjpWorld::new(f.clone(), m1.clone(), m2.clone()).unwrap();
+        let mut m1b = m1.clone();
+        m1b.store(Chunk::I32, private, 0, Val::Int(99)).unwrap();
+        let w1 = InjpWorld::new(f, m1b, m2).unwrap();
+        assert!(matches!(
+            w0.accessible_to(&w1),
+            Err(InjpViolation::UnmappedModified { .. })
+        ));
+    }
+
+    #[test]
+    fn writing_out_of_reach_target_violates() {
+        let (m1, m2, f, _, _, tgt) = setup();
+        let w0 = InjpWorld::new(f.clone(), m1.clone(), m2.clone()).unwrap();
+        let mut m2b = m2.clone();
+        m2b.store(Chunk::I32, tgt, 8, Val::Int(99)).unwrap();
+        let w1 = InjpWorld::new(f, m1, m2b).unwrap();
+        assert!(matches!(
+            w0.accessible_to(&w1),
+            Err(InjpViolation::OutOfReachModified { .. })
+        ));
+    }
+
+    #[test]
+    fn shrinking_injection_violates() {
+        let (m1, m2, f, _, _, _) = setup();
+        let w0 = InjpWorld::new(f, m1.clone(), m2.clone()).unwrap();
+        let w1 = InjpWorld::new(MemInj::new(), m1, m2).unwrap();
+        assert_eq!(w0.accessible_to(&w1), Err(InjpViolation::InjectionShrank));
+    }
+
+    #[test]
+    fn writes_inside_footprint_allowed_in_target() {
+        // The mapped region of the target may change (the callee owns it as
+        // long as the source side changes consistently).
+        let (m1, m2, f, _, shared, tgt) = setup();
+        let w0 = InjpWorld::new(f.clone(), m1.clone(), m2.clone()).unwrap();
+        let mut m1b = m1.clone();
+        let mut m2b = m2.clone();
+        m1b.store(Chunk::I32, shared, 0, Val::Int(42)).unwrap();
+        m2b.store(Chunk::I32, tgt, 0, Val::Int(42)).unwrap();
+        let w1 = InjpWorld::new(f, m1b, m2b).unwrap();
+        assert_eq!(w0.accessible_to(&w1), Ok(()));
+    }
+}

@@ -1,0 +1,458 @@
+//! The block-structured memory state (CompCert's `Mem.mem`).
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::chunk::Chunk;
+use crate::error::MemError;
+use crate::memval::{decode, encode, MemVal};
+use crate::perm::Perm;
+use crate::value::Val;
+
+/// Identifier of a memory block.
+///
+/// Block identifiers are allocated sequentially and never reused; a freed
+/// block's identifier stays invalid forever, as in CompCert.
+pub type BlockId = u32;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct BlockData {
+    pub(crate) lo: i64,
+    pub(crate) hi: i64,
+    pub(crate) contents: Vec<MemVal>,
+    pub(crate) perms: Vec<Perm>,
+}
+
+impl BlockData {
+    fn index(&self, ofs: i64) -> Option<usize> {
+        if ofs >= self.lo && ofs < self.hi {
+            Some((ofs - self.lo) as usize)
+        } else {
+            None
+        }
+    }
+}
+
+/// A memory state: a finite collection of blocks, each with its own linear
+/// address space, byte contents and per-byte permissions (paper §3.1).
+///
+/// `Mem` is a value type: it implements `Clone` and `PartialEq`, which is what
+/// lets simulation conventions relate *snapshots* of memory across calls (the
+/// `injp` world of paper Fig. 9 stores two of them).
+///
+/// # Example
+///
+/// ```
+/// use mem::{Chunk, Mem, Val};
+/// # fn main() -> Result<(), mem::MemError> {
+/// let mut m = Mem::new();
+/// let b = m.alloc(0, 8);
+/// m.store(Chunk::Ptr, b, 0, Val::Ptr(b, 4))?;
+/// assert_eq!(m.load(Chunk::Ptr, b, 0)?, Val::Ptr(b, 4));
+/// m.free(b, 0, 8)?;
+/// assert!(m.load(Chunk::I32, b, 0).is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Mem {
+    // Copy-on-write: cloning a memory state is O(#blocks) pointer copies;
+    // mutation clones only the touched block (`Rc::make_mut`). Interpreters
+    // clone memory on every step, so this is the hot path of the whole
+    // system.
+    blocks: Vec<Option<Rc<BlockData>>>,
+}
+
+impl Mem {
+    /// The empty memory state.
+    pub fn new() -> Mem {
+        Mem::default()
+    }
+
+    /// The identifier the *next* allocation will receive. All identifiers
+    /// below this value have been allocated at some point ("support").
+    pub fn next_block(&self) -> BlockId {
+        self.blocks.len() as BlockId
+    }
+
+    /// Is `b` a currently-valid (allocated and not freed) block?
+    pub fn valid_block(&self, b: BlockId) -> bool {
+        self.block(b).is_some()
+    }
+
+    /// Iterator over the identifiers of all currently-valid blocks.
+    pub fn blocks(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| b.as_ref().map(|_| i as BlockId))
+    }
+
+    /// Bounds `[lo, hi)` of block `b`.
+    ///
+    /// # Errors
+    /// Fails with [`MemError::InvalidBlock`] if `b` is not valid.
+    pub fn bounds(&self, b: BlockId) -> Result<(i64, i64), MemError> {
+        let bd = self.block(b).ok_or(MemError::InvalidBlock(b))?;
+        Ok((bd.lo, bd.hi))
+    }
+
+    /// Allocate a fresh block with bounds `[lo, hi)`, fully `Freeable`.
+    ///
+    /// Allocation never fails (memory is unbounded in the model); an empty or
+    /// negative range yields a zero-sized block that admits no accesses.
+    pub fn alloc(&mut self, lo: i64, hi: i64) -> BlockId {
+        let size = (hi - lo).max(0) as usize;
+        let id = self.blocks.len() as BlockId;
+        self.blocks.push(Some(Rc::new(BlockData {
+            lo,
+            hi: lo + size as i64,
+            contents: vec![MemVal::Undef; size],
+            perms: vec![Perm::Freeable; size],
+        })));
+        id
+    }
+
+    /// Free the range `[lo, hi)` of block `b`; if the range covers the whole
+    /// block, the block becomes invalid.
+    ///
+    /// # Errors
+    /// Requires `Freeable` permission on the whole range.
+    pub fn free(&mut self, b: BlockId, lo: i64, hi: i64) -> Result<(), MemError> {
+        self.range_perm(b, lo, hi, Perm::Freeable)?;
+        let (blo, bhi) = self.bounds(b)?;
+        if lo <= blo && hi >= bhi {
+            self.blocks[b as usize] = None;
+        } else {
+            let bd = self.block_mut(b).ok_or(MemError::InvalidBlock(b))?;
+            for ofs in lo..hi {
+                if let Some(i) = bd.index(ofs) {
+                    bd.perms[i] = Perm::None;
+                    bd.contents[i] = MemVal::Undef;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Lower the permission of the range `[lo, hi)` of `b` to exactly `p`.
+    ///
+    /// This is the primitive behind the calling convention's protection of the
+    /// argument region (paper App. C.2, `free_args`).
+    ///
+    /// # Errors
+    /// The range must currently have at least permission `p` everywhere and be
+    /// within bounds.
+    pub fn drop_perm(&mut self, b: BlockId, lo: i64, hi: i64, p: Perm) -> Result<(), MemError> {
+        self.range_perm(b, lo, hi, p)?;
+        let bd = self.block_mut(b).ok_or(MemError::InvalidBlock(b))?;
+        for ofs in lo..hi {
+            if let Some(i) = bd.index(ofs) {
+                bd.perms[i] = p;
+            }
+        }
+        Ok(())
+    }
+
+    /// Raise the permission of the range `[lo, hi)` of `b` to at least `p`
+    /// (used to restore the argument region after an outgoing call returns,
+    /// paper App. C.2 `mix`).
+    ///
+    /// # Errors
+    /// The range must be within the block's bounds.
+    pub fn raise_perm(&mut self, b: BlockId, lo: i64, hi: i64, p: Perm) -> Result<(), MemError> {
+        let bd = self.block_mut(b).ok_or(MemError::InvalidBlock(b))?;
+        if lo < bd.lo || hi > bd.hi {
+            return Err(MemError::OutOfBounds { block: b, lo, hi });
+        }
+        for ofs in lo..hi {
+            if let Some(i) = bd.index(ofs) {
+                if bd.perms[i] < p {
+                    bd.perms[i] = p;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Permission of byte `(b, ofs)`; `Perm::None` outside any valid block.
+    pub fn perm(&self, b: BlockId, ofs: i64) -> Perm {
+        match self.block(b) {
+            Some(bd) => bd.index(ofs).map(|i| bd.perms[i]).unwrap_or(Perm::None),
+            None => Perm::None,
+        }
+    }
+
+    /// Check that every byte in `[lo, hi)` of `b` has permission `p`.
+    ///
+    /// # Errors
+    /// Reports the first failing offset.
+    pub fn range_perm(&self, b: BlockId, lo: i64, hi: i64, p: Perm) -> Result<(), MemError> {
+        let bd = self.block(b).ok_or(MemError::InvalidBlock(b))?;
+        if lo < bd.lo || hi > bd.hi {
+            return Err(MemError::OutOfBounds { block: b, lo, hi });
+        }
+        for ofs in lo..hi {
+            let i = (ofs - bd.lo) as usize;
+            if !bd.perms[i].allows(p) {
+                return Err(MemError::Permission {
+                    block: b,
+                    offset: ofs,
+                    required: p,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Load a value of shape `chunk` from `(b, ofs)`.
+    ///
+    /// # Errors
+    /// Requires `Readable` permission over the accessed range and correct
+    /// alignment.
+    pub fn load(&self, chunk: Chunk, b: BlockId, ofs: i64) -> Result<Val, MemError> {
+        self.check_align(chunk, ofs)?;
+        self.range_perm(b, ofs, ofs + chunk.size(), Perm::Readable)?;
+        let bd = self.block(b).ok_or(MemError::InvalidBlock(b))?;
+        let i = (ofs - bd.lo) as usize;
+        let mvs = &bd.contents[i..i + chunk.size() as usize];
+        Ok(decode(chunk, mvs))
+    }
+
+    /// Store `v` with shape `chunk` at `(b, ofs)`.
+    ///
+    /// # Errors
+    /// Requires `Writable` permission over the accessed range and correct
+    /// alignment.
+    pub fn store(&mut self, chunk: Chunk, b: BlockId, ofs: i64, v: Val) -> Result<(), MemError> {
+        self.check_align(chunk, ofs)?;
+        self.range_perm(b, ofs, ofs + chunk.size(), Perm::Writable)?;
+        let enc = encode(chunk, v);
+        let bd = self.block_mut(b).ok_or(MemError::InvalidBlock(b))?;
+        let i = (ofs - bd.lo) as usize;
+        bd.contents[i..i + enc.len()].clone_from_slice(&enc);
+        Ok(())
+    }
+
+    /// Load through a pointer *value*.
+    ///
+    /// # Errors
+    /// Fails with [`MemError::NotAPointer`] if `addr` is not a [`Val::Ptr`].
+    pub fn loadv(&self, chunk: Chunk, addr: Val) -> Result<Val, MemError> {
+        match addr {
+            Val::Ptr(b, ofs) => self.load(chunk, b, ofs),
+            _ => Err(MemError::NotAPointer),
+        }
+    }
+
+    /// Store through a pointer *value*.
+    ///
+    /// # Errors
+    /// Fails with [`MemError::NotAPointer`] if `addr` is not a [`Val::Ptr`].
+    pub fn storev(&mut self, chunk: Chunk, addr: Val, v: Val) -> Result<(), MemError> {
+        match addr {
+            Val::Ptr(b, ofs) => self.store(chunk, b, ofs, v),
+            _ => Err(MemError::NotAPointer),
+        }
+    }
+
+    /// Copy the raw contents *and permissions* of the byte range `[lo, hi)`
+    /// of block `b` from `src` into `self` (used by the calling convention's
+    /// `mix` operation to restore the argument region, paper App. C.2).
+    ///
+    /// # Errors
+    /// The range must be within `b`'s bounds in both memories.
+    pub fn copy_range_from(
+        &mut self,
+        src: &Mem,
+        b: BlockId,
+        lo: i64,
+        hi: i64,
+    ) -> Result<(), MemError> {
+        let sbd = src.block(b).ok_or(MemError::InvalidBlock(b))?;
+        if lo < sbd.lo || hi > sbd.hi {
+            return Err(MemError::OutOfBounds { block: b, lo, hi });
+        }
+        let src_lo = sbd.lo;
+        let copied: Vec<(MemVal, Perm)> = (lo..hi)
+            .map(|ofs| {
+                let i = (ofs - src_lo) as usize;
+                (sbd.contents[i].clone(), sbd.perms[i])
+            })
+            .collect();
+        let dbd = self.block_mut(b).ok_or(MemError::InvalidBlock(b))?;
+        if lo < dbd.lo || hi > dbd.hi {
+            return Err(MemError::OutOfBounds { block: b, lo, hi });
+        }
+        for (ofs, (mv, p)) in (lo..hi).zip(copied) {
+            let i = (ofs - dbd.lo) as usize;
+            dbd.contents[i] = mv;
+            dbd.perms[i] = p;
+        }
+        Ok(())
+    }
+
+    /// Raw content of byte `(b, ofs)`, if within a valid block's bounds.
+    pub fn content(&self, b: BlockId, ofs: i64) -> Option<&MemVal> {
+        let bd = self.block(b)?;
+        bd.index(ofs).map(|i| &bd.contents[i])
+    }
+
+    fn check_align(&self, chunk: Chunk, ofs: i64) -> Result<(), MemError> {
+        if ofs % chunk.align() != 0 {
+            Err(MemError::Misaligned {
+                offset: ofs,
+                align: chunk.align(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    pub(crate) fn block(&self, b: BlockId) -> Option<&BlockData> {
+        self.blocks
+            .get(b as usize)
+            .and_then(|x| x.as_ref())
+            .map(Rc::as_ref)
+    }
+
+    fn block_mut(&mut self, b: BlockId) -> Option<&mut BlockData> {
+        self.blocks
+            .get_mut(b as usize)
+            .and_then(|x| x.as_mut())
+            .map(Rc::make_mut)
+    }
+}
+
+impl fmt::Display for Mem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mem<{} blocks>", self.blocks().count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_gives_fresh_ids() {
+        let mut m = Mem::new();
+        let a = m.alloc(0, 4);
+        let b = m.alloc(0, 4);
+        assert_ne!(a, b);
+        assert!(m.valid_block(a));
+        assert_eq!(m.next_block(), 2);
+    }
+
+    #[test]
+    fn store_load_roundtrip() {
+        let mut m = Mem::new();
+        let b = m.alloc(0, 16);
+        m.store(Chunk::I32, b, 0, Val::Int(7)).unwrap();
+        m.store(Chunk::I64, b, 8, Val::Long(-9)).unwrap();
+        assert_eq!(m.load(Chunk::I32, b, 0).unwrap(), Val::Int(7));
+        assert_eq!(m.load(Chunk::I64, b, 8).unwrap(), Val::Long(-9));
+    }
+
+    #[test]
+    fn fresh_memory_is_undef() {
+        let mut m = Mem::new();
+        let b = m.alloc(0, 8);
+        assert_eq!(m.load(Chunk::I32, b, 0).unwrap(), Val::Undef);
+    }
+
+    #[test]
+    fn free_invalidates() {
+        let mut m = Mem::new();
+        let b = m.alloc(0, 8);
+        m.free(b, 0, 8).unwrap();
+        assert!(!m.valid_block(b));
+        assert!(matches!(
+            m.load(Chunk::I32, b, 0),
+            Err(MemError::InvalidBlock(_))
+        ));
+        // Identifier is not reused.
+        let c = m.alloc(0, 8);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn partial_free_removes_permissions() {
+        let mut m = Mem::new();
+        let b = m.alloc(0, 16);
+        m.free(b, 0, 8).unwrap();
+        assert!(m.valid_block(b));
+        assert!(m.load(Chunk::I32, b, 0).is_err());
+        assert!(m.load(Chunk::I32, b, 8).is_ok());
+    }
+
+    #[test]
+    fn misaligned_access_fails() {
+        let mut m = Mem::new();
+        let b = m.alloc(0, 16);
+        assert!(matches!(
+            m.load(Chunk::I32, b, 2),
+            Err(MemError::Misaligned { .. })
+        ));
+        assert!(matches!(
+            m.store(Chunk::I64, b, 4, Val::Long(0)),
+            Err(MemError::Misaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_bounds_fails() {
+        let mut m = Mem::new();
+        let b = m.alloc(0, 4);
+        assert!(m.load(Chunk::I64, b, 0).is_err());
+        assert!(m.load(Chunk::I32, b, 4).is_err());
+    }
+
+    #[test]
+    fn drop_perm_blocks_writes() {
+        let mut m = Mem::new();
+        let b = m.alloc(0, 8);
+        m.drop_perm(b, 0, 8, Perm::Readable).unwrap();
+        assert!(m.store(Chunk::I32, b, 0, Val::Int(1)).is_err());
+        assert!(m.load(Chunk::I32, b, 0).is_ok());
+        m.raise_perm(b, 0, 8, Perm::Writable).unwrap();
+        assert!(m.store(Chunk::I32, b, 0, Val::Int(1)).is_ok());
+    }
+
+    #[test]
+    fn drop_perm_to_none_protects_region() {
+        let mut m = Mem::new();
+        let b = m.alloc(0, 8);
+        m.drop_perm(b, 0, 4, Perm::None).unwrap();
+        assert!(m.load(Chunk::I32, b, 0).is_err());
+        assert!(m.store(Chunk::I32, b, 4, Val::Int(2)).is_ok());
+    }
+
+    #[test]
+    fn storev_requires_pointer() {
+        let mut m = Mem::new();
+        assert_eq!(
+            m.storev(Chunk::I32, Val::Int(0), Val::Int(1)),
+            Err(MemError::NotAPointer)
+        );
+    }
+
+    #[test]
+    fn nonzero_lo_bounds() {
+        let mut m = Mem::new();
+        let b = m.alloc(-8, 8);
+        m.store(Chunk::I32, b, -8, Val::Int(3)).unwrap();
+        assert_eq!(m.load(Chunk::I32, b, -8).unwrap(), Val::Int(3));
+        assert!(m.load(Chunk::I32, b, -12).is_err());
+    }
+
+    #[test]
+    fn overlapping_store_scrambles() {
+        let mut m = Mem::new();
+        let b = m.alloc(0, 16);
+        m.store(Chunk::Ptr, b, 0, Val::Ptr(b, 0)).unwrap();
+        // Overwrite part of the pointer's fragments with an int.
+        m.store(Chunk::I32, b, 4, Val::Int(0)).unwrap();
+        assert_eq!(m.load(Chunk::Ptr, b, 0).unwrap(), Val::Undef);
+    }
+}

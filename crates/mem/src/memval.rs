@@ -1,0 +1,164 @@
+//! Byte-level memory contents (CompCert's `memval`).
+
+use crate::chunk::Chunk;
+use crate::value::Val;
+
+/// One byte of memory content.
+///
+/// Pointers (and any value whose representation must stay abstract) are
+/// stored as a sequence of [`MemVal::Fragment`]s — the `i`-th fragment of the
+/// value `v`. Loading reconstitutes the value only if all fragments are
+/// present, in order, and agree on `v`; otherwise the load yields
+/// [`Val::Undef`]. Numeric values are stored as concrete little-endian bytes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum MemVal {
+    /// Uninitialized contents.
+    Undef,
+    /// A concrete byte.
+    Byte(u8),
+    /// The `usize`-th byte of the abstract value.
+    Fragment(Val, u8),
+}
+
+impl Default for MemVal {
+    fn default() -> Self {
+        MemVal::Undef
+    }
+}
+
+/// Encode a value for storage through `chunk` as `chunk.size()` memvals.
+pub(crate) fn encode(chunk: Chunk, v: Val) -> Vec<MemVal> {
+    let n = chunk.size() as usize;
+    let v = chunk.normalize(v);
+    // Any64 stores every defined value abstractly, as fragments.
+    if chunk == Chunk::Any64 {
+        return match v {
+            Val::Undef => vec![MemVal::Undef; n],
+            _ => (0..n as u8).map(|i| MemVal::Fragment(v, i)).collect(),
+        };
+    }
+    match v {
+        Val::Undef => vec![MemVal::Undef; n],
+        Val::Ptr(_, _) => (0..n as u8).map(|i| MemVal::Fragment(v, i)).collect(),
+        Val::Int(x) => bytes_of(&(x as u32 as u64).to_le_bytes()[..n]),
+        Val::Long(x) => bytes_of(&(x as u64).to_le_bytes()[..n]),
+        Val::Single(x) => bytes_of(&x.to_bits().to_le_bytes()[..n]),
+        Val::Float(x) => bytes_of(&x.to_bits().to_le_bytes()[..n]),
+    }
+}
+
+fn bytes_of(bs: &[u8]) -> Vec<MemVal> {
+    bs.iter().copied().map(MemVal::Byte).collect()
+}
+
+/// Decode `chunk.size()` memvals loaded through `chunk` back into a value.
+pub(crate) fn decode(chunk: Chunk, mvs: &[MemVal]) -> Val {
+    debug_assert_eq!(mvs.len(), chunk.size() as usize);
+    // Pointer reconstruction: all fragments of the same value, in order.
+    if let MemVal::Fragment(v, 0) = &mvs[0] {
+        let ok = mvs
+            .iter()
+            .enumerate()
+            .all(|(i, mv)| matches!(mv, MemVal::Fragment(w, j) if w == v && *j == i as u8));
+        if ok && mvs.len() == 8 {
+            return match chunk {
+                Chunk::Any64 => *v,
+                Chunk::I64 | Chunk::Ptr if matches!(v, Val::Ptr(_, _)) => *v,
+                _ => Val::Undef,
+            };
+        }
+        return Val::Undef;
+    }
+    // Concrete bytes.
+    let mut bs = [0u8; 8];
+    for (i, mv) in mvs.iter().enumerate() {
+        match mv {
+            MemVal::Byte(b) => bs[i] = *b,
+            _ => return Val::Undef,
+        }
+    }
+    let raw = u64::from_le_bytes(bs);
+    match chunk {
+        Chunk::I8S => Val::Int((raw as u8 as i8) as i32),
+        Chunk::I8U => Val::Int(raw as u8 as i32),
+        Chunk::I16S => Val::Int((raw as u16 as i16) as i32),
+        Chunk::I16U => Val::Int(raw as u16 as i32),
+        Chunk::I32 => Val::Int(raw as u32 as i32),
+        Chunk::I64 | Chunk::Ptr => Val::Long(raw as i64),
+        Chunk::Any64 => Val::Undef, // Many64 only reconstitutes fragments
+        Chunk::F32 => Val::Single(f32::from_bits(raw as u32)),
+        Chunk::F64 => Val::Float(f64::from_bits(raw)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_int() {
+        for v in [Val::Int(0), Val::Int(-1), Val::Int(123456)] {
+            assert_eq!(decode(Chunk::I32, &encode(Chunk::I32, v)), v);
+        }
+    }
+
+    #[test]
+    fn roundtrip_long_and_ptr() {
+        assert_eq!(
+            decode(Chunk::I64, &encode(Chunk::I64, Val::Long(-42))),
+            Val::Long(-42)
+        );
+        assert_eq!(
+            decode(Chunk::Ptr, &encode(Chunk::Ptr, Val::Ptr(7, 16))),
+            Val::Ptr(7, 16)
+        );
+        // A pointer read back through I64 is still the pointer (Mptr = I64).
+        assert_eq!(
+            decode(Chunk::I64, &encode(Chunk::Ptr, Val::Ptr(7, 16))),
+            Val::Ptr(7, 16)
+        );
+    }
+
+    #[test]
+    fn narrow_roundtrips_truncate() {
+        assert_eq!(
+            decode(Chunk::I8U, &encode(Chunk::I8U, Val::Int(0x1FF))),
+            Val::Int(0xFF)
+        );
+        assert_eq!(
+            decode(Chunk::I16S, &encode(Chunk::I16S, Val::Int(0xFFFF))),
+            Val::Int(-1)
+        );
+    }
+
+    #[test]
+    fn partial_pointer_is_undef() {
+        let mut enc = encode(Chunk::Ptr, Val::Ptr(1, 0));
+        enc[3] = MemVal::Byte(0);
+        assert_eq!(decode(Chunk::Ptr, &enc), Val::Undef);
+    }
+
+    #[test]
+    fn undef_bytes_decode_to_undef() {
+        assert_eq!(decode(Chunk::I32, &vec![MemVal::Undef; 4]), Val::Undef);
+        let mixed = [
+            MemVal::Byte(1),
+            MemVal::Undef,
+            MemVal::Byte(0),
+            MemVal::Byte(0),
+        ];
+        assert_eq!(decode(Chunk::I32, &mixed), Val::Undef);
+    }
+
+    #[test]
+    fn floats_roundtrip() {
+        assert_eq!(
+            decode(Chunk::F64, &encode(Chunk::F64, Val::Float(1.5))),
+            Val::Float(1.5)
+        );
+        assert_eq!(
+            decode(Chunk::F32, &encode(Chunk::F32, Val::Single(-2.25))),
+            Val::Single(-2.25)
+        );
+    }
+}

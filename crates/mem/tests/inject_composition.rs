@@ -1,0 +1,105 @@
+//! The semantic content of paper Lemma 5.3's `inj · inj ≡ inj`: composing
+//! memory injections yields a memory injection, checked on randomized
+//! three-level memory stacks (source locals → merged frame → relocated
+//! frame — the shape `Cminorgen` then `Stacking` produce).
+
+use mem::{mem_inject, val_inject, Chunk, Mem, MemInj, Val};
+use proptest::prelude::*;
+
+/// Build a three-level injection scenario:
+/// * `m1` has `n` small blocks (source locals);
+/// * `m2` merges them into one block at 8-byte-aligned offsets (`f`);
+/// * `m3` is `m2` with the merged block relocated after `pad` fresh blocks
+///   (`g`).
+fn stack(n: usize, vals: Vec<i32>, pad: usize) -> (Mem, Mem, Mem, MemInj, MemInj) {
+    let n = n.max(1);
+    let mut m1 = Mem::new();
+    let blocks: Vec<_> = (0..n).map(|_| m1.alloc(0, 8)).collect();
+    for (i, b) in blocks.iter().enumerate() {
+        let v = vals.get(i).copied().unwrap_or(7);
+        m1.store(Chunk::I32, *b, 0, Val::Int(v)).unwrap();
+    }
+
+    let mut m2 = Mem::new();
+    let merged = m2.alloc(0, (8 * n) as i64);
+    let mut f = MemInj::new();
+    for (i, b) in blocks.iter().enumerate() {
+        let delta = (8 * i) as i64;
+        let v = vals.get(i).copied().unwrap_or(7);
+        m2.store(Chunk::I32, merged, delta, Val::Int(v)).unwrap();
+        f.insert(*b, merged, delta);
+    }
+
+    let mut m3 = Mem::new();
+    for _ in 0..pad {
+        m3.alloc(0, 4);
+    }
+    let relocated = m3.alloc(0, (8 * n) as i64);
+    for (i, _) in blocks.iter().enumerate() {
+        let v = vals.get(i).copied().unwrap_or(7);
+        m3.store(Chunk::I32, relocated, (8 * i) as i64, Val::Int(v))
+            .unwrap();
+    }
+    let mut g = MemInj::new();
+    g.insert(merged, relocated, 0);
+
+    (m1, m2, m3, f, g)
+}
+
+proptest! {
+    /// `f ⊩ m1 ↩→ m2` and `g ⊩ m2 ↩→ m3` imply `f·g ⊩ m1 ↩→ m3`.
+    #[test]
+    fn injections_compose(
+        n in 1usize..6,
+        vals in prop::collection::vec(any::<i32>(), 0..6),
+        pad in 0usize..4,
+    ) {
+        let (m1, m2, m3, f, g) = stack(n, vals, pad);
+        prop_assert_eq!(mem_inject(&f, &m1, &m2), Ok(()));
+        prop_assert_eq!(mem_inject(&g, &m2, &m3), Ok(()));
+        let fg = f.compose(&g);
+        prop_assert_eq!(mem_inject(&fg, &m1, &m3), Ok(()));
+    }
+
+    /// Value injection composes the same way: `f ⊩ v1 ↩→ v2` and
+    /// `g ⊩ v2 ↩→ v3` imply `f·g ⊩ v1 ↩→ v3`.
+    #[test]
+    fn val_injections_compose(
+        n in 1usize..6,
+        vals in prop::collection::vec(any::<i32>(), 0..6),
+        pad in 0usize..4,
+        block_idx in 0usize..6,
+        ofs in 0i64..8,
+    ) {
+        let (m1, _, _, f, g) = stack(n, vals, pad);
+        let b = (block_idx % m1.blocks().count().max(1)) as u32;
+        let v1 = Val::Ptr(b, ofs);
+        if let Some(v2) = f.apply(v1) {
+            if let Some(v3) = g.apply(v2) {
+                prop_assert!(val_inject(&f, &v1, &v2));
+                prop_assert!(val_inject(&g, &v2, &v3));
+                let fg = f.compose(&g);
+                prop_assert!(val_inject(&fg, &v1, &v3));
+            }
+        }
+    }
+
+    /// Composition preserves inclusion (the Kripke frame of `inj` is
+    /// compatible with `·`): `f ⊆ f'` implies `f·g ⊆ f'·g`.
+    #[test]
+    fn composition_monotone(
+        n in 2usize..6,
+        vals in prop::collection::vec(any::<i32>(), 0..6),
+        pad in 0usize..4,
+    ) {
+        let (_, _, _, f_full, g) = stack(n, vals, pad);
+        // f = f_full minus its last entry.
+        let entries: Vec<_> = f_full.iter().collect();
+        let mut f = MemInj::new();
+        for (b, (tb, d)) in entries.iter().take(entries.len() - 1) {
+            f.insert(*b, *tb, *d);
+        }
+        prop_assert!(f.included_in(&f_full));
+        prop_assert!(f.compose(&g).included_in(&f_full.compose(&g)));
+    }
+}

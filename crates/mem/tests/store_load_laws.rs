@@ -1,0 +1,206 @@
+//! The "good variables" laws of the CompCert memory model (`Mem.load_store_same`,
+//! `Mem.load_store_other`, and friends), checked on randomized states.
+//!
+//! These are exactly the axioms the CKLRs of paper §4 rely on when they
+//! transport loads and stores across a relation; the vertical-composition
+//! story breaks down if any of them fails.
+
+use mem::{Chunk, Mem, MemVal, Val};
+use proptest::prelude::*;
+
+/// A value that can be stored at `chunk` and reloaded without change
+/// (CompCert: `v = Val.load_result chunk v`).
+fn val_for(chunk: Chunk) -> BoxedStrategy<Val> {
+    match chunk {
+        Chunk::I8S => (-128i32..128).prop_map(Val::Int).boxed(),
+        Chunk::I8U => (0i32..256).prop_map(Val::Int).boxed(),
+        Chunk::I16S => (-32768i32..32768).prop_map(Val::Int).boxed(),
+        Chunk::I16U => (0i32..65536).prop_map(Val::Int).boxed(),
+        Chunk::I32 => any::<i32>().prop_map(Val::Int).boxed(),
+        Chunk::I64 => any::<i64>().prop_map(Val::Long).boxed(),
+        Chunk::F32 => any::<f32>().prop_map(Val::Single).boxed(),
+        Chunk::F64 => any::<f64>().prop_map(Val::Float).boxed(),
+        Chunk::Ptr => (0u32..4, 0i64..64)
+            .prop_map(|(b, o)| Val::Ptr(b, o))
+            .boxed(),
+        Chunk::Any64 => prop_oneof![
+            Just(Val::Undef),
+            any::<i32>().prop_map(Val::Int),
+            any::<i64>().prop_map(Val::Long),
+            any::<f64>().prop_map(Val::Float),
+            (0u32..4, 0i64..64).prop_map(|(b, o)| Val::Ptr(b, o)),
+        ]
+        .boxed(),
+    }
+}
+
+fn chunk() -> impl Strategy<Value = Chunk> {
+    prop_oneof![
+        Just(Chunk::I8S),
+        Just(Chunk::I8U),
+        Just(Chunk::I16S),
+        Just(Chunk::I16U),
+        Just(Chunk::I32),
+        Just(Chunk::I64),
+        Just(Chunk::F32),
+        Just(Chunk::F64),
+        Just(Chunk::Ptr),
+        Just(Chunk::Any64),
+    ]
+}
+
+/// chunk together with an offset aligned for it inside a 64-byte block.
+fn chunk_ofs() -> impl Strategy<Value = (Chunk, i64)> {
+    chunk().prop_flat_map(|c| {
+        let slots = 64 / c.align();
+        (
+            Just(c),
+            (0..slots - (c.size() - 1) / c.align()).prop_map(move |i| i * c.align()),
+        )
+    })
+}
+
+/// chunk, aligned offset, and a value storable at that chunk.
+fn chunk_ofs_val() -> impl Strategy<Value = (Chunk, i64, Val)> {
+    chunk_ofs().prop_flat_map(|(c, o)| (Just(c), Just(o), val_for(c)))
+}
+
+proptest! {
+    /// `load_store_same`: a load at the stored chunk and offset gives the
+    /// value back (for values representable at that chunk).
+    #[test]
+    fn load_after_store_roundtrips((c, ofs, v) in chunk_ofs_val()) {
+        let mut m = Mem::new();
+        let b = m.alloc(0, 64);
+        m.store(c, b, ofs, v).unwrap();
+        prop_assert_eq!(m.load(c, b, ofs).unwrap(), c.normalize(v));
+    }
+
+    /// `Any64` is lossless on *every* value, pointers and floats included —
+    /// the property the untyped stack slots of App. C depend on.
+    #[test]
+    fn any64_is_lossless(v in val_for(Chunk::Any64), slot in 0i64..8) {
+        let mut m = Mem::new();
+        let b = m.alloc(0, 64);
+        m.store(Chunk::Any64, b, slot * 8, v).unwrap();
+        prop_assert_eq!(m.load(Chunk::Any64, b, slot * 8).unwrap(), v);
+    }
+
+    /// `load_store_other`: a store leaves loads at disjoint ranges unchanged.
+    #[test]
+    fn store_does_not_disturb_disjoint_ranges(
+        (c1, o1) in chunk_ofs(),
+        (c2, o2) in chunk_ofs(),
+    ) {
+        prop_assume!(o1 + c1.size() <= o2 || o2 + c2.size() <= o1);
+        let mut m = Mem::new();
+        let b = m.alloc(0, 64);
+        m.store(c2, b, o2, Val::Long(0x5a5a_5a5a_5a5a_5a5a)).ok();
+        let before = m.load(c2, b, o2).unwrap();
+        m.store(c1, b, o1, Val::Long(-1)).ok();
+        prop_assert_eq!(m.load(c2, b, o2).unwrap(), before);
+    }
+
+    /// Integers are stored as genuine little-endian bytes (CompCert's
+    /// `encode_val`), so overwriting one byte of a stored `I64` bit-mixes
+    /// exactly as on hardware.
+    #[test]
+    fn byte_overwrite_mixes_integer_bytes(v in any::<i64>(), hit in 0i64..8) {
+        let mut m = Mem::new();
+        let b = m.alloc(0, 16);
+        m.store(Chunk::I64, b, 0, Val::Long(v)).unwrap();
+        m.store(Chunk::I8U, b, hit, Val::Int(0xAB)).unwrap();
+        let expect = (v as u64 & !(0xFFu64 << (8 * hit))) | (0xABu64 << (8 * hit));
+        prop_assert_eq!(m.load(Chunk::I64, b, 0).unwrap(), Val::Long(expect as i64));
+    }
+
+    /// Pointers are stored as *fragments*, not bytes: overwriting any byte of
+    /// a stored pointer destroys it — the full-width load is `Undef`, never a
+    /// forged pointer (the property memory injections rely on).
+    #[test]
+    fn partial_overwrite_of_pointer_yields_undef(hit in 0i64..8) {
+        let mut m = Mem::new();
+        let b = m.alloc(0, 16);
+        m.store(Chunk::Ptr, b, 0, Val::Ptr(b, 4)).unwrap();
+        m.store(Chunk::I8U, b, hit, Val::Int(0xAB)).unwrap();
+        prop_assert_eq!(m.load(Chunk::Ptr, b, 0).unwrap(), Val::Undef);
+    }
+
+    /// `copy_range_from` makes the copied range agree byte-for-byte and
+    /// leaves everything outside it untouched.
+    #[test]
+    fn copy_range_is_exact_and_local(
+        lo in 0i64..32, len in 0i64..32,
+        src_val in any::<i64>(), dst_val in any::<i64>(),
+    ) {
+        let hi = (lo + len).min(64);
+        let mut src = Mem::new();
+        let bs = src.alloc(0, 64);
+        let mut dst = src.clone();
+        for slot in 0..8 {
+            src.store(Chunk::I64, bs, slot * 8, Val::Long(src_val ^ slot)).unwrap();
+            dst.store(Chunk::I64, bs, slot * 8, Val::Long(dst_val ^ slot)).unwrap();
+        }
+        let snapshot = dst.clone();
+        dst.copy_range_from(&src, bs, lo, hi).unwrap();
+        for ofs in 0..64 {
+            let expect = if (lo..hi).contains(&ofs) {
+                src.content(bs, ofs).cloned()
+            } else {
+                snapshot.content(bs, ofs).cloned()
+            };
+            prop_assert_eq!(dst.content(bs, ofs).cloned(), expect);
+        }
+    }
+
+    /// Copy-on-write isolation: mutating a clone never changes the original
+    /// (the property every interpreter snapshot depends on).
+    #[test]
+    fn clone_then_mutate_is_isolated(
+        v1 in any::<i64>(), v2 in any::<i64>(), slot in 0i64..4,
+    ) {
+        prop_assume!(v1 != v2);
+        let mut m = Mem::new();
+        let b = m.alloc(0, 32);
+        m.store(Chunk::I64, b, slot * 8, Val::Long(v1)).unwrap();
+        let snapshot = m.clone();
+        m.store(Chunk::I64, b, slot * 8, Val::Long(v2)).unwrap();
+        prop_assert_eq!(snapshot.load(Chunk::I64, b, slot * 8).unwrap(), Val::Long(v1));
+        prop_assert_eq!(m.load(Chunk::I64, b, slot * 8).unwrap(), Val::Long(v2));
+        prop_assert_ne!(snapshot, m);
+    }
+
+    /// Freeing a whole block invalidates it for every subsequent access, and
+    /// never resurrects its identifier.
+    #[test]
+    fn free_invalidates_forever(n_alloc in 1u32..6) {
+        let mut m = Mem::new();
+        let mut ids = Vec::new();
+        for _ in 0..n_alloc {
+            ids.push(m.alloc(0, 8));
+        }
+        let victim = ids[0];
+        m.free(victim, 0, 8).unwrap();
+        prop_assert!(!m.valid_block(victim));
+        prop_assert!(m.load(Chunk::I64, victim, 0).is_err());
+        prop_assert!(m.store(Chunk::I64, victim, 0, Val::Long(1)).is_err());
+        let fresh = m.alloc(0, 8);
+        prop_assert_ne!(fresh, victim);
+        prop_assert_eq!(fresh, n_alloc);
+    }
+}
+
+#[test]
+fn any64_stores_fragments_not_bytes() {
+    // Fragment representation: an `Any64` slot holds `Fragment(v, i)` cells,
+    // so a *typed* narrow load from it cannot reconstitute bytes.
+    let mut m = Mem::new();
+    let b = m.alloc(0, 8);
+    m.store(Chunk::Any64, b, 0, Val::Long(0x0102_0304_0506_0708))
+        .unwrap();
+    assert!(matches!(
+        m.content(b, 0),
+        Some(MemVal::Fragment(Val::Long(_), 0))
+    ));
+    assert_eq!(m.load(Chunk::I8U, b, 0).unwrap(), Val::Undef);
+}

@@ -1,0 +1,200 @@
+//! Cminor: locals are merged into a single stack block per activation
+//! (paper Table 3).
+//!
+//! After `Cminorgen`, a function no longer has named memory locals; it has a
+//! `stack_size` and addresses stack data via [`CmExpr::AddrStack`] offsets
+//! into the activation's unique stack block.
+
+use std::collections::BTreeMap;
+
+use compcerto_core::iface::Signature;
+use compcerto_core::lts::Stuck;
+use compcerto_core::symtab::{Ident, SymbolTable};
+use mem::{BlockId, Chunk, Mem, Val};
+
+use crate::op::{MBinop, MUnop};
+use crate::structured::{GStmt, StructLang, StructSem, TempId};
+
+/// Cminor expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CmExpr {
+    /// 32-bit constant.
+    ConstInt(i32),
+    /// 64-bit constant.
+    ConstLong(i64),
+    /// A temporary.
+    Temp(TempId),
+    /// Address of the activation's stack block at a byte offset.
+    AddrStack(i64),
+    /// Address of a global symbol.
+    AddrGlobal(Ident),
+    /// Memory load.
+    Load(Chunk, Box<CmExpr>),
+    /// Unary operation.
+    Unop(MUnop, Box<CmExpr>),
+    /// Binary operation.
+    Binop(MBinop, Box<CmExpr>, Box<CmExpr>),
+}
+
+/// Cminor statements.
+pub type CmStmt = GStmt<CmExpr>;
+
+/// A Cminor function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CmFunction {
+    /// Name.
+    pub name: Ident,
+    /// Signature.
+    pub sig: Signature,
+    /// Parameter temporaries.
+    pub params: Vec<TempId>,
+    /// Size of the unified stack block.
+    pub stack_size: i64,
+    /// All temporaries.
+    pub temps: Vec<TempId>,
+    /// Body.
+    pub body: CmStmt,
+}
+
+/// A Cminor translation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CmProgram {
+    /// Function definitions.
+    pub functions: Vec<CmFunction>,
+    /// Known external functions.
+    pub externs: Vec<(Ident, Signature)>,
+}
+
+impl CmProgram {
+    /// Find a function by name.
+    pub fn function(&self, name: &str) -> Option<&CmFunction> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+impl StructLang for CmProgram {
+    type Fun = CmFunction;
+    type Expr = CmExpr;
+    type Env = (BlockId, i64);
+
+    fn lang_name(&self) -> &'static str {
+        "Cminor"
+    }
+
+    fn find_fun(&self, name: &str) -> Option<&CmFunction> {
+        self.function(name)
+    }
+
+    fn sig_of(&self, name: &str) -> Option<Signature> {
+        self.function(name).map(|f| f.sig.clone()).or_else(|| {
+            self.externs
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, s)| s.clone())
+        })
+    }
+
+    fn fun_sig(&self, f: &CmFunction) -> Signature {
+        f.sig.clone()
+    }
+
+    fn fun_params<'a>(&self, f: &'a CmFunction) -> &'a [TempId] {
+        &f.params
+    }
+
+    fn fun_temps(&self, f: &CmFunction) -> Vec<TempId> {
+        f.temps.clone()
+    }
+
+    fn fun_body<'a>(&self, f: &'a CmFunction) -> &'a CmStmt {
+        &f.body
+    }
+
+    fn enter(&self, f: &CmFunction, mem: &mut Mem) -> Self::Env {
+        (mem.alloc(0, f.stack_size), f.stack_size)
+    }
+
+    fn leave(&self, _f: &CmFunction, env: &Self::Env, mem: &mut Mem) -> Result<(), Stuck> {
+        mem.free(env.0, 0, env.1)
+            .map_err(|e| Stuck::new(format!("freeing stack block: {e}")))
+    }
+
+    fn eval(
+        &self,
+        symtab: &SymbolTable,
+        env: &Self::Env,
+        temps: &BTreeMap<TempId, Val>,
+        mem: &Mem,
+        e: &CmExpr,
+    ) -> Result<Val, Stuck> {
+        match e {
+            CmExpr::ConstInt(n) => Ok(Val::Int(*n)),
+            CmExpr::ConstLong(n) => Ok(Val::Long(*n)),
+            CmExpr::Temp(t) => temps
+                .get(t)
+                .copied()
+                .ok_or_else(|| Stuck::new(format!("unbound temp $t{t}"))),
+            CmExpr::AddrStack(ofs) => Ok(Val::Ptr(env.0, *ofs)),
+            CmExpr::AddrGlobal(name) => symtab
+                .block_of(name)
+                .map(|b| Val::Ptr(b, 0))
+                .ok_or_else(|| Stuck::new(format!("unknown symbol `{name}`"))),
+            CmExpr::Load(chunk, addr) => {
+                let a = self.eval(symtab, env, temps, mem, addr)?;
+                mem.loadv(*chunk, a)
+                    .map_err(|e| Stuck::new(format!("load failed: {e}")))
+            }
+            CmExpr::Unop(op, a) => Ok(op.eval(self.eval(symtab, env, temps, mem, a)?)),
+            CmExpr::Binop(op, a, b) => Ok(op.eval(
+                self.eval(symtab, env, temps, mem, a)?,
+                self.eval(symtab, env, temps, mem, b)?,
+            )),
+        }
+    }
+}
+
+/// The open semantics `Cminor(p) : C ↠ C`.
+pub type CminorSem = StructSem<CmProgram>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compcerto_core::iface::CQuery;
+    use compcerto_core::lts::run;
+    use compcerto_core::symtab::GlobKind;
+
+    #[test]
+    fn stack_addressing() {
+        // f() { [sp+8] := 5; return load(sp+8); } with stack_size 16.
+        let f = CmFunction {
+            name: "f".into(),
+            sig: Signature::int_fn(0),
+            params: vec![],
+            stack_size: 16,
+            temps: vec![],
+            body: GStmt::seq(
+                GStmt::Store(Chunk::I32, CmExpr::AddrStack(8), CmExpr::ConstInt(5)),
+                GStmt::Return(Some(CmExpr::Load(
+                    Chunk::I32,
+                    Box::new(CmExpr::AddrStack(8)),
+                ))),
+            ),
+        };
+        let prog = CmProgram {
+            functions: vec![f],
+            externs: vec![],
+        };
+        let mut tbl = SymbolTable::new();
+        tbl.define("f".into(), GlobKind::Func(Signature::int_fn(0)));
+        let mem = tbl.build_init_mem().unwrap();
+        let sem = CminorSem::new(prog, tbl.clone());
+        let q = CQuery {
+            vf: tbl.func_ptr("f").unwrap(),
+            sig: Signature::int_fn(0),
+            args: vec![],
+            mem,
+        };
+        let r = run(&sem, &q, &mut |_q| None, 1000).expect_complete();
+        assert_eq!(r.retval, Val::Int(5));
+    }
+}

@@ -1,0 +1,165 @@
+//! CminorSel: Cminor after operator and addressing-mode selection
+//! (paper Table 3).
+//!
+//! Two representation changes distinguish it from Cminor: loads carry a
+//! folded constant displacement ([`SelExpr::Load`]), and binary operations
+//! may take an immediate operand ([`SelExpr::BinopImm`]) — the shapes a real
+//! instruction selector targets.
+
+use std::collections::BTreeMap;
+
+use compcerto_core::iface::Signature;
+use compcerto_core::lts::Stuck;
+use compcerto_core::symtab::{Ident, SymbolTable};
+use mem::{BlockId, Chunk, Mem, Val};
+
+use crate::op::{MBinop, MUnop};
+use crate::structured::{GStmt, StructLang, StructSem, TempId};
+
+/// CminorSel expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelExpr {
+    /// 32-bit constant.
+    ConstInt(i32),
+    /// 64-bit constant.
+    ConstLong(i64),
+    /// A temporary.
+    Temp(TempId),
+    /// Stack address at an offset.
+    AddrStack(i64),
+    /// Global symbol address plus folded displacement.
+    AddrGlobal(Ident, i64),
+    /// Load with folded displacement: `[e + disp]`.
+    Load(Chunk, Box<SelExpr>, i64),
+    /// Unary operation.
+    Unop(MUnop, Box<SelExpr>),
+    /// Binary operation.
+    Binop(MBinop, Box<SelExpr>, Box<SelExpr>),
+    /// Binary operation with an immediate second operand.
+    BinopImm(MBinop, Box<SelExpr>, Val),
+}
+
+/// CminorSel statements.
+pub type SelStmt = GStmt<SelExpr>;
+
+/// A CminorSel function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelFunction {
+    /// Name.
+    pub name: Ident,
+    /// Signature.
+    pub sig: Signature,
+    /// Parameter temporaries.
+    pub params: Vec<TempId>,
+    /// Stack block size.
+    pub stack_size: i64,
+    /// All temporaries.
+    pub temps: Vec<TempId>,
+    /// Body.
+    pub body: SelStmt,
+}
+
+/// A CminorSel translation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SelProgram {
+    /// Function definitions.
+    pub functions: Vec<SelFunction>,
+    /// Known external functions.
+    pub externs: Vec<(Ident, Signature)>,
+}
+
+impl SelProgram {
+    /// Find a function by name.
+    pub fn function(&self, name: &str) -> Option<&SelFunction> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+impl StructLang for SelProgram {
+    type Fun = SelFunction;
+    type Expr = SelExpr;
+    type Env = (BlockId, i64);
+
+    fn lang_name(&self) -> &'static str {
+        "CminorSel"
+    }
+
+    fn find_fun(&self, name: &str) -> Option<&SelFunction> {
+        self.function(name)
+    }
+
+    fn sig_of(&self, name: &str) -> Option<Signature> {
+        self.function(name).map(|f| f.sig.clone()).or_else(|| {
+            self.externs
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, s)| s.clone())
+        })
+    }
+
+    fn fun_sig(&self, f: &SelFunction) -> Signature {
+        f.sig.clone()
+    }
+
+    fn fun_params<'a>(&self, f: &'a SelFunction) -> &'a [TempId] {
+        &f.params
+    }
+
+    fn fun_temps(&self, f: &SelFunction) -> Vec<TempId> {
+        f.temps.clone()
+    }
+
+    fn fun_body<'a>(&self, f: &'a SelFunction) -> &'a SelStmt {
+        &f.body
+    }
+
+    fn enter(&self, f: &SelFunction, mem: &mut Mem) -> Self::Env {
+        (mem.alloc(0, f.stack_size), f.stack_size)
+    }
+
+    fn leave(&self, _f: &SelFunction, env: &Self::Env, mem: &mut Mem) -> Result<(), Stuck> {
+        mem.free(env.0, 0, env.1)
+            .map_err(|e| Stuck::new(format!("freeing stack block: {e}")))
+    }
+
+    fn eval(
+        &self,
+        symtab: &SymbolTable,
+        env: &Self::Env,
+        temps: &BTreeMap<TempId, Val>,
+        mem: &Mem,
+        e: &SelExpr,
+    ) -> Result<Val, Stuck> {
+        match e {
+            SelExpr::ConstInt(n) => Ok(Val::Int(*n)),
+            SelExpr::ConstLong(n) => Ok(Val::Long(*n)),
+            SelExpr::Temp(t) => temps
+                .get(t)
+                .copied()
+                .ok_or_else(|| Stuck::new(format!("unbound temp $t{t}"))),
+            SelExpr::AddrStack(ofs) => Ok(Val::Ptr(env.0, *ofs)),
+            SelExpr::AddrGlobal(name, disp) => symtab
+                .block_of(name)
+                .map(|b| Val::Ptr(b, *disp))
+                .ok_or_else(|| Stuck::new(format!("unknown symbol `{name}`"))),
+            SelExpr::Load(chunk, base, disp) => {
+                let a = self
+                    .eval(symtab, env, temps, mem, base)?
+                    .add(Val::Long(*disp));
+                mem.loadv(*chunk, a)
+                    .map_err(|e| Stuck::new(format!("load failed: {e}")))
+            }
+            SelExpr::Unop(op, a) => Ok(op.eval(self.eval(symtab, env, temps, mem, a)?)),
+            SelExpr::Binop(op, a, b) => Ok(op.eval(
+                self.eval(symtab, env, temps, mem, a)?,
+                self.eval(symtab, env, temps, mem, b)?,
+            )),
+            SelExpr::BinopImm(op, a, imm) => {
+                Ok(op.eval(self.eval(symtab, env, temps, mem, a)?, *imm))
+            }
+        }
+    }
+}
+
+/// The open semantics `CminorSel(p) : C ↠ C`.
+pub type CminorSelSem = StructSem<SelProgram>;

@@ -1,0 +1,244 @@
+//! Csharpminor: the first untyped intermediate language (paper Table 3).
+//!
+//! Expressions operate on machine values with explicit chunks; each local
+//! variable still owns its own memory block, and addresses are taken
+//! symbolically with [`CsExpr::AddrOf`].
+
+use std::collections::BTreeMap;
+
+use compcerto_core::iface::Signature;
+use compcerto_core::lts::Stuck;
+use compcerto_core::symtab::{Ident, SymbolTable};
+use mem::{BlockId, Chunk, Mem, Val};
+
+use crate::op::{MBinop, MUnop};
+use crate::structured::{GStmt, StructLang, StructSem, TempId};
+
+/// Csharpminor expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CsExpr {
+    /// 32-bit constant.
+    ConstInt(i32),
+    /// 64-bit constant.
+    ConstLong(i64),
+    /// A temporary.
+    Temp(TempId),
+    /// Address of a local variable or global symbol.
+    AddrOf(Ident),
+    /// Memory load.
+    Load(Chunk, Box<CsExpr>),
+    /// Unary operation.
+    Unop(MUnop, Box<CsExpr>),
+    /// Binary operation.
+    Binop(MBinop, Box<CsExpr>, Box<CsExpr>),
+}
+
+/// Csharpminor statements.
+pub type CsStmt = GStmt<CsExpr>;
+
+/// A Csharpminor function: parameters and scratch values are temporaries;
+/// `vars` lists the memory-resident locals with their sizes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsFunction {
+    /// Name.
+    pub name: Ident,
+    /// Signature.
+    pub sig: Signature,
+    /// Parameter temporaries, in order.
+    pub params: Vec<TempId>,
+    /// Memory-resident locals: (name, size in bytes).
+    pub vars: Vec<(Ident, i64)>,
+    /// All temporaries (superset of `params`).
+    pub temps: Vec<TempId>,
+    /// Body.
+    pub body: CsStmt,
+}
+
+/// A Csharpminor translation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CsProgram {
+    /// Function definitions.
+    pub functions: Vec<CsFunction>,
+    /// Known external functions.
+    pub externs: Vec<(Ident, Signature)>,
+}
+
+impl CsProgram {
+    /// Find a function by name.
+    pub fn function(&self, name: &str) -> Option<&CsFunction> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+impl StructLang for CsProgram {
+    type Fun = CsFunction;
+    type Expr = CsExpr;
+    type Env = BTreeMap<Ident, (BlockId, i64)>;
+
+    fn lang_name(&self) -> &'static str {
+        "Csharpminor"
+    }
+
+    fn find_fun(&self, name: &str) -> Option<&CsFunction> {
+        self.function(name)
+    }
+
+    fn sig_of(&self, name: &str) -> Option<Signature> {
+        self.function(name).map(|f| f.sig.clone()).or_else(|| {
+            self.externs
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, s)| s.clone())
+        })
+    }
+
+    fn fun_sig(&self, f: &CsFunction) -> Signature {
+        f.sig.clone()
+    }
+
+    fn fun_params<'a>(&self, f: &'a CsFunction) -> &'a [TempId] {
+        &f.params
+    }
+
+    fn fun_temps(&self, f: &CsFunction) -> Vec<TempId> {
+        f.temps.clone()
+    }
+
+    fn fun_body<'a>(&self, f: &'a CsFunction) -> &'a CsStmt {
+        &f.body
+    }
+
+    fn enter(&self, f: &CsFunction, mem: &mut Mem) -> Self::Env {
+        f.vars
+            .iter()
+            .map(|(name, size)| (name.clone(), (mem.alloc(0, *size), *size)))
+            .collect()
+    }
+
+    fn leave(&self, _f: &CsFunction, env: &Self::Env, mem: &mut Mem) -> Result<(), Stuck> {
+        for (name, (b, size)) in env {
+            mem.free(*b, 0, *size)
+                .map_err(|e| Stuck::new(format!("freeing `{name}`: {e}")))?;
+        }
+        Ok(())
+    }
+
+    fn eval(
+        &self,
+        symtab: &SymbolTable,
+        env: &Self::Env,
+        temps: &BTreeMap<TempId, Val>,
+        mem: &Mem,
+        e: &CsExpr,
+    ) -> Result<Val, Stuck> {
+        match e {
+            CsExpr::ConstInt(n) => Ok(Val::Int(*n)),
+            CsExpr::ConstLong(n) => Ok(Val::Long(*n)),
+            CsExpr::Temp(t) => temps
+                .get(t)
+                .copied()
+                .ok_or_else(|| Stuck::new(format!("unbound temp $t{t}"))),
+            CsExpr::AddrOf(name) => {
+                if let Some((b, _)) = env.get(name) {
+                    return Ok(Val::Ptr(*b, 0));
+                }
+                symtab
+                    .block_of(name)
+                    .map(|b| Val::Ptr(b, 0))
+                    .ok_or_else(|| Stuck::new(format!("unknown symbol `{name}`")))
+            }
+            CsExpr::Load(chunk, addr) => {
+                let a = self.eval(symtab, env, temps, mem, addr)?;
+                mem.loadv(*chunk, a)
+                    .map_err(|e| Stuck::new(format!("load failed: {e}")))
+            }
+            CsExpr::Unop(op, a) => Ok(op.eval(self.eval(symtab, env, temps, mem, a)?)),
+            CsExpr::Binop(op, a, b) => Ok(op.eval(
+                self.eval(symtab, env, temps, mem, a)?,
+                self.eval(symtab, env, temps, mem, b)?,
+            )),
+        }
+    }
+}
+
+/// The open semantics `Csharpminor(p) : C ↠ C`.
+pub type CsharpSem = StructSem<CsProgram>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compcerto_core::iface::CQuery;
+    use compcerto_core::lts::run;
+    use compcerto_core::symtab::GlobKind;
+
+    fn addi(a: CsExpr, b: CsExpr) -> CsExpr {
+        CsExpr::Binop(MBinop::Add32, Box::new(a), Box::new(b))
+    }
+
+    #[test]
+    fn direct_interpretation() {
+        // int f(a, b) { t2 = a + b; return t2 + 1; }
+        let f = CsFunction {
+            name: "f".into(),
+            sig: Signature::int_fn(2),
+            params: vec![0, 1],
+            vars: vec![],
+            temps: vec![0, 1, 2],
+            body: GStmt::seq(
+                GStmt::Set(2, addi(CsExpr::Temp(0), CsExpr::Temp(1))),
+                GStmt::Return(Some(addi(CsExpr::Temp(2), CsExpr::ConstInt(1)))),
+            ),
+        };
+        let prog = CsProgram {
+            functions: vec![f],
+            externs: vec![],
+        };
+        let mut tbl = SymbolTable::new();
+        tbl.define("f".into(), GlobKind::Func(Signature::int_fn(2)));
+        let mem = tbl.build_init_mem().unwrap();
+        let sem = CsharpSem::new(prog, tbl.clone());
+        let q = CQuery {
+            vf: tbl.func_ptr("f").unwrap(),
+            sig: Signature::int_fn(2),
+            args: vec![Val::Int(10), Val::Int(20)],
+            mem,
+        };
+        let r = run(&sem, &q, &mut |_q| None, 1000).expect_complete();
+        assert_eq!(r.retval, Val::Int(31));
+    }
+
+    #[test]
+    fn memory_locals_roundtrip() {
+        // int g() { var x[8]; [&x] := 7; return load(&x); }
+        let f = CsFunction {
+            name: "g".into(),
+            sig: Signature::int_fn(0),
+            params: vec![],
+            vars: vec![("x".into(), 8)],
+            temps: vec![],
+            body: GStmt::seq(
+                GStmt::Store(Chunk::I32, CsExpr::AddrOf("x".into()), CsExpr::ConstInt(7)),
+                GStmt::Return(Some(CsExpr::Load(
+                    Chunk::I32,
+                    Box::new(CsExpr::AddrOf("x".into())),
+                ))),
+            ),
+        };
+        let prog = CsProgram {
+            functions: vec![f],
+            externs: vec![],
+        };
+        let mut tbl = SymbolTable::new();
+        tbl.define("g".into(), GlobKind::Func(Signature::int_fn(0)));
+        let mem = tbl.build_init_mem().unwrap();
+        let sem = CsharpSem::new(prog, tbl.clone());
+        let q = CQuery {
+            vf: tbl.func_ptr("g").unwrap(),
+            sig: Signature::int_fn(0),
+            args: vec![],
+            mem,
+        };
+        let r = run(&sem, &q, &mut |_q| None, 1000).expect_complete();
+        assert_eq!(r.retval, Val::Int(7));
+    }
+}

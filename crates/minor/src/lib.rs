@@ -1,0 +1,32 @@
+//! # Structured intermediate languages of CompCertO-rs
+//!
+//! The middle of the front-end pipeline (paper Table 3):
+//!
+//! | Language | Pass producing it | Convention |
+//! |----------|-------------------|------------|
+//! | [Csharpminor](csharp) | [`cshmgen`](cshmgen::cshmgen) | `id ↠ id` |
+//! | [Cminor](cminor) | [`cminorgen`](cminorgen::cminorgen) | `injp ↠ inj` |
+//! | [CminorSel](cminorsel) | [`selection`](selection::selection) | `wt·ext ↠ wt·ext` |
+//!
+//! All three share their statement language and a single generic open
+//! semantics over `C ↠ C` ([`structured::StructSem`]); they differ in
+//! expressions and activation records. Machine-level operators live in
+//! [`op`] and are shared with the RTL crate.
+
+pub mod cminor;
+pub mod cminorgen;
+pub mod cminorsel;
+pub mod csharp;
+pub mod cshmgen;
+pub mod op;
+pub mod selection;
+pub mod structured;
+
+pub use cminor::{CmExpr, CmFunction, CmProgram, CminorSem};
+pub use cminorgen::{cminorgen, CminorgenError};
+pub use cminorsel::{CminorSelSem, SelExpr, SelFunction, SelProgram};
+pub use csharp::{CsExpr, CsFunction, CsProgram, CsharpSem};
+pub use cshmgen::{cshmgen, CshmgenError};
+pub use op::{MBinop, MUnop};
+pub use selection::selection;
+pub use structured::{GStmt, StructLang, StructSem, TempId};

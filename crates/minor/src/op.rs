@@ -1,0 +1,213 @@
+//! Machine-level operators shared by Csharpminor, Cminor, CminorSel and RTL.
+//!
+//! After `Cshmgen`, operations are no longer typed by C types but by machine
+//! widths; evaluation is total, returning [`Val::Undef`] on misuse (the
+//! semantics then go wrong at the point where a defined value is required).
+
+use std::fmt;
+
+use mem::{Cmp, Val};
+
+/// Unary machine operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MUnop {
+    /// 32-bit negation.
+    Neg32,
+    /// 64-bit negation.
+    Neg64,
+    /// 32-bit bitwise complement.
+    Not32,
+    /// 64-bit bitwise complement.
+    Not64,
+    /// Boolean negation (defined on ints, longs and pointers).
+    BoolNot,
+    /// Sign-extend 32→64.
+    SignExt,
+    /// Zero-extend 32→64.
+    ZeroExt,
+    /// Truncate 64→32.
+    Trunc,
+}
+
+impl MUnop {
+    /// Evaluate the operator.
+    pub fn eval(self, v: Val) -> Val {
+        match self {
+            MUnop::Neg32 | MUnop::Neg64 => v.neg(),
+            MUnop::Not32 | MUnop::Not64 => v.not(),
+            MUnop::BoolNot => v.bool_not(),
+            MUnop::SignExt => v.longofint(),
+            MUnop::ZeroExt => v.longofintu(),
+            MUnop::Trunc => v.intoflong(),
+        }
+    }
+}
+
+impl fmt::Display for MUnop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MUnop::Neg32 => "neg32",
+            MUnop::Neg64 => "neg64",
+            MUnop::Not32 => "not32",
+            MUnop::Not64 => "not64",
+            MUnop::BoolNot => "boolnot",
+            MUnop::SignExt => "sext",
+            MUnop::ZeroExt => "zext",
+            MUnop::Trunc => "trunc",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Binary machine operators. The `64` variants also implement pointer
+/// arithmetic and pointer comparisons (the memory model's [`Val`] operations
+/// handle the pointer cases).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MBinop {
+    /// 32-bit addition.
+    Add32,
+    /// 32-bit subtraction.
+    Sub32,
+    /// 32-bit multiplication.
+    Mul32,
+    /// 32-bit signed division.
+    Div32,
+    /// 32-bit signed remainder.
+    Mod32,
+    /// 32-bit and.
+    And32,
+    /// 32-bit or.
+    Or32,
+    /// 32-bit xor.
+    Xor32,
+    /// 32-bit shift left.
+    Shl32,
+    /// 32-bit arithmetic shift right.
+    Shr32,
+    /// 32-bit logical shift right.
+    Shru32,
+    /// 32-bit signed comparison.
+    Cmp32(Cmp),
+    /// 64-bit addition (incl. pointer + offset).
+    Add64,
+    /// 64-bit subtraction (incl. pointer differences).
+    Sub64,
+    /// 64-bit multiplication.
+    Mul64,
+    /// 64-bit signed division.
+    Div64,
+    /// 64-bit signed remainder.
+    Mod64,
+    /// 64-bit and.
+    And64,
+    /// 64-bit or.
+    Or64,
+    /// 64-bit xor.
+    Xor64,
+    /// 64-bit shift left (shift amount is 32-bit).
+    Shl64,
+    /// 64-bit arithmetic shift right.
+    Shr64,
+    /// 64-bit logical shift right.
+    Shru64,
+    /// 64-bit signed comparison (incl. same-block pointer comparison).
+    Cmp64(Cmp),
+}
+
+impl MBinop {
+    /// Evaluate the operator.
+    pub fn eval(self, a: Val, b: Val) -> Val {
+        use MBinop::*;
+        match self {
+            Add32 | Add64 => a.add(b),
+            Sub32 | Sub64 => a.sub(b),
+            Mul32 | Mul64 => a.mul(b),
+            Div32 | Div64 => a.divs(b),
+            Mod32 | Mod64 => a.mods(b),
+            And32 | And64 => a.and(b),
+            Or32 | Or64 => a.or(b),
+            Xor32 | Xor64 => a.xor(b),
+            Shl32 | Shl64 => a.shl(b),
+            Shr32 | Shr64 => a.shr(b),
+            Shru32 | Shru64 => a.shru(b),
+            Cmp32(c) | Cmp64(c) => a.cmp(c, b),
+        }
+    }
+
+    /// Is the operation a comparison?
+    pub fn is_cmp(self) -> bool {
+        matches!(self, MBinop::Cmp32(_) | MBinop::Cmp64(_))
+    }
+
+    /// Constant-fold the operation if both arguments are constants and the
+    /// result is defined and constant (used by `Selection` and `Constprop`).
+    pub fn fold(self, a: &Val, b: &Val) -> Option<Val> {
+        if !a.is_defined() || !b.is_defined() {
+            return None;
+        }
+        if matches!(a, Val::Ptr(_, _)) || matches!(b, Val::Ptr(_, _)) {
+            return None; // pointers are not compile-time constants
+        }
+        let v = self.eval(*a, *b);
+        v.is_defined().then_some(v)
+    }
+}
+
+impl fmt::Display for MBinop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use MBinop::*;
+        match self {
+            Add32 => write!(f, "add32"),
+            Sub32 => write!(f, "sub32"),
+            Mul32 => write!(f, "mul32"),
+            Div32 => write!(f, "div32"),
+            Mod32 => write!(f, "mod32"),
+            And32 => write!(f, "and32"),
+            Or32 => write!(f, "or32"),
+            Xor32 => write!(f, "xor32"),
+            Shl32 => write!(f, "shl32"),
+            Shr32 => write!(f, "shr32"),
+            Shru32 => write!(f, "shru32"),
+            Cmp32(c) => write!(f, "cmp32{c}"),
+            Add64 => write!(f, "add64"),
+            Sub64 => write!(f, "sub64"),
+            Mul64 => write!(f, "mul64"),
+            Div64 => write!(f, "div64"),
+            Mod64 => write!(f, "mod64"),
+            And64 => write!(f, "and64"),
+            Or64 => write!(f, "or64"),
+            Xor64 => write!(f, "xor64"),
+            Shl64 => write!(f, "shl64"),
+            Shr64 => write!(f, "shr64"),
+            Shru64 => write!(f, "shru64"),
+            Cmp64(c) => write!(f, "cmp64{c}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_matches_val_ops() {
+        assert_eq!(MBinop::Add32.eval(Val::Int(2), Val::Int(3)), Val::Int(5));
+        assert_eq!(
+            MBinop::Add64.eval(Val::Ptr(1, 4), Val::Long(4)),
+            Val::Ptr(1, 8)
+        );
+        assert_eq!(MUnop::Trunc.eval(Val::Long(0x1_0000_0002)), Val::Int(2));
+    }
+
+    #[test]
+    fn fold_rejects_pointers_and_undef() {
+        assert_eq!(MBinop::Add64.fold(&Val::Ptr(1, 0), &Val::Long(4)), None);
+        assert_eq!(MBinop::Add32.fold(&Val::Undef, &Val::Int(1)), None);
+        assert_eq!(
+            MBinop::Mul32.fold(&Val::Int(6), &Val::Int(7)),
+            Some(Val::Int(42))
+        );
+        // Division by zero does not fold.
+        assert_eq!(MBinop::Div32.fold(&Val::Int(1), &Val::Int(0)), None);
+    }
+}

@@ -1,0 +1,287 @@
+//! The `Selection` pass: operator and addressing-mode selection from Cminor
+//! to CminorSel (paper Table 3, convention `wt·ext ↠ wt·ext`).
+//!
+//! Transformations performed:
+//! * constant folding of fully-constant operations;
+//! * immediate folding (`x + 3` becomes an add-immediate; commutative
+//!   operators canonicalize the constant to the right);
+//! * addressing-mode folding (`load [p + 8]` becomes a displaced load;
+//!   displacements fold into global addresses);
+//! * algebraic simplifications (`x + 0`, `x * 1`, `x * 0`, shifts by 0).
+//!
+//! Simplifications like `x * 0 → 0` may replace an undefined source value by
+//! a defined one — precisely the *refinement* that the `ext` convention
+//! (paper §4.1) permits.
+
+use mem::Val;
+
+use crate::cminor::{CmExpr, CmFunction, CmProgram};
+use crate::cminorsel::{SelExpr, SelFunction, SelProgram, SelStmt};
+use crate::op::MBinop;
+use crate::structured::GStmt;
+
+/// Run instruction selection over a Cminor program.
+pub fn selection(prog: &CmProgram) -> SelProgram {
+    SelProgram {
+        functions: prog.functions.iter().map(select_function).collect(),
+        externs: prog.externs.clone(),
+    }
+}
+
+fn select_function(f: &CmFunction) -> SelFunction {
+    SelFunction {
+        name: f.name.clone(),
+        sig: f.sig.clone(),
+        params: f.params.clone(),
+        stack_size: f.stack_size,
+        temps: f.temps.clone(),
+        body: select_stmt(&f.body),
+    }
+}
+
+fn select_stmt(s: &GStmt<CmExpr>) -> SelStmt {
+    match s {
+        GStmt::Skip => GStmt::Skip,
+        GStmt::Break => GStmt::Break,
+        GStmt::Continue => GStmt::Continue,
+        GStmt::Set(t, e) => GStmt::Set(*t, select_expr(e)),
+        GStmt::Store(chunk, a, v) => GStmt::Store(*chunk, select_expr(a), select_expr(v)),
+        GStmt::Call(dest, f, args) => {
+            GStmt::Call(*dest, f.clone(), args.iter().map(select_expr).collect())
+        }
+        GStmt::Seq(a, b) => GStmt::Seq(Box::new(select_stmt(a)), Box::new(select_stmt(b))),
+        GStmt::If(c, a, b) => GStmt::If(
+            select_expr(c),
+            Box::new(select_stmt(a)),
+            Box::new(select_stmt(b)),
+        ),
+        GStmt::While(c, body) => GStmt::While(select_expr(c), Box::new(select_stmt(body))),
+        GStmt::Return(e) => GStmt::Return(e.as_ref().map(select_expr)),
+    }
+}
+
+/// The constant value of a selected expression, if it is one.
+fn const_of(e: &SelExpr) -> Option<Val> {
+    match e {
+        SelExpr::ConstInt(n) => Some(Val::Int(*n)),
+        SelExpr::ConstLong(n) => Some(Val::Long(*n)),
+        _ => None,
+    }
+}
+
+fn const_expr(v: Val) -> Option<SelExpr> {
+    match v {
+        Val::Int(n) => Some(SelExpr::ConstInt(n)),
+        Val::Long(n) => Some(SelExpr::ConstLong(n)),
+        _ => None,
+    }
+}
+
+fn is_commutative(op: MBinop) -> bool {
+    use MBinop::*;
+    matches!(
+        op,
+        Add32 | Mul32 | And32 | Or32 | Xor32 | Add64 | Mul64 | And64 | Or64 | Xor64
+    )
+}
+
+fn select_expr(e: &CmExpr) -> SelExpr {
+    match e {
+        CmExpr::ConstInt(n) => SelExpr::ConstInt(*n),
+        CmExpr::ConstLong(n) => SelExpr::ConstLong(*n),
+        CmExpr::Temp(t) => SelExpr::Temp(*t),
+        CmExpr::AddrStack(ofs) => SelExpr::AddrStack(*ofs),
+        CmExpr::AddrGlobal(name) => SelExpr::AddrGlobal(name.clone(), 0),
+        CmExpr::Unop(op, a) => SelExpr::Unop(*op, Box::new(select_expr(a))),
+        CmExpr::Load(chunk, addr) => {
+            let (base, disp) = split_addressing(select_expr(addr));
+            SelExpr::Load(*chunk, Box::new(base), disp)
+        }
+        CmExpr::Binop(op, a, b) => {
+            let mut a = select_expr(a);
+            let mut b = select_expr(b);
+            // Canonicalize constants to the right for commutative operators.
+            if is_commutative(*op) && const_of(&a).is_some() && const_of(&b).is_none() {
+                std::mem::swap(&mut a, &mut b);
+            }
+            // Full constant folding.
+            if let (Some(ca), Some(cb)) = (const_of(&a), const_of(&b)) {
+                if let Some(folded) = op.fold(&ca, &cb) {
+                    if let Some(fe) = const_expr(folded) {
+                        return fe;
+                    }
+                }
+            }
+            // Algebraic simplifications and immediate folding.
+            if let Some(cb) = const_of(&b) {
+                if let Some(simplified) = simplify(*op, &a, &cb) {
+                    return simplified;
+                }
+                return SelExpr::BinopImm(*op, Box::new(a), cb);
+            }
+            SelExpr::Binop(*op, Box::new(a), Box::new(b))
+        }
+    }
+}
+
+/// Pull a constant displacement out of an address expression.
+fn split_addressing(addr: SelExpr) -> (SelExpr, i64) {
+    match addr {
+        SelExpr::BinopImm(MBinop::Add64, base, Val::Long(n)) => {
+            let (inner, disp) = split_addressing(*base);
+            (inner, disp + n)
+        }
+        SelExpr::AddrGlobal(name, d) => (SelExpr::AddrGlobal(name, d), 0),
+        SelExpr::AddrStack(ofs) => (SelExpr::AddrStack(ofs), 0),
+        other => (other, 0),
+    }
+}
+
+/// Strength reductions on `op(a, constant)`. Returns `None` when no
+/// simplification applies (the caller then emits an immediate form).
+fn simplify(op: MBinop, a: &SelExpr, c: &Val) -> Option<SelExpr> {
+    use MBinop::*;
+    match (op, c) {
+        // x + 0, x - 0, x | 0, x ^ 0, x << 0, x >> 0 → x
+        (Add32 | Sub32 | Or32 | Xor32, Val::Int(0))
+        | (Add64 | Sub64 | Or64 | Xor64, Val::Long(0))
+        | (Shl32 | Shr32 | Shru32 | Shl64 | Shr64 | Shru64, Val::Int(0)) => Some(a.clone()),
+        // x * 1, x / 1 → x
+        (Mul32 | Div32, Val::Int(1)) | (Mul64 | Div64, Val::Long(1)) => Some(a.clone()),
+        // x * 0, x & 0 → 0 (refines undef into 0: allowed by `ext`).
+        (Mul32 | And32, Val::Int(0)) => Some(SelExpr::ConstInt(0)),
+        (Mul64 | And64, Val::Long(0)) => Some(SelExpr::ConstLong(0)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cminor::CminorSem;
+    use crate::cminorgen::cminorgen;
+    use crate::cminorsel::CminorSelSem;
+    use crate::cshmgen::cshmgen;
+    use clight::{build_symtab, parse, simpl_locals, typecheck};
+    use compcerto_core::iface::{CQuery, CReply};
+    use compcerto_core::lts::run;
+    use mem::extends;
+
+    fn pipeline(src: &str) -> (CmProgram, SelProgram, compcerto_core::symtab::SymbolTable) {
+        let p = simpl_locals(&typecheck(&parse(src).unwrap()).unwrap());
+        let cm = cminorgen(&cshmgen(&p).unwrap()).unwrap();
+        let sel = selection(&cm);
+        let tbl = build_symtab(&[&p]).unwrap();
+        (cm, sel, tbl)
+    }
+
+    /// Differential check under `wt·ext ↠ wt·ext`: return value refined
+    /// (lessdef), memory extended.
+    fn differential(src: &str, fname: &str, args: Vec<Val>) -> CReply {
+        let (cm, sel, tbl) = pipeline(src);
+        let mem = tbl.build_init_mem().unwrap();
+        let sig = cm.function(fname).unwrap().sig.clone();
+        let q = CQuery {
+            vf: tbl.func_ptr(fname).unwrap(),
+            sig,
+            args,
+            mem,
+        };
+        let s1 = CminorSem::new(cm, tbl.clone());
+        let s2 = CminorSelSem::new(sel, tbl);
+        let env = |eq: &CQuery| {
+            Some(CReply {
+                retval: eq.args.first().copied().unwrap_or(Val::Int(0)),
+                mem: eq.mem.clone(),
+            })
+        };
+        let r1 = run(&s1, &q, &mut env.clone(), 1_000_000).expect_complete();
+        let r2 = run(&s2, &q, &mut env.clone(), 1_000_000).expect_complete();
+        assert!(
+            r1.retval.lessdef(&r2.retval),
+            "retval not refined: {} vs {}",
+            r1.retval,
+            r2.retval
+        );
+        assert!(extends(&r1.mem, &r2.mem), "memory not extended");
+        r2
+    }
+
+    #[test]
+    fn folds_constants() {
+        let e = CmExpr::Binop(
+            MBinop::Add32,
+            Box::new(CmExpr::ConstInt(2)),
+            Box::new(CmExpr::ConstInt(3)),
+        );
+        assert_eq!(select_expr(&e), SelExpr::ConstInt(5));
+    }
+
+    #[test]
+    fn folds_immediates_and_commutes() {
+        let e = CmExpr::Binop(
+            MBinop::Add32,
+            Box::new(CmExpr::ConstInt(3)),
+            Box::new(CmExpr::Temp(0)),
+        );
+        assert_eq!(
+            select_expr(&e),
+            SelExpr::BinopImm(MBinop::Add32, Box::new(SelExpr::Temp(0)), Val::Int(3))
+        );
+    }
+
+    #[test]
+    fn folds_addressing() {
+        // load [t0 + 8] — the displacement lands in the load.
+        let e = CmExpr::Load(
+            mem::Chunk::I64,
+            Box::new(CmExpr::Binop(
+                MBinop::Add64,
+                Box::new(CmExpr::Temp(0)),
+                Box::new(CmExpr::ConstLong(8)),
+            )),
+        );
+        match select_expr(&e) {
+            SelExpr::Load(_, base, 8) => assert_eq!(*base, SelExpr::Temp(0)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simplifies_identities() {
+        let x_plus_0 = CmExpr::Binop(
+            MBinop::Add32,
+            Box::new(CmExpr::Temp(1)),
+            Box::new(CmExpr::ConstInt(0)),
+        );
+        assert_eq!(select_expr(&x_plus_0), SelExpr::Temp(1));
+        let x_times_0 = CmExpr::Binop(
+            MBinop::Mul64,
+            Box::new(CmExpr::Temp(1)),
+            Box::new(CmExpr::ConstLong(0)),
+        );
+        assert_eq!(select_expr(&x_times_0), SelExpr::ConstLong(0));
+    }
+
+    #[test]
+    fn behaviour_preserved_end_to_end() {
+        let src = "
+            long dot(long a, long b) {
+                long buf[2];
+                buf[0] = a * 1;
+                buf[1] = b + 0;
+                return buf[0] * 2 + buf[1] * 0 + buf[1];
+            }";
+        let r = differential(src, "dot", vec![Val::Long(21), Val::Long(5)]);
+        assert_eq!(r.retval, Val::Long(47));
+    }
+
+    #[test]
+    fn calls_preserved() {
+        let src = "
+            extern int ext(int);
+            int f(int x) { int r; r = ext(x * 1 + 0); return r + 2 * 3; }";
+        let r = differential(src, "f", vec![Val::Int(4)]);
+        assert_eq!(r.retval, Val::Int(10));
+    }
+}

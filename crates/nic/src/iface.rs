@@ -1,0 +1,71 @@
+//! The `Net` and `IO` language interfaces of the NIC scenario
+//! (paper Examples 1.1 and 3.10).
+//!
+//! These interfaces live *outside* the C world: `Net` models the flow of
+//! ethernet frames at the network adapter, `IO` models the device's
+//! transaction interface to the CPU. Neither carries a memory state — the
+//! point of the scenario is precisely that the details of the NIC/driver
+//! interaction should not leak into large-scale reasoning (paper §1.2).
+//!
+//! Simplification (DESIGN.md §1): real MMIO exposes individual register
+//! accesses whose device state persists across accesses; our activation-based
+//! LTSs are per-question, so `IO` exposes whole *transactions* (`Send`,
+//! `Recv`), and the register-level choreography (latch TX, pulse CTRL, read
+//! STATUS/RX) happens inside one NIC activation.
+
+use compcerto_core::iface::LanguageInterface;
+
+/// A network frame (payload simplified to a 64-bit value).
+pub type Frame = i64;
+
+/// The network interface `Net`: questions are operations the adapter
+/// performs on the medium; answers are the medium's responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Net;
+
+/// Operations on the network medium.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetOp {
+    /// Put a frame on the wire.
+    Transmit(Frame),
+    /// Ask the medium for a pending incoming frame.
+    Poll,
+}
+
+/// Responses from the network medium.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetReply {
+    /// Transmission accepted.
+    Sent,
+    /// Poll result: a frame, or nothing pending.
+    Delivered(Option<Frame>),
+}
+
+impl LanguageInterface for Net {
+    type Question = NetOp;
+    type Answer = NetReply;
+    const NAME: &'static str = "Net";
+}
+
+/// The device I/O interface `IO`: CPU-side transactions on the NIC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Io;
+
+/// Device transactions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IoOp {
+    /// Transmit a frame (returns 0 on success).
+    Send(Frame),
+    /// Receive a pending frame (returns the frame, or -1 when none).
+    Recv,
+}
+
+/// Result of a device transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IoReply(pub i64);
+
+impl LanguageInterface for Io {
+    type Question = IoOp;
+    type Answer = IoReply;
+    const NAME: &'static str = "IO";
+}

@@ -1,0 +1,34 @@
+//! # The NIC heterogeneous-verification scenario (paper Fig. 7)
+//!
+//! The motivating example of the paper (Examples 1.1 and 3.10): a network
+//! card and its driver treated as a unit, establishing a direct relationship
+//! between C calls into the driver and network communication.
+//!
+//! * [`iface`] — the `Net` and `IO` language interfaces;
+//! * [`device`] — the NIC model `σ_NIC : Net ↠ IO` and a loopback medium;
+//! * [`io`] — the I/O primitives at the C level (`σ_io`) and the assembly
+//!   level (`σ'_io`), with Eqn. (7) checkable between them;
+//! * [`scenario`] — the assembled stacks of Fig. 7 and their simulation
+//!   check.
+//!
+//! ```
+//! use nic::{build, LoopbackNet};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let sc = build()?;
+//! let mut net = LoopbackNet::new(|frame| frame + 1000);
+//! // client_main(21) = ping(42) + 1 = (42 + 1000) + 1
+//! assert_eq!(sc.run_source(21, &mut net), 1043);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod device;
+pub mod iface;
+pub mod io;
+pub mod scenario;
+
+pub use device::{LoopbackNet, NicModel};
+pub use iface::{Frame, Io, IoOp, IoReply, Net, NetOp, NetReply};
+pub use io::{define_io_symbols, IoAtA, IoAtC};
+pub use scenario::{build, expected, Scenario, CLIENT_SRC, DRIVER_SRC};

@@ -1,0 +1,422 @@
+//! Dataflow analyses over RTL: a generic worklist solver, the value analysis
+//! used by `Constprop`/`CSE`/`Deadcode` (paper App. B.3), and liveness.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::ptree::PTree;
+
+use compcerto_core::symtab::{GlobKind, SymbolTable};
+use mem::{Mem, Val};
+
+use crate::lang::{Inst, Node, PReg, RtlFunction, RtlOp};
+
+// ---------------------------------------------------------------------------
+// Worklist solvers
+// ---------------------------------------------------------------------------
+
+/// Predecessor map of a function's CFG.
+pub fn predecessors(f: &RtlFunction) -> BTreeMap<Node, Vec<Node>> {
+    let mut preds: BTreeMap<Node, Vec<Node>> = BTreeMap::new();
+    for (n, i) in &f.code {
+        for s in i.successors() {
+            preds.entry(s).or_default().push(*n);
+        }
+    }
+    preds
+}
+
+/// Solve a forward dataflow problem: `state[n]` is the abstract state *before*
+/// node `n`; `transfer` computes the state after executing the instruction.
+///
+/// The worklist is an ordered set: membership deduplicates pending nodes, and
+/// popping the smallest first approximates reverse postorder (`renumber`
+/// assigns ascending identifiers along the CFG), which keeps the number of
+/// re-evaluations near the theoretical minimum.
+pub fn forward_solve<S, T>(f: &RtlFunction, entry: S, bot: S, transfer: T) -> BTreeMap<Node, S>
+where
+    S: Clone + PartialEq + JoinSemiLattice,
+    T: Fn(Node, &Inst, &S) -> S,
+{
+    let mut state: BTreeMap<Node, S> = BTreeMap::new();
+    state.insert(f.entry, entry);
+    let mut work: BTreeSet<Node> = BTreeSet::from([f.entry]);
+    while let Some(n) = work.pop_first() {
+        let Some(inst) = f.code.get(&n) else { continue };
+        let after = match state.get(&n) {
+            Some(before) => transfer(n, inst, before),
+            None => transfer(n, inst, &bot),
+        };
+        for s in inst.successors() {
+            let changed = match state.get_mut(&s) {
+                Some(cur) => cur.join_in_place(&after),
+                None => {
+                    state.insert(s, after.clone());
+                    true
+                }
+            };
+            if changed {
+                work.insert(s);
+            }
+        }
+    }
+    state
+}
+
+/// A join-semilattice.
+pub trait JoinSemiLattice: Clone + PartialEq {
+    /// Least upper bound.
+    fn join(&self, other: &Self) -> Self;
+
+    /// Join `other` into `self`; report whether `self` grew. Implementations
+    /// should override this when they can detect growth without materializing
+    /// a fresh value (the solver calls it once per CFG edge re-evaluation).
+    fn join_in_place(&mut self, other: &Self) -> bool {
+        let joined = self.join(other);
+        if joined != *self {
+            *self = joined;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value analysis (abstract interpretation, paper App. B.3)
+// ---------------------------------------------------------------------------
+
+/// Abstract value of a register.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AVal {
+    /// Unreached / undefined.
+    Bot,
+    /// A known numeric constant.
+    Const(Val),
+    /// A pointer to global `ident` plus displacement.
+    Global(String, i64),
+    /// A pointer into the activation's stack block plus displacement.
+    Stack(i64),
+    /// Unknown.
+    Top,
+}
+
+impl AVal {
+    /// Join of two abstract values.
+    pub fn join(&self, other: &AVal) -> AVal {
+        match (self, other) {
+            (AVal::Bot, x) | (x, AVal::Bot) => x.clone(),
+            (a, b) if a == b => a.clone(),
+            _ => AVal::Top,
+        }
+    }
+}
+
+impl fmt::Display for AVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AVal::Bot => write!(f, "⊥"),
+            AVal::Const(v) => write!(f, "{v}"),
+            AVal::Global(s, d) => write!(f, "&{s}+{d}"),
+            AVal::Stack(d) => write!(f, "&stk+{d}"),
+            AVal::Top => write!(f, "⊤"),
+        }
+    }
+}
+
+/// Abstract register environment (missing registers are `Bot`).
+///
+/// Backed by the persistent [`PTree`] (CompCert's `Maps.v`): the solver
+/// snapshots one environment per CFG node, so `clone` must be O(1) and
+/// `set`/`join` must share structure rather than copy it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AEnv {
+    regs: PTree<AVal>,
+}
+
+impl AEnv {
+    /// Abstract value of `r`.
+    pub fn get(&self, r: PReg) -> AVal {
+        self.get_ref(r).clone()
+    }
+
+    /// Abstract value of `r`, by reference (hot path of the transfer
+    /// function: avoids cloning `Global`'s symbol name on every lookup).
+    pub fn get_ref(&self, r: PReg) -> &AVal {
+        self.regs.get(r).unwrap_or(&AVal::Bot)
+    }
+
+    /// Bind `r`.
+    pub fn set(&mut self, r: PReg, v: AVal) {
+        self.regs = self.regs.set(r, v);
+    }
+}
+
+impl JoinSemiLattice for AEnv {
+    fn join(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        out.join_in_place(other);
+        out
+    }
+
+    fn join_in_place(&mut self, other: &Self) -> bool {
+        let (joined, changed) = self.regs.join_with(
+            &other.regs,
+            &|a, b| a.join(b),
+            // `Bot` reads back as the default for a missing register:
+            // binding it would grow the tree without changing the meaning.
+            &|v| match v {
+                AVal::Bot => None,
+                other => Some(other.clone()),
+            },
+        );
+        self.regs = joined;
+        changed
+    }
+}
+
+/// Static knowledge about read-only globals: the initial memory restricted to
+/// `const` variables (CompCert's `romem`).
+#[derive(Debug, Clone)]
+pub struct Romem {
+    symtab: SymbolTable,
+    init: Mem,
+}
+
+impl Romem {
+    /// Build the read-only-globals summary from the symbol table.
+    pub fn new(symtab: &SymbolTable) -> Romem {
+        let init = symtab.build_init_mem().unwrap_or_default();
+        Romem {
+            symtab: symtab.clone(),
+            init,
+        }
+    }
+
+    /// The value at `ident + disp` through `chunk`, if `ident` is a read-only
+    /// global (so the load must still yield its initial value at run time).
+    pub fn load(&self, chunk: mem::Chunk, ident: &str, disp: i64) -> Option<Val> {
+        let b = self.symtab.block_of(ident)?;
+        match self.symtab.kind_of(b)? {
+            GlobKind::Var { readonly: true, .. } => self.init.load(chunk, b, disp).ok(),
+            _ => None,
+        }
+    }
+}
+
+/// Abstractly evaluate a pure operation.
+pub fn eval_op_abstract(env: &AEnv, op: &RtlOp) -> AVal {
+    match op {
+        RtlOp::Move(r) => env.get_ref(*r).clone(),
+        RtlOp::Int(n) => AVal::Const(Val::Int(*n)),
+        RtlOp::Long(n) => AVal::Const(Val::Long(*n)),
+        RtlOp::AddrGlobal(s, d) => AVal::Global(s.clone(), *d),
+        RtlOp::AddrStack(o) => AVal::Stack(*o),
+        RtlOp::Unop(mop, r) => match env.get_ref(*r) {
+            AVal::Const(v) => {
+                let out = mop.eval(*v);
+                if out.is_defined() && !matches!(out, Val::Ptr(_, _)) {
+                    AVal::Const(out)
+                } else {
+                    AVal::Top
+                }
+            }
+            AVal::Bot => AVal::Bot,
+            _ => AVal::Top,
+        },
+        RtlOp::Binop(mop, a, b) => match (env.get_ref(*a), env.get_ref(*b)) {
+            (AVal::Const(x), AVal::Const(y)) => match mop.fold(x, y) {
+                Some(v) => AVal::Const(v),
+                None => AVal::Top,
+            },
+            // Pointer arithmetic on known symbolic pointers.
+            (AVal::Global(s, d), AVal::Const(Val::Long(n))) if *mop == minor::MBinop::Add64 => {
+                AVal::Global(s.clone(), d + n)
+            }
+            (AVal::Stack(d), AVal::Const(Val::Long(n))) if *mop == minor::MBinop::Add64 => {
+                AVal::Stack(d + n)
+            }
+            (AVal::Bot, _) | (_, AVal::Bot) => AVal::Bot,
+            _ => AVal::Top,
+        },
+        RtlOp::BinopImm(mop, a, imm) => match env.get_ref(*a) {
+            AVal::Const(x) => match mop.fold(x, imm) {
+                Some(v) => AVal::Const(v),
+                None => AVal::Top,
+            },
+            AVal::Global(s, d) if *mop == minor::MBinop::Add64 => match imm {
+                Val::Long(n) => AVal::Global(s.clone(), d + n),
+                _ => AVal::Top,
+            },
+            AVal::Stack(d) if *mop == minor::MBinop::Add64 => match imm {
+                Val::Long(n) => AVal::Stack(d + n),
+                _ => AVal::Top,
+            },
+            AVal::Bot => AVal::Bot,
+            _ => AVal::Top,
+        },
+    }
+}
+
+/// Run the value analysis on a function: abstract register environment
+/// *before* each node.
+pub fn value_analysis(f: &RtlFunction, romem: &Romem) -> BTreeMap<Node, AEnv> {
+    let mut entry = AEnv::default();
+    for p in &f.params {
+        entry.set(*p, AVal::Top);
+    }
+    forward_solve(f, entry, AEnv::default(), |_, inst, before| {
+        let mut after = before.clone();
+        match inst {
+            Inst::Op(op, dst, _) => after.set(*dst, eval_op_abstract(before, op)),
+            Inst::Load(chunk, base, disp, dst, _) => {
+                let v = match before.get_ref(*base) {
+                    AVal::Global(s, d) => match romem.load(*chunk, s, d + disp) {
+                        Some(v) if !matches!(v, Val::Ptr(_, _)) && v.is_defined() => AVal::Const(v),
+                        _ => AVal::Top,
+                    },
+                    _ => AVal::Top,
+                };
+                after.set(*dst, v);
+            }
+            Inst::Call(_, _, _, dst, _) => {
+                if let Some(d) = dst {
+                    after.set(*d, AVal::Top);
+                }
+            }
+            _ => {}
+        }
+        after
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Liveness (backward)
+// ---------------------------------------------------------------------------
+
+/// Compute the set of registers live *after* each node.
+pub fn liveness(f: &RtlFunction) -> BTreeMap<Node, BTreeSet<PReg>> {
+    let preds = predecessors(f);
+    // live_in[n] = uses(n) ∪ (live_out[n] \ def(n));
+    // live_out[n] = ∪ live_in[succ].
+    // Ordered-set worklist: deduplicated, and popping the *largest* node
+    // first approximates postorder — the fast direction for a backward
+    // analysis (see `forward_solve` for the forward counterpart).
+    let mut live_in: BTreeMap<Node, BTreeSet<PReg>> = BTreeMap::new();
+    let mut work: BTreeSet<Node> = f.code.keys().copied().collect();
+    while let Some(n) = work.pop_last() {
+        let Some(inst) = f.code.get(&n) else { continue };
+        let mut out: BTreeSet<PReg> = BTreeSet::new();
+        for s in inst.successors() {
+            if let Some(li) = live_in.get(&s) {
+                out.extend(li.iter().copied());
+            }
+        }
+        let mut inn = out.clone();
+        if let Some(d) = inst.def() {
+            inn.remove(&d);
+        }
+        inn.extend(inst.uses());
+        if live_in.get(&n) != Some(&inn) {
+            live_in.insert(n, inn);
+            if let Some(ps) = preds.get(&n) {
+                work.extend(ps.iter().copied());
+            }
+        }
+    }
+    // Derive live-out from live-in of successors.
+    f.code
+        .iter()
+        .map(|(n, inst)| {
+            let mut out = BTreeSet::new();
+            for s in inst.successors() {
+                if let Some(li) = live_in.get(&s) {
+                    out.extend(li.iter().copied());
+                }
+            }
+            (*n, out)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compcerto_core::iface::Signature;
+    use minor::MBinop;
+
+    fn const_fn() -> RtlFunction {
+        // x2 := 6; x3 := 7; x4 := x2 * x3; return x4
+        let mut code = BTreeMap::new();
+        code.insert(0, Inst::Op(RtlOp::Int(6), 2, 1));
+        code.insert(1, Inst::Op(RtlOp::Int(7), 3, 2));
+        code.insert(2, Inst::Op(RtlOp::Binop(MBinop::Mul32, 2, 3), 4, 3));
+        code.insert(3, Inst::Return(Some(4)));
+        RtlFunction {
+            name: "f".into(),
+            sig: Signature::int_fn(0),
+            params: vec![],
+            stack_size: 0,
+            entry: 0,
+            code,
+            next_reg: 5,
+        }
+    }
+
+    #[test]
+    fn constants_propagate() {
+        let f = const_fn();
+        let romem = Romem::new(&SymbolTable::new());
+        let states = value_analysis(&f, &romem);
+        // Before the return, x4 is known to be 42.
+        let env = &states[&3];
+        assert_eq!(env.get(4), AVal::Const(Val::Int(42)));
+    }
+
+    #[test]
+    fn liveness_flows_backwards() {
+        let f = const_fn();
+        let live = liveness(&f);
+        // After node 2, only x4 is live.
+        assert_eq!(live[&2], BTreeSet::from([4]));
+        // After node 0, x2 is live (used at node 2).
+        assert!(live[&0].contains(&2));
+        assert!(!live[&0].contains(&4));
+    }
+
+    #[test]
+    fn romem_reads_constants() {
+        use compcerto_core::symtab::{GlobKind, InitDatum};
+        let mut tbl = SymbolTable::new();
+        tbl.define(
+            "k".into(),
+            GlobKind::Var {
+                init: vec![InitDatum::Int32(9)],
+                readonly: true,
+            },
+        );
+        tbl.define(
+            "w".into(),
+            GlobKind::Var {
+                init: vec![InitDatum::Int32(9)],
+                readonly: false,
+            },
+        );
+        let romem = Romem::new(&tbl);
+        assert_eq!(romem.load(mem::Chunk::I32, "k", 0), Some(Val::Int(9)));
+        // Writable globals are not compile-time constants.
+        assert_eq!(romem.load(mem::Chunk::I32, "w", 0), None);
+    }
+
+    #[test]
+    fn join_goes_to_top_on_conflict() {
+        assert_eq!(
+            AVal::Const(Val::Int(1)).join(&AVal::Const(Val::Int(2))),
+            AVal::Top
+        );
+        assert_eq!(
+            AVal::Bot.join(&AVal::Const(Val::Int(2))),
+            AVal::Const(Val::Int(2))
+        );
+    }
+}

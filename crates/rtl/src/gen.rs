@@ -1,0 +1,328 @@
+//! The `RTLgen` pass: build a control-flow graph from CminorSel's structured
+//! statements (paper Table 3, convention `ext ↠ ext`).
+
+use std::collections::BTreeMap;
+
+use minor::cminorsel::{SelExpr, SelFunction, SelProgram, SelStmt};
+use minor::{GStmt, StructLang, TempId};
+
+use crate::lang::{Inst, Node, PReg, RtlFunction, RtlOp, RtlProgram};
+
+/// Lower a CminorSel program to RTL.
+pub fn rtlgen(prog: &SelProgram) -> RtlProgram {
+    RtlProgram {
+        functions: prog
+            .functions
+            .iter()
+            .map(|f| gen_function(prog, f))
+            .collect(),
+        externs: prog.externs.clone(),
+    }
+}
+
+struct Builder<'p> {
+    prog: &'p SelProgram,
+    code: BTreeMap<Node, Inst>,
+    next_node: Node,
+    next_reg: PReg,
+    temp_regs: BTreeMap<TempId, PReg>,
+}
+
+impl Builder<'_> {
+    fn add(&mut self, inst: Inst) -> Node {
+        let n = self.next_node;
+        self.next_node += 1;
+        self.code.insert(n, inst);
+        n
+    }
+
+    fn reserve(&mut self) -> Node {
+        let n = self.next_node;
+        self.next_node += 1;
+        n
+    }
+
+    fn set(&mut self, n: Node, inst: Inst) {
+        self.code.insert(n, inst);
+    }
+
+    fn fresh(&mut self) -> PReg {
+        let r = self.next_reg;
+        self.next_reg += 1;
+        r
+    }
+
+    fn temp_reg(&mut self, t: TempId) -> PReg {
+        if let Some(r) = self.temp_regs.get(&t) {
+            return *r;
+        }
+        let r = self.fresh();
+        self.temp_regs.insert(t, r);
+        r
+    }
+
+    /// Emit code evaluating `e` into `dst`, continuing at `next`; returns the
+    /// entry node of the emitted code.
+    fn expr(&mut self, e: &SelExpr, dst: PReg, next: Node) -> Node {
+        match e {
+            SelExpr::ConstInt(n) => self.add(Inst::Op(RtlOp::Int(*n), dst, next)),
+            SelExpr::ConstLong(n) => self.add(Inst::Op(RtlOp::Long(*n), dst, next)),
+            SelExpr::Temp(t) => {
+                let r = self.temp_reg(*t);
+                self.add(Inst::Op(RtlOp::Move(r), dst, next))
+            }
+            SelExpr::AddrStack(o) => self.add(Inst::Op(RtlOp::AddrStack(*o), dst, next)),
+            SelExpr::AddrGlobal(s, d) => {
+                self.add(Inst::Op(RtlOp::AddrGlobal(s.clone(), *d), dst, next))
+            }
+            SelExpr::Load(chunk, base, disp) => {
+                let rb = self.fresh();
+                let load = self.add(Inst::Load(*chunk, rb, *disp, dst, next));
+                self.expr(base, rb, load)
+            }
+            SelExpr::Unop(op, a) => {
+                let ra = self.fresh();
+                let opn = self.add(Inst::Op(RtlOp::Unop(*op, ra), dst, next));
+                self.expr(a, ra, opn)
+            }
+            SelExpr::Binop(op, a, b) => {
+                let ra = self.fresh();
+                let rb = self.fresh();
+                let opn = self.add(Inst::Op(RtlOp::Binop(*op, ra, rb), dst, next));
+                let nb = self.expr(b, rb, opn);
+                self.expr(a, ra, nb)
+            }
+            SelExpr::BinopImm(op, a, imm) => {
+                let ra = self.fresh();
+                let opn = self.add(Inst::Op(RtlOp::BinopImm(*op, ra, *imm), dst, next));
+                self.expr(a, ra, opn)
+            }
+        }
+    }
+
+    /// Emit code for `s` continuing at `next`; `brk`/`cont` are the targets
+    /// of `break`/`continue` when inside a loop.
+    fn stmt(&mut self, s: &SelStmt, next: Node, brk: Option<Node>, cont: Option<Node>) -> Node {
+        match s {
+            GStmt::Skip => next,
+            GStmt::Set(t, e) => {
+                let dst = self.temp_reg(*t);
+                self.expr(e, dst, next)
+            }
+            GStmt::Store(chunk, addr, value) => {
+                let ra = self.fresh();
+                let rv = self.fresh();
+                let st = self.add(Inst::Store(*chunk, ra, 0, rv, next));
+                let nv = self.expr(value, rv, st);
+                self.expr(addr, ra, nv)
+            }
+            GStmt::Call(dest, f, args) => {
+                let arg_regs: Vec<PReg> = args.iter().map(|_| self.fresh()).collect();
+                let dst = dest.map(|t| self.temp_reg(t));
+                let sig = self
+                    .prog
+                    .sig_of(f)
+                    .unwrap_or_else(|| compcerto_core::iface::Signature::int_fn(args.len()));
+                let call = self.add(Inst::Call(sig, f.clone(), arg_regs.clone(), dst, next));
+                // Evaluate arguments left-to-right: chain backwards.
+                let mut entry = call;
+                for (a, r) in args.iter().zip(arg_regs).rev() {
+                    entry = self.expr(a, r, entry);
+                }
+                entry
+            }
+            GStmt::Seq(a, b) => {
+                let nb = self.stmt(b, next, brk, cont);
+                self.stmt(a, nb, brk, cont)
+            }
+            GStmt::If(c, a, b) => {
+                let na = self.stmt(a, next, brk, cont);
+                let nb = self.stmt(b, next, brk, cont);
+                let rc = self.fresh();
+                let cond = self.add(Inst::Cond(rc, na, nb));
+                self.expr(c, rc, cond)
+            }
+            GStmt::While(c, body) => {
+                let head = self.reserve();
+                let nb = self.stmt(body, head, Some(next), Some(head));
+                let rc = self.fresh();
+                let cond = self.add(Inst::Cond(rc, nb, next));
+                let test_entry = self.expr(c, rc, cond);
+                self.set(head, Inst::Nop(test_entry));
+                head
+            }
+            GStmt::Break => brk.unwrap_or(next),
+            GStmt::Continue => cont.unwrap_or(next),
+            GStmt::Return(Some(e)) => {
+                let r = self.fresh();
+                let ret = self.add(Inst::Return(Some(r)));
+                self.expr(e, r, ret)
+            }
+            GStmt::Return(None) => self.add(Inst::Return(None)),
+        }
+    }
+}
+
+fn gen_function(prog: &SelProgram, f: &SelFunction) -> RtlFunction {
+    let mut b = Builder {
+        prog,
+        code: BTreeMap::new(),
+        next_node: 0,
+        next_reg: 0,
+        temp_regs: BTreeMap::new(),
+    };
+    // Fix parameter registers first so they are dense and in order.
+    let params: Vec<PReg> = f.params.iter().map(|t| b.temp_reg(*t)).collect();
+    // Falling off the end returns undef.
+    let fallthrough = b.add(Inst::Return(match f.sig.ret {
+        Some(_) => None,
+        None => None,
+    }));
+    let entry = b.stmt(&f.body, fallthrough, None, None);
+    RtlFunction {
+        name: f.name.clone(),
+        sig: f.sig.clone(),
+        params,
+        stack_size: f.stack_size,
+        entry,
+        code: b.code,
+        next_reg: b.next_reg,
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::sem::RtlSem;
+    use clight::{build_symtab, parse, simpl_locals, typecheck};
+    use compcerto_core::iface::{CQuery, CReply};
+    use compcerto_core::lts::run;
+    use compcerto_core::symtab::SymbolTable;
+    use mem::{extends, Val};
+    use minor::{cminorgen, cshmgen, selection, CminorSelSem};
+
+    pub(crate) fn front_end(src: &str) -> (minor::SelProgram, RtlProgram, SymbolTable) {
+        let p = simpl_locals(&typecheck(&parse(src).unwrap()).unwrap());
+        let sel = selection(&cminorgen(&cshmgen(&p).unwrap()).unwrap());
+        let r = rtlgen(&sel);
+        let tbl = build_symtab(&[&p]).unwrap();
+        (sel, r, tbl)
+    }
+
+    /// Differential check against CminorSel under `ext ↠ ext`.
+    fn differential(src: &str, fname: &str, args: Vec<Val>) -> CReply {
+        let (sel, r, tbl) = front_end(src);
+        let mem = tbl.build_init_mem().unwrap();
+        let sig = r.function(fname).unwrap().sig.clone();
+        let q = CQuery {
+            vf: tbl.func_ptr(fname).unwrap(),
+            sig,
+            args,
+            mem,
+        };
+        let s1 = CminorSelSem::new(sel, tbl.clone());
+        let s2 = RtlSem::new(r, tbl);
+        let env = |eq: &CQuery| {
+            Some(CReply {
+                retval: eq.args.first().copied().unwrap_or(Val::Int(0)),
+                mem: eq.mem.clone(),
+            })
+        };
+        let r1 = run(&s1, &q, &mut env.clone(), 1_000_000).expect_complete();
+        let r2 = run(&s2, &q, &mut env.clone(), 1_000_000).expect_complete();
+        assert!(
+            r1.retval.lessdef(&r2.retval),
+            "retval not refined: {} vs {}",
+            r1.retval,
+            r2.retval
+        );
+        assert!(extends(&r1.mem, &r2.mem), "memory not extended");
+        r2
+    }
+
+    #[test]
+    fn straightline() {
+        let r = differential(
+            "int f(int a, int b) { return a * b + 2; }",
+            "f",
+            vec![Val::Int(6), Val::Int(7)],
+        );
+        assert_eq!(r.retval, Val::Int(44));
+    }
+
+    #[test]
+    fn loops_with_break() {
+        let src = "
+            int firstdiv(int n) {
+                int d;
+                d = 2;
+                while (1) {
+                    if (n % d == 0) { break; }
+                    d = d + 1;
+                }
+                return d;
+            }";
+        let r = differential(src, "firstdiv", vec![Val::Int(49)]);
+        assert_eq!(r.retval, Val::Int(7));
+    }
+
+    #[test]
+    fn nested_control_flow() {
+        let src = "
+            int collatz(int n) {
+                int steps;
+                steps = 0;
+                while (n != 1) {
+                    if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+                    steps = steps + 1;
+                }
+                return steps;
+            }";
+        let r = differential(src, "collatz", vec![Val::Int(27)]);
+        assert_eq!(r.retval, Val::Int(111));
+    }
+
+    #[test]
+    fn memory_traffic() {
+        let src = "
+            long buf[8];
+            long sum(int n) {
+                int i; long s;
+                for (i = 0; i < n; i = i + 1) { buf[i] = (long) (i * 2); }
+                s = 0L;
+                for (i = 0; i < n; i = i + 1) { s = s + buf[i]; }
+                return s;
+            }";
+        let r = differential(src, "sum", vec![Val::Int(8)]);
+        assert_eq!(r.retval, Val::Long(56));
+    }
+
+    #[test]
+    fn calls_internal_and_external() {
+        let src = "
+            extern int mystery(int);
+            int helper(int x) { return x + 100; }
+            int f(int x) {
+                int a; int b;
+                a = helper(x);
+                b = mystery(a);
+                return a + b;
+            }";
+        let r = differential(src, "f", vec![Val::Int(1)]);
+        assert_eq!(r.retval, Val::Int(202));
+    }
+
+    #[test]
+    fn recursion() {
+        let src = "
+            int fib(int n) {
+                int a; int b;
+                if (n < 2) { return n; }
+                a = fib(n - 1);
+                b = fib(n - 2);
+                return a + b;
+            }";
+        let r = differential(src, "fib", vec![Val::Int(12)]);
+        assert_eq!(r.retval, Val::Int(144));
+    }
+}

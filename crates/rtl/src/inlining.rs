@@ -1,0 +1,274 @@
+//! The `Inlining` pass (paper Table 3, convention `injp ↠ inj`).
+//!
+//! Calls to small, non-tail-recursive internal functions are replaced by a
+//! spliced copy of the callee's body. The inlined activation no longer
+//! allocates its own stack block — a callee frame is merged into the
+//! caller's frame at a fresh offset — so the source execution has memory
+//! blocks the target lacks, and source stack addresses map into the target's
+//! merged frame at a non-zero delta. The pass therefore sits under an
+//! injection convention, with `injp` protecting the disappeared blocks
+//! across external calls (paper §4.5); this is the same injection shape
+//! CompCert's `Inliningproof` builds by hand.
+
+use std::collections::BTreeMap;
+
+use crate::lang::{Inst, Node, PReg, RtlFunction, RtlOp, RtlProgram};
+
+/// Maximum callee size (in instructions) eligible for inlining.
+pub const INLINE_LIMIT: usize = 50;
+
+/// Run the inliner over every function (one level of inlining per run).
+pub fn inlining(prog: &RtlProgram) -> RtlProgram {
+    let eligible: BTreeMap<String, RtlFunction> = prog
+        .functions
+        .iter()
+        .filter(|f| is_inlinable(f))
+        .map(|f| (f.name.clone(), f.clone()))
+        .collect();
+    prog.map_functions(|f| inline_function(f, &eligible))
+}
+
+/// Can this function be inlined into callers?
+///
+/// Calls inside the callee are fine (they are spliced as calls from the
+/// caller — one level of inlining per run); tail calls are not, because a
+/// spliced tail call would free the *caller's* frame.
+fn is_inlinable(f: &RtlFunction) -> bool {
+    f.code.len() <= INLINE_LIMIT
+        && !f
+            .code
+            .values()
+            .any(|i| matches!(i, Inst::Tailcall(_, _, _)))
+}
+
+fn inline_function(f: &RtlFunction, eligible: &BTreeMap<String, RtlFunction>) -> RtlFunction {
+    let mut out = f.clone();
+    let call_sites: Vec<(Node, Inst)> = f
+        .code
+        .iter()
+        .filter(|(_, i)| {
+            matches!(i, Inst::Call(_, callee, _, _, _)
+                     if eligible.contains_key(callee) && *callee != f.name)
+        })
+        .map(|(n, i)| (*n, i.clone()))
+        .collect();
+
+    for (site, inst) in call_sites {
+        let Inst::Call(_, callee, args, dest, next) = inst else {
+            continue;
+        };
+        let g = &eligible[&callee];
+        let node_base = out.code.keys().max().copied().unwrap_or(0) + 1;
+        let reg_base = out.next_reg;
+        out.next_reg += g.next_reg;
+        // Merge the callee's frame into the caller's at an 8-aligned offset:
+        // the callee's `AddrStack o` becomes the caller's `AddrStack
+        // (stack_shift + o)` (CompCert: the `fe` context of Inliningproof).
+        let stack_shift = (out.stack_size + 7) & !7;
+        if g.stack_size > 0 {
+            out.stack_size = stack_shift + g.stack_size;
+        }
+
+        // Splice the callee's code with renamed nodes and registers.
+        for (n, i) in &g.code {
+            let renamed = rename_inst(i, reg_base, node_base, stack_shift, dest, next);
+            out.code.insert(n + node_base, renamed);
+        }
+        // Bind parameters: arg registers move into renamed parameter
+        // registers, then fall into the callee's entry.
+        let mut entry = g.entry + node_base;
+        for (p, a) in g.params.iter().zip(&args).rev() {
+            let mv_node = out.code.keys().max().copied().unwrap_or(0) + 1;
+            out.code
+                .insert(mv_node, Inst::Op(RtlOp::Move(*a), p + reg_base, entry));
+            entry = mv_node;
+        }
+        out.code.insert(site, Inst::Nop(entry));
+    }
+    out
+}
+
+/// Rename an inlined instruction: registers shift by `reg_base`, nodes by
+/// `node_base`, stack offsets by `stack_shift`; returns become moves into the
+/// call's destination followed by a jump to the call's continuation.
+fn rename_inst(
+    i: &Inst,
+    reg_base: PReg,
+    node_base: Node,
+    stack_shift: i64,
+    dest: Option<PReg>,
+    next: Node,
+) -> Inst {
+    let r = |x: &PReg| x + reg_base;
+    let n = |x: &Node| x + node_base;
+    match i {
+        Inst::Op(op, dst, nn) => Inst::Op(rename_op(op, reg_base, stack_shift), r(dst), n(nn)),
+        Inst::Load(c, b, d, dst, nn) => Inst::Load(*c, r(b), *d, r(dst), n(nn)),
+        Inst::Store(c, b, d, src, nn) => Inst::Store(*c, r(b), *d, r(src), n(nn)),
+        Inst::Cond(x, t, e) => Inst::Cond(r(x), n(t), n(e)),
+        Inst::Nop(nn) => Inst::Nop(n(nn)),
+        Inst::Call(sig, callee, args, d, nn) => Inst::Call(
+            sig.clone(),
+            callee.clone(),
+            args.iter().map(|a| a + reg_base).collect(),
+            d.map(|x| x + reg_base),
+            n(nn),
+        ),
+        Inst::Return(Some(x)) => match dest {
+            Some(d) => Inst::Op(RtlOp::Move(r(x)), d, next),
+            None => Inst::Nop(next),
+        },
+        Inst::Return(None) => Inst::Nop(next),
+        // Excluded by `is_inlinable`.
+        Inst::Tailcall(_, _, _) => unreachable!("tail calls are not inlinable"),
+    }
+}
+
+fn rename_op(op: &RtlOp, reg_base: PReg, stack_shift: i64) -> RtlOp {
+    match op {
+        RtlOp::Move(x) => RtlOp::Move(x + reg_base),
+        RtlOp::Unop(m, x) => RtlOp::Unop(*m, x + reg_base),
+        RtlOp::Binop(m, a, b) => RtlOp::Binop(*m, a + reg_base, b + reg_base),
+        RtlOp::BinopImm(m, a, i) => RtlOp::BinopImm(*m, a + reg_base, *i),
+        RtlOp::AddrStack(o) => RtlOp::AddrStack(o + stack_shift),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::tests::front_end;
+    use crate::sem::RtlSem;
+    use compcerto_core::iface::{CQuery, CReply};
+    use compcerto_core::lts::run;
+    use mem::{mem_inject, MemInj, Val};
+
+    #[test]
+    fn inlines_small_helper() {
+        let src = "
+            int sq(int x) { return x * x; }
+            int f(int a) { int r; r = sq(a); return r + 1; }";
+        let (_, prog, tbl) = front_end(src);
+        let inlined = inlining(&prog);
+        // The call site in `f` became a Nop into spliced code.
+        let f = inlined.function("f").unwrap();
+        assert!(
+            !f.code
+                .values()
+                .any(|i| matches!(i, Inst::Call(_, c, _, _, _) if c == "sq")),
+            "call to sq should be gone:\n{}",
+            f.dump()
+        );
+
+        // Behaviour preserved; final memories inject (the inlined activation
+        // allocates one block less per call).
+        let mem0 = tbl.build_init_mem().unwrap();
+        let q = CQuery {
+            vf: tbl.func_ptr("f").unwrap(),
+            sig: prog.function("f").unwrap().sig.clone(),
+            args: vec![Val::Int(9)],
+            mem: mem0,
+        };
+        let s1 = RtlSem::new(prog, tbl.clone());
+        let s2 = RtlSem::new(inlined, tbl.clone());
+        let r1 = run(&s1, &q, &mut |_: &CQuery| None::<CReply>, 100_000).expect_complete();
+        let r2 = run(&s2, &q, &mut |_: &CQuery| None::<CReply>, 100_000).expect_complete();
+        assert_eq!(r1.retval, Val::Int(82));
+        assert_eq!(r2.retval, Val::Int(82));
+        let f = MemInj::identity_below(tbl.len() as u32);
+        assert_eq!(mem_inject(&f, &r1.mem, &r2.mem), Ok(()));
+        // The source allocated strictly more blocks.
+        assert!(r1.mem.next_block() > r2.mem.next_block());
+    }
+
+    #[test]
+    fn recursion_is_not_inlined() {
+        let src = "
+            int fact(int n) { int r; if (n <= 1) { return 1; } r = fact(n - 1); return n * r; }";
+        let (_, prog, _) = front_end(src);
+        let inlined = inlining(&prog);
+        let f = inlined.function("fact").unwrap();
+        assert!(f
+            .code
+            .values()
+            .any(|i| matches!(i, Inst::Call(_, c, _, _, _) if c == "fact")));
+    }
+
+    #[test]
+    fn frame_callees_inline_by_merging_frames() {
+        // The callee owns a stack array: inlining must graft its frame into
+        // the caller's at a fresh offset and shift every `AddrStack`.
+        let src = "
+            int boxed(int x) { int a[2]; a[0] = x; a[1] = x + 1; return a[0] * a[1]; }
+            int f(int a) { int r; r = boxed(a); return r + a; }";
+        let (_, prog, tbl) = front_end(src);
+        let g_size = prog.function("boxed").unwrap().stack_size;
+        assert!(g_size > 0);
+        let f_size = prog.function("f").unwrap().stack_size;
+        let inlined = inlining(&prog);
+        let fi = inlined.function("f").unwrap();
+        assert!(
+            !fi.code
+                .values()
+                .any(|i| matches!(i, Inst::Call(_, c, _, _, _) if c == "boxed")),
+            "call to boxed should be gone:\n{}",
+            fi.dump()
+        );
+        // Merged frame: old caller frame (8-aligned) plus the callee's.
+        assert_eq!(fi.stack_size, ((f_size + 7) & !7) + g_size);
+
+        // Behaviour preserved: boxed(9) = 9 * 10 = 90, f = 90 + 9 = 99.
+        let mem0 = tbl.build_init_mem().unwrap();
+        let q = CQuery {
+            vf: tbl.func_ptr("f").unwrap(),
+            sig: prog.function("f").unwrap().sig.clone(),
+            args: vec![Val::Int(9)],
+            mem: mem0,
+        };
+        let s1 = RtlSem::new(prog, tbl.clone());
+        let s2 = RtlSem::new(inlined, tbl.clone());
+        let r1 = run(&s1, &q, &mut |_: &CQuery| None::<CReply>, 100_000).expect_complete();
+        let r2 = run(&s2, &q, &mut |_: &CQuery| None::<CReply>, 100_000).expect_complete();
+        assert_eq!(r1.retval, Val::Int(99));
+        assert_eq!(r2.retval, Val::Int(99));
+        // One activation (and its block) fewer on the target side.
+        assert!(r1.mem.next_block() > r2.mem.next_block());
+        let f = MemInj::identity_below(tbl.len() as u32);
+        assert_eq!(mem_inject(&f, &r1.mem, &r2.mem), Ok(()));
+    }
+
+    #[test]
+    fn callees_containing_calls_are_spliced_one_level() {
+        // `mid` itself calls `leaf`: inlining `mid` splices a *call* to
+        // `leaf` into `f` (one level per run), renaming its argument and
+        // destination registers.
+        let src = "
+            int leaf(int x) { return x + 100; }
+            int mid(int x) { int t; t = leaf(x * 2); return t + 1; }
+            int f(int a) { int r; r = mid(a); return r; }";
+        let (_, prog, tbl) = front_end(src);
+        let inlined = inlining(&prog);
+        let fi = inlined.function("f").unwrap();
+        assert!(
+            !fi.code
+                .values()
+                .any(|i| matches!(i, Inst::Call(_, c, _, _, _) if c == "mid")),
+            "call to mid should be gone:\n{}",
+            fi.dump()
+        );
+        // Behaviour preserved: leaf(3*2)=106, mid=107.
+        let q = CQuery {
+            vf: tbl.func_ptr("f").unwrap(),
+            sig: prog.function("f").unwrap().sig.clone(),
+            args: vec![Val::Int(3)],
+            mem: tbl.build_init_mem().unwrap(),
+        };
+        let s1 = RtlSem::new(prog, tbl.clone());
+        let s2 = RtlSem::new(inlined, tbl);
+        let r1 = run(&s1, &q, &mut |_: &CQuery| None::<CReply>, 100_000).expect_complete();
+        let r2 = run(&s2, &q, &mut |_: &CQuery| None::<CReply>, 100_000).expect_complete();
+        assert_eq!(r1.retval, Val::Int(107));
+        assert_eq!(r2.retval, r1.retval);
+    }
+}

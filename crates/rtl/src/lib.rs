@@ -1,0 +1,44 @@
+//! # RTL: the register-transfer language of CompCertO-rs
+//!
+//! A control-flow graph of three-address instructions over pseudo-registers,
+//! with its open semantics over `C ↠ C` ([`sem::RtlSem`]) and the
+//! optimization passes of paper Table 3:
+//!
+//! | Pass | Module | Convention |
+//! |------|--------|------------|
+//! | RTLgen | [`gen`] | `ext ↠ ext` |
+//! | Tailcall† | [`tailcall`] | `ext ↠ ext` |
+//! | Inlining | [`inlining`] | `injp ↠ inj` |
+//! | Renumber | [`renumber`] | `id ↠ id` |
+//! | Constprop† | [`constprop`] | `va·ext ↠ va·ext` |
+//! | CSE† | [`cse`] | `va·ext ↠ va·ext` |
+//! | Deadcode† | [`deadcode`] | `va·ext ↠ va·ext` |
+//!
+//! († = optional optimizations; the final convention `C` is insensitive to
+//! whether they run, paper §3.4.)
+//!
+//! The value-analysis framework backing the `va` passes lives in
+//! [`analysis`].
+
+pub mod analysis;
+pub mod constprop;
+pub mod cse;
+pub mod deadcode;
+pub mod gen;
+pub mod inlining;
+pub mod lang;
+pub mod ptree;
+pub mod renumber;
+pub mod sem;
+pub mod tailcall;
+
+pub use analysis::{liveness, value_analysis, AEnv, AVal, Romem};
+pub use constprop::constprop;
+pub use cse::cse;
+pub use deadcode::deadcode;
+pub use gen::rtlgen;
+pub use inlining::inlining;
+pub use lang::{Inst, Node, PReg, RtlFunction, RtlOp, RtlProgram};
+pub use renumber::renumber;
+pub use sem::{RtlSem, RtlState};
+pub use tailcall::tailcall;

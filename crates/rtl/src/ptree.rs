@@ -1,0 +1,315 @@
+//! A persistent radix-2 trie over `u32` keys — CompCert's `lib/Maps.v`
+//! `PTree`, the data structure its dataflow analyses store their per-node
+//! abstract environments in.
+//!
+//! The operations the solver loop needs are cheap in exactly the way the
+//! analyses use them: `clone` is O(1) (an `Rc` bump), `set` path-copies
+//! O(log key) nodes, and [`PTree::join_with`] reuses whole subtrees via
+//! pointer equality, so joining a state into itself (the common case once
+//! the fixpoint nears) touches nothing.
+
+use std::rc::Rc;
+
+type Link<V> = Option<Rc<PNode<V>>>;
+
+#[derive(Debug, PartialEq, Eq)]
+struct PNode<V> {
+    val: Option<V>,
+    l: Link<V>,
+    r: Link<V>,
+}
+
+/// A persistent map from `u32` to `V` with structural sharing.
+///
+/// # Example
+///
+/// ```
+/// use rtl::ptree::PTree;
+/// let a = PTree::new().set(3, "x");
+/// let b = a.set(9, "y");      // `a` is untouched
+/// assert_eq!(a.get(9), None);
+/// assert_eq!(b.get(3), Some(&"x"));
+/// assert_eq!(b.get(9), Some(&"y"));
+/// ```
+#[derive(Debug)]
+pub struct PTree<V>(Link<V>);
+
+impl<V> Clone for PTree<V> {
+    fn clone(&self) -> Self {
+        PTree(self.0.clone())
+    }
+}
+
+impl<V> Default for PTree<V> {
+    fn default() -> Self {
+        PTree(None)
+    }
+}
+
+impl<V: PartialEq> PartialEq for PTree<V> {
+    fn eq(&self, other: &Self) -> bool {
+        eq_link(&self.0, &other.0)
+    }
+}
+
+impl<V: Eq> Eq for PTree<V> {}
+
+fn eq_link<V: PartialEq>(a: &Link<V>, b: &Link<V>) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(x), Some(y)) => {
+            Rc::ptr_eq(x, y) || (x.val == y.val && eq_link(&x.l, &y.l) && eq_link(&x.r, &y.r))
+        }
+        _ => false,
+    }
+}
+
+/// Build a node, pruning empty leaves (keeps trees canonical: equal contents
+/// built by any operation sequence compare equal structurally).
+fn mk<V>(val: Option<V>, l: Link<V>, r: Link<V>) -> Link<V> {
+    if val.is_none() && l.is_none() && r.is_none() {
+        None
+    } else {
+        Some(Rc::new(PNode { val, l, r }))
+    }
+}
+
+impl<V> PTree<V> {
+    /// The empty map.
+    pub fn new() -> Self {
+        PTree(None)
+    }
+
+    /// Is the map empty?
+    pub fn is_empty(&self) -> bool {
+        self.0.is_none()
+    }
+
+    /// Value at `key`, if present.
+    pub fn get(&self, key: u32) -> Option<&V> {
+        let mut link = &self.0;
+        let mut k = key;
+        loop {
+            let node = link.as_ref()?;
+            if k == 0 {
+                return node.val.as_ref();
+            }
+            link = if k & 1 == 0 { &node.l } else { &node.r };
+            k >>= 1;
+        }
+    }
+
+    /// Iterate over `(key, value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &V)> {
+        let mut stack: Vec<(&Link<V>, u32, u32)> = vec![(&self.0, 0, 0)];
+        std::iter::from_fn(move || loop {
+            let (link, key, depth) = stack.pop()?;
+            let node = match link {
+                Some(n) => n,
+                None => continue,
+            };
+            stack.push((&node.l, key, depth + 1));
+            stack.push((&node.r, key | (1 << depth), depth + 1));
+            if let Some(v) = &node.val {
+                return Some((key, v));
+            }
+        })
+    }
+
+    /// Number of entries (O(n): walks the trie).
+    pub fn len(&self) -> usize {
+        self.iter().count()
+    }
+}
+
+impl<V: Clone> PTree<V> {
+    /// The map with `key` bound to `v` (path-copying; `self` is unchanged).
+    #[must_use]
+    pub fn set(&self, key: u32, v: V) -> Self {
+        PTree(set_link(&self.0, key, v))
+    }
+}
+
+fn set_link<V: Clone>(link: &Link<V>, k: u32, v: V) -> Link<V> {
+    let (val, l, r) = match link {
+        Some(n) => (n.val.clone(), n.l.clone(), n.r.clone()),
+        None => (None, None, None),
+    };
+    if k == 0 {
+        mk(Some(v), l, r)
+    } else if k & 1 == 0 {
+        let child = set_link(&l, k >> 1, v);
+        mk(val, child, r)
+    } else {
+        let child = set_link(&r, k >> 1, v);
+        mk(val, l, child)
+    }
+}
+
+impl<V: Clone + PartialEq> PTree<V> {
+    /// Pointwise join for dataflow solvers: the result binds every key of
+    /// either map, combining values with `f`. Returns the joined map and
+    /// whether it differs from `self`.
+    ///
+    /// `f`'s contract (the join-semilattice laws the caller's lattice already
+    /// satisfies): `f(v, v) = v`, and keys only in `self` keep their value.
+    /// Keys only in `other` are admitted through `absorb`: `absorb(v)` is
+    /// `None` when binding `v` would not change the map's *meaning* (e.g. a
+    /// lattice bottom that reads back as the default) — this keeps the
+    /// changed-flag honest.
+    ///
+    /// Subtrees shared between the two maps (or absent from `other`) are
+    /// reused wholesale — joining a state with itself is O(1).
+    pub fn join_with(
+        &self,
+        other: &Self,
+        f: &impl Fn(&V, &V) -> V,
+        absorb: &impl Fn(&V) -> Option<V>,
+    ) -> (Self, bool) {
+        let (link, changed) = join_link(&self.0, &other.0, f, absorb);
+        (PTree(link), changed)
+    }
+}
+
+fn join_link<V: Clone + PartialEq>(
+    a: &Link<V>,
+    b: &Link<V>,
+    f: &impl Fn(&V, &V) -> V,
+    absorb: &impl Fn(&V) -> Option<V>,
+) -> (Link<V>, bool) {
+    match (a, b) {
+        (None, None) => (None, false),
+        // Keys only in `a` keep their value: reuse the subtree, unchanged.
+        (Some(_), None) => (a.clone(), false),
+        (Some(x), Some(y)) if Rc::ptr_eq(x, y) => (a.clone(), false),
+        // Keys only in `b`: admit through `absorb`.
+        (None, Some(y)) => {
+            let link = absorb_link(y, absorb);
+            let changed = link.is_some();
+            (link, changed)
+        }
+        (Some(x), Some(y)) => {
+            let (l, lc) = join_link(&x.l, &y.l, f, absorb);
+            let (r, rc) = join_link(&x.r, &y.r, f, absorb);
+            let (val, vc) = match (&x.val, &y.val) {
+                (Some(xv), Some(yv)) => {
+                    let j = f(xv, yv);
+                    let changed = j != *xv;
+                    (Some(j), changed)
+                }
+                (Some(xv), None) => (Some(xv.clone()), false),
+                (None, Some(yv)) => match absorb(yv) {
+                    Some(v) => (Some(v), true),
+                    None => (None, false),
+                },
+                (None, None) => (None, false),
+            };
+            if lc || rc || vc {
+                (mk(val, l, r), true)
+            } else {
+                (a.clone(), false)
+            }
+        }
+    }
+}
+
+fn absorb_link<V: Clone + PartialEq>(
+    b: &Rc<PNode<V>>,
+    absorb: &impl Fn(&V) -> Option<V>,
+) -> Link<V> {
+    let val = b.val.as_ref().and_then(absorb);
+    let l = b.l.as_ref().and_then(|n| absorb_link(n, absorb));
+    let r = b.r.as_ref().and_then(|n| absorb_link(n, absorb));
+    mk(val, l, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_gets_nothing() {
+        let t: PTree<i32> = PTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.get(0), None);
+        assert_eq!(t.get(17), None);
+    }
+
+    #[test]
+    fn set_then_get() {
+        let t = PTree::new().set(0, "a").set(5, "b").set(1024, "c");
+        assert_eq!(t.get(0), Some(&"a"));
+        assert_eq!(t.get(5), Some(&"b"));
+        assert_eq!(t.get(1024), Some(&"c"));
+        assert_eq!(t.get(6), None);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn set_is_persistent() {
+        let a = PTree::new().set(3, 1);
+        let b = a.set(3, 2);
+        assert_eq!(a.get(3), Some(&1));
+        assert_eq!(b.get(3), Some(&2));
+    }
+
+    #[test]
+    fn equal_contents_compare_equal() {
+        let a = PTree::new().set(2, 10).set(7, 20);
+        let b = PTree::new().set(7, 20).set(2, 10);
+        assert_eq!(a, b);
+        assert_ne!(a, b.set(2, 11));
+        assert_ne!(a, PTree::new());
+    }
+
+    #[test]
+    fn iter_visits_every_binding() {
+        let t = PTree::new().set(1, "x").set(0, "y").set(33, "z");
+        let mut got: Vec<(u32, &&str)> = t.iter().collect();
+        got.sort();
+        assert_eq!(got, vec![(0, &"y"), (1, &"x"), (33, &"z")]);
+    }
+
+    #[test]
+    fn join_with_self_is_noop() {
+        let t = PTree::new().set(4, 7).set(9, 8);
+        let (j, changed) = t.join_with(&t, &|a, b| (*a).max(*b), &|v| Some(*v));
+        assert!(!changed);
+        assert_eq!(j, t);
+    }
+
+    #[test]
+    fn join_grows_on_new_keys_and_bigger_values() {
+        let a = PTree::new().set(1, 5);
+        let b = PTree::new().set(1, 9).set(2, 3);
+        let (j, changed) = a.join_with(&b, &|x, y| (*x).max(*y), &|v| Some(*v));
+        assert!(changed);
+        assert_eq!(j.get(1), Some(&9));
+        assert_eq!(j.get(2), Some(&3));
+    }
+
+    #[test]
+    fn join_absorb_filters_bottom() {
+        // Here 0 plays "bottom": binding it is meaningless.
+        let a = PTree::new().set(1, 5);
+        let b = PTree::new().set(2, 0);
+        let (j, changed) = a.join_with(&b, &|x, y| (*x).max(*y), &|v| {
+            if *v == 0 {
+                None
+            } else {
+                Some(*v)
+            }
+        });
+        assert!(!changed);
+        assert_eq!(j, a);
+    }
+
+    #[test]
+    fn join_keeps_left_only_keys_without_change() {
+        let a = PTree::new().set(1, 5).set(40, 6);
+        let b = PTree::new().set(1, 5);
+        let (j, changed) = a.join_with(&b, &|x, y| (*x).max(*y), &|v| Some(*v));
+        assert!(!changed);
+        assert_eq!(j, a);
+    }
+}

@@ -1,0 +1,464 @@
+//! Open semantics of RTL: an LTS over `C ↠ C` (paper §3.2, Thm. 4.3 lists
+//! RTL among the languages parametric in CKLRs).
+
+use std::collections::BTreeMap;
+
+use compcerto_core::iface::{CQuery, CReply, C};
+use compcerto_core::lts::{Lts, Step, Stuck};
+use compcerto_core::symtab::{Ident, SymbolTable};
+use mem::{BlockId, Mem, Val};
+
+use crate::lang::{Inst, Node, PReg, RtlFunction, RtlOp, RtlProgram};
+
+/// The open semantics `RTL(p) : C ↠ C`.
+#[derive(Debug, Clone)]
+pub struct RtlSem {
+    prog: RtlProgram,
+    symtab: SymbolTable,
+    label: String,
+}
+
+/// An RTL activation.
+#[derive(Debug, Clone)]
+pub struct RtlFrame {
+    fname: Ident,
+    pc: Node,
+    regs: BTreeMap<PReg, Val>,
+    sp: BlockId,
+}
+
+/// States of the RTL LTS.
+#[derive(Debug, Clone)]
+pub enum RtlState {
+    /// Entering an internal function.
+    Call {
+        /// Callee.
+        fname: Ident,
+        /// Arguments.
+        args: Vec<Val>,
+        /// Memory.
+        mem: Mem,
+        /// Suspended callers (innermost last).
+        stack: Vec<RtlFrame>,
+    },
+    /// Executing instructions.
+    Exec {
+        /// Active frame.
+        cur: RtlFrame,
+        /// Memory.
+        mem: Mem,
+        /// Suspended callers.
+        stack: Vec<RtlFrame>,
+    },
+    /// Suspended on an external call.
+    External {
+        /// Outgoing question.
+        q: CQuery,
+        /// Active frame (its `pc` still points at the call).
+        cur: RtlFrame,
+        /// Suspended callers.
+        stack: Vec<RtlFrame>,
+    },
+    /// Returning `v` to the innermost suspended caller (or the environment).
+    Ret {
+        /// Value.
+        v: Val,
+        /// Memory.
+        mem: Mem,
+        /// Suspended callers.
+        stack: Vec<RtlFrame>,
+    },
+}
+
+impl RtlSem {
+    /// Wrap an RTL program and the shared symbol table.
+    pub fn new(prog: RtlProgram, symtab: SymbolTable) -> RtlSem {
+        RtlSem {
+            prog,
+            symtab,
+            label: "RTL".into(),
+        }
+    }
+
+    /// Override the display label.
+    pub fn with_label(mut self, label: impl Into<String>) -> RtlSem {
+        self.label = label.into();
+        self
+    }
+
+    /// The underlying program.
+    pub fn program(&self) -> &RtlProgram {
+        &self.prog
+    }
+
+    /// The shared symbol table.
+    pub fn symtab(&self) -> &SymbolTable {
+        &self.symtab
+    }
+
+    fn stuck<T>(&self, msg: impl Into<String>) -> Result<T, Stuck> {
+        Err(Stuck::new(format!("{}: {}", self.label, msg.into())))
+    }
+
+    fn reg(&self, frame: &RtlFrame, r: PReg) -> Val {
+        frame.regs.get(&r).copied().unwrap_or(Val::Undef)
+    }
+
+    fn eval_op(&self, frame: &RtlFrame, op: &RtlOp) -> Result<Val, Stuck> {
+        Ok(match op {
+            RtlOp::Move(r) => self.reg(frame, *r),
+            RtlOp::Int(n) => Val::Int(*n),
+            RtlOp::Long(n) => Val::Long(*n),
+            RtlOp::AddrGlobal(s, d) => match self.symtab.block_of(s) {
+                Some(b) => Val::Ptr(b, *d),
+                None => return self.stuck(format!("unknown symbol `{s}`")),
+            },
+            RtlOp::AddrStack(o) => Val::Ptr(frame.sp, *o),
+            RtlOp::Unop(op, r) => op.eval(self.reg(frame, *r)),
+            RtlOp::Binop(op, a, b) => op.eval(self.reg(frame, *a), self.reg(frame, *b)),
+            RtlOp::BinopImm(op, a, i) => op.eval(self.reg(frame, *a), *i),
+        })
+    }
+
+    fn exec_inst(
+        &self,
+        f: &RtlFunction,
+        cur: &RtlFrame,
+        mem: &Mem,
+        stack: &[RtlFrame],
+    ) -> Result<RtlState, Stuck> {
+        let Some(inst) = f.code.get(&cur.pc) else {
+            return self.stuck(format!("no instruction at {}:{}", cur.fname, cur.pc));
+        };
+        let goto = |frame: &RtlFrame, pc: Node, mem: Mem| RtlState::Exec {
+            cur: RtlFrame {
+                pc,
+                ..frame.clone()
+            },
+            mem,
+            stack: stack.to_vec(),
+        };
+        match inst {
+            Inst::Nop(n) => Ok(goto(cur, *n, mem.clone())),
+            Inst::Op(op, dst, n) => {
+                let v = self.eval_op(cur, op)?;
+                let mut frame = cur.clone();
+                frame.regs.insert(*dst, v);
+                frame.pc = *n;
+                Ok(RtlState::Exec {
+                    cur: frame,
+                    mem: mem.clone(),
+                    stack: stack.to_vec(),
+                })
+            }
+            Inst::Load(chunk, base, disp, dst, n) => {
+                let addr = self.reg(cur, *base).add(Val::Long(*disp));
+                let v = match mem.loadv(*chunk, addr) {
+                    Ok(v) => v,
+                    Err(e) => return self.stuck(format!("load failed: {e}")),
+                };
+                let mut frame = cur.clone();
+                frame.regs.insert(*dst, v);
+                frame.pc = *n;
+                Ok(RtlState::Exec {
+                    cur: frame,
+                    mem: mem.clone(),
+                    stack: stack.to_vec(),
+                })
+            }
+            Inst::Store(chunk, base, disp, src, n) => {
+                let addr = self.reg(cur, *base).add(Val::Long(*disp));
+                let mut mem = mem.clone();
+                if let Err(e) = mem.storev(*chunk, addr, self.reg(cur, *src)) {
+                    return self.stuck(format!("store failed: {e}"));
+                }
+                Ok(goto(cur, *n, mem))
+            }
+            Inst::Cond(r, t, e) => match self.reg(cur, *r).truth() {
+                Some(b) => Ok(goto(cur, if b { *t } else { *e }, mem.clone())),
+                None => self.stuck("undefined branch condition"),
+            },
+            Inst::Call(sig, callee, args, _, _) => {
+                let vals: Vec<Val> = args.iter().map(|r| self.reg(cur, *r)).collect();
+                if self.prog.function(callee).is_some() {
+                    let mut stack = stack.to_vec();
+                    stack.push(cur.clone());
+                    Ok(RtlState::Call {
+                        fname: callee.clone(),
+                        args: vals,
+                        mem: mem.clone(),
+                        stack,
+                    })
+                } else {
+                    let Some(vf) = self.symtab.func_ptr(callee) else {
+                        return self.stuck(format!("unknown callee `{callee}`"));
+                    };
+                    Ok(RtlState::External {
+                        q: CQuery {
+                            vf,
+                            sig: sig.clone(),
+                            args: vals,
+                            mem: mem.clone(),
+                        },
+                        cur: cur.clone(),
+                        stack: stack.to_vec(),
+                    })
+                }
+            }
+            Inst::Tailcall(sig, callee, args) => {
+                let vals: Vec<Val> = args.iter().map(|r| self.reg(cur, *r)).collect();
+                // The frame is freed *before* the tail call.
+                let mut mem = mem.clone();
+                if let Err(e) = mem.free(cur.sp, 0, f.stack_size) {
+                    return self.stuck(format!("freeing frame for tailcall: {e}"));
+                }
+                if self.prog.function(callee).is_some() {
+                    Ok(RtlState::Call {
+                        fname: callee.clone(),
+                        args: vals,
+                        mem,
+                        stack: stack.to_vec(),
+                    })
+                } else {
+                    // A tail call to an external: suspend with the caller
+                    // already gone; the reply is forwarded directly.
+                    let Some(vf) = self.symtab.func_ptr(callee) else {
+                        return self.stuck(format!("unknown callee `{callee}`"));
+                    };
+                    let mut frame = cur.clone();
+                    frame.pc = u32::MAX; // poisoned: tailcall never resumes here
+                    Ok(RtlState::External {
+                        q: CQuery {
+                            vf,
+                            sig: sig.clone(),
+                            args: vals,
+                            mem,
+                        },
+                        cur: frame,
+                        stack: stack.to_vec(),
+                    })
+                }
+            }
+            Inst::Return(r) => {
+                let v = match r {
+                    Some(r) => self.reg(cur, *r),
+                    None => Val::Undef,
+                };
+                let mut mem = mem.clone();
+                if let Err(e) = mem.free(cur.sp, 0, f.stack_size) {
+                    return self.stuck(format!("freeing frame: {e}"));
+                }
+                Ok(RtlState::Ret {
+                    v,
+                    mem,
+                    stack: stack.to_vec(),
+                })
+            }
+        }
+    }
+}
+
+impl Lts for RtlSem {
+    type I = C;
+    type O = C;
+    type State = RtlState;
+
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn accepts(&self, q: &CQuery) -> bool {
+        match &q.vf {
+            Val::Ptr(b, 0) => match self.symtab.ident_of(*b) {
+                Some(name) => match self.prog.function(name) {
+                    Some(f) => f.sig == q.sig && q.args.len() == f.params.len(),
+                    None => false,
+                },
+                None => false,
+            },
+            _ => false,
+        }
+    }
+
+    fn initial(&self, q: &CQuery) -> Result<RtlState, Stuck> {
+        if !self.accepts(q) {
+            return self.stuck("query not accepted");
+        }
+        let Val::Ptr(b, 0) = q.vf else { unreachable!() };
+        let name = self.symtab.ident_of(b).expect("accepted query");
+        Ok(RtlState::Call {
+            fname: name.to_string(),
+            args: q.args.clone(),
+            mem: q.mem.clone(),
+            stack: vec![],
+        })
+    }
+
+    fn step(&self, s: &RtlState) -> Step<RtlState, CQuery, CReply> {
+        match s {
+            RtlState::Call {
+                fname,
+                args,
+                mem,
+                stack,
+            } => {
+                let Some(f) = self.prog.function(fname) else {
+                    return Step::Stuck(Stuck::new(format!("unknown function `{fname}`")));
+                };
+                if f.params.len() != args.len() {
+                    return Step::Stuck(Stuck::new(format!("arity mismatch calling `{fname}`")));
+                }
+                let mut mem = mem.clone();
+                let sp = mem.alloc(0, f.stack_size);
+                let regs = f.params.iter().copied().zip(args.iter().copied()).collect();
+                Step::Internal(
+                    RtlState::Exec {
+                        cur: RtlFrame {
+                            fname: fname.clone(),
+                            pc: f.entry,
+                            regs,
+                            sp,
+                        },
+                        mem,
+                        stack: stack.clone(),
+                    },
+                    vec![],
+                )
+            }
+            RtlState::Exec { cur, mem, stack } => {
+                let Some(f) = self.prog.function(&cur.fname) else {
+                    return Step::Stuck(Stuck::new("frame names unknown function"));
+                };
+                match self.exec_inst(f, cur, mem, stack) {
+                    Ok(next) => Step::Internal(next, vec![]),
+                    Err(stuck) => Step::Stuck(stuck),
+                }
+            }
+            RtlState::Ret { v, mem, stack } => {
+                if stack.is_empty() {
+                    return Step::Final(CReply {
+                        retval: *v,
+                        mem: mem.clone(),
+                    });
+                }
+                let mut stack = stack.clone();
+                let mut caller = stack.pop().expect("nonempty");
+                let Some(cf) = self.prog.function(&caller.fname) else {
+                    return Step::Stuck(Stuck::new("caller frame names unknown function"));
+                };
+                let Some(Inst::Call(_, _, _, dest, next)) = cf.code.get(&caller.pc) else {
+                    return Step::Stuck(Stuck::new("caller pc is not at a call"));
+                };
+                if let Some(d) = dest {
+                    caller.regs.insert(*d, *v);
+                }
+                caller.pc = *next;
+                Step::Internal(
+                    RtlState::Exec {
+                        cur: caller,
+                        mem: mem.clone(),
+                        stack,
+                    },
+                    vec![],
+                )
+            }
+            RtlState::External { q, .. } => Step::External(q.clone()),
+        }
+    }
+
+    fn resume(&self, s: &RtlState, a: CReply) -> Result<RtlState, Stuck> {
+        match s {
+            RtlState::External { cur, stack, .. } => {
+                // A poisoned pc marks a tail call: forward the answer.
+                if cur.pc == u32::MAX {
+                    return Ok(RtlState::Ret {
+                        v: a.retval,
+                        mem: a.mem,
+                        stack: stack.clone(),
+                    });
+                }
+                let Some(f) = self.prog.function(&cur.fname) else {
+                    return self.stuck("frame names unknown function");
+                };
+                let Some(Inst::Call(_, _, _, dest, next)) = f.code.get(&cur.pc) else {
+                    return self.stuck("external frame pc is not at a call");
+                };
+                let mut frame = cur.clone();
+                if let Some(d) = dest {
+                    frame.regs.insert(*d, a.retval);
+                }
+                frame.pc = *next;
+                Ok(RtlState::Exec {
+                    cur: frame,
+                    mem: a.mem,
+                    stack: stack.clone(),
+                })
+            }
+            _ => self.stuck("resume in non-external state"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compcerto_core::iface::Signature;
+    use compcerto_core::lts::run;
+    use compcerto_core::symtab::GlobKind;
+    use minor::MBinop;
+
+    /// Build `int double_add(a, b) { return a + a + b; }` by hand.
+    fn sample() -> (RtlSem, Mem) {
+        let mut code = BTreeMap::new();
+        code.insert(0, Inst::Op(RtlOp::Binop(MBinop::Add32, 0, 0), 2, 1));
+        code.insert(1, Inst::Op(RtlOp::Binop(MBinop::Add32, 2, 1), 3, 2));
+        code.insert(2, Inst::Return(Some(3)));
+        let f = RtlFunction {
+            name: "double_add".into(),
+            sig: Signature::int_fn(2),
+            params: vec![0, 1],
+            stack_size: 0,
+            entry: 0,
+            code,
+            next_reg: 4,
+        };
+        let prog = RtlProgram {
+            functions: vec![f],
+            externs: vec![],
+        };
+        let mut tbl = SymbolTable::new();
+        tbl.define("double_add".into(), GlobKind::Func(Signature::int_fn(2)));
+        let mem = tbl.build_init_mem().unwrap();
+        (RtlSem::new(prog, tbl), mem)
+    }
+
+    #[test]
+    fn executes_cfg() {
+        let (sem, mem) = sample();
+        let q = CQuery {
+            vf: sem.symtab().func_ptr("double_add").unwrap(),
+            sig: Signature::int_fn(2),
+            args: vec![Val::Int(10), Val::Int(3)],
+            mem,
+        };
+        let r = run(&sem, &q, &mut |_q| None, 1000).expect_complete();
+        assert_eq!(r.retval, Val::Int(23));
+    }
+
+    #[test]
+    fn missing_node_goes_wrong() {
+        let (sem, mem) = sample();
+        // Corrupt: entry points to a missing node.
+        let mut prog = sem.program().clone();
+        prog.functions[0].entry = 99;
+        let sem = RtlSem::new(prog, sem.symtab().clone());
+        let q = CQuery {
+            vf: sem.symtab().func_ptr("double_add").unwrap(),
+            sig: Signature::int_fn(2),
+            args: vec![Val::Int(1), Val::Int(2)],
+            mem,
+        };
+        let out = run(&sem, &q, &mut |_q| None, 1000);
+        assert!(matches!(out, compcerto_core::lts::RunOutcome::Wrong(_)));
+    }
+}

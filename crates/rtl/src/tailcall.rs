@@ -1,0 +1,193 @@
+//! The `Tailcall` pass: turn `r := call f(…); return r` into a tail call
+//! (paper Table 3, convention `ext ↠ ext`).
+//!
+//! As in CompCert, the transformation only applies to functions with an empty
+//! stack frame: the tail call frees the frame before transferring control, so
+//! a non-empty frame could still be reachable through escaped pointers.
+
+use crate::lang::{Inst, RtlFunction, RtlProgram};
+
+/// Run tail-call recognition over every function.
+pub fn tailcall(prog: &RtlProgram) -> RtlProgram {
+    prog.map_functions(tailcall_function)
+}
+
+fn tailcall_function(f: &RtlFunction) -> RtlFunction {
+    if f.stack_size != 0 {
+        return f.clone();
+    }
+    let mut out = f.clone();
+    for (n, inst) in &f.code {
+        if let Inst::Call(sig, callee, args, dest, next) = inst {
+            let is_tail = match (f.code.get(next), dest) {
+                // r := call f(...); return r
+                (Some(Inst::Return(Some(r))), Some(d)) => r == d,
+                // call f(...); return
+                (Some(Inst::Return(None)), None) => true,
+                _ => false,
+            };
+            if is_tail {
+                out.code.insert(
+                    *n,
+                    Inst::Tailcall(sig.clone(), callee.clone(), args.clone()),
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::{PReg, RtlOp};
+    use compcerto_core::iface::Signature;
+
+    fn fun(code: Vec<(u32, Inst)>, params: Vec<PReg>, stack_size: i64) -> RtlFunction {
+        RtlFunction {
+            name: "f".into(),
+            sig: Signature::int_fn(params.len()),
+            params,
+            stack_size,
+            entry: 0,
+            code: code.into_iter().collect(),
+            next_reg: 100,
+        }
+    }
+
+    #[test]
+    fn recognizes_tail_position() {
+        let f = fun(
+            vec![
+                (
+                    0,
+                    Inst::Call(Signature::int_fn(1), "g".into(), vec![0], Some(1), 1),
+                ),
+                (1, Inst::Return(Some(1))),
+            ],
+            vec![0],
+            0,
+        );
+        let out = tailcall_function(&f);
+        assert_eq!(
+            out.code[&0],
+            Inst::Tailcall(Signature::int_fn(1), "g".into(), vec![0])
+        );
+    }
+
+    #[test]
+    fn requires_matching_result() {
+        // The returned register differs from the call result: not a tail call.
+        let f = fun(
+            vec![
+                (
+                    0,
+                    Inst::Call(Signature::int_fn(1), "g".into(), vec![0], Some(1), 1),
+                ),
+                (1, Inst::Return(Some(0))),
+            ],
+            vec![0],
+            0,
+        );
+        let out = tailcall_function(&f);
+        assert!(matches!(out.code[&0], Inst::Call(_, _, _, _, _)));
+    }
+
+    #[test]
+    fn requires_empty_frame() {
+        let f = fun(
+            vec![
+                (
+                    0,
+                    Inst::Call(Signature::int_fn(1), "g".into(), vec![0], Some(1), 1),
+                ),
+                (1, Inst::Return(Some(1))),
+            ],
+            vec![0],
+            16,
+        );
+        let out = tailcall_function(&f);
+        assert!(matches!(out.code[&0], Inst::Call(_, _, _, _, _)));
+    }
+
+    #[test]
+    fn deep_recursion_runs_in_constant_stack() {
+        use crate::sem::RtlSem;
+        use compcerto_core::iface::{CQuery, CReply};
+        use compcerto_core::lts::{run, Lts};
+        use compcerto_core::symtab::{GlobKind, SymbolTable};
+        use mem::Val;
+        use minor::MBinop;
+
+        // count(n) = if n == 0 then 0 else count(n - 1), tail-recursive.
+        let code: Vec<(u32, Inst)> = vec![
+            (
+                0,
+                Inst::Op(
+                    RtlOp::BinopImm(MBinop::Cmp32(mem::Cmp::Eq), 0, Val::Int(0)),
+                    1,
+                    1,
+                ),
+            ),
+            (1, Inst::Cond(1, 2, 3)),
+            (2, Inst::Return(Some(0))),
+            (
+                3,
+                Inst::Op(RtlOp::BinopImm(MBinop::Sub32, 0, Val::Int(1)), 0, 4),
+            ),
+            (
+                4,
+                Inst::Call(Signature::int_fn(1), "count".into(), vec![0], Some(2), 5),
+            ),
+            (5, Inst::Return(Some(2))),
+        ];
+        let f = RtlFunction {
+            name: "count".into(),
+            sig: Signature::int_fn(1),
+            params: vec![0],
+            stack_size: 0,
+            entry: 0,
+            code: code.into_iter().collect(),
+            next_reg: 100,
+        };
+        let prog = RtlProgram {
+            functions: vec![f],
+            externs: vec![],
+        };
+        let opt = tailcall(&prog);
+        assert!(matches!(opt.functions[0].code[&4], Inst::Tailcall(_, _, _)));
+
+        let mut tbl = SymbolTable::new();
+        tbl.define("count".into(), GlobKind::Func(Signature::int_fn(1)));
+        let mem0 = tbl.build_init_mem().unwrap();
+        let q = CQuery {
+            vf: tbl.func_ptr("count").unwrap(),
+            sig: Signature::int_fn(1),
+            args: vec![Val::Int(500)],
+            mem: mem0,
+        };
+        let s1 = RtlSem::new(prog, tbl.clone());
+        let s2 = RtlSem::new(opt, tbl);
+        let r1 = run(&s1, &q, &mut |_: &CQuery| None::<CReply>, 1_000_000).expect_complete();
+        let r2 = run(&s2, &q, &mut |_: &CQuery| None::<CReply>, 1_000_000).expect_complete();
+        assert_eq!(r1.retval, Val::Int(0));
+        assert_eq!(r2.retval, Val::Int(0));
+
+        // The tail-call version never grows its activation stack: every
+        // internal frame is popped before the recursive call.
+        let mut s = s2.initial(&q).unwrap();
+        let mut max_depth = 0usize;
+        for _ in 0..100_000 {
+            match s2.step(&s) {
+                compcerto_core::lts::Step::Internal(next, _) => {
+                    if let crate::sem::RtlState::Exec { stack, .. } = &next {
+                        max_depth = max_depth.max(stack.len());
+                    }
+                    s = next;
+                }
+                _ => break,
+            }
+        }
+        assert_eq!(max_depth, 0, "tail calls must not stack frames");
+    }
+}

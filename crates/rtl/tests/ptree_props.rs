@@ -1,0 +1,112 @@
+//! Model-based checking of the persistent `PTree` (CompCert's `Maps.v`)
+//! against `BTreeMap`: arbitrary scripts of `set`s agree on every `get`,
+//! iteration, equality, and the dataflow `join_with` — including its
+//! changed-flag, which the worklist solver's termination depends on.
+
+use proptest::prelude::*;
+use rtl::ptree::PTree;
+use std::collections::BTreeMap;
+
+fn script() -> impl Strategy<Value = Vec<(u32, i32)>> {
+    proptest::collection::vec((0u32..200, any::<i32>()), 0..64)
+}
+
+fn build(script: &[(u32, i32)]) -> (PTree<i32>, BTreeMap<u32, i32>) {
+    let mut t = PTree::new();
+    let mut m = BTreeMap::new();
+    for (k, v) in script {
+        t = t.set(*k, *v);
+        m.insert(*k, *v);
+    }
+    (t, m)
+}
+
+proptest! {
+    /// `get` agrees with the model on present and absent keys.
+    #[test]
+    fn gets_agree_with_model(s in script(), probe in proptest::collection::vec(0u32..250, 8)) {
+        let (t, m) = build(&s);
+        for k in probe {
+            prop_assert_eq!(t.get(k), m.get(&k));
+        }
+        prop_assert_eq!(t.len(), m.len());
+        prop_assert_eq!(t.is_empty(), m.is_empty());
+    }
+
+    /// Iteration yields exactly the model's bindings.
+    #[test]
+    fn iteration_agrees_with_model(s in script()) {
+        let (t, m) = build(&s);
+        let mut got: Vec<(u32, i32)> = t.iter().map(|(k, v)| (k, *v)).collect();
+        got.sort();
+        let want: Vec<(u32, i32)> = m.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Structural equality is content equality, independent of insertion
+    /// order (trees are canonical).
+    #[test]
+    fn equality_is_content_equality(s in script(), seed in any::<u64>()) {
+        let (t1, m) = build(&s);
+        // Rebuild in a permuted order with the same final contents.
+        let mut entries: Vec<(u32, i32)> = m.iter().map(|(k, v)| (*k, *v)).collect();
+        let rot = if entries.is_empty() { 0 } else { (seed as usize) % entries.len() };
+        entries.rotate_left(rot);
+        let mut t2 = PTree::new();
+        for (k, v) in &entries {
+            t2 = t2.set(*k, *v);
+        }
+        prop_assert_eq!(&t1, &t2);
+        // And any extra binding with a fresh key breaks equality.
+        prop_assert_ne!(&t1, &t2.set(999, 0));
+    }
+
+    /// Persistence: a snapshot taken mid-script is unaffected by later sets.
+    #[test]
+    fn snapshots_are_immutable(s in script(), cut in 0usize..64) {
+        let cut = cut.min(s.len());
+        let (snapshot, model_at_cut) = build(&s[..cut]);
+        let _rest = s[cut..].iter().fold(snapshot.clone(), |t, (k, v)| t.set(*k, *v));
+        for (k, v) in &model_at_cut {
+            prop_assert_eq!(snapshot.get(*k), Some(v));
+        }
+        prop_assert_eq!(snapshot.len(), model_at_cut.len());
+    }
+
+    /// `join_with(max)` agrees with the model's pointwise max, and the
+    /// changed-flag is exactly "the result differs from the left operand".
+    #[test]
+    fn join_agrees_with_model(s1 in script(), s2 in script()) {
+        let (t1, m1) = build(&s1);
+        let (t2, m2) = build(&s2);
+        let (joined, changed) = t1.join_with(&t2, &|a, b| (*a).max(*b), &|v| Some(*v));
+        let mut want = m1.clone();
+        for (k, v) in &m2 {
+            want.entry(*k)
+                .and_modify(|cur| *cur = (*cur).max(*v))
+                .or_insert(*v);
+        }
+        let mut got: Vec<(u32, i32)> = joined.iter().map(|(k, v)| (k, *v)).collect();
+        got.sort();
+        let wantv: Vec<(u32, i32)> = want.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(got, wantv);
+        prop_assert_eq!(changed, want != m1, "changed flag must match semantics");
+    }
+
+    /// Join is idempotent and monotone: `t ⊔ t = t` (unchanged), and joining
+    /// twice is the same as joining once.
+    #[test]
+    fn join_is_idempotent(s1 in script(), s2 in script()) {
+        let (t1, _) = build(&s1);
+        let (t2, _) = build(&s2);
+        let max = |a: &i32, b: &i32| (*a).max(*b);
+        let keep = |v: &i32| Some(*v);
+        let (self_join, self_changed) = t1.join_with(&t1, &max, &keep);
+        prop_assert!(!self_changed);
+        prop_assert_eq!(&self_join, &t1);
+        let (once, _) = t1.join_with(&t2, &max, &keep);
+        let (twice, changed2) = once.join_with(&t2, &max, &keep);
+        prop_assert!(!changed2, "second join must be a no-op");
+        prop_assert_eq!(twice, once);
+    }
+}

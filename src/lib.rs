@@ -1,0 +1,27 @@
+//! # compcerto — an executable reproduction of CompCertO
+//!
+//! This umbrella crate re-exports the whole CompCertO-rs workspace:
+//!
+//! * [`mem`] — the CompCert-style memory model (values, blocks, injections);
+//! * `core` ([`compcerto_core`]) — language interfaces, open labeled transition
+//!   systems, horizontal/sequential composition, simulation conventions,
+//!   CKLRs and the simulation-convention algebra (the paper's contribution);
+//! * [`clight`] — the Clight-mini source language (parser, type checker,
+//!   semantics) and the `SimplLocals` pass;
+//! * [`minor`] — Csharpminor / Cminor / CminorSel and their passes;
+//! * [`rtl`] — the RTL register-transfer language and its optimizations;
+//! * [`backend`] — LTL / Linear / Mach / Asm and the back-end passes;
+//! * [`compiler`] — the pass pipeline, convention derivation and the
+//!   Theorem 3.8 / Corollary 3.9 correctness harnesses;
+//! * [`nic`] — the heterogeneous NIC-driver scenario of paper Fig. 7.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the full inventory.
+
+pub use backend;
+pub use clight;
+pub use compcerto_core as core;
+pub use compiler;
+pub use mem;
+pub use minor;
+pub use nic;
+pub use rtl;

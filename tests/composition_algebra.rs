@@ -1,0 +1,103 @@
+//! Structural properties of the composition operators at workspace level:
+//! associativity and commutativity of `⊕` up to observable behaviour, and
+//! the interplay between semantic composition, syntactic linking and
+//! closing.
+
+use compcerto::clight::ClightSem;
+use compcerto::compiler::{c_query, compile_all, CompilerOptions};
+use compcerto::core::hcomp::HComp;
+use compcerto::core::iface::{CQuery, CReply};
+use compcerto::core::lts::run;
+use compcerto::mem::Val;
+
+const U1: &str = "extern int u2(int); int u1(int x) { int r; r = u2(x + 1); return r * 2; }";
+const U2: &str = "extern int u3(int); int u2(int x) { int r; r = u3(x * 3); return r + 5; }";
+const U3: &str = "int u3(int x) { return x - 7; }";
+
+fn setup() -> (
+    Vec<compcerto::compiler::CompiledUnit>,
+    compcerto::core::symtab::SymbolTable,
+) {
+    compile_all(&[U1, U2, U3], CompilerOptions::default()).unwrap()
+}
+
+fn run_u1<L>(sem: &L, q: &CQuery) -> Val
+where
+    L: compcerto::core::lts::Lts<I = compcerto::core::iface::C, O = compcerto::core::iface::C>,
+{
+    run(sem, q, &mut |_m: &CQuery| None::<CReply>, 1_000_000)
+        .expect_complete()
+        .retval
+}
+
+/// u1(3) = 2*(u2(4)) = 2*(u3(12)+5) = 2*(5+5) = 20.
+const EXPECTED: Val = Val::Int(20);
+
+#[test]
+fn hcomp_is_associative_observationally() {
+    let (units, tbl) = setup();
+    let q = c_query(&tbl, &units[0], "u1", vec![Val::Int(3)]);
+    let s = |i: usize| ClightSem::new(units[i].clight.clone(), tbl.clone());
+
+    let left = HComp::new(HComp::new(s(0), s(1)), s(2));
+    let right = HComp::new(s(0), HComp::new(s(1), s(2)));
+    assert_eq!(run_u1(&left, &q), EXPECTED);
+    assert_eq!(run_u1(&right, &q), EXPECTED);
+}
+
+#[test]
+fn hcomp_is_commutative_observationally() {
+    let (units, tbl) = setup();
+    let q = c_query(&tbl, &units[0], "u1", vec![Val::Int(3)]);
+    let s = |i: usize| ClightSem::new(units[i].clight.clone(), tbl.clone());
+
+    let ab = HComp::new(HComp::new(s(0), s(1)), s(2));
+    let ba = HComp::new(s(2), HComp::new(s(1), s(0)));
+    assert_eq!(run_u1(&ab, &q), EXPECTED);
+    assert_eq!(run_u1(&ba, &q), EXPECTED);
+}
+
+#[test]
+fn semantic_composition_agrees_with_source_linking() {
+    let (units, tbl) = setup();
+    let q = c_query(&tbl, &units[0], "u1", vec![Val::Int(3)]);
+    // ⊕ of the three units…
+    let s = |i: usize| ClightSem::new(units[i].clight.clone(), tbl.clone());
+    let composed = HComp::new(s(0), HComp::new(s(1), s(2)));
+    // …versus the linked single unit.
+    let linked = compcerto::clight::link(
+        &compcerto::clight::link(&units[0].clight, &units[1].clight).unwrap(),
+        &units[2].clight,
+    )
+    .unwrap();
+    let whole = ClightSem::new(linked, tbl.clone());
+    assert_eq!(run_u1(&composed, &q), EXPECTED);
+    assert_eq!(run_u1(&whole, &q), EXPECTED);
+}
+
+#[test]
+fn partial_composition_escapes_to_environment() {
+    // Composing only u1 and u2 leaves u3 external: the composite is a
+    // genuinely open component (paper §1.2's point about component
+    // boundaries).
+    let (units, tbl) = setup();
+    let q = c_query(&tbl, &units[0], "u1", vec![Val::Int(3)]);
+    let s = |i: usize| ClightSem::new(units[i].clight.clone(), tbl.clone());
+    let partial = HComp::new(s(0), s(1));
+    let mut seen = Vec::new();
+    let reply = run(
+        &partial,
+        &q,
+        &mut |m: &CQuery| {
+            seen.push(m.args[0]);
+            Some(CReply {
+                retval: m.args[0].sub(Val::Int(7)),
+                mem: m.mem.clone(),
+            })
+        },
+        1_000_000,
+    )
+    .expect_complete();
+    assert_eq!(reply.retval, EXPECTED);
+    assert_eq!(seen, vec![Val::Int(12)]); // the u3 call escaped, once
+}

@@ -1,0 +1,123 @@
+//! Pointers crossing the component boundary: the hardest corner of the
+//! calling convention. A stack-allocated array's address is passed to an
+//! external function that reads through it. At the Clight level the pointer
+//! names a dedicated local block; at the Asm level it points *into the Mach
+//! frame* at the stack-data offset — the two are related by a non-trivial
+//! memory injection (non-zero delta), which the checker must infer from the
+//! exchanged pointer (paper §4.2, and the `injp` discipline of §4.5).
+
+use compcerto::compiler::{c_query, check_thm38, compile_all, CompilerOptions, ExtLib};
+use compcerto::core::sim::SimCheckError;
+use compcerto::mem::Val;
+
+const SRC: &str = "
+    extern long sum2(long*);
+
+    long entry(long a, long b) {
+        long buf[2];
+        long r;
+        buf[0] = a;
+        buf[1] = b;
+        r = sum2(buf);
+        return r + buf[0];
+    }";
+
+#[test]
+fn stack_pointer_crosses_the_boundary() {
+    let (units, tbl) = compile_all(&[SRC], CompilerOptions::default()).unwrap();
+    let lib = ExtLib::demo(tbl.clone());
+    for (a, b) in [(3i64, 4i64), (0, 0), (-100, 100)] {
+        let q = c_query(&tbl, &units[0], "entry", vec![Val::Long(a), Val::Long(b)]);
+        let report =
+            check_thm38(&units[0], &tbl, &lib, &q).unwrap_or_else(|e| panic!("sum2({a},{b}): {e}"));
+        assert_eq!(report.external_calls, 1);
+    }
+}
+
+#[test]
+fn global_pointer_crosses_the_boundary() {
+    let src = "
+        extern long sum2(long*);
+        long pair[2];
+        long entry(long a) {
+            long r;
+            pair[0] = a;
+            pair[1] = a * 2L;
+            r = sum2(pair);
+            return r;
+        }";
+    let (units, tbl) = compile_all(&[src], CompilerOptions::default()).unwrap();
+    let lib = ExtLib::demo(tbl.clone());
+    let q = c_query(&tbl, &units[0], "entry", vec![Val::Long(7)]);
+    check_thm38(&units[0], &tbl, &lib, &q).expect("Thm 3.8 with global pointer");
+}
+
+#[test]
+fn nested_pointer_to_pointer() {
+    // A pointer stored *in memory* and read back before the call: the
+    // injection inference must follow the fragment chain.
+    let src = "
+        extern long sum2(long*);
+        long entry(long a) {
+            long buf[2];
+            long* stash[1];
+            long* p;
+            long r;
+            buf[0] = a;
+            buf[1] = a + 1L;
+            stash[0] = buf;
+            p = stash[0];
+            r = sum2(p);
+            return r;
+        }";
+    let (units, tbl) = compile_all(&[src], CompilerOptions::default()).unwrap();
+    let lib = ExtLib::demo(tbl.clone());
+    let q = c_query(&tbl, &units[0], "entry", vec![Val::Long(20)]);
+    let report = check_thm38(&units[0], &tbl, &lib, &q).expect("pointer-to-pointer");
+    assert_eq!(report.external_calls, 1);
+}
+
+#[test]
+fn corrupting_pointed_to_data_is_detected() {
+    // Mutate the compiled code to store a wrong value into the array before
+    // the call: the external questions' memories are no longer related at
+    // the exchanged pointer.
+    let (mut units, tbl) = compile_all(&[SRC], CompilerOptions::default()).unwrap();
+    let lib = ExtLib::demo(tbl.clone());
+    let f = units[0]
+        .asm
+        .functions
+        .iter_mut()
+        .find(|f| f.name == "entry")
+        .unwrap();
+    // Find the first 8-byte store (buf[0] := a) and corrupt the stored reg.
+    let store = f
+        .code
+        .iter()
+        .position(|i| {
+            matches!(
+                i,
+                compcerto::backend::AsmInst::Store(mem::Chunk::I64, _, _, _)
+            )
+        })
+        .expect("I64 store present");
+    let corrupt = match &f.code[store] {
+        compcerto::backend::AsmInst::Store(_, src, _, _) => compcerto::backend::AsmInst::BinopImm(
+            compcerto::minor::MBinop::Add64,
+            *src,
+            *src,
+            Val::Long(1),
+        ),
+        _ => unreachable!(),
+    };
+    f.code.insert(store, corrupt);
+    let q = c_query(&tbl, &units[0], "entry", vec![Val::Long(10), Val::Long(20)]);
+    let err = check_thm38(&units[0], &tbl, &lib, &q).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            SimCheckError::ExternalNotRelated { .. } | SimCheckError::FinalNotRelated
+        ),
+        "got {err}"
+    );
+}

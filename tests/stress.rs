@@ -1,0 +1,62 @@
+//! Long-running stress sweeps, ignored by default:
+//!
+//! ```sh
+//! cargo test --test stress -- --ignored
+//! ```
+
+use compcerto::compiler::{
+    c_query, check_thm38, compile_all, CompilerOptions, ExtLib, WorkloadCfg, WorkloadGen,
+};
+
+/// 64 random programs × 4 queries × both optimization configurations — a
+/// deeper version of the Thm 3.8 sweep (the workload that caught the CSE
+/// bug recorded in EXPERIMENTS.md).
+#[test]
+#[ignore = "long-running stress sweep; run with --ignored"]
+fn thm38_stress_sweep() {
+    for (seed, opts) in [
+        (1u64, CompilerOptions::default()),
+        (1u64, CompilerOptions::none()),
+        (2u64, CompilerOptions::default()),
+        (2u64, CompilerOptions::none()),
+    ] {
+        let mut g = WorkloadGen::new(seed);
+        let cfg = WorkloadCfg {
+            functions: 4,
+            stmts_per_fn: 12,
+            ..WorkloadCfg::default()
+        };
+        for round in 0..32 {
+            let (src, arity) = g.gen_program(&cfg);
+            let (units, tbl) = compile_all(&[&src], opts)
+                .unwrap_or_else(|e| panic!("seed {seed} round {round}: {e}"));
+            let lib = ExtLib::demo(tbl.clone());
+            for args in g.gen_queries(arity, 4) {
+                let q = c_query(&tbl, &units[0], "entry", args.clone());
+                check_thm38(&units[0], &tbl, &lib, &q).unwrap_or_else(|e| {
+                    panic!("seed {seed} round {round} args {args:?}: {e}\n{src}")
+                });
+            }
+        }
+    }
+}
+
+/// Deep mutual recursion through ⊕ stays linear after the persistent-stack
+/// optimization (would time out quadratically otherwise).
+#[test]
+#[ignore = "long-running stress sweep; run with --ignored"]
+fn hcomp_deep_recursion_stress() {
+    let even = "extern int is_odd(int); int is_even(int n) { int r; if (n == 0) { return 1; } r = is_odd(n - 1); return r; }";
+    let odd = "extern int is_even(int); int is_odd(int n) { int r; if (n == 0) { return 0; } r = is_even(n - 1); return r; }";
+    let (units, tbl) = compile_all(&[even, odd], CompilerOptions::default()).unwrap();
+    let composed =
+        compcerto::core::hcomp::HComp::new(units[0].clight_sem(&tbl), units[1].clight_sem(&tbl));
+    let q = c_query(
+        &tbl,
+        &units[0],
+        "is_even",
+        vec![compcerto::mem::Val::Int(20_000)],
+    );
+    let r = compcerto::core::lts::run(&composed, &q, &mut |_m| None, 100_000_000).expect_complete();
+    assert_eq!(r.retval, compcerto::mem::Val::Int(1));
+}
