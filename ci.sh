@@ -1,0 +1,28 @@
+#!/bin/sh
+# Offline CI: build, test, and lint-gate the workspace.
+#
+# Everything here runs without network/registry access (no registry
+# dependencies; randomness comes from the in-repo SplitMix64). The clippy
+# gate enforces the panic-free policy on the library crates hardened in
+# DESIGN.md §6: no unwrap/expect on library code paths. Linting
+# `compcerto-core`, `mem` and `compiler` transitively covers the
+# `clight`/`rtl`/`backend` path dependencies in their build graph.
+set -eu
+
+echo "== build (release) =="
+cargo build --workspace --release
+
+echo "== tests =="
+cargo test --workspace -q
+
+echo "== clippy unwrap/expect gate (library paths) =="
+cargo clippy -p compcerto-core -p mem -p compiler --lib -- \
+    -D clippy::unwrap_used -D clippy::expect_used
+
+echo "== fault-injection campaign (determinism smoke) =="
+cargo run -q -p bench --bin faultinj_campaign -- --seed 42 --per-class 5 > /tmp/ci_camp_1.txt
+cargo run -q -p bench --bin faultinj_campaign -- --seed 42 --per-class 5 > /tmp/ci_camp_2.txt
+cmp /tmp/ci_camp_1.txt /tmp/ci_camp_2.txt
+cat /tmp/ci_camp_1.txt
+
+echo "== ci ok =="

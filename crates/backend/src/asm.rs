@@ -436,6 +436,15 @@ impl Lts for AsmSem {
             ra0: s.ra0,
         })
     }
+
+    fn measure(&self, s: &AsmState) -> compcerto_core::lts::StateMeasure {
+        // Assembly has no structured call stack to count (frames are memory
+        // blocks); the live-byte footprint covers both heap and frames.
+        compcerto_core::lts::StateMeasure {
+            mem_bytes: s.mem.allocated_bytes(),
+            call_depth: 0,
+        }
+    }
 }
 
 #[cfg(test)]

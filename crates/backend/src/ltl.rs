@@ -399,8 +399,12 @@ impl Lts for LtlSem {
         if !self.accepts(q) {
             return self.stuck("query not accepted");
         }
-        let Val::Ptr(b, 0) = q.vf else { unreachable!() };
-        let name = self.symtab.ident_of(b).expect("accepted");
+        let Val::Ptr(b, 0) = q.vf else {
+            return self.stuck("accepted query has a non-pointer vf");
+        };
+        let Some(name) = self.symtab.ident_of(b) else {
+            return self.stuck("accepted query names an unknown block");
+        };
         Ok(LtlState::Call {
             fname: name.to_string(),
             ls: q.ls.clone(),
@@ -456,7 +460,9 @@ impl Lts for LtlSem {
                     });
                 }
                 let mut stack = stack.clone();
-                let mut caller = stack.pop().expect("nonempty");
+                let Some(mut caller) = stack.pop() else {
+                    return Step::Stuck(Stuck::new("return with no caller frame"));
+                };
                 let Some(cf) = self.prog.function(&caller.fname) else {
                     return Step::Stuck(Stuck::new("caller frame names unknown function"));
                 };

@@ -423,8 +423,12 @@ impl Lts for MachSem {
         if !self.accepts(q) {
             return self.stuck("query not accepted");
         }
-        let Val::Ptr(b, 0) = q.vf else { unreachable!() };
-        let name = self.symtab.ident_of(b).expect("accepted");
+        let Val::Ptr(b, 0) = q.vf else {
+            return self.stuck("accepted query has a non-pointer vf");
+        };
+        let Some(name) = self.symtab.ident_of(b) else {
+            return self.stuck("accepted query names an unknown block");
+        };
         Ok(MachState::Call {
             fname: name.to_string(),
             regs: q.rs,
@@ -480,7 +484,9 @@ impl Lts for MachSem {
                     });
                 }
                 let mut stack = stack.clone();
-                let mut caller = stack.pop().expect("nonempty");
+                let Some(mut caller) = stack.pop() else {
+                    return Step::Stuck(Stuck::new("return with no caller frame"));
+                };
                 caller.regs = *regs;
                 caller.pc += 1;
                 Step::Internal(

@@ -97,7 +97,7 @@ fn linear_missing_label_goes_wrong() {
     };
     assert!(matches!(
         run(&sem, &q, &mut |_: &LQuery| None::<LReply>, 1000),
-        RunOutcome::Wrong(_)
+        RunOutcome::Wrong { .. }
     ));
 }
 

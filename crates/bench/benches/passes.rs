@@ -3,7 +3,8 @@
 //! Not in the paper — its evaluation is structural — but a production
 //! compiler library needs to know where its time goes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::microbench::{BenchmarkId, Criterion};
+use bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use clight::{build_symtab, parse, simpl_locals, typecheck};

@@ -1,7 +1,8 @@
 //! B2 (added experiment): interpreter throughput at every language level and
 //! the overhead of horizontal composition, over a call-depth sweep.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::microbench::{BenchmarkId, Criterion};
+use bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use compcerto_core::cc::Ca;

@@ -1,7 +1,8 @@
 //! B3 (added experiment): throughput of the differential simulation checker
 //! and of the convention-algebra derivation engine.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::microbench::{BenchmarkId, Criterion};
+use bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use compcerto_core::algebra::derive;

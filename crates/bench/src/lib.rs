@@ -1,8 +1,11 @@
 //! Shared fixtures for the evaluation binaries and benches.
 //!
 //! Every table and figure of the paper's evaluation has a regenerating
-//! binary in `src/bin/` (see DESIGN.md §4 for the index); the Criterion
-//! benches in `benches/` measure the machinery itself.
+//! binary in `src/bin/` (see DESIGN.md §4 for the index); the benches in
+//! `benches/` measure the machinery itself, using the offline
+//! [`microbench`] harness.
+
+pub mod microbench;
 
 use compcerto_core::symtab::SymbolTable;
 use compiler::{compile_all, CompiledUnit, CompilerOptions};

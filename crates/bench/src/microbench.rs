@@ -1,0 +1,167 @@
+//! A minimal, in-repo micro-benchmark harness.
+//!
+//! The workspace builds fully offline and therefore cannot depend on
+//! Criterion; this module provides the *subset* of Criterion's API our bench
+//! files use (`benchmark_group`, `bench_with_input`, `bench_function`,
+//! `Bencher::iter`, plus the `criterion_group!`/`criterion_main!` macros at
+//! the crate root), implemented with plain monotonic-clock timing.
+//!
+//! Results are medians over several batches, printed as `ns/iter`. This is a
+//! relative-trend tool, not a statistics suite: for publication-grade
+//! numbers, re-run the same files against real Criterion on a networked
+//! machine.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock spent measuring each benchmark.
+const TARGET: Duration = Duration::from_millis(250);
+/// Number of batches the median is taken over.
+const BATCHES: usize = 5;
+
+/// Entry point collected by `criterion_main!`.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<(String, f64)>,
+}
+
+impl Criterion {
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Benchmark a single closure.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let ns = measure(&mut f);
+        println!("{name:<40} {:>12.1} ns/iter", ns);
+        self.results.push((name.to_string(), ns));
+        self
+    }
+
+    /// Print a closing summary (called by `criterion_main!`).
+    pub fn final_summary(&self) {
+        println!("\n{} benchmarks measured", self.results.len());
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    parent: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark `f` on `input` under the given id.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.0);
+        let ns = measure(&mut |b: &mut Bencher| f(b, input));
+        println!("{label:<40} {:>12.1} ns/iter", ns);
+        self.parent.results.push((label, ns));
+        self
+    }
+
+    /// Close the group (kept for Criterion API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier `function_name/parameter`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter.
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+}
+
+/// Passed to the benchmarked closure; `iter` runs and times the payload.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` `self.iters` times, recording the elapsed wall-clock.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Calibrate an iteration count, then take the median ns/iter over batches.
+fn measure(f: &mut impl FnMut(&mut Bencher)) -> f64 {
+    // Calibration: start at 1 iteration, grow until a batch costs >= 1/BATCHES
+    // of the target budget (capped to keep pathological cases bounded).
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed * (BATCHES as u32) >= TARGET || iters >= 1 << 20 {
+            break;
+        }
+        // Grow geometrically toward the budget.
+        let per = b.elapsed.as_nanos().max(1) as u64;
+        let want = TARGET.as_nanos() as u64 / (BATCHES as u64);
+        iters = (iters.saturating_mul(want / per + 1)).clamp(iters * 2, 1 << 20);
+    }
+    let mut samples: Vec<f64> = (0..BATCHES)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Group benchmark functions under one named runner (Criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::microbench::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Entry point for a bench binary (Criterion-compatible).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::microbench::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_returns_positive() {
+        let ns = measure(&mut |b: &mut Bencher| b.iter(|| std::hint::black_box(1 + 1)));
+        assert!(ns > 0.0);
+    }
+}

@@ -146,6 +146,48 @@ pub enum State {
 // The `Kont` type is private; states embed it, so `State` exposes no public
 // fields of type `Kont` directly (fields are doc(hidden) by privacy of Kont).
 
+impl Kont {
+    /// Number of suspended internal activations below this continuation
+    /// (the `Call` links). This is the call depth the budgeted runner
+    /// compares against `RunBudget::max_call_depth`.
+    fn call_depth(&self) -> u64 {
+        let mut depth = 0u64;
+        let mut k = self;
+        loop {
+            match k {
+                Kont::Stop => return depth,
+                Kont::Seq(_, next) | Kont::Loop(_, _, next) => k = next,
+                Kont::Call { kont, .. } => {
+                    depth += 1;
+                    k = kont;
+                }
+            }
+        }
+    }
+}
+
+impl State {
+    /// The memory component of the state.
+    fn mem_ref(&self) -> &Mem {
+        match self {
+            State::Entry { mem, .. } | State::Stmt { mem, .. } | State::Returning { mem, .. } => {
+                mem
+            }
+            State::External { q, .. } => &q.mem,
+        }
+    }
+
+    /// The continuation component of the state.
+    fn kont_ref(&self) -> &Kont {
+        match self {
+            State::Entry { kont, .. }
+            | State::Stmt { kont, .. }
+            | State::Returning { kont, .. }
+            | State::External { kont, .. } => kont,
+        }
+    }
+}
+
 impl ClightSem {
     fn stuck<T>(&self, msg: impl Into<String>) -> Result<T, Stuck> {
         Err(Stuck::new(format!("{}: {}", self.label, msg.into())))
@@ -631,6 +673,13 @@ impl Lts for ClightSem {
             _ => self.stuck("resume in non-external state"),
         }
     }
+
+    fn measure(&self, s: &State) -> compcerto_core::lts::StateMeasure {
+        compcerto_core::lts::StateMeasure {
+            mem_bytes: s.mem_ref().allocated_bytes(),
+            call_depth: s.kont_ref().call_depth(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -755,7 +804,7 @@ mod tests {
     fn division_by_zero_goes_wrong() {
         let (sem, mem) = load("int f(int x) { if (x / 0) { return 1; } return 0; }");
         let out = call(&sem, &mem, "f", vec![Val::Int(1)]);
-        assert!(matches!(out, RunOutcome::Wrong(_)));
+        assert!(matches!(out, RunOutcome::Wrong { .. }));
     }
 
     #[test]
@@ -763,7 +812,7 @@ mod tests {
         let src = "long buf[2]; long f(int i) { return buf[i]; }";
         let (sem, mem) = load(src);
         let out = call(&sem, &mem, "f", vec![Val::Int(7)]);
-        assert!(matches!(out, RunOutcome::Wrong(_)));
+        assert!(matches!(out, RunOutcome::Wrong { .. }));
     }
 
     #[test]

@@ -4,6 +4,12 @@
 //! compiler is total on its domain" story, so this is checked on arbitrary
 //! strings, on single-byte mutations of valid programs, and on truncations.
 
+//!
+//! Requires the optional `proptest` feature (and the proptest crate,
+//! which is not vendored -- see Cargo.toml): these tests are skipped in
+//! the offline build.
+#![cfg(feature = "proptest")]
+
 use clight::{parse, typecheck};
 use proptest::prelude::*;
 

@@ -110,7 +110,7 @@ fn writing_readonly_global_goes_wrong() {
     let (sem, mem) = load(src);
     assert!(matches!(
         call(&sem, &mem, "f", vec![]),
-        RunOutcome::Wrong(_)
+        RunOutcome::Wrong { .. }
     ));
 }
 
@@ -121,7 +121,7 @@ fn uninitialized_local_branch_goes_wrong() {
     let (sem, mem) = load(src);
     assert!(matches!(
         call(&sem, &mem, "f", vec![]),
-        RunOutcome::Wrong(_)
+        RunOutcome::Wrong { .. }
     ));
 }
 
@@ -142,7 +142,7 @@ fn dangling_pointer_dereference_goes_wrong() {
     let (sem, mem) = load(src);
     assert!(matches!(
         call(&sem, &mem, "f", vec![]),
-        RunOutcome::Wrong(_)
+        RunOutcome::Wrong { .. }
     ));
 }
 

@@ -153,6 +153,13 @@ where
     fn resume(&self, _s: &Self::State, a: Void) -> Result<Self::State, Stuck> {
         match a {} // One has no answers: closed processes are never resumed
     }
+
+    fn measure(&self, s: &Self::State) -> compcerto_core::lts::StateMeasure {
+        match s {
+            ClosedState::Boot => compcerto_core::lts::StateMeasure::default(),
+            ClosedState::Running(st) => self.inner.measure(st),
+        }
+    }
 }
 
 /// Run a closed process to completion, returning the exit status and the
@@ -164,13 +171,30 @@ pub fn run_closed<L>(closed: &Closed<L>, fuel: u64) -> Result<(i32, Vec<Event>),
 where
     L: Lts<I = C, O = C>,
 {
-    match compcerto_core::lts::run(closed, &(), &mut |q: &Void| match *q {}, fuel) {
+    run_closed_budgeted(closed, &compcerto_core::lts::RunBudget::with_fuel(fuel))
+}
+
+/// Like [`run_closed`], but under a full [`RunBudget`] (memory / call-depth /
+/// deadline quotas in addition to fuel).
+///
+/// # Errors
+/// Returns the inner [`Stuck`] on undefined behaviour; budget violations are
+/// reported as `Stuck` values describing the exceeded quota.
+pub fn run_closed_budgeted<L>(
+    closed: &Closed<L>,
+    budget: &compcerto_core::lts::RunBudget,
+) -> Result<(i32, Vec<Event>), Stuck>
+where
+    L: Lts<I = C, O = C>,
+{
+    match compcerto_core::lts::run_budgeted(closed, &(), &mut |q: &Void| match *q {}, budget) {
         compcerto_core::lts::RunOutcome::Complete { answer, trace, .. } => Ok((answer, trace)),
-        compcerto_core::lts::RunOutcome::Wrong(stuck) => Err(stuck),
-        compcerto_core::lts::RunOutcome::EnvRefused(_) => {
-            unreachable!("closed components ask no questions")
-        }
-        compcerto_core::lts::RunOutcome::OutOfFuel => Err(Stuck::new("out of fuel")),
+        // Every failing outcome (wrong, refused, budget) maps to a `Stuck`
+        // describing the failure — `run_closed` must never panic.
+        other => match other.into_answer() {
+            Err(e) => Err(Stuck::new(e.to_string())),
+            Ok(_) => Err(Stuck::new("unreachable: Complete handled above")),
+        },
     }
 }
 

@@ -8,6 +8,13 @@
 //!   convention `C` (its executable core, [`compcerto_core::cc::Ca`]);
 //! * [`check_thm35`] — `Asm(p1) ⊕ Asm(p2) ≤_{id↠id} Asm(p1 + p2)`;
 //! * [`check_cor39`] — `Clight(M1) ⊕ … ⊕ Clight(Mn) ≤_{C↠C} Asm(M.s)`.
+//!
+//! Every harness has a `_budgeted` variant taking a full
+//! [`RunBudget`] (memory / call-depth / deadline quotas in addition to
+//! fuel); the plain variants run under [`default_budget`]. All entry points
+//! are panic-free: linking failures and unknown entry points surface as
+//! [`SimCheckError::Precondition`], budget violations as
+//! [`SimCheckError::OutOfFuel`] / [`SimCheckError::BudgetExceeded`].
 
 use backend::{link_asm, AsmProgram, AsmSem};
 use clight::ClightSem;
@@ -15,7 +22,8 @@ use compcerto_core::cconv::CConv;
 use compcerto_core::conv::IdConv;
 use compcerto_core::hcomp::HComp;
 use compcerto_core::iface::{ARegs, CQuery, A};
-use compcerto_core::sim::{check_fwd_sim_env, EnvMode, SimCheckError, SimCheckReport};
+use compcerto_core::lts::RunBudget;
+use compcerto_core::sim::{check_fwd_sim_budgeted, EnvMode, SimCheckError, SimCheckReport};
 use compcerto_core::symtab::SymbolTable;
 
 use crate::driver::CompiledUnit;
@@ -23,6 +31,12 @@ use crate::extlib::ExtLib;
 
 /// Default fuel for harness executions.
 pub const FUEL: u64 = 10_000_000;
+
+/// The budget the plain (non-`_budgeted`) harness entry points run under:
+/// [`FUEL`] steps per side, no other quotas.
+pub fn default_budget() -> RunBudget {
+    RunBudget::with_fuel(FUEL)
+}
 
 /// Check Theorem 3.8 on one execution: run the source component at the C
 /// level and the compiled component at the assembly level on `C`-related
@@ -37,20 +51,34 @@ pub fn check_thm38(
     lib: &ExtLib,
     query: &CQuery,
 ) -> Result<SimCheckReport, SimCheckError> {
+    check_thm38_budgeted(unit, symtab, lib, query, &default_budget())
+}
+
+/// [`check_thm38`] under an explicit [`RunBudget`].
+///
+/// # Errors
+/// Reports the violated simulation edge or the exceeded quota.
+pub fn check_thm38_budgeted(
+    unit: &CompiledUnit,
+    symtab: &SymbolTable,
+    lib: &ExtLib,
+    query: &CQuery,
+    budget: &RunBudget,
+) -> Result<SimCheckReport, SimCheckError> {
     let src = unit.clight_sem(symtab);
     let tgt = unit.asm_sem(symtab);
     // The full convention C = R*·wt·CA·vainj (paper §5).
     let c = CConv::new(symtab.clone());
     let mut env_c = |q: &CQuery| lib.answer_c(q);
     let mut env_a = |q: &ARegs| lib.answer_a(q);
-    check_fwd_sim_env(
+    check_fwd_sim_budgeted(
         &src,
         &tgt,
         &c,
         &c,
         query,
         EnvMode::Dual(&mut env_c, &mut env_a),
-        FUEL,
+        budget,
     )
 }
 
@@ -59,8 +87,8 @@ pub fn check_thm38(
 /// program.
 ///
 /// # Errors
-/// Reports the violated simulation edge or a linking failure as
-/// [`SimCheckError`]/panic-free result.
+/// Reports the violated simulation edge; a linking failure is reported as
+/// [`SimCheckError::Precondition`].
 pub fn check_thm35(
     p1: &AsmProgram,
     p2: &AsmProgram,
@@ -68,7 +96,24 @@ pub fn check_thm35(
     lib: &ExtLib,
     query: &ARegs,
 ) -> Result<SimCheckReport, SimCheckError> {
-    let linked = link_asm(p1, p2).expect("programs must link");
+    check_thm35_budgeted(p1, p2, symtab, lib, query, &default_budget())
+}
+
+/// [`check_thm35`] under an explicit [`RunBudget`].
+///
+/// # Errors
+/// Reports the violated simulation edge, a linking failure, or the exceeded
+/// quota.
+pub fn check_thm35_budgeted(
+    p1: &AsmProgram,
+    p2: &AsmProgram,
+    symtab: &SymbolTable,
+    lib: &ExtLib,
+    query: &ARegs,
+    budget: &RunBudget,
+) -> Result<SimCheckReport, SimCheckError> {
+    let linked = link_asm(p1, p2)
+        .map_err(|e| SimCheckError::Precondition(format!("programs do not link: {e}")))?;
     let composite = HComp::new(
         AsmSem::new(p1.clone(), symtab.clone()),
         AsmSem::new(p2.clone(), symtab.clone()),
@@ -76,14 +121,14 @@ pub fn check_thm35(
     let whole = AsmSem::new(linked, symtab.clone());
     let mut env1 = |q: &ARegs| lib.answer_a(q);
     let mut env2 = |q: &ARegs| lib.answer_a(q);
-    check_fwd_sim_env(
+    check_fwd_sim_budgeted(
         &composite,
         &whole,
         &IdConv::<A>::new(),
         &IdConv::<A>::new(),
         query,
         EnvMode::Dual(&mut env1, &mut env2),
-        FUEL,
+        budget,
     )
 }
 
@@ -93,7 +138,8 @@ pub fn check_thm35(
 /// program.
 ///
 /// # Errors
-/// Reports the violated simulation edge.
+/// Reports the violated simulation edge; a linking failure is reported as
+/// [`SimCheckError::Precondition`].
 pub fn check_cor39(
     u1: &CompiledUnit,
     u2: &CompiledUnit,
@@ -101,7 +147,24 @@ pub fn check_cor39(
     lib: &ExtLib,
     query: &CQuery,
 ) -> Result<SimCheckReport, SimCheckError> {
-    let linked = link_asm(&u1.asm, &u2.asm).expect("programs must link");
+    check_cor39_budgeted(u1, u2, symtab, lib, query, &default_budget())
+}
+
+/// [`check_cor39`] under an explicit [`RunBudget`].
+///
+/// # Errors
+/// Reports the violated simulation edge, a linking failure, or the exceeded
+/// quota.
+pub fn check_cor39_budgeted(
+    u1: &CompiledUnit,
+    u2: &CompiledUnit,
+    symtab: &SymbolTable,
+    lib: &ExtLib,
+    query: &CQuery,
+    budget: &RunBudget,
+) -> Result<SimCheckReport, SimCheckError> {
+    let linked = link_asm(&u1.asm, &u2.asm)
+        .map_err(|e| SimCheckError::Precondition(format!("programs do not link: {e}")))?;
     let composite = HComp::new(
         ClightSem::new(u1.clight.clone(), symtab.clone()).with_label("Clight#1"),
         ClightSem::new(u2.clight.clone(), symtab.clone()).with_label("Clight#2"),
@@ -110,36 +173,60 @@ pub fn check_cor39(
     let c = CConv::new(symtab.clone());
     let mut env_c = |q: &CQuery| lib.answer_c(q);
     let mut env_a = |q: &ARegs| lib.answer_a(q);
-    check_fwd_sim_env(
+    check_fwd_sim_budgeted(
         &composite,
         &whole,
         &c,
         &c,
         query,
         EnvMode::Dual(&mut env_c, &mut env_a),
-        FUEL,
+        budget,
     )
 }
 
 /// Build a C-level query for a function of a compiled program.
 ///
+/// # Errors
+/// Fails when the function is unknown to the unit or the symbol table, or
+/// when the initial memory cannot be built.
+pub fn try_c_query(
+    symtab: &SymbolTable,
+    unit: &CompiledUnit,
+    fname: &str,
+    args: Vec<mem::Val>,
+) -> Result<CQuery, String> {
+    let sig = unit
+        .clight
+        .sig_of(fname)
+        .ok_or_else(|| format!("unknown function `{fname}`"))?;
+    let vf = symtab
+        .func_ptr(fname)
+        .ok_or_else(|| format!("`{fname}` not in the symbol table"))?;
+    let mem = symtab
+        .build_init_mem()
+        .map_err(|e| format!("initial memory: {e}"))?;
+    Ok(CQuery {
+        vf,
+        sig,
+        args,
+        mem,
+    })
+}
+
+/// Build a C-level query for a function of a compiled program.
+///
 /// # Panics
-/// Panics when the function is unknown (harness misuse).
+/// Panics when the function is unknown (harness misuse); library code goes
+/// through [`try_c_query`].
 pub fn c_query(
     symtab: &SymbolTable,
     unit: &CompiledUnit,
     fname: &str,
     args: Vec<mem::Val>,
 ) -> CQuery {
-    let sig = unit
-        .clight
-        .sig_of(fname)
-        .unwrap_or_else(|| panic!("unknown function `{fname}`"));
-    CQuery {
-        vf: symtab.func_ptr(fname).expect("function in symbol table"),
-        sig,
-        args,
-        mem: symtab.build_init_mem().expect("initial memory"),
+    match try_c_query(symtab, unit, fname, args) {
+        Ok(q) => q,
+        Err(e) => panic!("c_query: {e}"),
     }
 }
 
@@ -220,5 +307,31 @@ mod tests {
         )
         .unwrap();
         check_thm35(&units[0].asm, &units[1].asm, &tbl, &lib, &qa).expect("Thm 3.5 holds");
+    }
+
+    #[test]
+    fn try_c_query_rejects_unknown_function() {
+        let src = "int f(int a) { return a; }";
+        let (units, tbl) = compile_all(&[src], CompilerOptions::default()).unwrap();
+        assert!(try_c_query(&tbl, &units[0], "nope", vec![]).is_err());
+    }
+
+    #[test]
+    fn thm38_budgeted_fuel_violation_is_reported() {
+        let src = "
+            int spin(int n) {
+                int i; int s;
+                s = 0;
+                for (i = 0; i < n; i = i + 1) { s = s + i; }
+                return s;
+            }";
+        let (units, tbl) = compile_all(&[src], CompilerOptions::default()).unwrap();
+        let lib = ExtLib::demo(tbl.clone());
+        let q = c_query(&tbl, &units[0], "spin", vec![Val::Int(100000)]);
+        let budget = RunBudget::with_fuel(50);
+        let err =
+            check_thm38_budgeted(&units[0], &tbl, &lib, &q, &budget).expect_err("fuel too small");
+        assert!(matches!(err, SimCheckError::OutOfFuel { .. }), "got {err}");
+        assert!(err.step_trace().is_some_and(|t| !t.is_empty()));
     }
 }

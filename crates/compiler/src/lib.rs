@@ -16,6 +16,7 @@
 pub mod closed;
 pub mod driver;
 pub mod extlib;
+pub mod faultinj;
 pub mod harness;
 pub mod registry;
 pub mod sloc;
@@ -24,6 +25,13 @@ pub mod workload;
 pub use closed::{run_closed, Closed, ClosedState};
 pub use driver::{compile_all, compile_unit, CompileError, CompiledUnit, CompilerOptions};
 pub use extlib::ExtLib;
-pub use harness::{c_query, check_cor39, check_thm35, check_thm38};
+pub use faultinj::{
+    mutate, run_campaign, CampaignCfg, CampaignReport, Mutant, Mutation, MutationClass,
+    MUTATION_CLASSES,
+};
+pub use harness::{
+    c_query, check_cor39, check_cor39_budgeted, check_thm35, check_thm35_budgeted, check_thm38,
+    check_thm38_budgeted, default_budget, try_c_query,
+};
 pub use registry::{pass_registry, PassInfo};
 pub use workload::{WorkloadCfg, WorkloadGen};

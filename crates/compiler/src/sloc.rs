@@ -9,10 +9,13 @@ use std::path::{Path, PathBuf};
 
 /// The repository root (resolved from this crate's manifest directory).
 pub fn repo_root() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR"))
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    // crates/compiler is two levels below the root; fall back to the manifest
+    // dir itself if the layout ever changes (sloc queries then report 0).
+    manifest
         .ancestors()
         .nth(2)
-        .expect("crates/compiler is two levels below the root")
+        .unwrap_or(manifest)
         .to_path_buf()
 }
 

@@ -6,9 +6,7 @@
 //! indices, initialized locals), so a simulation-check failure always
 //! indicates a compiler bug, never source-level undefined behaviour.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-
+use compcerto_core::rng::SplitMix64;
 use mem::Val;
 
 /// Shape parameters for generated programs.
@@ -42,16 +40,20 @@ impl Default for WorkloadCfg {
 }
 
 /// A deterministic random program/query generator.
+///
+/// Randomness comes from the in-repo [`SplitMix64`], so the generated
+/// program stream is a pure function of the seed — stable across platforms
+/// and independent of any external crate.
 #[derive(Debug)]
 pub struct WorkloadGen {
-    rng: StdRng,
+    rng: SplitMix64,
 }
 
 impl WorkloadGen {
     /// Create a generator from a seed.
     pub fn new(seed: u64) -> WorkloadGen {
         WorkloadGen {
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::new(seed),
         }
     }
 
@@ -73,7 +75,7 @@ impl WorkloadGen {
         }
         let mut fn_names: Vec<(String, usize)> = Vec::new();
         for i in 0..cfg.functions {
-            let nparams = 1 + self.rng.random_range(0..cfg.max_params.clamp(1, 6));
+            let nparams = 1 + self.rng.range_usize(0, cfg.max_params.clamp(1, 6));
             let name = if i + 1 == cfg.functions {
                 "entry".to_string()
             } else {
@@ -125,9 +127,9 @@ impl WorkloadGen {
         cfg: &WorkloadCfg,
         callees: &[(String, usize)],
     ) -> String {
-        let v = self.rng.random_range(0..nlocals);
-        match self.rng.random_range(0..10u32) {
-            0 | 1 | 2 => {
+        let v = self.rng.range_usize(0, nlocals);
+        match self.rng.below(10) as u32 {
+            0..=2 => {
                 let e = self.gen_expr(nparams, nlocals, 3);
                 format!("  v{v} = {e};\n")
             }
@@ -140,14 +142,14 @@ impl WorkloadGen {
             4 => {
                 // A bounded loop over a dedicated counter expression.
                 let body = self.gen_expr(nparams, nlocals, 2);
-                let n = self.rng.random_range(1..6);
+                let n = self.rng.range_i64(1, 6);
                 let w = (v + 1) % nlocals;
                 format!(
                     "  v{w} = 0;\n  while (v{w} < {n}) {{ v{v} = v{v} + ({body}); v{w} = v{w} + 1; }}\n"
                 )
             }
             5 if cfg.use_memory => {
-                let idx = self.rng.random_range(0..8);
+                let idx = self.rng.range_i64(0, 8);
                 let e = self.gen_expr(nparams, nlocals, 2);
                 format!("  buf[{idx}] = (long) ({e});\n  v{v} = (int) buf[{idx}];\n")
             }
@@ -156,7 +158,7 @@ impl WorkloadGen {
                 format!("  acc = acc + ({e});\n  v{v} = acc;\n")
             }
             7 if cfg.internal_calls && !callees.is_empty() => {
-                let (callee, k) = &callees[self.rng.random_range(0..callees.len())];
+                let (callee, k) = &callees[self.rng.range_usize(0, callees.len())];
                 let args: Vec<String> = (0..*k)
                     .map(|_| self.gen_expr(nparams, nlocals, 1))
                     .collect();
@@ -185,23 +187,23 @@ impl WorkloadGen {
     /// A well-defined integer expression over `p0..`, `v0..` and literals.
     fn gen_expr(&mut self, nparams: usize, nlocals: usize, depth: u32) -> String {
         if depth == 0 {
-            return match self.rng.random_range(0..3u32) {
-                0 if nparams > 0 => format!("p{}", self.rng.random_range(0..nparams)),
-                1 if nlocals > 0 => format!("v{}", self.rng.random_range(0..nlocals)),
-                _ => format!("{}", self.rng.random_range(-20..40)),
+            return match self.rng.below(3) as u32 {
+                0 if nparams > 0 => format!("p{}", self.rng.range_usize(0, nparams)),
+                1 if nlocals > 0 => format!("v{}", self.rng.range_usize(0, nlocals)),
+                _ => format!("{}", self.rng.range_i64(-20, 40)),
             };
         }
         let a = self.gen_expr(nparams, nlocals, depth - 1);
         let b = self.gen_expr(nparams, nlocals, depth - 1);
-        match self.rng.random_range(0..8u32) {
+        match self.rng.below(8) as u32 {
             0 => format!("({a} + {b})"),
             1 => format!("({a} - {b})"),
             2 => format!("({a} * {b})"),
             // Division and remainder only by non-zero constants.
-            3 => format!("({a} / {})", self.rng.random_range(1..9)),
-            4 => format!("({a} % {})", self.rng.random_range(1..9)),
+            3 => format!("({a} / {})", self.rng.range_i64(1, 9)),
+            4 => format!("({a} % {})", self.rng.range_i64(1, 9)),
             5 => format!("({a} & {b})"),
-            6 => format!("({a} << {})", self.rng.random_range(0..5)),
+            6 => format!("({a} << {})", self.rng.range_i64(0, 5)),
             _ => format!("(({a} < {b}) + {a})"),
         }
     }
@@ -211,7 +213,7 @@ impl WorkloadGen {
         (0..n)
             .map(|_| {
                 (0..arity)
-                    .map(|_| Val::Int(self.rng.random_range(-50..100)))
+                    .map(|_| Val::Int(self.rng.range_i32(-50, 100)))
                     .collect()
             })
             .collect()

@@ -206,21 +206,30 @@ where
     }
 
     fn step(&self, s: &Self::State) -> Step<Self::State, Question<I>, Answer<I>> {
-        let top = s.stack.top().expect("hcomp stack is never empty");
+        // The stack is non-empty by construction; if a corrupted state ever
+        // violates that, go wrong instead of panicking.
+        let Some(top) = s.stack.top() else {
+            return Step::Stuck(Stuck::new("hcomp: empty activation stack"));
+        };
         // Run the active component one step.
-        let inner: Step<Frame<L1::State, L2::State>, Question<I>, Answer<I>> = match top.side {
-            Side::Left => match self.l1.step(top.left.as_ref().expect("left frame")) {
+        let inner: Step<Frame<L1::State, L2::State>, Question<I>, Answer<I>> = match (
+            top.side,
+            top.left.as_ref(),
+            top.right.as_ref(),
+        ) {
+            (Side::Left, Some(st), _) => match self.l1.step(st) {
                 Step::Internal(st, evs) => Step::Internal(Frame::left(st), evs),
                 Step::Final(a) => Step::Final(a),
                 Step::External(q) => Step::External(q),
                 Step::Stuck(x) => Step::Stuck(x),
             },
-            Side::Right => match self.l2.step(top.right.as_ref().expect("right frame")) {
+            (Side::Right, _, Some(st)) => match self.l2.step(st) {
                 Step::Internal(st, evs) => Step::Internal(Frame::right(st), evs),
                 Step::Final(a) => Step::Final(a),
                 Step::External(q) => Step::External(q),
                 Step::Stuck(x) => Step::Stuck(x),
             },
+            _ => return Step::Stuck(Stuck::new("hcomp: frame side/state mismatch")),
         };
         match inner {
             // Rule "run".
@@ -235,17 +244,17 @@ where
                 if s.stack.len() == 1 {
                     Step::Final(a)
                 } else {
-                    let (_, rest) = s.stack.pop().expect("nonempty");
-                    let caller = rest.top().expect("nonempty");
-                    let resumed = match caller.side {
-                        Side::Left => self
-                            .l1
-                            .resume(caller.left.as_ref().expect("left frame"), a)
-                            .map(Frame::left),
-                        Side::Right => self
-                            .l2
-                            .resume(caller.right.as_ref().expect("right frame"), a)
-                            .map(Frame::right),
+                    let Some((_, rest)) = s.stack.pop() else {
+                        return Step::Stuck(Stuck::new("hcomp: empty activation stack"));
+                    };
+                    let Some(caller) = rest.top() else {
+                        return Step::Stuck(Stuck::new("hcomp: no caller below final frame"));
+                    };
+                    let resumed = match (caller.side, caller.left.as_ref(), caller.right.as_ref())
+                    {
+                        (Side::Left, Some(st), _) => self.l1.resume(st, a).map(Frame::left),
+                        (Side::Right, _, Some(st)) => self.l2.resume(st, a).map(Frame::right),
+                        _ => Err(Stuck::new("hcomp: frame side/state mismatch")),
                     };
                     match resumed {
                         Ok(frame) => Step::Internal(
@@ -275,17 +284,43 @@ where
 
     fn resume(&self, s: &Self::State, a: Answer<I>) -> Result<Self::State, Stuck> {
         // Rule x•: the environment's answer resumes the active component.
-        let top = s.stack.top().expect("hcomp stack is never empty");
-        let frame = match top.side {
-            Side::Left => Frame::left(self.l1.resume(top.left.as_ref().expect("left frame"), a)?),
-            Side::Right => Frame::right(
-                self.l2
-                    .resume(top.right.as_ref().expect("right frame"), a)?,
-            ),
+        let Some(top) = s.stack.top() else {
+            return Err(Stuck::new("hcomp: empty activation stack"));
+        };
+        let frame = match (top.side, top.left.as_ref(), top.right.as_ref()) {
+            (Side::Left, Some(st), _) => Frame::left(self.l1.resume(st, a)?),
+            (Side::Right, _, Some(st)) => Frame::right(self.l2.resume(st, a)?),
+            _ => return Err(Stuck::new("hcomp: frame side/state mismatch")),
         };
         Ok(HState {
             stack: s.stack.replace_top(frame),
         })
+    }
+
+    fn measure(&self, s: &Self::State) -> crate::lts::StateMeasure {
+        // The top frame owns the current memory; every frame below it is a
+        // suspended activation and counts as one call level.
+        let Some(top) = s.stack.top() else {
+            return crate::lts::StateMeasure::default();
+        };
+        let m = match top.side {
+            Side::Left => top
+                .left
+                .as_ref()
+                .map(|st| self.l1.measure(st))
+                .unwrap_or_default(),
+            Side::Right => top
+                .right
+                .as_ref()
+                .map(|st| self.l2.measure(st))
+                .unwrap_or_default(),
+        };
+        crate::lts::StateMeasure {
+            mem_bytes: m.mem_bytes,
+            call_depth: m
+                .call_depth
+                .saturating_add(s.stack.len().saturating_sub(1) as u64),
+        }
     }
 }
 

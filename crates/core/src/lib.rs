@@ -58,6 +58,7 @@ pub mod iface;
 pub mod invariants;
 pub mod lts;
 pub mod regs;
+pub mod rng;
 pub mod seqcomp;
 pub mod sim;
 pub mod symtab;

@@ -1,5 +1,5 @@
 //! Open labeled transition systems (paper Def. 3.1) and a deterministic
-//! runner.
+//! runner with hardened execution budgets.
 //!
 //! An LTS `L : A ↠ B` describes a strategy for the game `A × E → B`: it is
 //! activated by questions of `B`, takes internal steps emitting events of
@@ -10,8 +10,21 @@
 //! transition *functions*; the relational Def. 3.1 specializes to this shape
 //! (the runner's environment closure plays the role of the ∀-quantified
 //! environment).
+//!
+//! # Budgets
+//!
+//! Every run is bounded by a [`RunBudget`]: a fuel bound (internal steps), an
+//! optional live-memory quota, an optional call-depth quota, and an optional
+//! wall-clock deadline. Exceeding a budget is an *outcome*
+//! ([`RunOutcome::OutOfFuel`], [`RunOutcome::OutOfMemory`],
+//! [`RunOutcome::DepthExceeded`], [`RunOutcome::TimedOut`]), never a panic —
+//! the fault-injection campaign and the robustness suites rely on this to
+//! survive arbitrarily corrupted components. Each failing outcome carries a
+//! bounded [`StepTrace`] of the last states visited, so a stuck or diverging
+//! run can be diagnosed without re-running under a debugger.
 
 use std::fmt;
+use std::time::{Duration, Instant};
 
 use mem::Val;
 
@@ -92,6 +105,29 @@ pub enum Step<S, OQ, IA> {
     Stuck(Stuck),
 }
 
+/// Resource usage of one LTS state, as reported by [`Lts::measure`].
+///
+/// The runner compares this against the [`RunBudget`] quotas after every
+/// internal step. The default is the zero measure (no resource tracked), so
+/// existing LTSs are budget-transparent until they opt in.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StateMeasure {
+    /// Live allocated memory, in bytes.
+    pub mem_bytes: u64,
+    /// Current call/continuation depth.
+    pub call_depth: u64,
+}
+
+impl StateMeasure {
+    /// Pointwise sum (used by composite LTSs: `⊕`, `∘`).
+    pub fn combine(self, other: StateMeasure) -> StateMeasure {
+        StateMeasure {
+            mem_bytes: self.mem_bytes.saturating_add(other.mem_bytes),
+            call_depth: self.call_depth.saturating_add(other.call_depth),
+        }
+    }
+}
+
 /// An open labeled transition system for the game `O ↠ I`
 /// (paper Def. 3.1; `I` is the incoming interface `B`, `O` the outgoing
 /// interface `A`).
@@ -123,6 +159,219 @@ pub trait Lts {
     /// # Errors
     /// Returns [`Stuck`] if the answer is unacceptable (e.g. ill-typed).
     fn resume(&self, s: &Self::State, a: Answer<Self::O>) -> Result<Self::State, Stuck>;
+
+    /// Resource usage of `s`, checked against [`RunBudget`] quotas.
+    ///
+    /// The default reports the zero measure; language semantics override it
+    /// to expose live memory and call depth (see `ClightSem`, `AsmSem`, and
+    /// the `⊕`/`∘` combinators).
+    fn measure(&self, _s: &Self::State) -> StateMeasure {
+        StateMeasure::default()
+    }
+}
+
+/// Execution budget for a single run of an open LTS.
+///
+/// `fuel` is always enforced; the other quotas are opt-in (`None` disables
+/// them). `trace_capacity` bounds the diagnostic [`StepTrace`] ring buffer
+/// attached to failing outcomes (0 disables tracing entirely).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunBudget {
+    /// Maximum number of internal steps.
+    pub fuel: u64,
+    /// Maximum live allocated bytes (per [`Lts::measure`]).
+    pub max_mem_bytes: Option<u64>,
+    /// Maximum call/continuation depth (per [`Lts::measure`]).
+    pub max_call_depth: Option<u64>,
+    /// Wall-clock deadline for the whole run.
+    pub deadline: Option<Duration>,
+    /// Capacity of the diagnostic step-trace ring buffer.
+    pub trace_capacity: usize,
+}
+
+/// Default capacity of the step-trace ring buffer.
+pub const DEFAULT_TRACE_CAPACITY: usize = 16;
+
+impl RunBudget {
+    /// A budget enforcing only the fuel bound (plus the default trace).
+    pub fn with_fuel(fuel: u64) -> RunBudget {
+        RunBudget {
+            fuel,
+            max_mem_bytes: None,
+            max_call_depth: None,
+            deadline: None,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
+        }
+    }
+
+    /// Set the live-memory quota.
+    #[must_use]
+    pub fn mem_limit(mut self, bytes: u64) -> RunBudget {
+        self.max_mem_bytes = Some(bytes);
+        self
+    }
+
+    /// Set the call-depth quota.
+    #[must_use]
+    pub fn depth_limit(mut self, depth: u64) -> RunBudget {
+        self.max_call_depth = Some(depth);
+        self
+    }
+
+    /// Set the wall-clock deadline.
+    #[must_use]
+    pub fn deadline(mut self, d: Duration) -> RunBudget {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Set the step-trace capacity.
+    #[must_use]
+    pub fn trace_capacity(mut self, cap: usize) -> RunBudget {
+        self.trace_capacity = cap;
+        self
+    }
+}
+
+impl Default for RunBudget {
+    /// The default budget used throughout the harness: 10M steps, no other
+    /// quotas.
+    fn default() -> RunBudget {
+        RunBudget::with_fuel(10_000_000)
+    }
+}
+
+/// Which budget dimension a run exceeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetKind {
+    /// Fuel (internal step count).
+    Fuel,
+    /// Live memory quota.
+    Memory,
+    /// Call-depth quota.
+    Depth,
+    /// Wall-clock deadline.
+    Time,
+}
+
+impl fmt::Display for BudgetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetKind::Fuel => write!(f, "fuel"),
+            BudgetKind::Memory => write!(f, "memory"),
+            BudgetKind::Depth => write!(f, "call depth"),
+            BudgetKind::Time => write!(f, "deadline"),
+        }
+    }
+}
+
+/// One entry of a [`StepTrace`]: a step index and a rendered state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// Internal-step index at which the state was visited.
+    pub step: u64,
+    /// Truncated `Debug` rendering of the state.
+    pub desc: String,
+}
+
+/// A bounded trace of the last states a failing run visited.
+///
+/// The runner keeps a ring buffer of cloned states (cheap: memories are
+/// copy-on-write) and renders them only when the run fails, so the happy
+/// path pays one clone per step and no formatting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StepTrace {
+    /// The retained tail of the run, oldest first.
+    pub entries: Vec<TraceEntry>,
+    /// How many earlier states were dropped from the ring.
+    pub dropped: u64,
+}
+
+impl StepTrace {
+    /// True when no states were retained (tracing disabled).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+impl fmt::Display for StepTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.dropped > 0 {
+            writeln!(f, "  ... {} earlier steps elided ...", self.dropped)?;
+        }
+        for e in &self.entries {
+            writeln!(f, "  #{:<6} {}", e.step, e.desc)?;
+        }
+        Ok(())
+    }
+}
+
+/// Maximum characters retained per rendered trace state.
+const TRACE_DESC_MAX: usize = 240;
+
+/// Ring buffer of recent states; rendered lazily into a [`StepTrace`].
+/// Shared with the differential checker in [`crate::sim`].
+pub(crate) struct TraceRing<S> {
+    cap: usize,
+    buf: Vec<(u64, S)>,
+    next: usize,
+    dropped: u64,
+}
+
+impl<S: Clone + fmt::Debug> TraceRing<S> {
+    pub(crate) fn new(cap: usize) -> TraceRing<S> {
+        TraceRing {
+            cap,
+            buf: Vec::with_capacity(cap.min(64)),
+            next: 0,
+            dropped: 0,
+        }
+    }
+
+    pub(crate) fn record(&mut self, step: u64, s: &S) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.buf.len() < self.cap {
+            self.buf.push((step, s.clone()));
+        } else {
+            self.buf[self.next] = (step, s.clone());
+            self.dropped += 1;
+        }
+        self.next = (self.next + 1) % self.cap;
+    }
+
+    pub(crate) fn render(&self) -> StepTrace {
+        let mut entries = Vec::with_capacity(self.buf.len());
+        // Oldest-first: the ring's logical start is `next` once full.
+        let start = if self.buf.len() < self.cap {
+            0
+        } else {
+            self.next
+        };
+        for i in 0..self.buf.len() {
+            let (step, s) = &self.buf[(start + i) % self.buf.len()];
+            let mut desc = format!("{s:?}");
+            if desc.len() > TRACE_DESC_MAX {
+                let mut cut = TRACE_DESC_MAX;
+                while !desc.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                desc.truncate(cut);
+                desc.push('…');
+            }
+            entries.push(TraceEntry { step: *step, desc });
+        }
+        StepTrace {
+            entries,
+            dropped: self.dropped,
+        }
+    }
 }
 
 /// Outcome of running an LTS to completion under an environment.
@@ -138,25 +387,162 @@ pub enum RunOutcome<IA> {
         steps: u64,
     },
     /// The component went wrong.
-    Wrong(Stuck),
+    Wrong {
+        /// Why no transition applies.
+        stuck: Stuck,
+        /// The last states visited before getting stuck.
+        trace: StepTrace,
+    },
     /// The environment declined to answer an outgoing question.
     EnvRefused(String),
     /// The fuel bound was exhausted (possibly silent divergence).
-    OutOfFuel,
+    OutOfFuel {
+        /// The last states visited before fuel ran out.
+        trace: StepTrace,
+    },
+    /// The live-memory quota was exceeded.
+    OutOfMemory {
+        /// Live bytes at the point of violation.
+        used: u64,
+        /// The configured quota.
+        limit: u64,
+        /// The last states visited.
+        trace: StepTrace,
+    },
+    /// The call-depth quota was exceeded.
+    DepthExceeded {
+        /// Depth at the point of violation.
+        depth: u64,
+        /// The configured quota.
+        limit: u64,
+        /// The last states visited.
+        trace: StepTrace,
+    },
+    /// The wall-clock deadline passed.
+    TimedOut {
+        /// Elapsed time when the deadline was noticed.
+        elapsed: Duration,
+        /// The last states visited.
+        trace: StepTrace,
+    },
 }
 
+/// A failed [`RunOutcome`], with the answer stripped (see
+/// [`RunOutcome::into_answer`]).
+#[derive(Debug, Clone)]
+pub enum RunError {
+    /// The component went wrong.
+    Wrong {
+        /// Why no transition applies.
+        stuck: Stuck,
+        /// The last states visited.
+        trace: StepTrace,
+    },
+    /// The environment declined a question.
+    EnvRefused(String),
+    /// A budget dimension was exceeded.
+    Budget {
+        /// Which quota was violated.
+        kind: BudgetKind,
+        /// Human-readable detail (usage vs. limit).
+        detail: String,
+        /// The last states visited.
+        trace: StepTrace,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Wrong { stuck, trace } => {
+                write!(f, "component went wrong: {stuck}")?;
+                if !trace.is_empty() {
+                    write!(f, "\nlast states:\n{trace}")?;
+                }
+                Ok(())
+            }
+            RunError::EnvRefused(q) => write!(f, "environment refused question: {q}"),
+            RunError::Budget {
+                kind,
+                detail,
+                trace,
+            } => {
+                write!(f, "{kind} budget exceeded: {detail}")?;
+                if !trace.is_empty() {
+                    write!(f, "\nlast states:\n{trace}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
 impl<IA> RunOutcome<IA> {
+    /// Extract the answer, or a typed [`RunError`] describing the failure.
+    ///
+    /// This replaces the old panicking `expect_complete`: library code (the
+    /// NIC scenario, the harness, the campaign runner) must stay panic-free
+    /// even when a component diverges or exhausts its budget.
+    ///
+    /// # Errors
+    /// Any outcome other than [`RunOutcome::Complete`].
+    pub fn into_answer(self) -> Result<IA, RunError> {
+        match self {
+            RunOutcome::Complete { answer, .. } => Ok(answer),
+            RunOutcome::Wrong { stuck, trace } => Err(RunError::Wrong { stuck, trace }),
+            RunOutcome::EnvRefused(q) => Err(RunError::EnvRefused(q)),
+            RunOutcome::OutOfFuel { trace } => Err(RunError::Budget {
+                kind: BudgetKind::Fuel,
+                detail: "step bound exhausted".into(),
+                trace,
+            }),
+            RunOutcome::OutOfMemory { used, limit, trace } => Err(RunError::Budget {
+                kind: BudgetKind::Memory,
+                detail: format!("{used} live bytes > limit {limit}"),
+                trace,
+            }),
+            RunOutcome::DepthExceeded {
+                depth,
+                limit,
+                trace,
+            } => Err(RunError::Budget {
+                kind: BudgetKind::Depth,
+                detail: format!("depth {depth} > limit {limit}"),
+                trace,
+            }),
+            RunOutcome::TimedOut { elapsed, trace } => Err(RunError::Budget {
+                kind: BudgetKind::Time,
+                detail: format!("elapsed {elapsed:?}"),
+                trace,
+            }),
+        }
+    }
+
     /// Extract the answer of a [`RunOutcome::Complete`] outcome.
     ///
     /// # Panics
-    /// Panics (with the failure reason) on any other outcome; intended for
-    /// tests and examples.
+    /// Panics (with the failure reason) on any other outcome; intended
+    /// strictly for tests and examples — library code goes through
+    /// [`RunOutcome::into_answer`].
     pub fn expect_complete(self) -> IA {
+        match self.into_answer() {
+            Ok(a) => a,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// The diagnostic step trace of a failing outcome (`None` when complete
+    /// or refused by the environment).
+    pub fn step_trace(&self) -> Option<&StepTrace> {
         match self {
-            RunOutcome::Complete { answer, .. } => answer,
-            RunOutcome::Wrong(s) => panic!("component went wrong: {s}"),
-            RunOutcome::EnvRefused(q) => panic!("environment refused question: {q}"),
-            RunOutcome::OutOfFuel => panic!("out of fuel"),
+            RunOutcome::Wrong { trace, .. }
+            | RunOutcome::OutOfFuel { trace }
+            | RunOutcome::OutOfMemory { trace, .. }
+            | RunOutcome::DepthExceeded { trace, .. }
+            | RunOutcome::TimedOut { trace, .. } => Some(trace),
+            _ => None,
         }
     }
 }
@@ -166,38 +552,100 @@ impl<IA> RunOutcome<IA> {
 /// [`RunOutcome::EnvRefused`]).
 pub type Env<'e, OQ, OA> = dyn FnMut(&OQ) -> Option<OA> + 'e;
 
+/// How many steps between wall-clock deadline checks (an `Instant::now()`
+/// call is too expensive to pay on every step).
+const DEADLINE_STRIDE: u64 = 1024;
+
 /// Run `lts` on incoming question `q`, answering outgoing questions with
 /// `env`, for at most `fuel` internal steps.
 ///
-/// This is the analog of closing a strategy against an environment strategy;
-/// with an always-refusing `env` it runs closed components.
+/// Convenience wrapper over [`run_budgeted`] enforcing only the fuel bound.
 pub fn run<Sem: Lts>(
     lts: &Sem,
     q: &Question<Sem::I>,
     env: &mut Env<'_, Question<Sem::O>, Answer<Sem::O>>,
     fuel: u64,
 ) -> RunOutcome<Answer<Sem::I>> {
+    run_budgeted(lts, q, env, &RunBudget::with_fuel(fuel))
+}
+
+/// Run `lts` on incoming question `q` under the full [`RunBudget`].
+///
+/// This is the analog of closing a strategy against an environment strategy;
+/// with an always-refusing `env` it runs closed components. Every quota
+/// violation is reported as an outcome — this function never panics on
+/// behalf of the component.
+pub fn run_budgeted<Sem: Lts>(
+    lts: &Sem,
+    q: &Question<Sem::I>,
+    env: &mut Env<'_, Question<Sem::O>, Answer<Sem::O>>,
+    budget: &RunBudget,
+) -> RunOutcome<Answer<Sem::I>> {
     if !lts.accepts(q) {
-        return RunOutcome::Wrong(Stuck::new(format!(
-            "{}: question not in domain",
-            lts.name()
-        )));
+        return RunOutcome::Wrong {
+            stuck: Stuck::new(format!("{}: question not in domain", lts.name())),
+            trace: StepTrace::default(),
+        };
     }
     let mut state = match lts.initial(q) {
         Ok(s) => s,
-        Err(stuck) => return RunOutcome::Wrong(stuck),
+        Err(stuck) => {
+            return RunOutcome::Wrong {
+                stuck,
+                trace: StepTrace::default(),
+            }
+        }
     };
+    let started = budget.deadline.map(|_| Instant::now());
+    let quotas_on = budget.max_mem_bytes.is_some() || budget.max_call_depth.is_some();
+    let mut ring: TraceRing<Sem::State> = TraceRing::new(budget.trace_capacity);
     let mut trace = Vec::new();
     let mut steps = 0u64;
+    ring.record(0, &state);
     loop {
-        if steps >= fuel {
-            return RunOutcome::OutOfFuel;
+        if steps >= budget.fuel {
+            return RunOutcome::OutOfFuel {
+                trace: ring.render(),
+            };
+        }
+        if quotas_on {
+            let m = lts.measure(&state);
+            if let Some(limit) = budget.max_mem_bytes {
+                if m.mem_bytes > limit {
+                    return RunOutcome::OutOfMemory {
+                        used: m.mem_bytes,
+                        limit,
+                        trace: ring.render(),
+                    };
+                }
+            }
+            if let Some(limit) = budget.max_call_depth {
+                if m.call_depth > limit {
+                    return RunOutcome::DepthExceeded {
+                        depth: m.call_depth,
+                        limit,
+                        trace: ring.render(),
+                    };
+                }
+            }
+        }
+        if let (Some(deadline), Some(start)) = (budget.deadline, started) {
+            if steps % DEADLINE_STRIDE == 0 {
+                let elapsed = start.elapsed();
+                if elapsed > deadline {
+                    return RunOutcome::TimedOut {
+                        elapsed,
+                        trace: ring.render(),
+                    };
+                }
+            }
         }
         match lts.step(&state) {
             Step::Internal(s, mut evs) => {
                 trace.append(&mut evs);
                 state = s;
                 steps += 1;
+                ring.record(steps, &state);
             }
             Step::Final(a) => {
                 return RunOutcome::Complete {
@@ -211,12 +659,23 @@ pub fn run<Sem: Lts>(
                     Ok(s) => {
                         state = s;
                         steps += 1;
+                        ring.record(steps, &state);
                     }
-                    Err(stuck) => return RunOutcome::Wrong(stuck),
+                    Err(stuck) => {
+                        return RunOutcome::Wrong {
+                            stuck,
+                            trace: ring.render(),
+                        }
+                    }
                 },
                 None => return RunOutcome::EnvRefused(format!("{oq:?}")),
             },
-            Step::Stuck(stuck) => return RunOutcome::Wrong(stuck),
+            Step::Stuck(stuck) => {
+                return RunOutcome::Wrong {
+                    stuck,
+                    trace: ring.render(),
+                }
+            }
         }
     }
 }
@@ -279,6 +738,43 @@ mod tests {
         }
     }
 
+    /// An LTS that spins forever (for budget tests).
+    struct Spinner;
+
+    impl Lts for Spinner {
+        type I = C;
+        type O = C;
+        type State = u64;
+
+        fn name(&self) -> String {
+            "spinner".into()
+        }
+
+        fn accepts(&self, _q: &CQuery) -> bool {
+            true
+        }
+
+        fn initial(&self, _q: &CQuery) -> Result<u64, Stuck> {
+            Ok(0)
+        }
+
+        fn step(&self, s: &u64) -> Step<u64, CQuery, CReply> {
+            Step::Internal(s + 1, vec![])
+        }
+
+        fn resume(&self, _s: &u64, _a: CReply) -> Result<u64, Stuck> {
+            Err(Stuck::new("spinner never suspends"))
+        }
+
+        fn measure(&self, s: &u64) -> StateMeasure {
+            // Pretend each step allocates 8 bytes and deepens one call.
+            StateMeasure {
+                mem_bytes: s * 8,
+                call_depth: *s,
+            }
+        }
+    }
+
     fn query(n: i32) -> CQuery {
         CQuery {
             vf: Val::Ptr(100, 0),
@@ -316,6 +812,79 @@ mod tests {
         let mut q = query(5);
         q.vf = Val::Ptr(999, 0);
         let out = run(&Doubler, &q, &mut |_q: &CQuery| None, 100);
-        assert!(matches!(out, RunOutcome::Wrong(_)));
+        assert!(matches!(out, RunOutcome::Wrong { .. }));
+    }
+
+    #[test]
+    fn out_of_fuel_carries_trace() {
+        let out = run(&Spinner, &query(0), &mut |_q: &CQuery| None, 50);
+        match out {
+            RunOutcome::OutOfFuel { trace } => {
+                assert!(!trace.is_empty());
+                assert_eq!(trace.len(), DEFAULT_TRACE_CAPACITY);
+                // The last retained entry is the most recent state.
+                assert_eq!(trace.entries.last().map(|e| e.step), Some(50));
+                assert!(trace.dropped > 0);
+            }
+            other => panic!("expected OutOfFuel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn memory_quota_enforced() {
+        let budget = RunBudget::with_fuel(1_000).mem_limit(64);
+        let out = run_budgeted(&Spinner, &query(0), &mut |_q: &CQuery| None, &budget);
+        match out {
+            RunOutcome::OutOfMemory { used, limit, trace } => {
+                assert!(used > limit);
+                assert_eq!(limit, 64);
+                assert!(!trace.is_empty());
+            }
+            other => panic!("expected OutOfMemory, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn depth_quota_enforced() {
+        let budget = RunBudget::with_fuel(1_000).depth_limit(5);
+        let out = run_budgeted(&Spinner, &query(0), &mut |_q: &CQuery| None, &budget);
+        match out {
+            RunOutcome::DepthExceeded {
+                depth,
+                limit,
+                trace,
+            } => {
+                assert_eq!(limit, 5);
+                assert!(depth > limit);
+                assert!(!trace.is_empty());
+            }
+            other => panic!("expected DepthExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_enforced() {
+        let budget = RunBudget::with_fuel(u64::MAX).deadline(Duration::from_millis(5));
+        let out = run_budgeted(&Spinner, &query(0), &mut |_q: &CQuery| None, &budget);
+        assert!(matches!(out, RunOutcome::TimedOut { .. }));
+    }
+
+    #[test]
+    fn trace_capacity_zero_disables_tracing() {
+        let budget = RunBudget::with_fuel(10).trace_capacity(0);
+        let out = run_budgeted(&Spinner, &query(0), &mut |_q: &CQuery| None, &budget);
+        match out {
+            RunOutcome::OutOfFuel { trace } => assert!(trace.is_empty()),
+            other => panic!("expected OutOfFuel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn into_answer_reports_budget_kind() {
+        let out = run(&Spinner, &query(0), &mut |_q: &CQuery| None, 10);
+        match out.into_answer() {
+            Err(RunError::Budget { kind, .. }) => assert_eq!(kind, BudgetKind::Fuel),
+            other => panic!("expected fuel budget error, got {other:?}"),
+        }
     }
 }

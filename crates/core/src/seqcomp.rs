@@ -152,4 +152,24 @@ where
             )),
         }
     }
+
+    fn measure(&self, s: &Self::State) -> crate::lts::StateMeasure {
+        let up = self.l1.measure(&s.upper);
+        match &s.lower {
+            // While the lower component runs, its memory is the current one
+            // (the upper holds a stale snapshot): take the max footprint, and
+            // count the suspended upper activation as one extra call level.
+            Some(low) => {
+                let lo = self.l2.measure(low);
+                crate::lts::StateMeasure {
+                    mem_bytes: lo.mem_bytes.max(up.mem_bytes),
+                    call_depth: up
+                        .call_depth
+                        .saturating_add(lo.call_depth)
+                        .saturating_add(1),
+                }
+            }
+            None => up,
+        }
+    }
 }

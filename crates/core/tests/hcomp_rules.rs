@@ -212,7 +212,7 @@ fn composite_goes_wrong_when_component_does() {
     };
     assert!(matches!(
         run(&comp, &q, &mut |_q| None, 100),
-        RunOutcome::Wrong(_)
+        RunOutcome::Wrong { .. }
     ));
 }
 

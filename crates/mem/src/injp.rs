@@ -106,7 +106,9 @@ impl InjpWorld {
             if self.inj.get(b).is_some() {
                 continue;
             }
-            let (lo, hi) = self.src.bounds(b).expect("block listed as valid");
+            // `b` comes from `self.src.blocks()`, so bounds cannot fail;
+            // degrade to an empty range rather than panic if it ever does.
+            let (lo, hi) = self.src.bounds(b).unwrap_or((0, 0));
             if !next.src.valid_block(b) {
                 return Err(InjpViolation::ProtectedFreed(b));
             }
@@ -122,7 +124,8 @@ impl InjpWorld {
 
         // loc_out_of_reach: target bytes no source byte maps onto, unchanged.
         for b in self.tgt.blocks() {
-            let (lo, hi) = self.tgt.bounds(b).expect("block listed as valid");
+            // Same invariant as above: `b` is a valid target block.
+            let (lo, hi) = self.tgt.bounds(b).unwrap_or((0, 0));
             for ofs in lo..hi {
                 if self.tgt.perm(b, ofs) == Perm::None {
                     continue;

@@ -61,6 +61,12 @@ pub struct Mem {
     // clone memory on every step, so this is the hot path of the whole
     // system.
     blocks: Vec<Option<Rc<BlockData>>>,
+    // Total bytes of currently-valid blocks, maintained by `alloc`/`free`.
+    // Invariant: `live_bytes == Σ (hi - lo)` over valid blocks, so the
+    // derived `Eq` stays consistent. Kept O(1) because the budgeted runner
+    // (`compcerto_core::lts::run_budgeted`) polls it every step when a
+    // memory quota is set.
+    live_bytes: u64,
 }
 
 impl Mem {
@@ -110,7 +116,17 @@ impl Mem {
             contents: vec![MemVal::Undef; size],
             perms: vec![Perm::Freeable; size],
         })));
+        self.live_bytes += size as u64;
         id
+    }
+
+    /// Total bytes of all currently-valid blocks, in O(1).
+    ///
+    /// This is the figure the budgeted runner compares against
+    /// `RunBudget::max_mem_bytes`; a fully freed block stops counting, a
+    /// partially freed one still counts in full (its footprint remains).
+    pub fn allocated_bytes(&self) -> u64 {
+        self.live_bytes
     }
 
     /// Free the range `[lo, hi)` of block `b`; if the range covers the whole
@@ -123,6 +139,7 @@ impl Mem {
         let (blo, bhi) = self.bounds(b)?;
         if lo <= blo && hi >= bhi {
             self.blocks[b as usize] = None;
+            self.live_bytes = self.live_bytes.saturating_sub((bhi - blo).max(0) as u64);
         } else {
             let bd = self.block_mut(b).ok_or(MemError::InvalidBlock(b))?;
             for ofs in lo..hi {
@@ -333,6 +350,25 @@ impl fmt::Display for Mem {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn live_bytes_track_alloc_and_free() {
+        let mut m = Mem::new();
+        assert_eq!(m.allocated_bytes(), 0);
+        let a = m.alloc(0, 16);
+        let b = m.alloc(-8, 8);
+        assert_eq!(m.allocated_bytes(), 32);
+        // Partial free keeps the footprint.
+        m.free(b, -8, 0).unwrap();
+        assert_eq!(m.allocated_bytes(), 32);
+        // Full free releases it.
+        m.free(a, 0, 16).unwrap();
+        assert_eq!(m.allocated_bytes(), 16);
+        // Zero-sized allocations do not count.
+        m.alloc(4, 4);
+        m.alloc(8, 0);
+        assert_eq!(m.allocated_bytes(), 16);
+    }
 
     #[test]
     fn alloc_gives_fresh_ids() {

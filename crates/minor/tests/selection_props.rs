@@ -3,6 +3,12 @@
 //! expression evaluates to a *refinement* of the original (the `ext`
 //! convention's guarantee, paper §4.1), never to something unrelated.
 
+//!
+//! Requires the optional `proptest` feature (and the proptest crate,
+//! which is not vendored -- see Cargo.toml): these tests are skipped in
+//! the offline build.
+#![cfg(feature = "proptest")]
+
 use compcerto_core::symtab::SymbolTable;
 use mem::{Mem, Val};
 use minor::cminor::{CmExpr, CmProgram};

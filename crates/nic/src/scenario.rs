@@ -127,11 +127,13 @@ impl Scenario {
         )
     }
 
-    /// Run the *source* stack on `client_main(x)` against a network medium.
+    /// Run the *source* stack on `client_main(x)` against a network medium,
+    /// reporting budget exhaustion or a stuck run as an error string.
     ///
-    /// # Panics
-    /// Panics when the run does not complete (demo/test usage).
-    pub fn run_source(&self, x: i64, net: &mut LoopbackNet) -> i64 {
+    /// # Errors
+    /// When the run goes wrong, runs out of fuel, or yields a non-`Long`
+    /// result.
+    pub fn try_run_source(&self, x: i64, net: &mut LoopbackNet) -> Result<i64, String> {
         let stack = self.source_stack();
         let out = run(
             &stack,
@@ -139,9 +141,21 @@ impl Scenario {
             &mut |op: &NetOp| Some(net.answer(op)),
             1_000_000,
         );
-        match out.expect_complete().retval {
-            Val::Long(v) => v,
-            other => panic!("unexpected result {other}"),
+        match out.into_answer().map_err(|e| e.to_string())?.retval {
+            Val::Long(v) => Ok(v),
+            other => Err(format!("unexpected result {other}")),
+        }
+    }
+
+    /// Run the *source* stack on `client_main(x)` against a network medium.
+    ///
+    /// # Panics
+    /// Panics when the run does not complete (demo/test usage; library code
+    /// goes through [`Scenario::try_run_source`]).
+    pub fn run_source(&self, x: i64, net: &mut LoopbackNet) -> i64 {
+        match self.try_run_source(x, net) {
+            Ok(v) => v,
+            Err(e) => panic!("run_source: {e}"),
         }
     }
 
@@ -265,7 +279,7 @@ mod tests {
             &mut |_op: &NetOp| Some(NetReply::Delivered(None)),
             100_000,
         );
-        assert!(matches!(out, RunOutcome::Wrong(_)));
+        assert!(matches!(out, RunOutcome::Wrong { .. }));
     }
 }
 
@@ -288,7 +302,7 @@ mod more_tests {
             },
             100_000,
         );
-        assert!(matches!(out, compcerto_core::lts::RunOutcome::Wrong(_)));
+        assert!(matches!(out, compcerto_core::lts::RunOutcome::Wrong { .. }));
     }
 
     #[test]

@@ -284,8 +284,12 @@ impl Lts for RtlSem {
         if !self.accepts(q) {
             return self.stuck("query not accepted");
         }
-        let Val::Ptr(b, 0) = q.vf else { unreachable!() };
-        let name = self.symtab.ident_of(b).expect("accepted query");
+        let Val::Ptr(b, 0) = q.vf else {
+            return self.stuck("accepted query has a non-pointer vf");
+        };
+        let Some(name) = self.symtab.ident_of(b) else {
+            return self.stuck("accepted query names an unknown block");
+        };
         Ok(RtlState::Call {
             fname: name.to_string(),
             args: q.args.clone(),
@@ -342,7 +346,9 @@ impl Lts for RtlSem {
                     });
                 }
                 let mut stack = stack.clone();
-                let mut caller = stack.pop().expect("nonempty");
+                let Some(mut caller) = stack.pop() else {
+                    return Step::Stuck(Stuck::new("return with no caller frame"));
+                };
                 let Some(cf) = self.prog.function(&caller.fname) else {
                     return Step::Stuck(Stuck::new("caller frame names unknown function"));
                 };
@@ -395,6 +401,20 @@ impl Lts for RtlSem {
                 })
             }
             _ => self.stuck("resume in non-external state"),
+        }
+    }
+
+    fn measure(&self, s: &RtlState) -> compcerto_core::lts::StateMeasure {
+        let (mem_bytes, stack) = match s {
+            RtlState::Call { mem, stack, .. } | RtlState::Exec { mem, stack, .. } => {
+                (mem.allocated_bytes(), stack)
+            }
+            RtlState::External { q, stack, .. } => (q.mem.allocated_bytes(), stack),
+            RtlState::Ret { mem, stack, .. } => (mem.allocated_bytes(), stack),
+        };
+        compcerto_core::lts::StateMeasure {
+            mem_bytes,
+            call_depth: stack.len() as u64,
         }
     }
 }
@@ -459,6 +479,6 @@ mod tests {
             mem,
         };
         let out = run(&sem, &q, &mut |_q| None, 1000);
-        assert!(matches!(out, compcerto_core::lts::RunOutcome::Wrong(_)));
+        assert!(matches!(out, compcerto_core::lts::RunOutcome::Wrong { .. }));
     }
 }

@@ -3,6 +3,12 @@
 //! iteration, equality, and the dataflow `join_with` — including its
 //! changed-flag, which the worklist solver's termination depends on.
 
+//!
+//! Requires the optional `proptest` feature (and the proptest crate,
+//! which is not vendored -- see Cargo.toml): these tests are skipped in
+//! the offline build.
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use rtl::ptree::PTree;
 use std::collections::BTreeMap;

@@ -3,11 +3,17 @@
 //! each mutation violating a specific clause of the calling convention `C` —
 //! and assert the Theorem 3.8 checker rejects the mutant with the right
 //! class of error.
+//!
+//! The hand-written mutations below are the seed of the
+//! `compiler::faultinj` subsystem, which generalizes them into seeded
+//! operators; the tests at the bottom drive the subsystem itself.
 
 use compcerto::backend::AsmInst;
+use compcerto::compiler::faultinj::{mutate, run_campaign, CampaignCfg, CAMPAIGN_SRC};
 use compcerto::compiler::{
-    c_query, check_thm38, compile_all, CompiledUnit, CompilerOptions, ExtLib,
+    c_query, check_thm38, compile_all, CompiledUnit, CompilerOptions, ExtLib, MUTATION_CLASSES,
 };
+use compcerto::core::rng::SplitMix64;
 use compcerto::core::regs::Mreg;
 use compcerto::core::sim::SimCheckError;
 use compcerto::mem::Val;
@@ -206,4 +212,58 @@ fn detects_source_level_miscompilation_pattern() {
         ),
         "got {err}"
     );
+}
+
+// ---------------------------------------------------------------------------
+// The promoted subsystem: seeded operators + campaign runner.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn subsystem_operators_detected_with_expected_error() {
+    // Every mutation class, applied with two different seeds to the campaign
+    // workload, is rejected by the checker with the error class keyed to the
+    // violated convention clause.
+    let (mut units, tbl) =
+        compile_all(&[CAMPAIGN_SRC], CompilerOptions::default()).expect("campaign src compiles");
+    let baseline = units.remove(0);
+    let lib = ExtLib::demo(tbl.clone());
+    for &class in &MUTATION_CLASSES {
+        for seed in [1u64, 2] {
+            let mut rng = SplitMix64::new(seed);
+            let m = mutate(&baseline, "entry", class, &mut rng)
+                .unwrap_or_else(|| panic!("{class}: no applicable site"));
+            // Probe a few arguments; at least one must expose the fault.
+            let err = [0, 3, 7].iter().find_map(|&x| {
+                let q = c_query(&tbl, &m.unit, "entry", vec![Val::Int(x)]);
+                check_thm38(&m.unit, &tbl, &lib, &q).err()
+            });
+            let err = err.unwrap_or_else(|| {
+                panic!("{class} (seed {seed}) escaped: {}", m.mutation.desc)
+            });
+            assert!(
+                class.matches_expected(&err),
+                "{class} (seed {seed}): unexpected error {err} for {}",
+                m.mutation.desc
+            );
+        }
+    }
+}
+
+#[test]
+fn subsystem_campaign_is_deterministic_and_escape_free() {
+    let cfg = CampaignCfg {
+        seed: 42,
+        per_class: 2,
+        fuel: 200_000,
+        probe_args: vec![0, 3, 7],
+    };
+    let r1 = run_campaign(&cfg).expect("campaign runs");
+    let r2 = run_campaign(&cfg).expect("campaign runs");
+    assert_eq!(r1.to_string(), r2.to_string(), "campaign must be seed-deterministic");
+    assert_eq!(r1.total_escapes(), 0, "silent escapes:\n{r1}");
+    assert!(r1.stats.len() >= 8, "fewer than 8 mutation classes");
+    for s in &r1.stats {
+        assert_eq!(s.generated, cfg.per_class, "{}: generation shortfall", s.class);
+        assert_eq!(s.expected_class, s.detected, "{}: unexpected classes {:?}", s.class, s.errors);
+    }
 }
