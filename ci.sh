@@ -5,8 +5,9 @@
 # dependencies; randomness comes from the in-repo SplitMix64). The clippy
 # gate enforces the panic-free policy on the library crates hardened in
 # DESIGN.md §6: no unwrap/expect on library code paths. Linting
-# `compcerto-core`, `mem` and `compiler` transitively covers the
-# `clight`/`rtl`/`backend` path dependencies in their build graph.
+# `compcerto-core`, `mem`, `compiler` and `compcerto-validate` transitively
+# covers the `clight`/`rtl`/`backend` path dependencies in their build
+# graph.
 set -eu
 
 echo "== build (release) =="
@@ -16,7 +17,7 @@ echo "== tests =="
 cargo test --workspace -q
 
 echo "== clippy unwrap/expect gate (library paths) =="
-cargo clippy -p compcerto-core -p mem -p compiler --lib -- \
+cargo clippy -p compcerto-core -p mem -p compiler -p compcerto-validate --lib -- \
     -D clippy::unwrap_used -D clippy::expect_used
 
 echo "== fault-injection campaign (determinism smoke) =="
@@ -24,5 +25,14 @@ cargo run -q -p bench --bin faultinj_campaign -- --seed 42 --per-class 5 > /tmp/
 cargo run -q -p bench --bin faultinj_campaign -- --seed 42 --per-class 5 > /tmp/ci_camp_2.txt
 cmp /tmp/ci_camp_1.txt /tmp/ci_camp_2.txt
 cat /tmp/ci_camp_1.txt
+
+echo "== static validation gate (honest battery clean, matrix deterministic) =="
+# Phase 1 compiles the example/workload battery with the validation layer
+# on and fails on any diagnostic; phase 2 requires at least 4 of the 10
+# mutation classes to be caught statically. Two runs must be byte-identical.
+cargo run -q -p bench --bin validate_campaign -- --seed 42 --per-class 5 > /tmp/ci_val_1.txt
+cargo run -q -p bench --bin validate_campaign -- --seed 42 --per-class 5 > /tmp/ci_val_2.txt
+cmp /tmp/ci_val_1.txt /tmp/ci_val_2.txt
+cat /tmp/ci_val_1.txt
 
 echo "== ci ok =="

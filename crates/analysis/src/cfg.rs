@@ -1,0 +1,449 @@
+//! A generic view of CFG-shaped IRs.
+//!
+//! Every IR between RTL and Mach is a graph of instructions over some notion
+//! of "variable" (pseudo-registers, abstract locations, machine registers).
+//! [`CfgView`] abstracts just enough structure — entry, node set, successor
+//! edges, uses and defs — for one toolkit (reachability, reverse postorder,
+//! dominators, dataflow) to serve them all.
+//!
+//! Graph-shaped IRs (RTL, LTL) implement the trait directly; list-shaped IRs
+//! (Linear, Mach) get wrapper views ([`LinearCfg`], [`MachCfg`]) whose nodes
+//! are instruction indices and whose edges decode labels and fallthrough.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use backend::linear::LinFunction;
+use backend::ltl::{LtlFunction, LtlInst};
+use backend::mach::{MachFunction, MachInst};
+use backend::{LinInst, LOp};
+use compcerto_core::iface::abi;
+use compcerto_core::regs::{Loc, Mreg};
+use rtl::RtlFunction;
+
+/// A control-flow graph over variables of type [`CfgView::Var`].
+///
+/// Implementations must be *total* on arbitrary (possibly ill-formed) input:
+/// `successors` of a missing node is empty, dangling successor ids are
+/// returned as-is (the traversals below skip ids without a node, and the
+/// well-formedness lints report them).
+pub trait CfgView {
+    /// The variable sort this IR reads and writes.
+    type Var: Ord + Copy;
+
+    /// The entry node.
+    fn entry(&self) -> u32;
+
+    /// All node identifiers, ascending.
+    fn node_ids(&self) -> Vec<u32>;
+
+    /// Whether `n` names an instruction.
+    fn has_node(&self, n: u32) -> bool;
+
+    /// Successor edges of `n` (empty if `n` is missing).
+    fn successors(&self, n: u32) -> Vec<u32>;
+
+    /// Variables read at `n`.
+    fn uses(&self, n: u32) -> Vec<Self::Var>;
+
+    /// Variables written at `n`.
+    fn defs(&self, n: u32) -> Vec<Self::Var>;
+}
+
+/// The set of nodes reachable from the entry.
+pub fn reachable<G: CfgView + ?Sized>(g: &G) -> BTreeSet<u32> {
+    let mut seen: BTreeSet<u32> = BTreeSet::new();
+    let mut stack = vec![g.entry()];
+    while let Some(n) = stack.pop() {
+        if !g.has_node(n) || !seen.insert(n) {
+            continue;
+        }
+        for s in g.successors(n) {
+            stack.push(s);
+        }
+    }
+    seen
+}
+
+/// Reverse postorder of the reachable nodes (iterative DFS with an explicit
+/// frame stack; dangling successors are skipped).
+pub fn reverse_postorder<G: CfgView + ?Sized>(g: &G) -> Vec<u32> {
+    let mut post: Vec<u32> = Vec::new();
+    let mut seen: BTreeSet<u32> = BTreeSet::new();
+    if !g.has_node(g.entry()) {
+        return post;
+    }
+    // Frame: (node, next successor index to explore).
+    let mut stack: Vec<(u32, usize)> = vec![(g.entry(), 0)];
+    seen.insert(g.entry());
+    while let Some((n, i)) = stack.pop() {
+        let succs = g.successors(n);
+        let mut advanced = false;
+        for (j, s) in succs.iter().enumerate().skip(i) {
+            if g.has_node(*s) && seen.insert(*s) {
+                stack.push((n, j + 1));
+                stack.push((*s, 0));
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            post.push(n);
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Deduplicated predecessor map: each CFG edge appears once even when an
+/// instruction lists the same successor twice.
+pub fn predecessors<G: CfgView + ?Sized>(g: &G) -> BTreeMap<u32, Vec<u32>> {
+    let mut preds: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    for n in g.node_ids() {
+        let mut succs = g.successors(n);
+        succs.sort_unstable();
+        succs.dedup();
+        for s in succs {
+            preds.entry(s).or_default().push(n);
+        }
+    }
+    preds
+}
+
+// ---------------------------------------------------------------------------
+// RTL
+// ---------------------------------------------------------------------------
+
+impl CfgView for RtlFunction {
+    type Var = rtl::PReg;
+
+    fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    fn node_ids(&self) -> Vec<u32> {
+        self.code.keys().copied().collect()
+    }
+
+    fn has_node(&self, n: u32) -> bool {
+        self.code.contains_key(&n)
+    }
+
+    fn successors(&self, n: u32) -> Vec<u32> {
+        self.code.get(&n).map(|i| i.successors()).unwrap_or_default()
+    }
+
+    fn uses(&self, n: u32) -> Vec<rtl::PReg> {
+        self.code.get(&n).map(|i| i.uses()).unwrap_or_default()
+    }
+
+    fn defs(&self, n: u32) -> Vec<rtl::PReg> {
+        self.code
+            .get(&n)
+            .and_then(|i| i.def())
+            .into_iter()
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LTL
+// ---------------------------------------------------------------------------
+
+fn lop_uses(op: &LOp) -> Vec<Loc> {
+    match op {
+        LOp::Move(l) | LOp::Unop(_, l) | LOp::BinopImm(_, l, _) => vec![*l],
+        LOp::Binop(_, a, b) => vec![*a, *b],
+        _ => vec![],
+    }
+}
+
+impl CfgView for LtlFunction {
+    type Var = Loc;
+
+    fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    fn node_ids(&self) -> Vec<u32> {
+        self.code.keys().copied().collect()
+    }
+
+    fn has_node(&self, n: u32) -> bool {
+        self.code.contains_key(&n)
+    }
+
+    fn successors(&self, n: u32) -> Vec<u32> {
+        self.code.get(&n).map(|i| i.successors()).unwrap_or_default()
+    }
+
+    fn uses(&self, n: u32) -> Vec<Loc> {
+        match self.code.get(&n) {
+            Some(LtlInst::Op(op, _, _)) => lop_uses(op),
+            Some(LtlInst::Load(_, base, _, _, _)) => vec![*base],
+            Some(LtlInst::Store(_, base, _, src, _)) => vec![*base, *src],
+            Some(LtlInst::Call(_, sig, _)) => abi::loc_arguments(sig),
+            Some(LtlInst::Cond(l, _, _)) => vec![*l],
+            Some(LtlInst::Return) => match self.sig.ret {
+                Some(_) => vec![Loc::Reg(abi::RESULT_REG)],
+                None => vec![],
+            },
+            _ => vec![],
+        }
+    }
+
+    fn defs(&self, n: u32) -> Vec<Loc> {
+        match self.code.get(&n) {
+            Some(LtlInst::Op(_, dst, _)) | Some(LtlInst::Load(_, _, _, dst, _)) => vec![*dst],
+            // A call clobbers the result register (and, semantically, every
+            // caller-save register — the allocation validator accounts for
+            // that separately via `crosses_call` liveness).
+            Some(LtlInst::Call(_, _, _)) => vec![Loc::Reg(abi::RESULT_REG)],
+            _ => vec![],
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Linear (list-shaped; nodes are instruction indices)
+// ---------------------------------------------------------------------------
+
+/// A CFG view of a [`LinFunction`]: node `i` is instruction `code[i]`,
+/// branches resolve labels, non-control instructions fall through to `i+1`.
+pub struct LinearCfg<'a> {
+    f: &'a LinFunction,
+    labels: BTreeMap<u32, usize>,
+}
+
+impl<'a> LinearCfg<'a> {
+    /// Build the view (resolves each label to its *first* occurrence, as the
+    /// Linear semantics does).
+    pub fn new(f: &'a LinFunction) -> LinearCfg<'a> {
+        let mut labels = BTreeMap::new();
+        for (i, inst) in f.code.iter().enumerate() {
+            if let LinInst::Label(l) = inst {
+                labels.entry(*l).or_insert(i);
+            }
+        }
+        LinearCfg { f, labels }
+    }
+
+    /// The underlying function.
+    pub fn function(&self) -> &LinFunction {
+        self.f
+    }
+}
+
+impl CfgView for LinearCfg<'_> {
+    type Var = Loc;
+
+    fn entry(&self) -> u32 {
+        0
+    }
+
+    fn node_ids(&self) -> Vec<u32> {
+        (0..self.f.code.len() as u32).collect()
+    }
+
+    fn has_node(&self, n: u32) -> bool {
+        (n as usize) < self.f.code.len()
+    }
+
+    fn successors(&self, n: u32) -> Vec<u32> {
+        let next = n + 1;
+        match self.f.code.get(n as usize) {
+            Some(LinInst::Return) => vec![],
+            Some(LinInst::Goto(l)) => self.labels.get(l).map(|i| *i as u32).into_iter().collect(),
+            Some(LinInst::CondGoto(_, l)) => {
+                let mut out: Vec<u32> = self.labels.get(l).map(|i| *i as u32).into_iter().collect();
+                out.push(next);
+                out
+            }
+            Some(_) => vec![next],
+            None => vec![],
+        }
+    }
+
+    fn uses(&self, n: u32) -> Vec<Loc> {
+        match self.f.code.get(n as usize) {
+            Some(LinInst::Op(op, _)) => lop_uses(op),
+            Some(LinInst::Load(_, base, _, _)) => vec![*base],
+            Some(LinInst::Store(_, base, _, src)) => vec![*base, *src],
+            Some(LinInst::Call(_, sig)) => abi::loc_arguments(sig),
+            Some(LinInst::CondGoto(l, _)) => vec![*l],
+            Some(LinInst::Return) => match self.f.sig.ret {
+                Some(_) => vec![Loc::Reg(abi::RESULT_REG)],
+                None => vec![],
+            },
+            _ => vec![],
+        }
+    }
+
+    fn defs(&self, n: u32) -> Vec<Loc> {
+        match self.f.code.get(n as usize) {
+            Some(LinInst::Op(_, dst)) | Some(LinInst::Load(_, _, _, dst)) => vec![*dst],
+            Some(LinInst::Call(_, _)) => vec![Loc::Reg(abi::RESULT_REG)],
+            _ => vec![],
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mach (list-shaped)
+// ---------------------------------------------------------------------------
+
+/// A CFG view of a [`MachFunction`], mirroring [`LinearCfg`] over machine
+/// registers.
+pub struct MachCfg<'a> {
+    f: &'a MachFunction,
+    labels: BTreeMap<u32, usize>,
+}
+
+impl<'a> MachCfg<'a> {
+    /// Build the view.
+    pub fn new(f: &'a MachFunction) -> MachCfg<'a> {
+        let mut labels = BTreeMap::new();
+        for (i, inst) in f.code.iter().enumerate() {
+            if let MachInst::Label(l) = inst {
+                labels.entry(*l).or_insert(i);
+            }
+        }
+        MachCfg { f, labels }
+    }
+
+    /// The underlying function.
+    pub fn function(&self) -> &MachFunction {
+        self.f
+    }
+}
+
+impl CfgView for MachCfg<'_> {
+    type Var = Mreg;
+
+    fn entry(&self) -> u32 {
+        0
+    }
+
+    fn node_ids(&self) -> Vec<u32> {
+        (0..self.f.code.len() as u32).collect()
+    }
+
+    fn has_node(&self, n: u32) -> bool {
+        (n as usize) < self.f.code.len()
+    }
+
+    fn successors(&self, n: u32) -> Vec<u32> {
+        let next = n + 1;
+        match self.f.code.get(n as usize) {
+            Some(MachInst::Return) => vec![],
+            Some(MachInst::Goto(l)) => self.labels.get(l).map(|i| *i as u32).into_iter().collect(),
+            Some(MachInst::CondGoto(_, l)) => {
+                let mut out: Vec<u32> = self.labels.get(l).map(|i| *i as u32).into_iter().collect();
+                out.push(next);
+                out
+            }
+            Some(_) => vec![next],
+            None => vec![],
+        }
+    }
+
+    fn uses(&self, n: u32) -> Vec<Mreg> {
+        use backend::mach::MOp;
+        match self.f.code.get(n as usize) {
+            Some(MachInst::Op(op, _)) => match op {
+                MOp::Move(s) | MOp::Unop(_, s) | MOp::BinopImm(_, s, _) => vec![*s],
+                MOp::Binop(_, a, b) => vec![*a, *b],
+                _ => vec![],
+            },
+            Some(MachInst::Load(_, base, _, _)) => vec![*base],
+            Some(MachInst::Store(_, base, _, src)) => vec![*base, *src],
+            Some(MachInst::SetStack(src, _)) => vec![*src],
+            Some(MachInst::CondGoto(r, _)) => vec![*r],
+            Some(MachInst::Call(_, sig)) => abi::loc_arguments(sig)
+                .into_iter()
+                .filter_map(|l| match l {
+                    Loc::Reg(r) => Some(r),
+                    _ => None,
+                })
+                .collect(),
+            Some(MachInst::Return) => match self.f.sig.ret {
+                Some(_) => vec![abi::RESULT_REG],
+                None => vec![],
+            },
+            _ => vec![],
+        }
+    }
+
+    fn defs(&self, n: u32) -> Vec<Mreg> {
+        match self.f.code.get(n as usize) {
+            Some(MachInst::Op(_, dst))
+            | Some(MachInst::Load(_, _, _, dst))
+            | Some(MachInst::GetStack(_, dst))
+            | Some(MachInst::GetParam(_, dst)) => vec![*dst],
+            Some(MachInst::Call(_, _)) => vec![abi::RESULT_REG],
+            _ => vec![],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compcerto_core::iface::Signature;
+    use rtl::{Inst, RtlOp};
+    use std::collections::BTreeMap as Map;
+
+    fn diamond() -> RtlFunction {
+        let mut code = Map::new();
+        code.insert(0, Inst::Cond(1, 1, 2));
+        code.insert(1, Inst::Op(RtlOp::Int(1), 2, 3));
+        code.insert(2, Inst::Op(RtlOp::Int(2), 2, 3));
+        code.insert(3, Inst::Return(Some(2)));
+        RtlFunction {
+            name: "d".into(),
+            sig: Signature::int_fn(1),
+            params: vec![1],
+            stack_size: 0,
+            entry: 0,
+            code,
+            next_reg: 3,
+        }
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let f = diamond();
+        let rpo = reverse_postorder(&f);
+        assert_eq!(rpo.first(), Some(&0));
+        assert_eq!(rpo.len(), 4);
+        // The join node comes after both arms.
+        let pos = |n: u32| rpo.iter().position(|x| *x == n).unwrap_or(usize::MAX);
+        assert!(pos(3) > pos(1) && pos(3) > pos(2));
+        assert_eq!(reachable(&f).len(), 4);
+    }
+
+    #[test]
+    fn dangling_successors_are_skipped() {
+        let mut f = diamond();
+        f.code.insert(1, Inst::Op(RtlOp::Int(1), 2, 99)); // 99 missing
+        let rpo = reverse_postorder(&f);
+        assert!(!rpo.contains(&99));
+        assert!(reachable(&f).contains(&1));
+    }
+
+    #[test]
+    fn predecessors_deduplicate_parallel_edges() {
+        let mut code = Map::new();
+        code.insert(0, Inst::Cond(1, 1, 1));
+        code.insert(1, Inst::Return(None));
+        let f = RtlFunction {
+            name: "p".into(),
+            sig: Signature::int_fn(1),
+            params: vec![1],
+            stack_size: 0,
+            entry: 0,
+            code,
+            next_reg: 2,
+        };
+        assert_eq!(predecessors(&f)[&1], vec![0]);
+    }
+}

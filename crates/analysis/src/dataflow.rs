@@ -1,0 +1,235 @@
+//! Generic worklist dataflow over any [`CfgView`], on the same
+//! [`JoinSemiLattice`] interface as `rtl::analysis` — one fixpoint engine
+//! for RTL, LTL, Linear and Mach.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::cfg::{predecessors, CfgView};
+
+pub use rtl::JoinSemiLattice;
+
+/// The set-union lattice over an IR's variables — the domain of liveness
+/// and of the maybe-uninitialized analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarSet<V: Ord + Copy>(pub BTreeSet<V>);
+
+impl<V: Ord + Copy> Default for VarSet<V> {
+    fn default() -> Self {
+        VarSet(BTreeSet::new())
+    }
+}
+
+impl<V: Ord + Copy> JoinSemiLattice for VarSet<V> {
+    fn join(&self, other: &Self) -> Self {
+        VarSet(self.0.union(&other.0).copied().collect())
+    }
+
+    fn join_in_place(&mut self, other: &Self) -> bool {
+        let before = self.0.len();
+        self.0.extend(other.0.iter().copied());
+        self.0.len() != before
+    }
+}
+
+/// Solve a forward dataflow problem: `state[n]` is the abstract state
+/// *before* node `n`; `transfer(n, before)` computes the state after it.
+/// Only nodes reachable from the entry get a state.
+pub fn forward_solve<G, S, T>(g: &G, entry: S, transfer: T) -> BTreeMap<u32, S>
+where
+    G: CfgView + ?Sized,
+    S: JoinSemiLattice,
+    T: Fn(u32, &S) -> S,
+{
+    let mut state: BTreeMap<u32, S> = BTreeMap::new();
+    if !g.has_node(g.entry()) {
+        return state;
+    }
+    state.insert(g.entry(), entry);
+    let mut work: BTreeSet<u32> = BTreeSet::from([g.entry()]);
+    while let Some(n) = work.pop_first() {
+        let Some(before) = state.get(&n) else { continue };
+        let after = transfer(n, before);
+        for s in g.successors(n) {
+            if !g.has_node(s) {
+                continue;
+            }
+            let changed = match state.get_mut(&s) {
+                Some(cur) => cur.join_in_place(&after),
+                None => {
+                    state.insert(s, after.clone());
+                    true
+                }
+            };
+            if changed {
+                work.insert(s);
+            }
+        }
+    }
+    state
+}
+
+/// Solve a backward dataflow problem: `state[n]` is the abstract state
+/// *before* node `n` (its "in" set); `transfer(n, out)` computes it from the
+/// join of the successors' in-states.
+pub fn backward_solve<G, S, T>(g: &G, bot: S, transfer: T) -> BTreeMap<u32, S>
+where
+    G: CfgView + ?Sized,
+    S: JoinSemiLattice,
+    T: Fn(u32, &S) -> S,
+{
+    let preds = predecessors(g);
+    let mut state: BTreeMap<u32, S> = BTreeMap::new();
+    let mut work: BTreeSet<u32> = g.node_ids().into_iter().collect();
+    while let Some(n) = work.pop_last() {
+        let mut out = bot.clone();
+        for s in g.successors(n) {
+            if let Some(si) = state.get(&s) {
+                out.join_in_place(si);
+            }
+        }
+        let inn = transfer(n, &out);
+        let changed = match state.get_mut(&n) {
+            Some(cur) => cur.join_in_place(&inn),
+            None => {
+                state.insert(n, inn);
+                true
+            }
+        };
+        if changed {
+            if let Some(ps) = preds.get(&n) {
+                work.extend(ps.iter().copied());
+            }
+        }
+    }
+    state
+}
+
+/// Backward liveness: the set of variables live *after* each node.
+///
+/// Generalizes `rtl::analysis::liveness` to any [`CfgView`] (the RTL
+/// instantiation agrees with it node-for-node; see the cross-check test).
+pub fn live_out<G: CfgView + ?Sized>(g: &G) -> BTreeMap<u32, VarSet<G::Var>> {
+    let live_in = backward_solve(g, VarSet::default(), |n, out: &VarSet<G::Var>| {
+        let mut inn = out.clone();
+        for d in g.defs(n) {
+            inn.0.remove(&d);
+        }
+        inn.0.extend(g.uses(n));
+        inn
+    });
+    g.node_ids()
+        .into_iter()
+        .map(|n| {
+            let mut out = VarSet::default();
+            for s in g.successors(n) {
+                if let Some(li) = live_in.get(&s) {
+                    out.0.extend(li.0.iter().copied());
+                }
+            }
+            (n, out)
+        })
+        .collect()
+}
+
+/// Forward "maybe uninitialized" analysis: the set of variables that are
+/// possibly not yet defined *before* each reachable node.
+///
+/// This is the sound def-before-use check for non-SSA IRs: a use of `v` at
+/// `n` is safe iff `v` is defined on **every** path from the entry to `n` —
+/// i.e. `v ∉ maybe_uninit(n)`. A dominance check is *not* equivalent: after
+/// a diamond that defines `v` on both arms, no single def dominates the
+/// join, yet the use is safe.
+pub fn maybe_uninit<G: CfgView + ?Sized>(
+    g: &G,
+    defined_at_entry: &BTreeSet<G::Var>,
+) -> BTreeMap<u32, VarSet<G::Var>> {
+    // The variable universe: everything read or written anywhere.
+    let mut universe: BTreeSet<G::Var> = BTreeSet::new();
+    for n in g.node_ids() {
+        universe.extend(g.uses(n));
+        universe.extend(g.defs(n));
+    }
+    let entry_state = VarSet(
+        universe
+            .iter()
+            .filter(|v| !defined_at_entry.contains(v))
+            .copied()
+            .collect(),
+    );
+    forward_solve(g, entry_state, |n, before: &VarSet<G::Var>| {
+        let mut after = before.clone();
+        for d in g.defs(n) {
+            after.0.remove(&d);
+        }
+        after
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compcerto_core::iface::Signature;
+    use rtl::{Inst, RtlFunction, RtlOp};
+    use std::collections::BTreeMap as Map;
+
+    fn diamond_both_arms_define() -> RtlFunction {
+        // 0: cond x1 -> {1,2}; both arms define x2; 3 uses x2.
+        let mut code = Map::new();
+        code.insert(0, Inst::Cond(1, 1, 2));
+        code.insert(1, Inst::Op(RtlOp::Int(1), 2, 3));
+        code.insert(2, Inst::Op(RtlOp::Int(2), 2, 3));
+        code.insert(3, Inst::Return(Some(2)));
+        RtlFunction {
+            name: "d".into(),
+            sig: Signature::int_fn(1),
+            params: vec![1],
+            stack_size: 0,
+            entry: 0,
+            code,
+            next_reg: 3,
+        }
+    }
+
+    #[test]
+    fn generic_liveness_matches_rtl_liveness() {
+        let f = diamond_both_arms_define();
+        let generic = live_out(&f);
+        let specific = rtl::liveness(&f);
+        for (n, s) in &specific {
+            assert_eq!(&generic[n].0, s, "live-out mismatch at node {n}");
+        }
+    }
+
+    #[test]
+    fn maybe_uninit_handles_diamonds() {
+        let f = diamond_both_arms_define();
+        let entry_defs: BTreeSet<u32> = f.params.iter().copied().collect();
+        let mu = maybe_uninit(&f, &entry_defs);
+        // Before the join, x2 is defined on every path.
+        assert!(!mu[&3].0.contains(&2));
+        // Before the branch, x2 is still maybe-uninit.
+        assert!(mu[&0].0.contains(&2));
+    }
+
+    #[test]
+    fn maybe_uninit_flags_one_armed_defs() {
+        // Only one arm defines x2 -> maybe-uninit at the join.
+        let mut code = Map::new();
+        code.insert(0, Inst::Cond(1, 1, 2));
+        code.insert(1, Inst::Op(RtlOp::Int(1), 2, 3));
+        code.insert(2, Inst::Nop(3));
+        code.insert(3, Inst::Return(Some(2)));
+        let f = RtlFunction {
+            name: "bad".into(),
+            sig: Signature::int_fn(1),
+            params: vec![1],
+            stack_size: 0,
+            entry: 0,
+            code,
+            next_reg: 3,
+        };
+        let entry_defs: BTreeSet<u32> = f.params.iter().copied().collect();
+        let mu = maybe_uninit(&f, &entry_defs);
+        assert!(mu[&3].0.contains(&2));
+    }
+}

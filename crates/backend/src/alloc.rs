@@ -45,6 +45,18 @@ struct Interval {
     crosses_call: bool,
 }
 
+/// Recompute the allocator's assignment for `f` as an *untrusted witness*
+/// (in the spirit of Rideau & Leroy's validated register allocation): the
+/// mapping from pseudo-registers to locations, the spill-area size, and the
+/// callee-save registers the allocation writes. `assign_locations` is a pure
+/// function of the RTL CFG's *structure* (DFS order, live ranges), so the
+/// witness is invariant under node renumbering — translation validators can
+/// recompute it from the pre-allocation RTL and check the emitted LTL
+/// against it without trusting the emitter.
+pub fn allocation_witness(f: &RtlFunction) -> (BTreeMap<PReg, Loc>, i64, Vec<Mreg>) {
+    assign_locations(f)
+}
+
 /// Compute the allocation of pseudo-registers to locations.
 fn assign_locations(f: &RtlFunction) -> (BTreeMap<PReg, Loc>, i64, Vec<Mreg>) {
     // Linearize the CFG (DFS from entry) to position instructions.

@@ -28,7 +28,7 @@ pub mod mach;
 pub mod stacking;
 pub mod tunneling;
 
-pub use alloc::allocation;
+pub use alloc::{allocation, allocation_witness};
 pub use asm::{link_asm, AsmFunction, AsmInst, AsmProgram, AsmSem};
 pub use asmgen::asmgen;
 pub use cleanup::cleanup_labels;

@@ -1,0 +1,174 @@
+//! Static-vs-dynamic detection matrix (EXPERIMENTS.md row B6).
+//!
+//! Two phases:
+//!
+//! 1. **Soundness-of-the-validators gate** — compile a battery of in-repo
+//!    programs (the fixed campaign/example sources plus seeded random
+//!    workloads) with the static validation layer on; any diagnostic on an
+//!    honest compilation is a validator bug and fails the run.
+//! 2. **Sensitivity matrix** — run the fault-injection campaign with both
+//!    detection layers and print, per mutation class: mutants generated,
+//!    caught statically (translation validators + lints, no execution),
+//!    caught dynamically (Thm 3.8 checker), caught by both, caught by
+//!    exactly one, and fully escaped.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p bench --bin validate_campaign -- [--seed N] [--per-class N] [--fuel N]
+//! ```
+//!
+//! Output is byte-deterministic for a given seed (SplitMix64 sites, fuel
+//! budgets, ordered maps — no wall-clock anywhere). Exits nonzero if the
+//! honest battery is not statically clean, or if fewer than 4 of the 10
+//! mutation classes are caught statically.
+
+use compiler::{
+    compile_all, run_campaign, CampaignCfg, CompilerOptions, WorkloadCfg, WorkloadGen,
+};
+
+/// Fixed honest sources: the campaign workload and the example programs.
+const FIXED_SOURCES: [(&str, &str); 3] = [
+    ("campaign", compiler::faultinj::CAMPAIGN_SRC),
+    (
+        "mult-sqr",
+        "extern int mult(int, int); int sqr(int n) { int r; r = mult(n, n); return r; }",
+    ),
+    (
+        "collatz",
+        "
+        int collatz_len(int n) {
+            int len;
+            len = 0;
+            while (n > 1) {
+                if (n - n / 2 * 2 == 1) { n = 3 * n + 1; } else { n = n / 2; }
+                len = len + 1;
+            }
+            return len;
+        }
+        int entry(int n) { int l; l = collatz_len(n + 1); return l; }",
+    ),
+];
+
+/// How many seeded random workload programs the gate compiles.
+const WORKLOAD_PROGRAMS: usize = 10;
+
+/// Phase 1: every honest compilation must be statically clean, under both
+/// `-O2` (default passes) and `-O0`.
+fn honest_gate(seed: u64) -> Result<usize, String> {
+    let mut checked = 0usize;
+    let mut sources: Vec<(String, String)> = FIXED_SOURCES
+        .iter()
+        .map(|(n, s)| (n.to_string(), s.to_string()))
+        .collect();
+    let mut gen = WorkloadGen::new(seed);
+    let cfg = WorkloadCfg::default();
+    for i in 0..WORKLOAD_PROGRAMS {
+        let (src, _arity) = gen.gen_program(&cfg);
+        sources.push((format!("workload-{i}"), src));
+    }
+    for (name, src) in &sources {
+        for (level, opts) in [
+            ("O2", CompilerOptions::validated()),
+            (
+                "O0",
+                CompilerOptions {
+                    validate: true,
+                    ..CompilerOptions::none()
+                },
+            ),
+        ] {
+            let (units, _) = compile_all(&[src.as_str()], opts)
+                .map_err(|e| format!("{name} [{level}] failed to compile: {e}"))?;
+            for u in &units {
+                if !u.diagnostics.is_empty() {
+                    return Err(format!(
+                        "{name} [{level}]: {} diagnostic(s) on an honest compilation, e.g. {}",
+                        u.diagnostics.len(),
+                        u.diagnostics[0]
+                    ));
+                }
+            }
+            checked += 1;
+        }
+    }
+    Ok(checked)
+}
+
+fn parse_args() -> Result<CampaignCfg, String> {
+    let mut cfg = CampaignCfg::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut take = |name: &str| -> Result<u64, String> {
+            args.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse::<u64>()
+                .map_err(|e| format!("{name}: {e}"))
+        };
+        match flag.as_str() {
+            "--seed" => cfg.seed = take("--seed")?,
+            "--per-class" => cfg.per_class = take("--per-class")? as usize,
+            "--fuel" => cfg.fuel = take("--fuel")?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(cfg)
+}
+
+fn main() {
+    let cfg = match parse_args() {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("validate_campaign: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    println!("phase 1: honest-compilation gate (seed={})", cfg.seed);
+    match honest_gate(cfg.seed) {
+        Ok(n) => println!("  {n} compilations statically clean"),
+        Err(e) => {
+            eprintln!("validate_campaign: honest gate failed: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    println!(
+        "phase 2: static-vs-dynamic matrix (seed={} per-class={} fuel={})",
+        cfg.seed, cfg.per_class, cfg.fuel
+    );
+    let report = match run_campaign(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("validate_campaign: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "{:<24} {:>8} {:>7} {:>8} {:>5} {:>12} {:>13} {:>8}",
+        "class", "mutants", "static", "dynamic", "both", "static-only", "dynamic-only", "escaped"
+    );
+    for s in &report.stats {
+        println!(
+            "{:<24} {:>8} {:>7} {:>8} {:>5} {:>12} {:>13} {:>8}",
+            s.class.name(),
+            s.generated,
+            s.static_caught,
+            s.detected,
+            s.caught_both,
+            s.static_caught - s.caught_both,
+            s.detected - s.caught_both,
+            s.escapes_both(),
+        );
+    }
+    let caught = report.statically_caught_classes();
+    println!(
+        "classes fully caught statically: {caught}/{}; dynamic escapes: {}",
+        report.stats.len(),
+        report.total_escapes()
+    );
+    if caught < 4 {
+        eprintln!("validate_campaign: only {caught} classes caught statically (need >= 4)");
+        std::process::exit(1);
+    }
+}

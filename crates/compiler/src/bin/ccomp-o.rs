@@ -9,6 +9,11 @@
 //!                        multiple files are linked, paper App. A.3)
 //!   --check FN ARGS...   additionally check Thm 3.8 on the execution
 //!                        (with two files: Cor 3.9, separate compilation)
+//!   --validate           run the static validation layer (IR lints +
+//!                        per-pass translation validators); any finding is
+//!                        printed and the exit code is nonzero
+//!   --validate-json      like --validate, but findings are emitted as one
+//!                        JSON object per line
 //!   -O0                  disable the optional optimizations
 //! ```
 
@@ -21,6 +26,8 @@ struct Cli {
     files: Vec<String>,
     dump_asm: bool,
     dump_rtl: bool,
+    validate: bool,
+    validate_json: bool,
     run: Option<(String, Vec<i32>, bool)>,
     opts: CompilerOptions,
 }
@@ -31,6 +38,8 @@ fn parse_args() -> Result<Cli, String> {
         files: Vec::new(),
         dump_asm: false,
         dump_rtl: false,
+        validate: false,
+        validate_json: false,
         run: None,
         opts: CompilerOptions::default(),
     };
@@ -38,6 +47,11 @@ fn parse_args() -> Result<Cli, String> {
         match a.as_str() {
             "--dump-asm" => cli.dump_asm = true,
             "--dump-rtl" => cli.dump_rtl = true,
+            "--validate" => cli.validate = true,
+            "--validate-json" => {
+                cli.validate = true;
+                cli.validate_json = true;
+            }
             "-O0" => cli.opts = CompilerOptions::none(),
             "--run" | "--check" => {
                 let f = args
@@ -63,6 +77,8 @@ fn parse_args() -> Result<Cli, String> {
     if cli.files.is_empty() {
         return Err("no input files".into());
     }
+    // `-O0` rebuilds `opts`, so transfer the flag at the end.
+    cli.opts.validate = cli.validate;
     Ok(cli)
 }
 
@@ -74,8 +90,8 @@ fn main() -> ExitCode {
                 eprintln!("error: {msg}");
             }
             eprintln!(
-                "usage: ccomp-o [--dump-asm] [--dump-rtl] [-O0] \
-                 [--run FN ARGS... | --check FN ARGS...] FILE.c ..."
+                "usage: ccomp-o [--dump-asm] [--dump-rtl] [--validate] [--validate-json] \
+                 [-O0] [--run FN ARGS... | --check FN ARGS...] FILE.c ..."
             );
             return ExitCode::from(2);
         }
@@ -99,6 +115,27 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
+
+    if cli.validate {
+        let mut findings = 0usize;
+        for (file, unit) in cli.files.iter().zip(&units) {
+            for d in &unit.diagnostics {
+                findings += 1;
+                if cli.validate_json {
+                    println!("{}", d.to_json());
+                } else {
+                    println!("{file}: {d}");
+                }
+            }
+        }
+        if findings > 0 {
+            eprintln!("error: static validation produced {findings} finding(s)");
+            return ExitCode::from(1);
+        }
+        if !cli.validate_json {
+            println!("static validation: clean ({} unit(s))", units.len());
+        }
+    }
 
     for (file, unit) in cli.files.iter().zip(&units) {
         if cli.dump_rtl {

@@ -25,6 +25,12 @@ pub struct CompilerOptions {
     pub cse: bool,
     /// Run `Deadcode`.
     pub deadcode: bool,
+    /// Run the static validation layer after compiling: per-IR
+    /// well-formedness lints and per-pass translation validators
+    /// (see [`crate::validate`]). Findings land in
+    /// [`CompiledUnit::diagnostics`]; compilation still succeeds, callers
+    /// decide what to do with a non-empty report.
+    pub validate: bool,
 }
 
 impl Default for CompilerOptions {
@@ -35,6 +41,7 @@ impl Default for CompilerOptions {
             constprop: true,
             cse: true,
             deadcode: true,
+            validate: false,
         }
     }
 }
@@ -48,6 +55,15 @@ impl CompilerOptions {
             constprop: false,
             cse: false,
             deadcode: false,
+            validate: false,
+        }
+    }
+
+    /// Default optimizations with the static validation layer on.
+    pub fn validated() -> CompilerOptions {
+        CompilerOptions {
+            validate: true,
+            ..CompilerOptions::default()
         }
     }
 }
@@ -107,6 +123,10 @@ pub struct CompiledUnit {
     pub ltl: LtlProgram,
     /// After `Tunneling`.
     pub ltl_tunneled: LtlProgram,
+    /// The *raw* `Linearize` output, before `CleanupLabels` erases the
+    /// per-block labels — kept because the linearize translation validator
+    /// keys on those labels.
+    pub linear_raw: LinProgram,
     /// After `Linearize`, `CleanupLabels` and `Debugvar`.
     pub linear: LinProgram,
     /// After `Stacking`.
@@ -115,6 +135,10 @@ pub struct CompiledUnit {
     pub asm: AsmProgram,
     /// The return-address map from `Asmgen`.
     pub ra_map: backend::asmgen::RaMap,
+    /// Findings of the static validation layer (empty unless
+    /// [`CompilerOptions::validate`] was set — or when it was set and the
+    /// unit is clean).
+    pub diagnostics: Vec<compcerto_validate::Diagnostic>,
 }
 
 /// Compile one translation unit against a given symbol table.
@@ -167,11 +191,12 @@ pub fn compile_program(
 
     let ltl = allocation(&r);
     let ltl_tunneled = tunneling(&ltl);
-    let linear = debugvar(&cleanup_labels(&linearize(&ltl_tunneled)));
+    let linear_raw = linearize(&ltl_tunneled);
+    let linear = debugvar(&cleanup_labels(&linear_raw));
     let mach = stacking(&linear).map_err(CompileError::Stacking)?;
     let (asm, ra_map) = asmgen(&mach);
 
-    Ok(CompiledUnit {
+    let mut unit = CompiledUnit {
         clight: typed.clone(),
         clight_simpl,
         csharp,
@@ -181,11 +206,17 @@ pub fn compile_program(
         rtl_opt: r,
         ltl,
         ltl_tunneled,
+        linear_raw,
         linear,
         mach,
         asm,
         ra_map,
-    })
+        diagnostics: Vec::new(),
+    };
+    if opts.validate {
+        unit.diagnostics = crate::validate::validate_unit(&unit);
+    }
+    Ok(unit)
 }
 
 /// One-stop compilation of a set of sources sharing a symbol table: parses

@@ -335,11 +335,14 @@ fn mutate_rtl(unit: &CompiledUnit, fname: &str, rng: &mut SplitMix64) -> Option<
     let r = renumber(&unit.rtl_opt);
     let ltl = allocation(&r);
     let ltl_tunneled = tunneling(&ltl);
-    let linear = debugvar(&cleanup_labels(&linearize(&ltl_tunneled)));
+    let linear_raw = linearize(&ltl_tunneled);
+    let linear = debugvar(&cleanup_labels(&linear_raw));
     let mach = stacking(&linear).ok()?;
     let (asm, ra_map) = asmgen(&mach);
+    unit.rtl_opt = r;
     unit.ltl = ltl;
     unit.ltl_tunneled = ltl_tunneled;
+    unit.linear_raw = linear_raw;
     unit.linear = linear;
     unit.mach = mach;
     unit.asm = asm;
@@ -428,6 +431,11 @@ pub struct ClassStats {
     pub generated: usize,
     /// Mutants rejected by the checker on at least one probe.
     pub detected: usize,
+    /// Mutants flagged by the static validation layer
+    /// ([`crate::validate::validate_unit`]) without running anything.
+    pub static_caught: usize,
+    /// Mutants caught by *both* the static layer and the dynamic checker.
+    pub caught_both: usize,
     /// Of the detected, how many triggered the error class expected for
     /// this clause.
     pub expected_class: usize,
@@ -436,9 +444,17 @@ pub struct ClassStats {
 }
 
 impl ClassStats {
-    /// Mutants the checker accepted on every probe (silent escapes).
+    /// Mutants the dynamic checker accepted on every probe (dynamic
+    /// escapes).
     pub fn escapes(&self) -> usize {
         self.generated - self.detected
+    }
+
+    /// Mutants neither layer caught (fully silent escapes).
+    pub fn escapes_both(&self) -> usize {
+        // |caught by either| = static + dynamic - both (inclusion-exclusion).
+        let either = self.static_caught + self.detected - self.caught_both;
+        self.generated.saturating_sub(either)
     }
 }
 
@@ -457,9 +473,18 @@ impl CampaignReport {
         self.stats.iter().map(|s| s.generated).sum()
     }
 
-    /// Total silent escapes across all classes.
+    /// Total dynamic escapes across all classes.
     pub fn total_escapes(&self) -> usize {
         self.stats.iter().map(|s| s.escapes()).sum()
+    }
+
+    /// Mutation classes *statically caught*: every generated mutant of the
+    /// class was flagged by the validation layer without running anything.
+    pub fn statically_caught_classes(&self) -> usize {
+        self.stats
+            .iter()
+            .filter(|s| s.generated > 0 && s.static_caught == s.generated)
+            .count()
     }
 }
 
@@ -472,8 +497,8 @@ impl fmt::Display for CampaignReport {
         )?;
         writeln!(
             f,
-            "{:<24} {:>8} {:>8} {:>7} {:>9}  error classes",
-            "class", "mutants", "detected", "escaped", "expected"
+            "{:<24} {:>8} {:>8} {:>7} {:>7} {:>9}  error classes",
+            "class", "mutants", "detected", "static", "escaped", "expected"
         )?;
         for s in &self.stats {
             let hist = s
@@ -484,10 +509,11 @@ impl fmt::Display for CampaignReport {
                 .join(" ");
             writeln!(
                 f,
-                "{:<24} {:>8} {:>8} {:>7} {:>9}  {}",
+                "{:<24} {:>8} {:>8} {:>7} {:>7} {:>9}  {}",
                 s.class.name(),
                 s.generated,
                 s.detected,
+                s.static_caught,
                 s.escapes(),
                 format!("{}/{}", s.expected_class, s.detected),
                 hist
@@ -547,6 +573,13 @@ pub fn run_campaign(cfg: &CampaignCfg) -> Result<CampaignReport, String> {
     if let Some(e) = probe_mutant(&base_mutant, &symtab, &lib, cfg) {
         return Err(format!("baseline program fails the checker: {e}"));
     }
+    let base_diags = crate::validate::validate_unit(&baseline);
+    if !base_diags.is_empty() {
+        return Err(format!(
+            "baseline program fails static validation: {}",
+            base_diags[0]
+        ));
+    }
 
     let mut master = SplitMix64::new(cfg.seed);
     let mut stats = Vec::new();
@@ -556,6 +589,8 @@ pub fn run_campaign(cfg: &CampaignCfg) -> Result<CampaignReport, String> {
             class,
             generated: 0,
             detected: 0,
+            static_caught: 0,
+            caught_both: 0,
             expected_class: 0,
             errors: BTreeMap::new(),
         };
@@ -566,8 +601,15 @@ pub fn run_campaign(cfg: &CampaignCfg) -> Result<CampaignReport, String> {
                 continue;
             };
             st.generated += 1;
+            let statically = !crate::validate::validate_unit(&mutant.unit).is_empty();
+            if statically {
+                st.static_caught += 1;
+            }
             if let Some(err) = probe_mutant(&mutant, &symtab, &lib, cfg) {
                 st.detected += 1;
+                if statically {
+                    st.caught_both += 1;
+                }
                 *st.errors.entry(classify(&err)).or_insert(0) += 1;
                 if class.matches_expected(&err) {
                     st.expected_class += 1;
@@ -610,6 +652,39 @@ mod tests {
             let m2 = mutate(&baseline, "entry", class, &mut SplitMix64::new(99)).unwrap();
             assert_eq!(m1.mutation.desc, m2.mutation.desc);
             assert_eq!(m1.unit.asm, m2.unit.asm, "{class}: asm differs");
+        }
+    }
+
+    #[test]
+    fn static_layer_catches_asm_level_classes() {
+        let cfg = CampaignCfg {
+            seed: 42,
+            per_class: 2,
+            fuel: 2_000_000,
+            probe_args: vec![0, 3],
+        };
+        let report = run_campaign(&cfg).expect("campaign runs");
+        assert!(
+            report.statically_caught_classes() >= 4,
+            "static layer must catch at least 4 classes, got {}",
+            report.statically_caught_classes()
+        );
+        for s in &report.stats {
+            match s.class {
+                // A consistent re-run of the backend is exactly the case a
+                // translation validator cannot flag: the target faithfully
+                // implements the (wrong) RTL. This is the principled static
+                // escape that motivates keeping the dynamic checker.
+                MutationClass::RtlConstantDrift => assert_eq!(
+                    s.static_caught, 0,
+                    "consistent backend re-run must be statically clean"
+                ),
+                _ => assert_eq!(
+                    s.static_caught, s.generated,
+                    "{}: asm-level tampering must be caught statically",
+                    s.class
+                ),
+            }
         }
     }
 

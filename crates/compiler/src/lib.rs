@@ -20,6 +20,7 @@ pub mod faultinj;
 pub mod harness;
 pub mod registry;
 pub mod sloc;
+pub mod validate;
 pub mod workload;
 
 pub use closed::{run_closed, Closed, ClosedState};
@@ -34,4 +35,5 @@ pub use harness::{
     check_thm38_budgeted, default_budget, try_c_query,
 };
 pub use registry::{pass_registry, PassInfo};
+pub use validate::validate_unit;
 pub use workload::{WorkloadCfg, WorkloadGen};

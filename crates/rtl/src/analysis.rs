@@ -16,10 +16,20 @@ use crate::lang::{Inst, Node, PReg, RtlFunction, RtlOp};
 // ---------------------------------------------------------------------------
 
 /// Predecessor map of a function's CFG.
+///
+/// Each CFG edge is recorded once: an instruction that lists the same
+/// successor twice (e.g. a `Cond` whose two targets coincide) contributes a
+/// single `n → s` edge, not two. Backward solvers re-queue every predecessor
+/// of a changed node, so duplicate entries would only cause redundant
+/// re-evaluations — but clients that *count* predecessors (edge-split
+/// heuristics, validators) need the deduplicated form.
 pub fn predecessors(f: &RtlFunction) -> BTreeMap<Node, Vec<Node>> {
     let mut preds: BTreeMap<Node, Vec<Node>> = BTreeMap::new();
     for (n, i) in &f.code {
-        for s in i.successors() {
+        let mut succs = i.successors();
+        succs.sort_unstable();
+        succs.dedup();
+        for s in succs {
             preds.entry(s).or_default().push(*n);
         }
     }
@@ -57,6 +67,49 @@ where
             };
             if changed {
                 work.insert(s);
+            }
+        }
+    }
+    state
+}
+
+/// Solve a backward dataflow problem: `state[n]` is the abstract state
+/// *before* node `n` (the classical "in" set of a backward analysis);
+/// `transfer` computes it from the join of the successors' before-states
+/// (the "out" set, passed as the third argument).
+///
+/// Mirror image of [`forward_solve`], over the same [`JoinSemiLattice`]
+/// interface: the worklist is an ordered set (membership deduplicates
+/// pending nodes), and popping the *largest* node first approximates
+/// postorder — the fast direction for a backward analysis, given that
+/// `renumber` assigns ascending identifiers along the CFG.
+pub fn backward_solve<S, T>(f: &RtlFunction, bot: S, transfer: T) -> BTreeMap<Node, S>
+where
+    S: Clone + PartialEq + JoinSemiLattice,
+    T: Fn(Node, &Inst, &S) -> S,
+{
+    let preds = predecessors(f);
+    let mut state: BTreeMap<Node, S> = BTreeMap::new();
+    let mut work: BTreeSet<Node> = f.code.keys().copied().collect();
+    while let Some(n) = work.pop_last() {
+        let Some(inst) = f.code.get(&n) else { continue };
+        let mut out = bot.clone();
+        for s in inst.successors() {
+            if let Some(si) = state.get(&s) {
+                out.join_in_place(si);
+            }
+        }
+        let inn = transfer(n, inst, &out);
+        let changed = match state.get_mut(&n) {
+            Some(cur) => cur.join_in_place(&inn),
+            None => {
+                state.insert(n, inn);
+                true
+            }
+        };
+        if changed {
+            if let Some(ps) = preds.get(&n) {
+                work.extend(ps.iter().copied());
             }
         }
     }
@@ -294,36 +347,39 @@ pub fn value_analysis(f: &RtlFunction, romem: &Romem) -> BTreeMap<Node, AEnv> {
 // Liveness (backward)
 // ---------------------------------------------------------------------------
 
+/// Set-union lattice of live registers (the liveness domain). Private:
+/// callers of [`liveness`] see plain `BTreeSet<PReg>`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct LiveSet(BTreeSet<PReg>);
+
+impl JoinSemiLattice for LiveSet {
+    fn join(&self, other: &Self) -> Self {
+        LiveSet(self.0.union(&other.0).copied().collect())
+    }
+
+    fn join_in_place(&mut self, other: &Self) -> bool {
+        let before = self.0.len();
+        self.0.extend(other.0.iter().copied());
+        self.0.len() != before
+    }
+}
+
 /// Compute the set of registers live *after* each node.
+///
+/// `live_in[n] = uses(n) ∪ (live_out[n] \ def(n))`,
+/// `live_out[n] = ∪ live_in[succ]` — expressed as a [`backward_solve`]
+/// instance over the set-union lattice, so liveness shares the fixpoint
+/// engine (worklist, join discipline) with the forward value analysis
+/// instead of hand-rolling a second loop.
 pub fn liveness(f: &RtlFunction) -> BTreeMap<Node, BTreeSet<PReg>> {
-    let preds = predecessors(f);
-    // live_in[n] = uses(n) ∪ (live_out[n] \ def(n));
-    // live_out[n] = ∪ live_in[succ].
-    // Ordered-set worklist: deduplicated, and popping the *largest* node
-    // first approximates postorder — the fast direction for a backward
-    // analysis (see `forward_solve` for the forward counterpart).
-    let mut live_in: BTreeMap<Node, BTreeSet<PReg>> = BTreeMap::new();
-    let mut work: BTreeSet<Node> = f.code.keys().copied().collect();
-    while let Some(n) = work.pop_last() {
-        let Some(inst) = f.code.get(&n) else { continue };
-        let mut out: BTreeSet<PReg> = BTreeSet::new();
-        for s in inst.successors() {
-            if let Some(li) = live_in.get(&s) {
-                out.extend(li.iter().copied());
-            }
-        }
+    let live_in = backward_solve(f, LiveSet::default(), |_, inst, out: &LiveSet| {
         let mut inn = out.clone();
         if let Some(d) = inst.def() {
-            inn.remove(&d);
+            inn.0.remove(&d);
         }
-        inn.extend(inst.uses());
-        if live_in.get(&n) != Some(&inn) {
-            live_in.insert(n, inn);
-            if let Some(ps) = preds.get(&n) {
-                work.extend(ps.iter().copied());
-            }
-        }
-    }
+        inn.0.extend(inst.uses());
+        inn
+    });
     // Derive live-out from live-in of successors.
     f.code
         .iter()
@@ -331,7 +387,7 @@ pub fn liveness(f: &RtlFunction) -> BTreeMap<Node, BTreeSet<PReg>> {
             let mut out = BTreeSet::new();
             for s in inst.successors() {
                 if let Some(li) = live_in.get(&s) {
-                    out.extend(li.iter().copied());
+                    out.extend(li.0.iter().copied());
                 }
             }
             (*n, out)
@@ -406,6 +462,56 @@ mod tests {
         assert_eq!(romem.load(mem::Chunk::I32, "k", 0), Some(Val::Int(9)));
         // Writable globals are not compile-time constants.
         assert_eq!(romem.load(mem::Chunk::I32, "w", 0), None);
+    }
+
+    #[test]
+    fn predecessors_dedupe_parallel_edges() {
+        // A `Cond` whose two targets coincide must record a single edge.
+        let mut code = BTreeMap::new();
+        code.insert(0, Inst::Op(RtlOp::Int(1), 2, 1));
+        code.insert(1, Inst::Cond(2, 2, 2)); // both arms fall to node 2
+        code.insert(2, Inst::Return(Some(2)));
+        let f = RtlFunction {
+            name: "g".into(),
+            sig: Signature::int_fn(0),
+            params: vec![],
+            stack_size: 0,
+            entry: 0,
+            code,
+            next_reg: 3,
+        };
+        let preds = predecessors(&f);
+        assert_eq!(preds[&2], vec![1], "parallel Cond edge must be deduped");
+        assert_eq!(preds[&1], vec![0]);
+    }
+
+    #[test]
+    fn backward_solve_matches_liveness_contract() {
+        // Diamond: 0 -> cond -> {1, 2} -> 3 -> return x5.
+        // x4 defined on both arms; x6 only used on one.
+        let mut code = BTreeMap::new();
+        code.insert(0, Inst::Cond(2, 1, 2));
+        code.insert(1, Inst::Op(RtlOp::Move(6), 4, 3));
+        code.insert(2, Inst::Op(RtlOp::Int(0), 4, 3));
+        code.insert(3, Inst::Op(RtlOp::Move(4), 5, 4));
+        code.insert(4, Inst::Return(Some(5)));
+        let f = RtlFunction {
+            name: "h".into(),
+            sig: Signature::int_fn(0),
+            params: vec![2, 6],
+            stack_size: 0,
+            entry: 0,
+            code,
+            next_reg: 7,
+        };
+        let live = liveness(&f);
+        // After the cond, x6 is live only on the path through node 1 — but
+        // live-out is the union over successors, so it appears at node 0.
+        assert!(live[&0].contains(&6));
+        // After node 3, only x5 survives.
+        assert_eq!(live[&3], BTreeSet::from([5]));
+        // After the return, nothing.
+        assert_eq!(live[&4], BTreeSet::new());
     }
 
     #[test]

@@ -32,7 +32,10 @@ pub mod renumber;
 pub mod sem;
 pub mod tailcall;
 
-pub use analysis::{liveness, value_analysis, AEnv, AVal, Romem};
+pub use analysis::{
+    backward_solve, forward_solve, liveness, predecessors, value_analysis, AEnv, AVal,
+    JoinSemiLattice, Romem,
+};
 pub use constprop::constprop;
 pub use cse::cse;
 pub use deadcode::deadcode;
