@@ -1,12 +1,22 @@
 //! Generic worklist dataflow over any [`CfgView`], on the same
 //! [`JoinSemiLattice`] interface as `rtl::analysis` — one fixpoint engine
 //! for RTL, LTL, Linear and Mach.
+//!
+//! The solvers keep their abstract states in a dense `Vec` indexed by a
+//! reverse-postorder numbering of the graph (see [`reverse_postorder`]),
+//! and drive an index-ordered worklist: ascending pops visit pending nodes
+//! in exact RPO for forward problems, descending pops in exact postorder
+//! for backward ones. The set-union clients ([`live_out`], [`maybe_uninit`])
+//! additionally run on the dense [`BitSet`] lattice via a variable
+//! numbering, so the per-edge join is a word-wise `OR` instead of a
+//! `BTreeSet` merge. Public signatures are unchanged: node-keyed `BTreeMap`s
+//! of [`VarSet`]s come out, the dense representation never escapes.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-use crate::cfg::{predecessors, CfgView};
+use crate::cfg::{reverse_postorder, CfgView};
 
-pub use rtl::JoinSemiLattice;
+pub use rtl::{BitSet, JoinSemiLattice};
 
 /// The set-union lattice over an IR's variables — the domain of liveness
 /// and of the maybe-uninitialized analysis.
@@ -31,102 +41,194 @@ impl<V: Ord + Copy> JoinSemiLattice for VarSet<V> {
     }
 }
 
+/// Dense node numbering shared by the solvers: reverse postorder of the
+/// reachable subgraph, then the remaining nodes in ascending id order
+/// (backward clients — the allocation validator's liveness — solve dead
+/// code too). The dense index doubles as the worklist priority.
+fn dense_order<G: CfgView + ?Sized>(g: &G) -> (Vec<u32>, HashMap<u32, usize>) {
+    let mut order = reverse_postorder(g);
+    let mut seen: BTreeSet<u32> = order.iter().copied().collect();
+    for n in g.node_ids() {
+        if seen.insert(n) {
+            order.push(n);
+        }
+    }
+    let idx = order.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+    (order, idx)
+}
+
+/// Assemble the dense solver state back into the public node-keyed map.
+fn undense<S>(order: &[u32], state: Vec<Option<S>>) -> BTreeMap<u32, S> {
+    order
+        .iter()
+        .zip(state)
+        .filter_map(|(n, s)| s.map(|s| (*n, s)))
+        .collect()
+}
+
 /// Solve a forward dataflow problem: `state[n]` is the abstract state
 /// *before* node `n`; `transfer(n, before)` computes the state after it.
 /// Only nodes reachable from the entry get a state.
+///
+/// Internally the states live in a dense reverse-postorder-indexed `Vec`
+/// and the worklist pops the smallest dense index first — exact RPO
+/// visiting, the fast direction for forward problems.
 pub fn forward_solve<G, S, T>(g: &G, entry: S, transfer: T) -> BTreeMap<u32, S>
 where
     G: CfgView + ?Sized,
     S: JoinSemiLattice,
     T: Fn(u32, &S) -> S,
 {
-    let mut state: BTreeMap<u32, S> = BTreeMap::new();
     if !g.has_node(g.entry()) {
-        return state;
+        return BTreeMap::new();
     }
-    state.insert(g.entry(), entry);
-    let mut work: BTreeSet<u32> = BTreeSet::from([g.entry()]);
-    while let Some(n) = work.pop_first() {
-        let Some(before) = state.get(&n) else { continue };
+    let (order, idx) = dense_order(g);
+    let mut state: Vec<Option<S>> = order.iter().map(|_| None).collect();
+    let Some(&ei) = idx.get(&g.entry()) else {
+        return BTreeMap::new();
+    };
+    state[ei] = Some(entry);
+    let mut work: BTreeSet<usize> = BTreeSet::from([ei]);
+    while let Some(i) = work.pop_first() {
+        let n = order[i];
+        let Some(before) = state[i].as_ref() else { continue };
         let after = transfer(n, before);
         for s in g.successors(n) {
             if !g.has_node(s) {
                 continue;
             }
-            let changed = match state.get_mut(&s) {
+            let Some(&si) = idx.get(&s) else { continue };
+            let changed = match state[si].as_mut() {
                 Some(cur) => cur.join_in_place(&after),
                 None => {
-                    state.insert(s, after.clone());
+                    state[si] = Some(after.clone());
                     true
                 }
             };
             if changed {
-                work.insert(s);
+                work.insert(si);
             }
         }
     }
-    state
+    undense(&order, state)
 }
 
 /// Solve a backward dataflow problem: `state[n]` is the abstract state
 /// *before* node `n` (its "in" set); `transfer(n, out)` computes it from the
 /// join of the successors' in-states.
+///
+/// Mirror image of [`forward_solve`] over the same dense numbering: the
+/// worklist pops the *largest* dense index first — exact postorder, the
+/// fast direction for backward problems.
 pub fn backward_solve<G, S, T>(g: &G, bot: S, transfer: T) -> BTreeMap<u32, S>
 where
     G: CfgView + ?Sized,
     S: JoinSemiLattice,
     T: Fn(u32, &S) -> S,
 {
-    let preds = predecessors(g);
-    let mut state: BTreeMap<u32, S> = BTreeMap::new();
-    let mut work: BTreeSet<u32> = g.node_ids().into_iter().collect();
-    while let Some(n) = work.pop_last() {
+    let (order, idx) = dense_order(g);
+    // Dense predecessor lists (each CFG edge once).
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); order.len()];
+    for (i, n) in order.iter().enumerate() {
+        let mut succs = g.successors(*n);
+        succs.sort_unstable();
+        succs.dedup();
+        for s in succs {
+            if let Some(&si) = idx.get(&s) {
+                preds[si].push(i);
+            }
+        }
+    }
+    let mut state: Vec<Option<S>> = order.iter().map(|_| None).collect();
+    let mut work: BTreeSet<usize> = (0..order.len()).collect();
+    while let Some(i) = work.pop_last() {
+        let n = order[i];
         let mut out = bot.clone();
         for s in g.successors(n) {
-            if let Some(si) = state.get(&s) {
-                out.join_in_place(si);
+            if let Some(&si) = idx.get(&s) {
+                if let Some(ss) = state[si].as_ref() {
+                    out.join_in_place(ss);
+                }
             }
         }
         let inn = transfer(n, &out);
-        let changed = match state.get_mut(&n) {
+        let changed = match state[i].as_mut() {
             Some(cur) => cur.join_in_place(&inn),
             None => {
-                state.insert(n, inn);
+                state[i] = Some(inn);
                 true
             }
         };
         if changed {
-            if let Some(ps) = preds.get(&n) {
-                work.extend(ps.iter().copied());
-            }
+            work.extend(preds[i].iter().copied());
         }
     }
-    state
+    undense(&order, state)
+}
+
+/// A dense numbering of an IR's variable universe (everything read or
+/// written anywhere in the graph), mapping variables to [`BitSet`] bit
+/// indices and back. Variables are numbered in ascending `Ord` order, so
+/// the numbering — and everything derived from it — is deterministic.
+struct VarNumbering<V> {
+    vars: Vec<V>,
+}
+
+impl<V: Ord + Copy> VarNumbering<V> {
+    fn new<G: CfgView<Var = V> + ?Sized>(g: &G) -> VarNumbering<V> {
+        let mut universe: BTreeSet<V> = BTreeSet::new();
+        for n in g.node_ids() {
+            universe.extend(g.uses(n));
+            universe.extend(g.defs(n));
+        }
+        VarNumbering {
+            vars: universe.into_iter().collect(),
+        }
+    }
+
+    /// Bit index of `v` (`None` for variables outside the universe).
+    fn index(&self, v: V) -> Option<u32> {
+        self.vars.binary_search(&v).ok().map(|i| i as u32)
+    }
+
+    /// Decode a bitset back into the public variable-set representation.
+    fn decode(&self, bits: &BitSet) -> VarSet<V> {
+        VarSet(bits.iter().map(|i| self.vars[i as usize]).collect())
+    }
 }
 
 /// Backward liveness: the set of variables live *after* each node.
 ///
 /// Generalizes `rtl::analysis::liveness` to any [`CfgView`] (the RTL
 /// instantiation agrees with it node-for-node; see the cross-check test).
+/// Runs on the dense [`BitSet`] lattice through a [`VarNumbering`]; the
+/// returned sets are decoded back to plain [`VarSet`]s.
 pub fn live_out<G: CfgView + ?Sized>(g: &G) -> BTreeMap<u32, VarSet<G::Var>> {
-    let live_in = backward_solve(g, VarSet::default(), |n, out: &VarSet<G::Var>| {
+    let nums = VarNumbering::new(g);
+    let live_in = backward_solve(g, BitSet::new(), |n, out: &BitSet| {
         let mut inn = out.clone();
         for d in g.defs(n) {
-            inn.0.remove(&d);
+            if let Some(i) = nums.index(d) {
+                inn.remove(i);
+            }
         }
-        inn.0.extend(g.uses(n));
+        for u in g.uses(n) {
+            if let Some(i) = nums.index(u) {
+                inn.insert(i);
+            }
+        }
         inn
     });
     g.node_ids()
         .into_iter()
         .map(|n| {
-            let mut out = VarSet::default();
+            let mut out = BitSet::new();
             for s in g.successors(n) {
                 if let Some(li) = live_in.get(&s) {
-                    out.0.extend(li.0.iter().copied());
+                    out.union_with(li);
                 }
             }
-            (n, out)
+            (n, nums.decode(&out))
         })
         .collect()
 }
@@ -143,26 +245,27 @@ pub fn maybe_uninit<G: CfgView + ?Sized>(
     g: &G,
     defined_at_entry: &BTreeSet<G::Var>,
 ) -> BTreeMap<u32, VarSet<G::Var>> {
-    // The variable universe: everything read or written anywhere.
-    let mut universe: BTreeSet<G::Var> = BTreeSet::new();
-    for n in g.node_ids() {
-        universe.extend(g.uses(n));
-        universe.extend(g.defs(n));
-    }
-    let entry_state = VarSet(
-        universe
-            .iter()
-            .filter(|v| !defined_at_entry.contains(v))
-            .copied()
-            .collect(),
-    );
-    forward_solve(g, entry_state, |n, before: &VarSet<G::Var>| {
+    let nums = VarNumbering::new(g);
+    let entry_state: BitSet = nums
+        .vars
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| !defined_at_entry.contains(v))
+        .map(|(i, _)| i as u32)
+        .collect();
+    let dense = forward_solve(g, entry_state, |n, before: &BitSet| {
         let mut after = before.clone();
         for d in g.defs(n) {
-            after.0.remove(&d);
+            if let Some(i) = nums.index(d) {
+                after.remove(i);
+            }
         }
         after
-    })
+    });
+    dense
+        .into_iter()
+        .map(|(n, bits)| (n, nums.decode(&bits)))
+        .collect()
 }
 
 #[cfg(test)]

@@ -5,14 +5,16 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run -p bench --bin faultinj_campaign -- [--seed N] [--per-class N] [--fuel N]
+//! cargo run -p bench --bin faultinj_campaign -- \
+//!     [--seed N] [--per-class N] [--fuel N] [--jobs N|auto]
 //! ```
 //!
-//! Output is byte-deterministic for a given seed: mutation sites and
-//! payloads come from SplitMix64, budgets are fuel-based (no wall-clock),
-//! and tallies use ordered maps.
+//! Output is byte-deterministic for a given seed *and any `--jobs` value*:
+//! mutation sites and payloads come from SplitMix64 (generated serially
+//! before the probe fan-out), budgets are fuel-based (no wall-clock), and
+//! tallies use ordered maps over index-ordered probe results.
 
-use compiler::{run_campaign, CampaignCfg};
+use compiler::{run_campaign, CampaignCfg, Jobs};
 
 fn parse_args() -> Result<CampaignCfg, String> {
     let mut cfg = CampaignCfg::default();
@@ -28,6 +30,10 @@ fn parse_args() -> Result<CampaignCfg, String> {
             "--seed" => cfg.seed = take("--seed")?,
             "--per-class" => cfg.per_class = take("--per-class")? as usize,
             "--fuel" => cfg.fuel = take("--fuel")?,
+            "--jobs" => {
+                let v = args.next().ok_or("--jobs needs a value")?;
+                cfg.jobs = Jobs::parse(&v)?;
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }

@@ -1,0 +1,351 @@
+//! Performance baseline for the throughput stack (EXPERIMENTS.md row B7).
+//!
+//! Times the hot paths this repo's parallel/dense/zero-copy machinery is
+//! built around, serial (`--jobs 1`) against parallel (`--jobs auto`):
+//!
+//! - compiling a mixed corpus (fixed sources + seeded workload programs)
+//!   through the full 19-pass pipeline,
+//! - the same corpus under `CompilerOptions::validated()` (translation
+//!   validators + lints on every pass boundary — the honest-gate workload),
+//! - the fault-injection campaign (serial mutant generation, parallel
+//!   probe fan-out),
+//! - the dense dataflow solvers (liveness + maybe-uninit over every RTL
+//!   function of the corpus), and
+//! - one end-to-end Thm 3.8 simulation check.
+//!
+//! Every workload folds its observable output into an FNV-1a checksum; the
+//! run **fails** if any serial/parallel checksum pair disagrees — timing
+//! may vary, bytes may not. On a machine with ≥ 4 cores it additionally
+//! requires a ≥ 2× campaign speedup; on narrower machines (CI containers)
+//! the speedup is reported but not gated.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin perf_campaign -- \
+//!     [--quick] [--jobs N|auto] [--out PATH]
+//! ```
+//!
+//! Writes a machine-readable summary (schema `compcerto-perf/1`) to
+//! `BENCH_PR3.json` (or `--out`); `ci.sh` runs `--quick` and validates the
+//! schema and the checksum equalities.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use compcerto_validate::{live_out, maybe_uninit};
+use compiler::{
+    available_parallelism, c_query, check_thm38, compile_all_jobs, run_campaign, try_par_map,
+    CampaignCfg, CompilerOptions, ExtLib, Jobs, WorkloadCfg, WorkloadGen,
+};
+use mem::Val;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Fold `bytes` into an FNV-1a accumulator.
+fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
+    bytes
+        .iter()
+        .fold(h, |h, b| (h ^ u64::from(*b)).wrapping_mul(FNV_PRIME))
+}
+
+/// Median wall-clock milliseconds over `reps` runs of `f`, plus the result
+/// of the last run (all runs are deterministic, so any result would do).
+fn timed<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut times = Vec::with_capacity(reps);
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        out = Some(f());
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    times.sort_by(f64::total_cmp);
+    let median = times[times.len() / 2];
+    match out {
+        Some(r) => (median, r),
+        // Unreachable: reps.max(1) guarantees at least one run.
+        None => unreachable!("timed ran zero reps"),
+    }
+}
+
+/// Seed for the corpus' generated workload programs.
+const CORPUS_SEED: u64 = 2024;
+
+/// Build the benchmark corpus: the repo's fixed example programs plus
+/// seeded random workloads (deterministic in `CORPUS_SEED`).
+fn corpus(programs: usize) -> Vec<String> {
+    let mut srcs: Vec<String> = vec![
+        bench::FIG1_A.to_string(),
+        bench::FIG1_B.to_string(),
+        bench::FIXTURE.to_string(),
+        compiler::faultinj::CAMPAIGN_SRC.to_string(),
+        "
+        int collatz_len(int n) {
+            int len;
+            len = 0;
+            while (n > 1) {
+                if (n - n / 2 * 2 == 1) { n = 3 * n + 1; } else { n = n / 2; }
+                len = len + 1;
+            }
+            return len;
+        }
+        int entry(int n) { int l; l = collatz_len(n + 1); return l; }"
+            .to_string(),
+    ];
+    let mut gen = WorkloadGen::new(CORPUS_SEED);
+    let cfg = WorkloadCfg::default();
+    for _ in 0..programs {
+        let (src, _arity) = gen.gen_program(&cfg);
+        srcs.push(src);
+    }
+    srcs
+}
+
+/// Compile the corpus with `jobs` workers — one link unit per program (the
+/// generated programs all export `entry`, so they cannot share a symbol
+/// table) — and checksum every generated Asm-O function dump, in corpus
+/// order.
+fn compile_checksum(srcs: &[String], opts: CompilerOptions, jobs: Jobs) -> Result<u64, String> {
+    let dumps: Vec<Vec<String>> = try_par_map(jobs, srcs, |_, src| {
+        let (units, _tbl) = compile_all_jobs(&[src.as_str()], opts, Jobs::N(1))
+            .map_err(|e| format!("{e:?}"))?;
+        Ok::<_, String>(
+            units
+                .iter()
+                .flat_map(|u| u.asm.functions.iter().map(|f| f.dump()))
+                .collect(),
+        )
+    })?;
+    let mut h = FNV_OFFSET;
+    for d in dumps.iter().flatten() {
+        h = fnv1a(h, d.as_bytes());
+    }
+    Ok(h)
+}
+
+/// Run the fault-injection campaign with `jobs` workers and checksum its
+/// rendered report.
+fn campaign_checksum(per_class: usize, jobs: Jobs) -> Result<u64, String> {
+    let cfg = CampaignCfg {
+        per_class,
+        jobs,
+        ..CampaignCfg::default()
+    };
+    let report = run_campaign(&cfg)?;
+    Ok(fnv1a(FNV_OFFSET, format!("{report}").as_bytes()))
+}
+
+/// Solve liveness + maybe-uninit over every RTL function of the corpus and
+/// fold the result sizes into a checksum.
+fn dataflow_checksum(srcs: &[String]) -> Result<u64, String> {
+    let mut units = Vec::new();
+    for src in srcs {
+        let (us, _tbl) =
+            compile_all_jobs(&[src.as_str()], CompilerOptions::default(), Jobs::N(1))
+                .map_err(|e| format!("{e:?}"))?;
+        units.extend(us);
+    }
+    let mut h = FNV_OFFSET;
+    for u in &units {
+        for f in &u.rtl_opt.functions {
+            let lo = live_out(f);
+            let entry_defs: std::collections::BTreeSet<u32> = f.params.iter().copied().collect();
+            let mu = maybe_uninit(f, &entry_defs);
+            for (n, s) in &lo {
+                h = fnv1a(h, &n.to_le_bytes());
+                h = fnv1a(h, &(s.0.len() as u64).to_le_bytes());
+            }
+            for (n, s) in &mu {
+                h = fnv1a(h, &n.to_le_bytes());
+                h = fnv1a(h, &(s.0.len() as u64).to_le_bytes());
+            }
+        }
+    }
+    Ok(h)
+}
+
+/// One end-to-end Thm 3.8 check on the mid-sized fixture.
+fn thm38_once() -> Result<u64, String> {
+    let (units, tbl) = compile_all_jobs(
+        &[bench::FIXTURE],
+        CompilerOptions::default(),
+        Jobs::N(1),
+    )
+    .map_err(|e| format!("{e:?}"))?;
+    let lib = ExtLib::demo(tbl.clone());
+    let q = c_query(&tbl, &units[0], "churn", vec![Val::Int(3), Val::Int(64)]);
+    let report = check_thm38(&units[0], &tbl, &lib, &q).map_err(|e| format!("{e}"))?;
+    Ok(fnv1a(
+        FNV_OFFSET,
+        format!("{}:{}", report.target_steps, report.external_calls).as_bytes(),
+    ))
+}
+
+struct Cli {
+    quick: bool,
+    jobs: Jobs,
+    out: String,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut cli = Cli {
+        quick: false,
+        jobs: Jobs::Auto,
+        out: "BENCH_PR3.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => cli.quick = true,
+            "--jobs" => {
+                let v = args.next().ok_or("--jobs needs a value")?;
+                cli.jobs = Jobs::parse(&v)?;
+            }
+            "--out" => cli.out = args.next().ok_or("--out needs a value")?.to_string(),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(cli)
+}
+
+fn run(cli: &Cli) -> Result<(String, bool), String> {
+    let cores = available_parallelism();
+    let jobs_n = cli.jobs.resolve();
+    let reps = if cli.quick { 2 } else { 5 };
+    let programs = if cli.quick { 4 } else { 12 };
+    let per_class = if cli.quick { 6 } else { 25 };
+    let srcs = corpus(programs);
+
+    println!("perf_campaign: {} corpus programs, jobs={jobs_n} (of {cores} cores), median of {reps}", srcs.len());
+    println!("{:-<72}", "");
+    println!(
+        "{:<28}{:>12}{:>12}{:>10}  {}",
+        "workload", "serial ms", "par ms", "speedup", "checksums"
+    );
+    println!("{:-<72}", "");
+
+    let mut rows: Vec<(String, f64, f64, u64, u64)> = Vec::new();
+    let mut push_row = |label: &str, s_ms: f64, p_ms: f64, s_ck: u64, p_ck: u64| {
+        let ok = if s_ck == p_ck { "match" } else { "MISMATCH" };
+        println!(
+            "{label:<28}{s_ms:>12.2}{p_ms:>12.2}{:>10.2}  {ok}",
+            s_ms / p_ms.max(1e-9)
+        );
+        rows.push((label.to_string(), s_ms, p_ms, s_ck, p_ck));
+    };
+
+    // 1. Full pipeline over the corpus.
+    let (s_ms, s_ck) =
+        timed(reps, || compile_checksum(&srcs, CompilerOptions::default(), Jobs::N(1)));
+    let (p_ms, p_ck) = timed(reps, || {
+        compile_checksum(&srcs, CompilerOptions::default(), cli.jobs)
+    });
+    push_row("compile corpus", s_ms, p_ms, s_ck?, p_ck?);
+
+    // 2. Pipeline + static validation layer (the honest-gate workload).
+    let (s_ms, s_ck) = timed(reps, || {
+        compile_checksum(&srcs, CompilerOptions::validated(), Jobs::N(1))
+    });
+    let (p_ms, p_ck) = timed(reps, || {
+        compile_checksum(&srcs, CompilerOptions::validated(), cli.jobs)
+    });
+    push_row("compile+validate corpus", s_ms, p_ms, s_ck?, p_ck?);
+
+    // 3. Fault-injection campaign.
+    let (s_ms, s_ck) = timed(reps, || campaign_checksum(per_class, Jobs::N(1)));
+    let (p_ms, p_ck) = timed(reps, || campaign_checksum(per_class, cli.jobs));
+    push_row("faultinj campaign", s_ms, p_ms, s_ck?, p_ck?);
+
+    // 4. Dense dataflow solvers (single-threaded; serial == parallel).
+    let (d_ms, d_ck) = timed(reps, || dataflow_checksum(&srcs));
+    let d_ck = d_ck?;
+    push_row("dataflow (live+uninit)", d_ms, d_ms, d_ck, d_ck);
+
+    // 5. One Thm 3.8 end-to-end check (single-threaded).
+    let (t_ms, t_ck) = timed(reps, || thm38_once());
+    let t_ck = t_ck?;
+    push_row("thm38 fixture check", t_ms, t_ms, t_ck, t_ck);
+
+    println!("{:-<72}", "");
+
+    let checksums_match = rows.iter().all(|(_, _, _, s, p)| s == p);
+    let campaign_speedup = rows[2].1 / rows[2].2.max(1e-9);
+    let wide_enough = cores >= 4 && jobs_n >= 4;
+    let speedup_gated = wide_enough && !cli.quick;
+    let speedup_ok = !speedup_gated || campaign_speedup >= 2.0;
+
+    // Hand-rolled JSON: no serde in the workspace (offline builds).
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str("  \"schema\": \"compcerto-perf/1\",\n");
+    j.push_str(&format!("  \"quick\": {},\n", cli.quick));
+    j.push_str(&format!("  \"jobs\": {jobs_n},\n"));
+    j.push_str(&format!("  \"cores\": {cores},\n"));
+    j.push_str(&format!("  \"reps\": {reps},\n"));
+    j.push_str(&format!("  \"corpus_programs\": {},\n", srcs.len()));
+    j.push_str(&format!("  \"campaign_per_class\": {per_class},\n"));
+    j.push_str("  \"workloads\": [\n");
+    for (i, (label, s_ms, p_ms, s_ck, p_ck)) in rows.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"name\": \"{label}\", \"serial_ms\": {s_ms:.3}, \"parallel_ms\": {p_ms:.3}, \
+             \"speedup\": {:.3}, \"checksum_serial\": \"{s_ck:016x}\", \
+             \"checksum_parallel\": \"{p_ck:016x}\"}}{}\n",
+            s_ms / p_ms.max(1e-9),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("  ],\n");
+    j.push_str(&format!("  \"campaign_speedup\": {campaign_speedup:.3},\n"));
+    j.push_str(&format!("  \"speedup_gated\": {speedup_gated},\n"));
+    j.push_str(&format!("  \"checksums_match\": {checksums_match}\n"));
+    j.push_str("}\n");
+
+    if !checksums_match {
+        return Err("serial/parallel checksum mismatch: parallelism changed output bytes".into());
+    }
+    if !speedup_ok {
+        return Err(format!(
+            "campaign speedup {campaign_speedup:.2}x < 2.0x with jobs={jobs_n} on {cores} cores"
+        ));
+    }
+    println!(
+        "determinism: all {} serial/parallel checksum pairs match", rows.len()
+    );
+    if speedup_gated {
+        println!("speedup gate: campaign {campaign_speedup:.2}x >= 2.0x ✓");
+    } else {
+        println!(
+            "speedup gate: skipped (cores={cores}, jobs={jobs_n}, quick={}); campaign {campaign_speedup:.2}x",
+            cli.quick
+        );
+    }
+    Ok((j, checksums_match))
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("usage: perf_campaign [--quick] [--jobs N|auto] [--out PATH]");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&cli) {
+        Ok((json, _)) => {
+            if let Err(e) = std::fs::write(&cli.out, json) {
+                eprintln!("error: cannot write `{}`: {e}", cli.out);
+                return ExitCode::from(1);
+            }
+            println!("wrote {}", cli.out);
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}

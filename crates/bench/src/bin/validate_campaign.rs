@@ -15,16 +15,19 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run -p bench --bin validate_campaign -- [--seed N] [--per-class N] [--fuel N]
+//! cargo run -p bench --bin validate_campaign -- \
+//!     [--seed N] [--per-class N] [--fuel N] [--jobs N|auto]
 //! ```
 //!
-//! Output is byte-deterministic for a given seed (SplitMix64 sites, fuel
-//! budgets, ordered maps — no wall-clock anywhere). Exits nonzero if the
-//! honest battery is not statically clean, or if fewer than 4 of the 10
-//! mutation classes are caught statically.
+//! Output is byte-deterministic for a given seed and any `--jobs` value
+//! (SplitMix64 sites, fuel budgets, ordered maps, index-ordered pool
+//! results — no wall-clock anywhere). Exits nonzero if the honest battery
+//! is not statically clean, or if fewer than 4 of the 10 mutation classes
+//! are caught statically.
 
 use compiler::{
-    compile_all, run_campaign, CampaignCfg, CompilerOptions, WorkloadCfg, WorkloadGen,
+    compile_all_jobs, par_map, run_campaign, CampaignCfg, CompilerOptions, Jobs, WorkloadCfg,
+    WorkloadGen,
 };
 
 /// Fixed honest sources: the campaign workload and the example programs.
@@ -55,8 +58,12 @@ const WORKLOAD_PROGRAMS: usize = 10;
 
 /// Phase 1: every honest compilation must be statically clean, under both
 /// `-O2` (default passes) and `-O0`.
-fn honest_gate(seed: u64) -> Result<usize, String> {
-    let mut checked = 0usize;
+///
+/// Workload generation is serial (one RNG stream); the per-program
+/// compile+validate work fans out over `jobs` workers, with the report for
+/// each program collected in input order so failure messages are
+/// deterministic.
+fn honest_gate(seed: u64, jobs: Jobs) -> Result<usize, String> {
     let mut sources: Vec<(String, String)> = FIXED_SOURCES
         .iter()
         .map(|(n, s)| (n.to_string(), s.to_string()))
@@ -67,7 +74,8 @@ fn honest_gate(seed: u64) -> Result<usize, String> {
         let (src, _arity) = gen.gen_program(&cfg);
         sources.push((format!("workload-{i}"), src));
     }
-    for (name, src) in &sources {
+    let per_program: Vec<Result<usize, String>> = par_map(jobs, &sources, |_, (name, src)| {
+        let mut checked = 0usize;
         for (level, opts) in [
             ("O2", CompilerOptions::validated()),
             (
@@ -78,7 +86,9 @@ fn honest_gate(seed: u64) -> Result<usize, String> {
                 },
             ),
         ] {
-            let (units, _) = compile_all(&[src.as_str()], opts)
+            // Units within one program are compiled serially here; the
+            // parallelism lives at the program level of the battery.
+            let (units, _) = compile_all_jobs(&[src.as_str()], opts, Jobs::N(1))
                 .map_err(|e| format!("{name} [{level}] failed to compile: {e}"))?;
             for u in &units {
                 if !u.diagnostics.is_empty() {
@@ -91,6 +101,11 @@ fn honest_gate(seed: u64) -> Result<usize, String> {
             }
             checked += 1;
         }
+        Ok(checked)
+    });
+    let mut checked = 0usize;
+    for r in per_program {
+        checked += r?;
     }
     Ok(checked)
 }
@@ -109,6 +124,10 @@ fn parse_args() -> Result<CampaignCfg, String> {
             "--seed" => cfg.seed = take("--seed")?,
             "--per-class" => cfg.per_class = take("--per-class")? as usize,
             "--fuel" => cfg.fuel = take("--fuel")?,
+            "--jobs" => {
+                let v = args.next().ok_or("--jobs needs a value")?;
+                cfg.jobs = Jobs::parse(&v)?;
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -125,7 +144,7 @@ fn main() {
     };
 
     println!("phase 1: honest-compilation gate (seed={})", cfg.seed);
-    match honest_gate(cfg.seed) {
+    match honest_gate(cfg.seed, cfg.jobs) {
         Ok(n) => println!("  {n} compilations statically clean"),
         Err(e) => {
             eprintln!("validate_campaign: honest gate failed: {e}");

@@ -117,7 +117,12 @@ fn measure(f: &mut impl FnMut(&mut Bencher)) -> f64 {
         // Grow geometrically toward the budget.
         let per = b.elapsed.as_nanos().max(1) as u64;
         let want = TARGET.as_nanos() as u64 / (BATCHES as u64);
-        iters = (iters.saturating_mul(want / per + 1)).clamp(iters * 2, 1 << 20);
+        // `max` then `min` rather than `clamp`: when the growth step would
+        // overshoot the cap, `clamp(iters * 2, 1 << 20)` has min > max and
+        // panics (seen on very cheap benchmarked closures).
+        iters = (iters.saturating_mul(want / per + 1))
+            .max(iters * 2)
+            .min(1 << 20);
     }
     let mut samples: Vec<f64> = (0..BATCHES)
         .map(|_| {

@@ -14,12 +14,16 @@
 //!                        printed and the exit code is nonzero
 //!   --validate-json      like --validate, but findings are emitted as one
 //!                        JSON object per line
+//!   --jobs N             compile translation units on N worker threads
+//!                        (`auto`/`0` = all hardware threads, the default;
+//!                        `1` = today's exact serial pipeline; output is
+//!                        byte-identical for every setting)
 //!   -O0                  disable the optional optimizations
 //! ```
 
 use std::process::ExitCode;
 
-use compiler::{c_query, check_thm38, compile_all, CompilerOptions, ExtLib};
+use compiler::{c_query, check_thm38, compile_all_jobs, CompilerOptions, ExtLib, Jobs};
 use mem::Val;
 
 struct Cli {
@@ -30,6 +34,7 @@ struct Cli {
     validate_json: bool,
     run: Option<(String, Vec<i32>, bool)>,
     opts: CompilerOptions,
+    jobs: Jobs,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -42,6 +47,7 @@ fn parse_args() -> Result<Cli, String> {
         validate_json: false,
         run: None,
         opts: CompilerOptions::default(),
+        jobs: Jobs::Auto,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -53,6 +59,10 @@ fn parse_args() -> Result<Cli, String> {
                 cli.validate_json = true;
             }
             "-O0" => cli.opts = CompilerOptions::none(),
+            "--jobs" => {
+                let v = args.next().ok_or("--jobs requires a value")?;
+                cli.jobs = Jobs::parse(&v)?;
+            }
             "--run" | "--check" => {
                 let f = args
                     .next()
@@ -91,7 +101,7 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: ccomp-o [--dump-asm] [--dump-rtl] [--validate] [--validate-json] \
-                 [-O0] [--run FN ARGS... | --check FN ARGS...] FILE.c ..."
+                 [--jobs N|auto] [-O0] [--run FN ARGS... | --check FN ARGS...] FILE.c ..."
             );
             return ExitCode::from(2);
         }
@@ -108,7 +118,7 @@ fn main() -> ExitCode {
         }
     }
     let refs: Vec<&str> = sources.iter().map(String::as_str).collect();
-    let (units, symtab) = match compile_all(&refs, cli.opts) {
+    let (units, symtab) = match compile_all_jobs(&refs, cli.opts, cli.jobs) {
         Ok(x) => x,
         Err(e) => {
             eprintln!("error: {e}");

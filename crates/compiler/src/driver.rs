@@ -11,6 +11,8 @@ use compcerto_core::symtab::SymbolTable;
 use minor::{cminorgen, cshmgen, selection, CmProgram, CsProgram, SelProgram};
 use rtl::{constprop, cse, deadcode, inlining, renumber, rtlgen, tailcall, Romem, RtlProgram};
 
+use crate::par::{self, Jobs};
+
 /// Options controlling the optional optimization passes (paper Table 3 marks
 /// them with †; the final convention `C` is insensitive to them, §3.4).
 #[derive(Debug, Clone, Copy)]
@@ -141,6 +143,16 @@ pub struct CompiledUnit {
     pub diagnostics: Vec<compcerto_validate::Diagnostic>,
 }
 
+/// The shared front-end prefix of [`compile_unit`] and [`compile_all`]:
+/// parse and type-check one translation unit.
+///
+/// # Errors
+/// Reports lexing/parsing and type-checking failures.
+pub fn front_end(src: &str) -> Result<clight::Program, CompileError> {
+    let parsed = parse(src).map_err(CompileError::Parse)?;
+    typecheck(&parsed).map_err(CompileError::Type)
+}
+
 /// Compile one translation unit against a given symbol table.
 ///
 /// # Errors
@@ -150,8 +162,7 @@ pub fn compile_unit(
     symtab: &SymbolTable,
     opts: CompilerOptions,
 ) -> Result<CompiledUnit, CompileError> {
-    let parsed = parse(src).map_err(CompileError::Parse)?;
-    let typed = typecheck(&parsed).map_err(CompileError::Type)?;
+    let typed = front_end(src)?;
     compile_program(&typed, symtab, opts)
 }
 
@@ -223,23 +234,43 @@ pub fn compile_program(
 /// and type-checks all units, builds the shared table (paper App. A.3), and
 /// compiles each unit against it.
 ///
+/// Fans the per-unit work out over [`Jobs::Auto`] workers; the result is
+/// byte-identical to the serial run (see [`crate::par`] and
+/// [`compile_all_jobs`]).
+///
 /// # Errors
 /// See [`compile_unit`].
 pub fn compile_all(
     sources: &[&str],
     opts: CompilerOptions,
 ) -> Result<(Vec<CompiledUnit>, SymbolTable), CompileError> {
-    let mut typed = Vec::new();
-    for src in sources {
-        let p = parse(src).map_err(CompileError::Parse)?;
-        typed.push(typecheck(&p).map_err(CompileError::Type)?);
-    }
+    compile_all_jobs(sources, opts, Jobs::Auto)
+}
+
+/// [`compile_all`] with an explicit degree of parallelism.
+///
+/// The front end (parse + type-check) and the per-unit pass pipelines fan
+/// out over the worker pool; `build_symtab` is the one shared barrier
+/// between them, exactly as in the serial pipeline. `Jobs::N(1)` runs the
+/// serial loops unchanged; any other setting produces byte-identical units
+/// in the same order, with the *first-by-index* error on failure — the
+/// campaign and CLI checksum tests assert this equivalence.
+///
+/// # Errors
+/// See [`compile_unit`]; with several failing units the reported error is
+/// the one the serial loop would have hit first.
+pub fn compile_all_jobs(
+    sources: &[&str],
+    opts: CompilerOptions,
+    jobs: Jobs,
+) -> Result<(Vec<CompiledUnit>, SymbolTable), CompileError> {
+    // Front-end fan-out: each unit parses and type-checks independently.
+    let typed: Vec<clight::Program> = par::try_par_map(jobs, sources, |_, src| front_end(src))?;
+    // Shared barrier: the symbol table spans every unit.
     let refs: Vec<&clight::Program> = typed.iter().collect();
     let symtab = build_symtab(&refs).map_err(CompileError::Link)?;
-    let mut units = Vec::new();
-    for t in &typed {
-        units.push(compile_program(t, &symtab, opts)?);
-    }
+    // Back-end fan-out: per-unit pass pipelines against the shared table.
+    let units = par::try_par_map(jobs, &typed, |_, t| compile_program(t, &symtab, opts))?;
     Ok((units, symtab))
 }
 

@@ -32,9 +32,10 @@ use mem::Val;
 use minor::MBinop;
 use rtl::{renumber, Inst as RtlInst, RtlOp};
 
-use crate::driver::{compile_all, CompiledUnit, CompilerOptions};
+use crate::driver::{compile_all_jobs, CompiledUnit, CompilerOptions};
 use crate::extlib::ExtLib;
 use crate::harness::{check_thm38_budgeted, try_c_query, FUEL};
+use crate::par::{par_map, Jobs};
 
 /// The mutation operators, each keyed to the convention clause it violates
 /// (paper §4–5: the `C` convention's result, callee-save, argument, memory
@@ -406,6 +407,10 @@ pub struct CampaignCfg {
     /// Arguments probed per mutant; a mutant is *detected* if the checker
     /// rejects it for at least one probe.
     pub probe_args: Vec<i64>,
+    /// Worker-pool width for the probe fan-out. Mutant *generation* stays
+    /// serial (it threads one RNG), so the report is byte-identical for
+    /// every setting; probes are independent and run on the pool.
+    pub jobs: Jobs,
 }
 
 impl Default for CampaignCfg {
@@ -418,6 +423,7 @@ impl Default for CampaignCfg {
             // branches) are detected as OutOfFuel without burning minutes.
             fuel: FUEL / 50,
             probe_args: vec![0, 3, 7],
+            jobs: Jobs::Auto,
         }
     }
 }
@@ -536,7 +542,10 @@ fn probe_mutant(
     lib: &ExtLib,
     cfg: &CampaignCfg,
 ) -> Option<SimCheckError> {
-    let budget = RunBudget::with_fuel(cfg.fuel);
+    // The tallies only use the error *class*, never the diagnostic step
+    // trace — disable the ring buffer so the probe inner loop does not
+    // clone interpreter states.
+    let budget = RunBudget::with_fuel(cfg.fuel).no_trace();
     for &x in &cfg.probe_args {
         let q = match try_c_query(symtab, &mutant.unit, "entry", vec![Val::Int(x as i32)]) {
             Ok(q) => q,
@@ -553,11 +562,26 @@ fn probe_mutant(
 /// `cfg.per_class` seeded mutants per class, check each under the budget,
 /// and tally the sensitivity matrix.
 ///
+/// Three phases, split so the expensive one parallelizes without touching
+/// determinism:
+///
+/// 1. **Generate** (serial): mutation sites and payloads thread one
+///    [`SplitMix64`] per class, exactly as before — the mutant stream is a
+///    pure function of `cfg.seed`.
+/// 2. **Check** (parallel): every mutant's static validation + dynamic
+///    probes are independent; they fan out over `cfg.jobs` workers
+///    ([`par_map`] returns results in input order).
+/// 3. **Tally** (serial): fold the ordered results into the per-class
+///    matrix.
+///
+/// The report is byte-identical for every `jobs` setting.
+///
 /// # Errors
 /// Reports a compilation failure of the campaign workload as a string.
 pub fn run_campaign(cfg: &CampaignCfg) -> Result<CampaignReport, String> {
-    let (mut units, symtab) = compile_all(&[CAMPAIGN_SRC], CompilerOptions::default())
-        .map_err(|e| format!("campaign workload failed to compile: {e:?}"))?;
+    let (mut units, symtab) =
+        compile_all_jobs(&[CAMPAIGN_SRC], CompilerOptions::default(), cfg.jobs)
+            .map_err(|e| format!("campaign workload failed to compile: {e:?}"))?;
     let baseline = units.remove(0);
     let lib = ExtLib::demo(symtab.clone());
 
@@ -581,42 +605,59 @@ pub fn run_campaign(cfg: &CampaignCfg) -> Result<CampaignReport, String> {
         ));
     }
 
+    // Phase 1 — generate (serial, seed-deterministic).
     let mut master = SplitMix64::new(cfg.seed);
-    let mut stats = Vec::new();
-    for &class in &MUTATION_CLASSES {
+    let mut mutants: Vec<(usize, Mutant)> = Vec::new();
+    let mut generated_per_class = [0usize; MUTATION_CLASSES.len()];
+    for (ci, &class) in MUTATION_CLASSES.iter().enumerate() {
         let mut rng = master.split();
-        let mut st = ClassStats {
+        let mut attempts = 0usize;
+        while generated_per_class[ci] < cfg.per_class && attempts < cfg.per_class * 4 {
+            attempts += 1;
+            let Some(mutant) = mutate(&baseline, "entry", class, &mut rng) else {
+                continue;
+            };
+            generated_per_class[ci] += 1;
+            mutants.push((ci, mutant));
+        }
+    }
+
+    // Phase 2 — check (parallel; results come back in input order).
+    let outcomes: Vec<(bool, Option<SimCheckError>)> = par_map(cfg.jobs, &mutants, |_, (_, m)| {
+        let statically = !crate::validate::validate_unit(&m.unit).is_empty();
+        let dynamic = probe_mutant(m, &symtab, &lib, cfg);
+        (statically, dynamic)
+    });
+
+    // Phase 3 — tally (serial fold over the ordered outcomes).
+    let mut stats: Vec<ClassStats> = MUTATION_CLASSES
+        .iter()
+        .enumerate()
+        .map(|(ci, &class)| ClassStats {
             class,
-            generated: 0,
+            generated: generated_per_class[ci],
             detected: 0,
             static_caught: 0,
             caught_both: 0,
             expected_class: 0,
             errors: BTreeMap::new(),
-        };
-        let mut attempts = 0usize;
-        while st.generated < cfg.per_class && attempts < cfg.per_class * 4 {
-            attempts += 1;
-            let Some(mutant) = mutate(&baseline, "entry", class, &mut rng) else {
-                continue;
-            };
-            st.generated += 1;
-            let statically = !crate::validate::validate_unit(&mutant.unit).is_empty();
-            if statically {
-                st.static_caught += 1;
+        })
+        .collect();
+    for ((ci, mutant), (statically, dynamic)) in mutants.iter().zip(&outcomes) {
+        let st = &mut stats[*ci];
+        if *statically {
+            st.static_caught += 1;
+        }
+        if let Some(err) = dynamic {
+            st.detected += 1;
+            if *statically {
+                st.caught_both += 1;
             }
-            if let Some(err) = probe_mutant(&mutant, &symtab, &lib, cfg) {
-                st.detected += 1;
-                if statically {
-                    st.caught_both += 1;
-                }
-                *st.errors.entry(classify(&err)).or_insert(0) += 1;
-                if class.matches_expected(&err) {
-                    st.expected_class += 1;
-                }
+            *st.errors.entry(classify(err)).or_insert(0) += 1;
+            if mutant.mutation.class.matches_expected(err) {
+                st.expected_class += 1;
             }
         }
-        stats.push(st);
     }
     Ok(CampaignReport {
         cfg: cfg.clone(),
@@ -627,6 +668,7 @@ pub fn run_campaign(cfg: &CampaignCfg) -> Result<CampaignReport, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::driver::compile_all;
 
     #[test]
     fn every_class_has_a_site_in_the_campaign_program() {
@@ -662,6 +704,7 @@ mod tests {
             per_class: 2,
             fuel: 2_000_000,
             probe_args: vec![0, 3],
+            jobs: Jobs::Auto,
         };
         let report = run_campaign(&cfg).expect("campaign runs");
         assert!(
@@ -695,6 +738,7 @@ mod tests {
             per_class: 3,
             fuel: 2_000_000,
             probe_args: vec![0, 3, 7],
+            jobs: Jobs::Auto,
         };
         let report = run_campaign(&cfg).expect("campaign runs");
         assert_eq!(report.stats.len(), MUTATION_CLASSES.len());

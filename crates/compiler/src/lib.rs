@@ -18,13 +18,18 @@ pub mod driver;
 pub mod extlib;
 pub mod faultinj;
 pub mod harness;
+pub mod par;
 pub mod registry;
 pub mod sloc;
 pub mod validate;
 pub mod workload;
 
 pub use closed::{run_closed, Closed, ClosedState};
-pub use driver::{compile_all, compile_unit, CompileError, CompiledUnit, CompilerOptions};
+pub use driver::{
+    compile_all, compile_all_jobs, compile_unit, front_end, CompileError, CompiledUnit,
+    CompilerOptions,
+};
+pub use par::{available_parallelism, par_map, try_par_map, Jobs};
 pub use extlib::ExtLib;
 pub use faultinj::{
     mutate, run_campaign, CampaignCfg, CampaignReport, Mutant, Mutation, MutationClass,

@@ -1,0 +1,195 @@
+//! A deterministic scoped-thread worker pool (the throughput layer's
+//! execution engine).
+//!
+//! The CompCertO pipeline makes translation *units* independent once the
+//! shared symbol table is built (paper §3.4, App. A.3): every per-unit pass
+//! chain, every fault-injection probe and every validation compile is a pure
+//! function of its inputs. That independence is what legitimizes fanning the
+//! work out over threads **without touching the semantics** — and what makes
+//! it easy to keep the output *byte-identical* to the serial run:
+//!
+//! * work items are distributed by an atomic index counter (no work list
+//!   locking, no per-item channel traffic);
+//! * each worker tags every result with the item's original index;
+//! * the pool reassembles results **in index order** before returning.
+//!
+//! The only nondeterminism in a parallel run is *which worker* computed a
+//! result, and that never escapes this module. `jobs = 1` (or a single-item
+//! input) bypasses the pool entirely and runs the exact serial loop.
+//!
+//! Everything here is `std`-only (`std::thread::scope`); the workspace stays
+//! offline and dependency-free.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Degree of parallelism for a pooled operation.
+///
+/// `Auto` resolves to [`available_parallelism`] at the call site; `N(1)`
+/// preserves today's exact serial behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Jobs {
+    /// Use every hardware thread the host reports.
+    Auto,
+    /// Use exactly this many workers (`0` is treated as `Auto`).
+    N(usize),
+}
+
+impl Default for Jobs {
+    fn default() -> Self {
+        Jobs::Auto
+    }
+}
+
+impl Jobs {
+    /// Resolve to a concrete worker count (≥ 1).
+    pub fn resolve(self) -> usize {
+        match self {
+            Jobs::Auto | Jobs::N(0) => available_parallelism(),
+            Jobs::N(n) => n,
+        }
+    }
+
+    /// Parse a `--jobs` command-line value (`0` or `auto` = [`Jobs::Auto`]).
+    ///
+    /// # Errors
+    /// Reports a value that is neither `auto` nor a natural number.
+    pub fn parse(s: &str) -> Result<Jobs, String> {
+        if s == "auto" {
+            return Ok(Jobs::Auto);
+        }
+        s.parse::<usize>()
+            .map(|n| if n == 0 { Jobs::Auto } else { Jobs::N(n) })
+            .map_err(|e| format!("--jobs: {e}"))
+    }
+}
+
+/// The number of hardware threads available to this process (≥ 1).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Map `f` over `items` on a pool of `jobs` workers, returning the results
+/// **in input order** (byte-identical to the serial map; see the module
+/// docs for the determinism argument).
+///
+/// `f` receives the item's index alongside the item, so callers can key
+/// per-item context (seeds, labels) off the input position rather than off
+/// scheduling order.
+pub fn par_map<T, R, F>(jobs: Jobs, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = jobs.resolve().min(items.len().max(1));
+    if workers <= 1 || items.len() <= 1 {
+        // Exact serial behavior: same loop, same order, no threads.
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let next = &next;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, f(i, &items[i])));
+                }
+                local
+            }));
+        }
+        for h in handles {
+            match h.join() {
+                Ok(local) => tagged.extend(local),
+                // A worker panicking means `f` panicked on some item;
+                // propagate it (the pool adds no failure modes of its own).
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    // Reassemble in input order: scheduling order never escapes.
+    tagged.sort_by_key(|(i, _)| *i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// [`par_map`] for fallible item functions, with serial error semantics:
+/// the returned error is the one the *serial* loop would have hit first
+/// (the failing item with the smallest index), regardless of which worker
+/// saw its error first.
+///
+/// # Errors
+/// The error of the lowest-indexed failing item.
+pub fn try_par_map<T, R, E, F>(jobs: Jobs, items: &[T], f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    let results = par_map(jobs, items, f);
+    let mut out = Vec::with_capacity(results.len());
+    for r in results {
+        out.push(r?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        for jobs in [Jobs::N(1), Jobs::N(2), Jobs::N(7), Jobs::Auto] {
+            let out = par_map(jobs, &items, |i, x| {
+                assert_eq!(i as u64, *x);
+                x * 3 + 1
+            });
+            let serial: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+            assert_eq!(out, serial, "jobs={jobs:?}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let none: Vec<u32> = vec![];
+        assert!(par_map(Jobs::Auto, &none, |_, x| *x).is_empty());
+        assert_eq!(par_map(Jobs::N(8), &[5u32], |_, x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn error_is_first_by_index_not_by_schedule() {
+        let items: Vec<u32> = (0..100).collect();
+        for jobs in [Jobs::N(1), Jobs::N(4)] {
+            let r: Result<Vec<u32>, u32> = try_par_map(jobs, &items, |_, x| {
+                if *x % 7 == 3 {
+                    Err(*x)
+                } else {
+                    Ok(*x)
+                }
+            });
+            // Serial loop hits item 3 first (3 % 7 == 3).
+            assert_eq!(r.unwrap_err(), 3, "jobs={jobs:?}");
+        }
+    }
+
+    #[test]
+    fn jobs_parse_and_resolve() {
+        assert_eq!(Jobs::parse("auto"), Ok(Jobs::Auto));
+        assert_eq!(Jobs::parse("0"), Ok(Jobs::Auto));
+        assert_eq!(Jobs::parse("3"), Ok(Jobs::N(3)));
+        assert!(Jobs::parse("three").is_err());
+        assert!(Jobs::Auto.resolve() >= 1);
+        assert_eq!(Jobs::N(5).resolve(), 5);
+    }
+}

@@ -182,7 +182,7 @@ pub fn infer_injection(
 /// [`infer_injection`]).
 fn frag_at(m: &Mem, b: BlockId, o: i64) -> Option<Val> {
     match m.content(b, o) {
-        Some(mem::MemVal::Fragment(v, 0)) => Some(*v),
+        Some(mem::MemVal::Fragment(v, 0)) => Some(v),
         _ => None,
     }
 }

@@ -23,6 +23,7 @@
 //! bounded [`StepTrace`] of the last states visited, so a stuck or diverging
 //! run can be diagnosed without re-running under a debugger.
 
+use std::borrow::Cow;
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -65,15 +66,21 @@ impl fmt::Display for Event {
 }
 
 /// Why a semantics got stuck ("went wrong" in CompCert terminology).
+///
+/// The reason is `Cow<'static, str>`-backed so hot interpreter loops can
+/// report fixed conditions (`Stuck::new("division by zero")`) without any
+/// formatting or allocation; diagnostic-rich sites keep using
+/// `Stuck::new(format!(...))` unchanged.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Stuck {
     /// Human-readable reason.
-    pub reason: String,
+    pub reason: Cow<'static, str>,
 }
 
 impl Stuck {
-    /// Build a stuck marker.
-    pub fn new(reason: impl Into<String>) -> Stuck {
+    /// Build a stuck marker from a `&'static str` (allocation-free) or an
+    /// owned `String`.
+    pub fn new(reason: impl Into<Cow<'static, str>>) -> Stuck {
         Stuck {
             reason: reason.into(),
         }
@@ -154,6 +161,30 @@ pub trait Lts {
     /// One transition out of `s`.
     fn step(&self, s: &Self::State) -> Step<Self::State, Question<Self::O>, Answer<Self::I>>;
 
+    /// One transition out of `s`, appending any emitted events to a
+    /// caller-provided buffer instead of returning a fresh `Vec`.
+    ///
+    /// This is the runner's entry point ([`run_budgeted`] keeps one event
+    /// buffer for the whole run): the returned [`Step::Internal`] always
+    /// carries an empty event vector (`Vec::new()` does not allocate), so
+    /// the per-step allocation of event-emitting semantics is amortized into
+    /// the shared buffer. The default delegates to [`Lts::step`]; semantics
+    /// with event-heavy steps can override it to write into `events`
+    /// directly.
+    fn step_into(
+        &self,
+        s: &Self::State,
+        events: &mut Vec<Event>,
+    ) -> Step<Self::State, Question<Self::O>, Answer<Self::I>> {
+        match self.step(s) {
+            Step::Internal(s2, mut evs) => {
+                events.append(&mut evs);
+                Step::Internal(s2, Vec::new())
+            }
+            other => other,
+        }
+    }
+
     /// Resume a suspended external state with the environment's answer.
     ///
     /// # Errors
@@ -170,11 +201,49 @@ pub trait Lts {
     }
 }
 
+/// Whether (and how much of) the diagnostic [`StepTrace`] is retained.
+///
+/// `Ring(n)` keeps a ring of the last `n` visited states — one state clone
+/// per step (cheap: memories are copy-on-write, but not free). `Off` makes
+/// the runner's step loop genuinely zero-copy: no clone, no ring bookkeeping.
+/// Throughput-critical callers (the fault-injection campaign, the perf
+/// harness) run with `Off`; interactive/diagnostic callers keep the default
+/// ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceMode {
+    /// Retain nothing; failing outcomes carry an empty trace.
+    Off,
+    /// Retain the last `n` states (`Ring(0)` behaves like `Off`).
+    Ring(usize),
+}
+
+impl TraceMode {
+    /// Ring capacity (0 when off).
+    pub fn capacity(self) -> usize {
+        match self {
+            TraceMode::Off => 0,
+            TraceMode::Ring(n) => n,
+        }
+    }
+
+    /// True when no states are retained.
+    pub fn is_off(self) -> bool {
+        self.capacity() == 0
+    }
+}
+
+impl Default for TraceMode {
+    fn default() -> TraceMode {
+        TraceMode::Ring(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
 /// Execution budget for a single run of an open LTS.
 ///
 /// `fuel` is always enforced; the other quotas are opt-in (`None` disables
-/// them). `trace_capacity` bounds the diagnostic [`StepTrace`] ring buffer
-/// attached to failing outcomes (0 disables tracing entirely).
+/// them). `trace` selects the diagnostic [`StepTrace`] mode
+/// ([`TraceMode::Off`] disables tracing — and per-step state clones —
+/// entirely).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunBudget {
     /// Maximum number of internal steps.
@@ -185,8 +254,8 @@ pub struct RunBudget {
     pub max_call_depth: Option<u64>,
     /// Wall-clock deadline for the whole run.
     pub deadline: Option<Duration>,
-    /// Capacity of the diagnostic step-trace ring buffer.
-    pub trace_capacity: usize,
+    /// Diagnostic step-trace mode.
+    pub trace: TraceMode,
 }
 
 /// Default capacity of the step-trace ring buffer.
@@ -200,7 +269,7 @@ impl RunBudget {
             max_mem_bytes: None,
             max_call_depth: None,
             deadline: None,
-            trace_capacity: DEFAULT_TRACE_CAPACITY,
+            trace: TraceMode::default(),
         }
     }
 
@@ -225,10 +294,22 @@ impl RunBudget {
         self
     }
 
-    /// Set the step-trace capacity.
+    /// Set the step-trace capacity (`0` = [`TraceMode::Off`]).
     #[must_use]
     pub fn trace_capacity(mut self, cap: usize) -> RunBudget {
-        self.trace_capacity = cap;
+        self.trace = if cap == 0 {
+            TraceMode::Off
+        } else {
+            TraceMode::Ring(cap)
+        };
+        self
+    }
+
+    /// Disable the diagnostic step trace: the runner's inner loop then
+    /// performs no per-step state clone at all (the zero-copy fast path).
+    #[must_use]
+    pub fn no_trace(mut self) -> RunBudget {
+        self.trace = TraceMode::Off;
         self
     }
 }
@@ -598,7 +679,7 @@ pub fn run_budgeted<Sem: Lts>(
     };
     let started = budget.deadline.map(|_| Instant::now());
     let quotas_on = budget.max_mem_bytes.is_some() || budget.max_call_depth.is_some();
-    let mut ring: TraceRing<Sem::State> = TraceRing::new(budget.trace_capacity);
+    let mut ring: TraceRing<Sem::State> = TraceRing::new(budget.trace.capacity());
     let mut trace = Vec::new();
     let mut steps = 0u64;
     ring.record(0, &state);
@@ -640,9 +721,11 @@ pub fn run_budgeted<Sem: Lts>(
                 }
             }
         }
-        match lts.step(&state) {
-            Step::Internal(s, mut evs) => {
-                trace.append(&mut evs);
+        // `step_into` appends events to the run-wide `trace` buffer; the
+        // `Internal` arm's event vector is always empty (and unallocated).
+        match lts.step_into(&state, &mut trace) {
+            Step::Internal(s, evs) => {
+                debug_assert!(evs.is_empty(), "step_into must drain events into the buffer");
                 state = s;
                 steps += 1;
                 ring.record(steps, &state);

@@ -196,7 +196,7 @@ impl<S: Clone + fmt::Debug> DriveCtx<S> {
         DriveCtx {
             fuel: budget.fuel,
             steps: 0,
-            ring: crate::lts::TraceRing::new(budget.trace_capacity),
+            ring: crate::lts::TraceRing::new(budget.trace.capacity()),
         }
     }
 }

@@ -45,7 +45,7 @@ pub fn extends(m1: &Mem, m2: &Mem) -> bool {
                 let c2 = m2.content(b, ofs);
                 match (c1, c2) {
                     (Some(a), Some(b)) => {
-                        if !memval_lessdef(a, b) {
+                        if !memval_lessdef(&a, &b) {
                             return false;
                         }
                     }

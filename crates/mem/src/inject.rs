@@ -232,7 +232,7 @@ pub fn mem_inject(f: &MemInj, m1: &Mem, m2: &Mem) -> Result<(), InjectError> {
                 let c1 = m1.content(b1, ofs);
                 let c2 = m2.content(b2, ofs + delta);
                 let ok = match (c1, c2) {
-                    (Some(a), Some(b)) => memval_inject(f, a, b),
+                    (Some(a), Some(b)) => memval_inject(f, &a, &b),
                     _ => false,
                 };
                 if !ok {

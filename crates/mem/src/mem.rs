@@ -5,7 +5,7 @@ use std::rc::Rc;
 
 use crate::chunk::Chunk;
 use crate::error::MemError;
-use crate::memval::{decode, encode, MemVal};
+use crate::memval::{decode, decode_scalar_bytes, encode, encode_scalar_bytes, MemVal};
 use crate::perm::Perm;
 use crate::value::Val;
 
@@ -15,11 +15,128 @@ use crate::value::Val;
 /// block's identifier stays invalid forever, as in CompCert.
 pub type BlockId = u32;
 
+/// The byte contents of one block, in one of two representations.
+///
+/// Most blocks only ever hold numeric data, whose [`MemVal`] encoding is a
+/// sequence of [`MemVal::Byte`]s — an enum per byte, with enum-sized storage
+/// and encode/decode traffic on every access. The `Concrete` variant stores
+/// such blocks as raw `Vec<u8>`: scalar loads and stores move machine bytes
+/// directly (see [`decode_scalar_bytes`]/[`encode_scalar_bytes`]) and skip
+/// the `MemVal` round-trip entirely. As soon as a non-byte memval (an
+/// `Undef` or a pointer `Fragment`) lands in the block it *demotes* to the
+/// general `Abstract` form; when the last non-byte entry is overwritten it
+/// promotes back (the `non_concrete` counter makes that check O(1)).
+///
+/// The two representations are observationally identical — equality is
+/// semantic (a `Concrete` block equals the `Abstract` block holding the same
+/// bytes), and `tests/block_repr_props.rs` checks the equivalence under
+/// random interleavings.
+#[derive(Debug, Clone)]
+pub(crate) enum BlockContents {
+    /// Every byte is a concrete [`MemVal::Byte`], stored raw.
+    Concrete(Vec<u8>),
+    /// General representation; `non_concrete` counts the entries that are
+    /// *not* [`MemVal::Byte`] (invariant: consistent with `mvs`, and > 0 —
+    /// an all-byte block is promoted eagerly).
+    Abstract {
+        mvs: Vec<MemVal>,
+        non_concrete: usize,
+    },
+}
+
+impl BlockContents {
+    /// The memval at index `i` (by value; a byte in a concrete block reads
+    /// back as [`MemVal::Byte`]).
+    fn get(&self, i: usize) -> MemVal {
+        match self {
+            BlockContents::Concrete(bs) => MemVal::Byte(bs[i]),
+            BlockContents::Abstract { mvs, .. } => mvs[i].clone(),
+        }
+    }
+
+    /// Write the memval at index `i`, demoting to `Abstract` when a
+    /// non-byte value lands in a concrete block. Callers doing bulk writes
+    /// follow up with [`BlockContents::maybe_promote`].
+    fn set(&mut self, i: usize, mv: MemVal) {
+        match self {
+            BlockContents::Concrete(bs) => match mv {
+                MemVal::Byte(b) => bs[i] = b,
+                other => {
+                    let mut mvs: Vec<MemVal> = bs.iter().map(|b| MemVal::Byte(*b)).collect();
+                    mvs[i] = other;
+                    *self = BlockContents::Abstract {
+                        mvs,
+                        non_concrete: 1,
+                    };
+                }
+            },
+            BlockContents::Abstract { mvs, non_concrete } => {
+                let was = !matches!(mvs[i], MemVal::Byte(_));
+                let now = !matches!(mv, MemVal::Byte(_));
+                *non_concrete = *non_concrete + usize::from(now) - usize::from(was);
+                mvs[i] = mv;
+            }
+        }
+    }
+
+    /// Promote an `Abstract` block whose last non-byte entry was just
+    /// overwritten back to the `Concrete` fast path.
+    fn maybe_promote(&mut self) {
+        if let BlockContents::Abstract {
+            mvs,
+            non_concrete: 0,
+        } = self
+        {
+            let mut bs = Vec::with_capacity(mvs.len());
+            for mv in mvs.iter() {
+                match mv {
+                    MemVal::Byte(b) => bs.push(*b),
+                    // Counter out of sync (cannot happen): stay abstract.
+                    _ => return,
+                }
+            }
+            *self = BlockContents::Concrete(bs);
+        }
+    }
+
+    /// Force the general representation (test hook: lets the equivalence
+    /// property drive both representations through the same script).
+    fn force_abstract(&mut self) {
+        if let BlockContents::Concrete(bs) = self {
+            *self = BlockContents::Abstract {
+                mvs: bs.iter().map(|b| MemVal::Byte(*b)).collect(),
+                non_concrete: 0,
+            };
+        }
+    }
+}
+
+impl PartialEq for BlockContents {
+    /// Semantic equality: the representation of a block never distinguishes
+    /// two memory states (`Concrete([1]) == Abstract([Byte(1)])`).
+    fn eq(&self, other: &BlockContents) -> bool {
+        use BlockContents::{Abstract, Concrete};
+        match (self, other) {
+            (Concrete(a), Concrete(b)) => a == b,
+            (Abstract { mvs: a, .. }, Abstract { mvs: b, .. }) => a == b,
+            (Concrete(bs), Abstract { mvs, .. }) | (Abstract { mvs, .. }, Concrete(bs)) => {
+                bs.len() == mvs.len()
+                    && bs
+                        .iter()
+                        .zip(mvs)
+                        .all(|(b, mv)| matches!(mv, MemVal::Byte(x) if x == b))
+            }
+        }
+    }
+}
+
+impl Eq for BlockContents {}
+
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct BlockData {
     pub(crate) lo: i64,
     pub(crate) hi: i64,
-    pub(crate) contents: Vec<MemVal>,
+    pub(crate) contents: BlockContents,
     pub(crate) perms: Vec<Perm>,
 }
 
@@ -110,10 +227,20 @@ impl Mem {
     pub fn alloc(&mut self, lo: i64, hi: i64) -> BlockId {
         let size = (hi - lo).max(0) as usize;
         let id = self.blocks.len() as BlockId;
+        // Fresh memory is all-Undef, which has no concrete byte form; a
+        // zero-sized block is vacuously concrete.
+        let contents = if size == 0 {
+            BlockContents::Concrete(Vec::new())
+        } else {
+            BlockContents::Abstract {
+                mvs: vec![MemVal::Undef; size],
+                non_concrete: size,
+            }
+        };
         self.blocks.push(Some(Rc::new(BlockData {
             lo,
             hi: lo + size as i64,
-            contents: vec![MemVal::Undef; size],
+            contents,
             perms: vec![Perm::Freeable; size],
         })));
         self.live_bytes += size as u64;
@@ -145,7 +272,7 @@ impl Mem {
             for ofs in lo..hi {
                 if let Some(i) = bd.index(ofs) {
                     bd.perms[i] = Perm::None;
-                    bd.contents[i] = MemVal::Undef;
+                    bd.contents.set(i, MemVal::Undef);
                 }
             }
         }
@@ -232,8 +359,12 @@ impl Mem {
         self.range_perm(b, ofs, ofs + chunk.size(), Perm::Readable)?;
         let bd = self.block(b).ok_or(MemError::InvalidBlock(b))?;
         let i = (ofs - bd.lo) as usize;
-        let mvs = &bd.contents[i..i + chunk.size() as usize];
-        Ok(decode(chunk, mvs))
+        let n = chunk.size() as usize;
+        Ok(match &bd.contents {
+            // Fast path: raw bytes straight to the value, no MemVal traffic.
+            BlockContents::Concrete(bs) => decode_scalar_bytes(chunk, &bs[i..i + n]),
+            BlockContents::Abstract { mvs, .. } => decode(chunk, &mvs[i..i + n]),
+        })
     }
 
     /// Store `v` with shape `chunk` at `(b, ofs)`.
@@ -244,10 +375,24 @@ impl Mem {
     pub fn store(&mut self, chunk: Chunk, b: BlockId, ofs: i64, v: Val) -> Result<(), MemError> {
         self.check_align(chunk, ofs)?;
         self.range_perm(b, ofs, ofs + chunk.size(), Perm::Writable)?;
-        let enc = encode(chunk, v);
+        let fast = encode_scalar_bytes(chunk, v);
         let bd = self.block_mut(b).ok_or(MemError::InvalidBlock(b))?;
         let i = (ofs - bd.lo) as usize;
-        bd.contents[i..i + enc.len()].clone_from_slice(&enc);
+        match (&mut bd.contents, fast) {
+            // Fast path: value to raw bytes in place, no MemVal traffic.
+            (BlockContents::Concrete(bs), Some((raw, n))) => {
+                bs[i..i + n].copy_from_slice(&raw[..n]);
+            }
+            (contents, _) => {
+                let enc = encode(chunk, v);
+                for (k, mv) in enc.into_iter().enumerate() {
+                    contents.set(i + k, mv);
+                }
+                // Overwriting the block's last Undef/Fragment with bytes
+                // re-enables the fast path for subsequent accesses.
+                contents.maybe_promote();
+            }
+        }
         Ok(())
     }
 
@@ -294,7 +439,7 @@ impl Mem {
         let copied: Vec<(MemVal, Perm)> = (lo..hi)
             .map(|ofs| {
                 let i = (ofs - src_lo) as usize;
-                (sbd.contents[i].clone(), sbd.perms[i])
+                (sbd.contents.get(i), sbd.perms[i])
             })
             .collect();
         let dbd = self.block_mut(b).ok_or(MemError::InvalidBlock(b))?;
@@ -303,16 +448,38 @@ impl Mem {
         }
         for (ofs, (mv, p)) in (lo..hi).zip(copied) {
             let i = (ofs - dbd.lo) as usize;
-            dbd.contents[i] = mv;
+            dbd.contents.set(i, mv);
             dbd.perms[i] = p;
         }
+        dbd.contents.maybe_promote();
         Ok(())
     }
 
     /// Raw content of byte `(b, ofs)`, if within a valid block's bounds.
-    pub fn content(&self, b: BlockId, ofs: i64) -> Option<&MemVal> {
+    ///
+    /// Returned by value: concrete-representation blocks materialize the
+    /// [`MemVal::Byte`] on demand, so there is no stored memval to borrow.
+    pub fn content(&self, b: BlockId, ofs: i64) -> Option<MemVal> {
         let bd = self.block(b)?;
-        bd.index(ofs).map(|i| &bd.contents[i])
+        bd.index(ofs).map(|i| bd.contents.get(i))
+    }
+
+    /// Force block `b` into the general `Abstract` representation (test
+    /// hook for the representation-equivalence property; not part of the
+    /// memory model).
+    #[doc(hidden)]
+    pub fn force_block_abstract(&mut self, b: BlockId) {
+        if let Some(bd) = self.block_mut(b) {
+            bd.contents.force_abstract();
+        }
+    }
+
+    /// Whether block `b` currently uses the concrete byte representation
+    /// (test hook; `None` for invalid blocks).
+    #[doc(hidden)]
+    pub fn block_is_concrete(&self, b: BlockId) -> Option<bool> {
+        self.block(b)
+            .map(|bd| matches!(bd.contents, BlockContents::Concrete(_)))
     }
 
     fn check_align(&self, chunk: Chunk, ofs: i64) -> Result<(), MemError> {

@@ -51,6 +51,50 @@ fn bytes_of(bs: &[u8]) -> Vec<MemVal> {
     bs.iter().copied().map(MemVal::Byte).collect()
 }
 
+/// Encode a value for storage through `chunk` as raw little-endian bytes —
+/// the concrete-block fast path of [`crate::mem::Mem::store`]. Returns the
+/// full 8-byte buffer plus the number of significant bytes (`chunk.size()`),
+/// or `None` when the encoding must stay abstract (`Any64`, pointers,
+/// `Undef`), in which case the caller falls back to [`encode`].
+///
+/// Invariant: when this returns `Some((raw, n))`, `encode(chunk, v)` is
+/// exactly `raw[..n]` wrapped in [`MemVal::Byte`]s.
+pub(crate) fn encode_scalar_bytes(chunk: Chunk, v: Val) -> Option<([u8; 8], usize)> {
+    if chunk == Chunk::Any64 {
+        return None;
+    }
+    let raw = match chunk.normalize(v) {
+        Val::Undef | Val::Ptr(_, _) => return None,
+        Val::Int(x) => x as u32 as u64,
+        Val::Long(x) => x as u64,
+        Val::Single(x) => x.to_bits() as u64,
+        Val::Float(x) => x.to_bits(),
+    };
+    Some((raw.to_le_bytes(), chunk.size() as usize))
+}
+
+/// Decode raw bytes loaded through `chunk` — the concrete-block fast path
+/// of [`crate::mem::Mem::load`]. Mirror of [`decode`]'s concrete branch:
+/// agrees with `decode(chunk, bytes_of(bs))` for every chunk (including
+/// `Any64`, which only reconstitutes fragments and thus yields `Undef`).
+pub(crate) fn decode_scalar_bytes(chunk: Chunk, bs: &[u8]) -> Val {
+    debug_assert_eq!(bs.len(), chunk.size() as usize);
+    let mut buf = [0u8; 8];
+    buf[..bs.len().min(8)].copy_from_slice(&bs[..bs.len().min(8)]);
+    let raw = u64::from_le_bytes(buf);
+    match chunk {
+        Chunk::I8S => Val::Int((raw as u8 as i8) as i32),
+        Chunk::I8U => Val::Int(raw as u8 as i32),
+        Chunk::I16S => Val::Int((raw as u16 as i16) as i32),
+        Chunk::I16U => Val::Int(raw as u16 as i32),
+        Chunk::I32 => Val::Int(raw as u32 as i32),
+        Chunk::I64 | Chunk::Ptr => Val::Long(raw as i64),
+        Chunk::Any64 => Val::Undef, // Many64 only reconstitutes fragments
+        Chunk::F32 => Val::Single(f32::from_bits(raw as u32)),
+        Chunk::F64 => Val::Float(f64::from_bits(raw)),
+    }
+}
+
 /// Decode `chunk.size()` memvals loaded through `chunk` back into a value.
 pub(crate) fn decode(chunk: Chunk, mvs: &[MemVal]) -> Val {
     debug_assert_eq!(mvs.len(), chunk.size() as usize);
@@ -148,6 +192,69 @@ mod tests {
             MemVal::Byte(0),
         ];
         assert_eq!(decode(Chunk::I32, &mixed), Val::Undef);
+    }
+
+    #[test]
+    fn scalar_byte_fast_path_agrees_with_memvals() {
+        let chunks = [
+            Chunk::I8S,
+            Chunk::I8U,
+            Chunk::I16S,
+            Chunk::I16U,
+            Chunk::I32,
+            Chunk::I64,
+            Chunk::Ptr,
+            Chunk::F32,
+            Chunk::F64,
+            Chunk::Any64,
+        ];
+        let vals = [
+            Val::Undef,
+            Val::Int(-1),
+            Val::Int(0x1234_5678),
+            Val::Long(i64::MIN),
+            Val::Single(2.5),
+            Val::Float(-0.125),
+            Val::Ptr(3, 8),
+        ];
+        for chunk in chunks {
+            for v in vals {
+                match encode_scalar_bytes(chunk, v) {
+                    Some((raw, n)) => {
+                        assert_eq!(n, chunk.size() as usize);
+                        // Byte-for-byte agreement with the memval encoding…
+                        assert_eq!(encode(chunk, v), bytes_of(&raw[..n]), "{chunk:?} {v:?}");
+                        // …and with its decoding.
+                        assert_eq!(
+                            decode_scalar_bytes(chunk, &raw[..n]),
+                            decode(chunk, &encode(chunk, v)),
+                            "{chunk:?} {v:?}"
+                        );
+                    }
+                    None => {
+                        // The abstract cases: Any64, pointers, Undef.
+                        assert!(
+                            chunk == Chunk::Any64
+                                || matches!(
+                                    chunk.normalize(v),
+                                    Val::Undef | Val::Ptr(_, _)
+                                ),
+                            "{chunk:?} {v:?} refused the fast path unexpectedly"
+                        );
+                    }
+                }
+            }
+        }
+        // decode_scalar_bytes agrees with decode on arbitrary raw bytes too.
+        let bs = [0x80, 0xff, 0x01, 0x7f, 0x00, 0xaa, 0x55, 0x80];
+        for chunk in chunks {
+            let n = chunk.size() as usize;
+            assert_eq!(
+                decode_scalar_bytes(chunk, &bs[..n]),
+                decode(chunk, &bytes_of(&bs[..n])),
+                "{chunk:?}"
+            );
+        }
     }
 
     #[test]

@@ -151,11 +151,11 @@ proptest! {
         dst.copy_range_from(&src, bs, lo, hi).unwrap();
         for ofs in 0..64 {
             let expect = if (lo..hi).contains(&ofs) {
-                src.content(bs, ofs).cloned()
+                src.content(bs, ofs)
             } else {
-                snapshot.content(bs, ofs).cloned()
+                snapshot.content(bs, ofs)
             };
-            prop_assert_eq!(dst.content(bs, ofs).cloned(), expect);
+            prop_assert_eq!(dst.content(bs, ofs), expect);
         }
     }
 

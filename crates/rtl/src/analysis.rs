@@ -1,9 +1,10 @@
 //! Dataflow analyses over RTL: a generic worklist solver, the value analysis
 //! used by `Constprop`/`CSE`/`Deadcode` (paper App. B.3), and liveness.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
+use crate::bitset::BitSet;
 use crate::ptree::PTree;
 
 use compcerto_core::symtab::{GlobKind, SymbolTable};
@@ -36,41 +37,103 @@ pub fn predecessors(f: &RtlFunction) -> BTreeMap<Node, Vec<Node>> {
     preds
 }
 
+/// Dense node numbering for the worklist solvers: reverse postorder of the
+/// reachable subgraph, followed by the remaining (unreachable) nodes in
+/// ascending id order. The dense index doubles as the worklist priority —
+/// ascending visits approximate the analysis-optimal order (RPO forward,
+/// postorder backward) *exactly*, rather than relying on `renumber` keeping
+/// node ids ascending along the CFG.
+///
+/// Unreachable nodes are kept (at the tail) because backward clients solve
+/// them too: the allocation validator checks live sets for dead code.
+fn dense_order(f: &RtlFunction) -> (Vec<Node>, HashMap<Node, usize>) {
+    let mut order: Vec<Node> = Vec::with_capacity(f.code.len());
+    let mut seen: BTreeSet<Node> = BTreeSet::new();
+    if f.code.contains_key(&f.entry) {
+        // Iterative DFS with an explicit frame stack; postorder, reversed.
+        let mut stack: Vec<(Node, usize)> = vec![(f.entry, 0)];
+        seen.insert(f.entry);
+        while let Some((n, i)) = stack.pop() {
+            let succs = f.code.get(&n).map(|x| x.successors()).unwrap_or_default();
+            let mut advanced = false;
+            for (j, s) in succs.iter().enumerate().skip(i) {
+                if f.code.contains_key(s) && seen.insert(*s) {
+                    stack.push((n, j + 1));
+                    stack.push((*s, 0));
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                order.push(n);
+            }
+        }
+        order.reverse();
+    }
+    for n in f.code.keys() {
+        if !seen.contains(n) {
+            order.push(*n);
+        }
+    }
+    let idx = order.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+    (order, idx)
+}
+
+/// Assemble the dense solver state back into the public node-keyed map.
+fn undense<S>(order: &[Node], state: Vec<Option<S>>) -> BTreeMap<Node, S> {
+    order
+        .iter()
+        .zip(state)
+        .filter_map(|(n, s)| s.map(|s| (*n, s)))
+        .collect()
+}
+
 /// Solve a forward dataflow problem: `state[n]` is the abstract state *before*
 /// node `n`; `transfer` computes the state after executing the instruction.
 ///
-/// The worklist is an ordered set: membership deduplicates pending nodes, and
-/// popping the smallest first approximates reverse postorder (`renumber`
-/// assigns ascending identifiers along the CFG), which keeps the number of
+/// The solver state is a dense `Vec` indexed by [`dense_order`] (reverse
+/// postorder), and the worklist an ordered set of dense indices: popping the
+/// smallest visits pending nodes in *exact* RPO, which keeps the number of
 /// re-evaluations near the theoretical minimum.
 pub fn forward_solve<S, T>(f: &RtlFunction, entry: S, bot: S, transfer: T) -> BTreeMap<Node, S>
 where
     S: Clone + PartialEq + JoinSemiLattice,
     T: Fn(Node, &Inst, &S) -> S,
 {
-    let mut state: BTreeMap<Node, S> = BTreeMap::new();
-    state.insert(f.entry, entry);
-    let mut work: BTreeSet<Node> = BTreeSet::from([f.entry]);
-    while let Some(n) = work.pop_first() {
+    if !f.code.contains_key(&f.entry) {
+        // Degenerate CFG: only the entry pseudo-state exists.
+        return BTreeMap::from([(f.entry, entry)]);
+    }
+    let (order, idx) = dense_order(f);
+    let mut state: Vec<Option<S>> = order.iter().map(|_| None).collect();
+    let Some(&ei) = idx.get(&f.entry) else {
+        return BTreeMap::new();
+    };
+    state[ei] = Some(entry);
+    let mut work: BTreeSet<usize> = BTreeSet::from([ei]);
+    while let Some(i) = work.pop_first() {
+        let n = order[i];
         let Some(inst) = f.code.get(&n) else { continue };
-        let after = match state.get(&n) {
+        let after = match state[i].as_ref() {
             Some(before) => transfer(n, inst, before),
             None => transfer(n, inst, &bot),
         };
         for s in inst.successors() {
-            let changed = match state.get_mut(&s) {
+            // Dangling successors (no instruction) carry no state.
+            let Some(&si) = idx.get(&s) else { continue };
+            let changed = match state[si].as_mut() {
                 Some(cur) => cur.join_in_place(&after),
                 None => {
-                    state.insert(s, after.clone());
+                    state[si] = Some(after.clone());
                     true
                 }
             };
             if changed {
-                work.insert(s);
+                work.insert(si);
             }
         }
     }
-    state
+    undense(&order, state)
 }
 
 /// Solve a backward dataflow problem: `state[n]` is the abstract state
@@ -79,41 +142,55 @@ where
 /// (the "out" set, passed as the third argument).
 ///
 /// Mirror image of [`forward_solve`], over the same [`JoinSemiLattice`]
-/// interface: the worklist is an ordered set (membership deduplicates
-/// pending nodes), and popping the *largest* node first approximates
-/// postorder — the fast direction for a backward analysis, given that
-/// `renumber` assigns ascending identifiers along the CFG.
+/// interface and the same dense numbering: popping the *largest* dense
+/// index visits pending nodes in exact postorder — the fast direction for a
+/// backward analysis.
 pub fn backward_solve<S, T>(f: &RtlFunction, bot: S, transfer: T) -> BTreeMap<Node, S>
 where
     S: Clone + PartialEq + JoinSemiLattice,
     T: Fn(Node, &Inst, &S) -> S,
 {
-    let preds = predecessors(f);
-    let mut state: BTreeMap<Node, S> = BTreeMap::new();
-    let mut work: BTreeSet<Node> = f.code.keys().copied().collect();
-    while let Some(n) = work.pop_last() {
+    let (order, idx) = dense_order(f);
+    // Dense predecessor lists (each CFG edge once, as in [`predecessors`]).
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); order.len()];
+    for (i, n) in order.iter().enumerate() {
+        if let Some(inst) = f.code.get(n) {
+            let mut succs = inst.successors();
+            succs.sort_unstable();
+            succs.dedup();
+            for s in succs {
+                if let Some(&si) = idx.get(&s) {
+                    preds[si].push(i);
+                }
+            }
+        }
+    }
+    let mut state: Vec<Option<S>> = order.iter().map(|_| None).collect();
+    let mut work: BTreeSet<usize> = (0..order.len()).collect();
+    while let Some(i) = work.pop_last() {
+        let n = order[i];
         let Some(inst) = f.code.get(&n) else { continue };
         let mut out = bot.clone();
         for s in inst.successors() {
-            if let Some(si) = state.get(&s) {
-                out.join_in_place(si);
+            if let Some(&si) = idx.get(&s) {
+                if let Some(ss) = state[si].as_ref() {
+                    out.join_in_place(ss);
+                }
             }
         }
         let inn = transfer(n, inst, &out);
-        let changed = match state.get_mut(&n) {
+        let changed = match state[i].as_mut() {
             Some(cur) => cur.join_in_place(&inn),
             None => {
-                state.insert(n, inn);
+                state[i] = Some(inn);
                 true
             }
         };
         if changed {
-            if let Some(ps) = preds.get(&n) {
-                work.extend(ps.iter().copied());
-            }
+            work.extend(preds[i].iter().copied());
         }
     }
-    state
+    undense(&order, state)
 }
 
 /// A join-semilattice.
@@ -347,37 +424,24 @@ pub fn value_analysis(f: &RtlFunction, romem: &Romem) -> BTreeMap<Node, AEnv> {
 // Liveness (backward)
 // ---------------------------------------------------------------------------
 
-/// Set-union lattice of live registers (the liveness domain). Private:
-/// callers of [`liveness`] see plain `BTreeSet<PReg>`.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
-struct LiveSet(BTreeSet<PReg>);
-
-impl JoinSemiLattice for LiveSet {
-    fn join(&self, other: &Self) -> Self {
-        LiveSet(self.0.union(&other.0).copied().collect())
-    }
-
-    fn join_in_place(&mut self, other: &Self) -> bool {
-        let before = self.0.len();
-        self.0.extend(other.0.iter().copied());
-        self.0.len() != before
-    }
-}
-
 /// Compute the set of registers live *after* each node.
 ///
 /// `live_in[n] = uses(n) ∪ (live_out[n] \ def(n))`,
 /// `live_out[n] = ∪ live_in[succ]` — expressed as a [`backward_solve`]
-/// instance over the set-union lattice, so liveness shares the fixpoint
-/// engine (worklist, join discipline) with the forward value analysis
-/// instead of hand-rolling a second loop.
+/// instance over the dense [`BitSet`] union lattice (pseudo-registers are
+/// already small integers, so the bit index *is* the register: no separate
+/// numbering pass), so liveness shares the fixpoint engine (worklist, join
+/// discipline) with the forward value analysis and joins sets by word-wise
+/// `OR` instead of re-allocating a `BTreeSet` per CFG edge.
 pub fn liveness(f: &RtlFunction) -> BTreeMap<Node, BTreeSet<PReg>> {
-    let live_in = backward_solve(f, LiveSet::default(), |_, inst, out: &LiveSet| {
+    let live_in = backward_solve(f, BitSet::new(), |_, inst, out: &BitSet| {
         let mut inn = out.clone();
         if let Some(d) = inst.def() {
-            inn.0.remove(&d);
+            inn.remove(d);
         }
-        inn.0.extend(inst.uses());
+        for u in inst.uses() {
+            inn.insert(u);
+        }
         inn
     });
     // Derive live-out from live-in of successors.
@@ -387,7 +451,7 @@ pub fn liveness(f: &RtlFunction) -> BTreeMap<Node, BTreeSet<PReg>> {
             let mut out = BTreeSet::new();
             for s in inst.successors() {
                 if let Some(li) = live_in.get(&s) {
-                    out.extend(li.0.iter().copied());
+                    out.extend(li.iter());
                 }
             }
             (*n, out)

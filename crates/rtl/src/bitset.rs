@@ -1,0 +1,231 @@
+//! A dense bitset over `u64` words — the high-throughput set-union lattice
+//! of the dataflow solvers.
+//!
+//! Liveness and the maybe-uninitialized analysis join sets on every CFG edge
+//! re-evaluation; over a `BTreeSet` each join walks tree nodes and may
+//! reallocate. Over a dense numbering (registers are already small integers;
+//! the generic engine numbers arbitrary variables), a join is a word-wise
+//! `OR` with a changed-bit accumulator: one cache-friendly pass, no
+//! allocation once the word vector has grown to the universe size.
+//!
+//! Equality is *semantic*: trailing zero words are ignored, so a set that
+//! grew and shrank compares equal to one that never grew. This is what lets
+//! [`BitSet`] implement [`JoinSemiLattice`](crate::analysis::JoinSemiLattice)
+//! directly (the solvers detect fixpoints via `join_in_place`'s changed
+//! bit, never via `==`, but the lattice laws still demand honest equality).
+
+use std::fmt;
+
+use crate::analysis::JoinSemiLattice;
+
+/// Bits per storage word.
+const WORD_BITS: u32 = 64;
+
+/// A growable dense set of `u32` indices.
+#[derive(Clone, Default, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// The empty set.
+    pub fn new() -> BitSet {
+        BitSet { words: Vec::new() }
+    }
+
+    /// The empty set, with capacity for indices `< nbits` preallocated.
+    pub fn with_capacity(nbits: u32) -> BitSet {
+        BitSet {
+            words: Vec::with_capacity(nbits.div_ceil(WORD_BITS) as usize),
+        }
+    }
+
+    #[inline]
+    fn split(bit: u32) -> (usize, u64) {
+        ((bit / WORD_BITS) as usize, 1u64 << (bit % WORD_BITS))
+    }
+
+    /// Whether `bit` is in the set.
+    #[inline]
+    pub fn contains(&self, bit: u32) -> bool {
+        let (w, m) = Self::split(bit);
+        self.words.get(w).is_some_and(|x| x & m != 0)
+    }
+
+    /// Insert `bit`; true if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, bit: u32) -> bool {
+        let (w, m) = Self::split(bit);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let fresh = self.words[w] & m == 0;
+        self.words[w] |= m;
+        fresh
+    }
+
+    /// Remove `bit`; true if it was present.
+    #[inline]
+    pub fn remove(&mut self, bit: u32) -> bool {
+        let (w, m) = Self::split(bit);
+        match self.words.get_mut(w) {
+            Some(x) if *x & m != 0 => {
+                *x &= !m;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Remove every element.
+    pub fn clear(&mut self) {
+        self.words.clear();
+    }
+
+    /// Number of elements (population count).
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// In-place union; true if `self` gained at least one bit. This is the
+    /// solver's hot operation: word-wise `OR`, no allocation unless `other`
+    /// is wider than `self`.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let mut grew = 0u64;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            grew |= *b & !*a;
+            *a |= *b;
+        }
+        grew != 0
+    }
+
+    /// Iterate the set bits in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, w)| {
+            let mut w = *w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros();
+                w &= w - 1;
+                Some(bit)
+            })
+            .map(move |b| wi as u32 * WORD_BITS + b)
+        })
+    }
+}
+
+impl PartialEq for BitSet {
+    /// Semantic equality: trailing zero words do not distinguish sets.
+    fn eq(&self, other: &BitSet) -> bool {
+        let (short, long) = if self.words.len() <= other.words.len() {
+            (&self.words, &other.words)
+        } else {
+            (&other.words, &self.words)
+        };
+        short == &long[..short.len()] && long[short.len()..].iter().all(|w| *w == 0)
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<u32> for BitSet {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> BitSet {
+        let mut s = BitSet::new();
+        for b in iter {
+            s.insert(b);
+        }
+        s
+    }
+}
+
+impl Extend<u32> for BitSet {
+    fn extend<I: IntoIterator<Item = u32>>(&mut self, iter: I) {
+        for b in iter {
+            self.insert(b);
+        }
+    }
+}
+
+impl JoinSemiLattice for BitSet {
+    fn join(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    fn join_in_place(&mut self, other: &Self) -> bool {
+        self.union_with(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new();
+        assert!(s.insert(3));
+        assert!(s.insert(200));
+        assert!(!s.insert(3));
+        assert!(s.contains(3) && s.contains(200) && !s.contains(64));
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert!(!s.remove(9999));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn iteration_is_ascending() {
+        let s: BitSet = [190, 0, 63, 64, 65].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 65, 190]);
+    }
+
+    #[test]
+    fn union_reports_growth() {
+        let mut a: BitSet = [1, 2].into_iter().collect();
+        let b: BitSet = [2, 130].into_iter().collect();
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b), "second union must be a no-op");
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn equality_ignores_trailing_zero_words() {
+        let mut a: BitSet = [5].into_iter().collect();
+        let b: BitSet = [5].into_iter().collect();
+        a.insert(500);
+        a.remove(500);
+        assert_eq!(a, b);
+        assert_eq!(b, a);
+        a.insert(500);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn lattice_laws() {
+        let a: BitSet = [1, 64].into_iter().collect();
+        let b: BitSet = [2].into_iter().collect();
+        // Commutative, idempotent, and consistent with join_in_place.
+        assert_eq!(a.join(&b), b.join(&a));
+        assert_eq!(a.join(&a), a);
+        let mut c = a.clone();
+        assert!(c.join_in_place(&b));
+        assert_eq!(c, a.join(&b));
+        assert!(!c.join_in_place(&b));
+    }
+}

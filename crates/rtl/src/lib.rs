@@ -21,6 +21,7 @@
 //! [`analysis`].
 
 pub mod analysis;
+pub mod bitset;
 pub mod constprop;
 pub mod cse;
 pub mod deadcode;
@@ -36,6 +37,7 @@ pub use analysis::{
     backward_solve, forward_solve, liveness, predecessors, value_analysis, AEnv, AVal,
     JoinSemiLattice, Romem,
 };
+pub use bitset::BitSet;
 pub use constprop::constprop;
 pub use cse::cse;
 pub use deadcode::deadcode;

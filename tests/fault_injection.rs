@@ -256,6 +256,7 @@ fn subsystem_campaign_is_deterministic_and_escape_free() {
         per_class: 2,
         fuel: 200_000,
         probe_args: vec![0, 3, 7],
+        ..CampaignCfg::default()
     };
     let r1 = run_campaign(&cfg).expect("campaign runs");
     let r2 = run_campaign(&cfg).expect("campaign runs");
