@@ -54,4 +54,20 @@ awk '/"checksum_serial"/ {
 grep -q '"schema": "compcerto-perf/1"' BENCH_PR3.json
 grep -q '"checksums_match": true' BENCH_PR3.json
 
+echo "== differential-testing campaign (quick oracle sweep) =="
+# EXPERIMENTS.md row B8: the seeded generator → cross-stage oracle over a
+# fixed seed block. The bin exits nonzero on any finding (disagreement,
+# stuck state, validator rejection, link mismatch) and on any reducer
+# panic, so `set -e` is the gate. The report is required to be
+# byte-identical across --jobs settings, and its JSON summary is checked
+# for schema and a clean finding count.
+cargo run -q --release -p bench --bin difftest_campaign -- --quick --jobs 1 --out /tmp/ci_difftest_1.json
+cargo run -q --release -p bench --bin difftest_campaign -- --quick --jobs auto --out /tmp/ci_difftest_2.json
+cmp /tmp/ci_difftest_1.json /tmp/ci_difftest_2.json
+grep -q '"schema": "compcerto-difftest/1"' /tmp/ci_difftest_1.json
+grep -q '"findings": 0,' /tmp/ci_difftest_1.json
+# The committed 500-seed baseline must be well-formed and clean too.
+grep -q '"schema": "compcerto-difftest/1"' DIFFTEST.json
+grep -q '"findings": 0,' DIFFTEST.json
+
 echo "== ci ok =="

@@ -1,0 +1,292 @@
+//! Differential-testing campaign (EXPERIMENTS.md row B8): run the seeded
+//! generator → cross-stage oracle over a block of seeds, shrink any finding
+//! to a minimal reproducer, and re-run the fault-injection mutation classes
+//! against generated programs to measure escape rates on random inputs.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin difftest_campaign -- \
+//!     [--seeds N] [--seed-base N] [--jobs N|auto] [--quick] \
+//!     [--fuel N] [--queries N] [--no-reduce] \
+//!     [--escape-seeds N] [--per-class N] [--out PATH]
+//! ```
+//!
+//! Writes a machine-readable summary (schema `compcerto-difftest/1`) to
+//! `DIFFTEST.json` (or `--out`). The report is **byte-identical for a given
+//! seed block under any `--jobs` setting**: every per-seed verdict is a pure
+//! function of `(seed, cfg)`, the fan-out uses the order-preserving worker
+//! pool ([`compiler::par_map`]), and the JSON deliberately records no
+//! machine facts (no core counts, no timings). `ci.sh` runs `--quick` and
+//! fails on any finding; a non-quick sweep exits 1 on findings too, with
+//! each finding's shrunk reproducer inlined in the JSON.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use compiler::{
+    faultinj_escape_rates, par_map, run_seed, DifftestCfg, Jobs, SeedOutcome, SeedReport,
+};
+
+struct Cli {
+    seeds: u64,
+    seed_base: u64,
+    jobs: Jobs,
+    quick: bool,
+    fuel: Option<u64>,
+    queries: Option<usize>,
+    no_reduce: bool,
+    escape_seeds: u64,
+    per_class: usize,
+    out: String,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut cli = Cli {
+        seeds: 50,
+        seed_base: 0,
+        jobs: Jobs::Auto,
+        quick: false,
+        fuel: None,
+        queries: None,
+        no_reduce: false,
+        escape_seeds: 2,
+        per_class: 3,
+        out: "DIFFTEST.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut take = |name: &str| -> Result<u64, String> {
+            args.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse::<u64>()
+                .map_err(|e| format!("{name}: {e}"))
+        };
+        match flag.as_str() {
+            "--seeds" => cli.seeds = take("--seeds")?,
+            "--seed-base" => cli.seed_base = take("--seed-base")?,
+            "--fuel" => cli.fuel = Some(take("--fuel")?),
+            "--queries" => cli.queries = Some(take("--queries")? as usize),
+            "--escape-seeds" => cli.escape_seeds = take("--escape-seeds")?,
+            "--per-class" => cli.per_class = take("--per-class")? as usize,
+            "--quick" => cli.quick = true,
+            "--no-reduce" => cli.no_reduce = true,
+            "--jobs" => {
+                let v = args.next().ok_or("--jobs needs a value")?;
+                cli.jobs = Jobs::parse(&v)?;
+            }
+            "--out" => cli.out = args.next().ok_or("--out needs a value")?.to_string(),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if cli.quick {
+        cli.seeds = cli.seeds.min(12);
+        cli.escape_seeds = cli.escape_seeds.min(1);
+        cli.per_class = cli.per_class.min(2);
+    }
+    Ok(cli)
+}
+
+/// Minimal JSON string escaping (no serde in the offline workspace).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn run(cli: &Cli) -> Result<(String, usize), String> {
+    let mut cfg = if cli.quick {
+        DifftestCfg::quick()
+    } else {
+        DifftestCfg::default()
+    };
+    if let Some(fuel) = cli.fuel {
+        cfg.fuel = fuel;
+    }
+    if let Some(q) = cli.queries {
+        cfg.queries = q;
+    }
+    cfg.reduce = !cli.no_reduce;
+
+    let seeds: Vec<u64> = (cli.seed_base..cli.seed_base + cli.seeds).collect();
+    println!(
+        "difftest_campaign: seeds {}..{} quick={} fuel={} queries={}",
+        cli.seed_base,
+        cli.seed_base + cli.seeds,
+        cli.quick,
+        cfg.fuel,
+        cfg.queries
+    );
+
+    // Phase 1 — the oracle sweep (order-preserving fan-out: the report is
+    // the same for every `--jobs` setting).
+    let reports: Vec<SeedReport> = par_map(cli.jobs, &seeds, |_, &s| run_seed(s, &cfg));
+
+    let mut agree = 0usize;
+    let mut skipped = 0usize;
+    let mut findings: Vec<&SeedReport> = Vec::new();
+    let mut queries_run = 0usize;
+    let mut queries_skipped = 0usize;
+    for r in &reports {
+        match &r.outcome {
+            SeedOutcome::Agree {
+                queries_run: qr,
+                queries_skipped: qs,
+            } => {
+                agree += 1;
+                queries_run += qr;
+                queries_skipped += qs;
+            }
+            SeedOutcome::Skipped(_) => skipped += 1,
+            SeedOutcome::Finding { kind, detail } => {
+                println!("FINDING seed={} kind={kind}: {detail}", r.seed);
+                if let Some(rep) = &r.reproducer {
+                    println!(
+                        "  reduced to {} statements ({} checks, {} rounds):",
+                        rep.stmts, rep.stats.checks, rep.stats.rounds
+                    );
+                    for line in rep.source.lines() {
+                        println!("  | {line}");
+                    }
+                }
+                findings.push(r);
+            }
+        }
+    }
+    println!(
+        "oracle: {agree} agree, {skipped} skipped, {} findings \
+         ({queries_run} queries compared, {queries_skipped} budget-skipped)",
+        findings.len()
+    );
+
+    // Phase 2 — fault-injection escape rates under generated programs.
+    let esc_seeds: Vec<u64> = seeds.iter().copied().take(cli.escape_seeds as usize).collect();
+    let esc_results = par_map(cli.jobs, &esc_seeds, |_, &s| {
+        (s, faultinj_escape_rates(s, &cfg, cli.per_class))
+    });
+    let mut esc_probed = 0usize;
+    let mut esc_skipped = 0usize;
+    // class name -> (generated, detected), in MUTATION_CLASSES order.
+    let mut matrix: BTreeMap<usize, (&'static str, usize, usize)> = BTreeMap::new();
+    for (s, res) in &esc_results {
+        match res {
+            Ok(rows) => {
+                esc_probed += 1;
+                for (i, row) in rows.iter().enumerate() {
+                    let e = matrix.entry(i).or_insert((row.class.name(), 0, 0));
+                    e.1 += row.generated;
+                    e.2 += row.detected;
+                }
+            }
+            Err(e) => {
+                esc_skipped += 1;
+                println!("escape matrix: seed {s} skipped ({e})");
+            }
+        }
+    }
+    if esc_probed > 0 {
+        println!("escape rates over {esc_probed} generated programs ({} mutants/class/program):", cli.per_class);
+        println!("{:<26}{:>10}{:>10}{:>9}", "class", "mutants", "detected", "escaped");
+        for (_, (name, generated, detected)) in &matrix {
+            println!(
+                "{name:<26}{generated:>10}{detected:>10}{:>9}",
+                generated - detected
+            );
+        }
+    }
+
+    // The JSON summary: deterministic for the seed block, jobs-independent.
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str("  \"schema\": \"compcerto-difftest/1\",\n");
+    j.push_str(&format!("  \"quick\": {},\n", cli.quick));
+    j.push_str(&format!("  \"seed_base\": {},\n", cli.seed_base));
+    j.push_str(&format!("  \"seeds\": {},\n", cli.seeds));
+    j.push_str(&format!("  \"fuel\": {},\n", cfg.fuel));
+    j.push_str(&format!("  \"queries_per_seed\": {},\n", cfg.queries));
+    j.push_str(&format!("  \"agree\": {agree},\n"));
+    j.push_str(&format!("  \"skipped\": {skipped},\n"));
+    j.push_str(&format!("  \"queries_compared\": {queries_run},\n"));
+    j.push_str(&format!("  \"queries_budget_skipped\": {queries_skipped},\n"));
+    j.push_str(&format!("  \"findings\": {},\n", findings.len()));
+    j.push_str("  \"finding_rows\": [\n");
+    for (i, r) in findings.iter().enumerate() {
+        let SeedOutcome::Finding { kind, detail } = &r.outcome else {
+            continue;
+        };
+        let (stmts, source) = match &r.reproducer {
+            Some(rep) => (rep.stmts as i64, json_str(&rep.source)),
+            None => (-1, String::new()),
+        };
+        j.push_str(&format!(
+            "    {{\"seed\": {}, \"kind\": \"{}\", \"detail\": \"{}\", \
+             \"reduced_stmts\": {stmts}, \"reproducer\": \"{source}\"}}{}\n",
+            r.seed,
+            json_str(&format!("{kind}")),
+            json_str(detail),
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("  ],\n");
+    j.push_str("  \"escape_matrix\": {\n");
+    j.push_str(&format!("    \"seeds_probed\": {esc_probed},\n"));
+    j.push_str(&format!("    \"seeds_skipped\": {esc_skipped},\n"));
+    j.push_str(&format!("    \"per_class\": {},\n", cli.per_class));
+    j.push_str("    \"rows\": [\n");
+    let nrows = matrix.len();
+    for (i, (_, (name, generated, detected))) in matrix.iter().enumerate() {
+        j.push_str(&format!(
+            "      {{\"class\": \"{name}\", \"generated\": {generated}, \
+             \"detected\": {detected}, \"escaped\": {}}}{}\n",
+            generated - detected,
+            if i + 1 < nrows { "," } else { "" }
+        ));
+    }
+    j.push_str("    ]\n");
+    j.push_str("  }\n");
+    j.push_str("}\n");
+    Ok((j, findings.len()))
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: difftest_campaign [--seeds N] [--seed-base N] [--jobs N|auto] \
+                 [--quick] [--fuel N] [--queries N] [--no-reduce] \
+                 [--escape-seeds N] [--per-class N] [--out PATH]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match run(&cli) {
+        Ok((json, nfindings)) => {
+            if let Err(e) = std::fs::write(&cli.out, json) {
+                eprintln!("error: cannot write `{}`: {e}", cli.out);
+                return ExitCode::from(1);
+            }
+            println!("wrote {}", cli.out);
+            if nfindings > 0 {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

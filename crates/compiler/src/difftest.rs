@@ -1,0 +1,1246 @@
+//! Cross-stage differential testing: the seeded-generator oracle.
+//!
+//! [`compcerto_gen`] produces well-defined multi-unit Clight-mini programs;
+//! this module runs each one through the interpreter of (almost) every
+//! pipeline stage — Clight, SimplLocals'd Clight, RTL, optimized RTL,
+//! Linear, Mach and Asm — under *identical* incoming questions and one
+//! shared [`RunBudget`], then compares what each level observed:
+//!
+//! * the final answer (normalized to an [`ObsVal`]);
+//! * the outgoing-question trace (callee name and returned value, recorded
+//!   inside the environment closure at each level's own interface);
+//! * the memory-visible effects (final contents of every mutable global,
+//!   read back per its [`InitDatum`] layout).
+//!
+//! Any disagreement, any non-budget [`RunOutcome::Wrong`], any refused
+//! environment question, and any static-validator rejection is a *finding*
+//! ([`FindingKind`]); budget exhaustion at any stage merely skips the query
+//! (possible divergence under a finite budget is not a verdict). On a
+//! finding, [`run_seed`] invokes the delta-debugging reducer
+//! ([`compcerto_gen::reduce`]) with a same-kind predicate and attaches a
+//! minimal self-contained reproducer.
+//!
+//! Two *metamorphic* link-composition checks ride along (paper Thm 3.8 /
+//! Cor 3.9 territory): compile-each-unit-then-[`link_asm`] must observe the
+//! same behaviour as [`clight::link`]-then-compile, and for two-unit
+//! programs the horizontal composition `Asm(p1) ⊕ Asm(p2)` must simulate the
+//! linked Asm ([`check_thm35_budgeted`]).
+//!
+//! Everything here is a pure function of `(seed, DifftestCfg)` — no
+//! wall-clock budgets, no global state — so campaigns parallelize with
+//! byte-identical reports (see the `difftest_campaign` binary).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use backend::asmgen::RaMap;
+use backend::{link_asm, AsmProgram, AsmSem, LinProgram, LinearSem, MachProgram, MachSem};
+use clight::{build_symtab, ClightSem};
+use compcerto_core::cc::{Ca, Cl};
+use compcerto_core::conv::SimConv;
+use compcerto_core::iface::{abi, ARegs, CQuery, LQuery, MQuery, Signature};
+use compcerto_core::lts::{run_budgeted, RunBudget, RunOutcome};
+use compcerto_core::regs::{Loc, NREGS};
+use compcerto_core::rng::SplitMix64;
+use compcerto_core::sim::SimCheckError;
+use compcerto_core::symtab::{GlobKind, InitDatum, SymbolTable};
+use compcerto_gen::generate::gen_queries;
+use compcerto_gen::{generate, reduce, GProgram, GenCfg, ReduceStats};
+use mem::{Chunk, Mem, Val};
+use rtl::{RtlProgram, RtlSem};
+
+use crate::driver::{compile_all, compile_program, CompiledUnit, CompilerOptions};
+use crate::extlib::ExtLib;
+use crate::faultinj::{mutate, MutationClass, MUTATION_CLASSES};
+use crate::harness::{check_thm35_budgeted, check_thm38_budgeted, try_c_query};
+
+/// The stages the oracle compares, in pipeline order. `"clight"` is the
+/// baseline every other stage is compared against.
+pub const STAGES: [&str; 7] = [
+    "clight",
+    "simpl-locals",
+    "rtl",
+    "rtl-opt",
+    "linear",
+    "mach",
+    "asm",
+];
+
+/// Oracle configuration.
+#[derive(Debug, Clone)]
+pub struct DifftestCfg {
+    /// Shape of the generated programs.
+    pub gen: GenCfg,
+    /// Incoming queries per program.
+    pub queries: usize,
+    /// Fuel per stage execution (the only budget axis: wall-clock deadlines
+    /// would break determinism).
+    pub fuel: u64,
+    /// Run the metamorphic link-composition checks on multi-unit programs.
+    pub check_links: bool,
+    /// Shrink findings to a minimal reproducer.
+    pub reduce: bool,
+    /// Predicate-evaluation budget for the reducer.
+    pub reduce_checks: usize,
+}
+
+impl Default for DifftestCfg {
+    fn default() -> Self {
+        DifftestCfg {
+            gen: GenCfg::default(),
+            queries: 3,
+            fuel: 2_000_000,
+            check_links: true,
+            reduce: true,
+            reduce_checks: 400,
+        }
+    }
+}
+
+impl DifftestCfg {
+    /// A smaller profile for high-volume campaigns and CI.
+    pub fn quick() -> DifftestCfg {
+        DifftestCfg {
+            gen: GenCfg::quick(),
+            queries: 2,
+            fuel: 1_000_000,
+            reduce_checks: 250,
+            ..DifftestCfg::default()
+        }
+    }
+}
+
+/// A normalized observed value: concrete integers compare exactly, pointers
+/// are opaque (block numbering differs across levels and symbol tables), and
+/// anything else is lumped together.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ObsVal {
+    /// A 32-bit integer.
+    Int(i32),
+    /// A 64-bit integer.
+    Long(i64),
+    /// Some pointer (opaque: block identity is not stable across levels).
+    Ptr,
+    /// The undefined value.
+    Undef,
+    /// A float or other value class the generator never produces.
+    Other,
+}
+
+impl fmt::Display for ObsVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObsVal::Int(n) => write!(f, "int:{n}"),
+            ObsVal::Long(n) => write!(f, "long:{n}"),
+            ObsVal::Ptr => write!(f, "ptr"),
+            ObsVal::Undef => write!(f, "undef"),
+            ObsVal::Other => write!(f, "other"),
+        }
+    }
+}
+
+fn obs_val(v: &Val) -> ObsVal {
+    match v {
+        Val::Int(n) => ObsVal::Int(*n),
+        Val::Long(n) => ObsVal::Long(*n),
+        Val::Ptr(_, _) => ObsVal::Ptr,
+        Val::Undef => ObsVal::Undef,
+        _ => ObsVal::Other,
+    }
+}
+
+/// Everything one stage observed while answering one query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Obs {
+    /// The final answer (result register / return value), normalized.
+    pub result: ObsVal,
+    /// Outgoing questions in order: callee name and the value the
+    /// environment returned, extracted at the stage's own interface.
+    pub ext: Vec<(String, ObsVal)>,
+    /// Final contents of every mutable global, read per its layout.
+    pub globals: Vec<(String, Vec<ObsVal>)>,
+}
+
+impl fmt::Display for Obs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "result={}", self.result)?;
+        if !self.ext.is_empty() {
+            write!(f, " ext=[")?;
+            for (i, (n, v)) in self.ext.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{n}->{v}")?;
+            }
+            write!(f, "]")?;
+        }
+        for (name, vals) in &self.globals {
+            write!(f, " {name}=[")?;
+            for (i, v) in vals.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{v}")?;
+            }
+            write!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of running one stage on one query.
+#[derive(Debug, Clone)]
+pub enum StageOutcome {
+    /// The stage completed; here is what it observed.
+    Ok(Obs),
+    /// A budget quota was exhausted — not a verdict, the query is skipped.
+    Budget(String),
+    /// The interpreter got stuck (a finding: generated programs are
+    /// well-defined by construction).
+    Stuck(String),
+    /// The environment refused an outgoing question (a finding: the model
+    /// library answers everything the generator emits).
+    EnvRefused(String),
+    /// The query could not be transported to this stage's interface.
+    Transport(String),
+}
+
+/// What kind of bug a finding is. The reducer predicate keys on
+/// [`FindingKind::tag`], so shrinking preserves the failure class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FindingKind {
+    /// The generated program failed to compile (or link).
+    Compile,
+    /// The static validation layer rejected a translation.
+    ValidatorRejected,
+    /// Two stages observed different behaviour.
+    Disagreement {
+        /// The stage that diverged from the Clight baseline.
+        stage: &'static str,
+    },
+    /// A stage interpreter got stuck on a well-defined program.
+    Stuck {
+        /// The stuck stage.
+        stage: &'static str,
+    },
+    /// The model environment refused a question it should answer.
+    EnvRefused {
+        /// The refusing stage.
+        stage: &'static str,
+    },
+    /// A query could not be transported down to a stage's interface.
+    Transport {
+        /// The stage whose transport failed.
+        stage: &'static str,
+    },
+    /// A metamorphic link-composition check failed (compile∘link vs
+    /// link∘compile, or `⊕` vs syntactic linking).
+    LinkMismatch,
+}
+
+impl FindingKind {
+    /// Stable kebab-case class name (reducer predicate and reports).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FindingKind::Compile => "compile",
+            FindingKind::ValidatorRejected => "validator-rejected",
+            FindingKind::Disagreement { .. } => "disagreement",
+            FindingKind::Stuck { .. } => "stuck",
+            FindingKind::EnvRefused { .. } => "env-refused",
+            FindingKind::Transport { .. } => "transport",
+            FindingKind::LinkMismatch => "link-mismatch",
+        }
+    }
+}
+
+impl fmt::Display for FindingKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FindingKind::Disagreement { stage }
+            | FindingKind::Stuck { stage }
+            | FindingKind::EnvRefused { stage }
+            | FindingKind::Transport { stage } => write!(f, "{}@{stage}", self.tag()),
+            _ => f.write_str(self.tag()),
+        }
+    }
+}
+
+/// Verdict of the oracle on one program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeedOutcome {
+    /// Every (non-skipped) query agreed at every stage.
+    Agree {
+        /// Queries fully compared.
+        queries_run: usize,
+        /// Queries skipped for budget exhaustion at some stage.
+        queries_skipped: usize,
+    },
+    /// Every query was budget-limited — no verdict for this seed.
+    Skipped(String),
+    /// A bug (or a bug in this harness): see the kind and detail.
+    Finding {
+        /// The failure class.
+        kind: FindingKind,
+        /// Human-readable context (query index, both observations, …).
+        detail: String,
+    },
+}
+
+/// A minimal reproducer attached to a finding.
+#[derive(Debug, Clone)]
+pub struct Reproducer {
+    /// Self-contained annotated source (seed banner + unit separators).
+    pub source: String,
+    /// Statements in the reduced program.
+    pub stmts: usize,
+    /// Reduction statistics.
+    pub stats: ReduceStats,
+}
+
+/// The full per-seed report of [`run_seed`].
+#[derive(Debug, Clone)]
+pub struct SeedReport {
+    /// The seed.
+    pub seed: u64,
+    /// The oracle verdict.
+    pub outcome: SeedOutcome,
+    /// Present iff the outcome is a finding and reduction was enabled.
+    pub reproducer: Option<Reproducer>,
+}
+
+// ---------------------------------------------------------------------------
+// Stage program construction: linked / merged whole programs per IR
+// ---------------------------------------------------------------------------
+
+/// The per-stage merged programs of one multi-unit compilation.
+#[derive(Debug, Clone)]
+pub struct StagePrograms {
+    /// Syntactically linked typed Clight.
+    pub clight: clight::Program,
+    /// Linked SimplLocals'd Clight.
+    pub clight_simpl: clight::Program,
+    /// Concatenated pre-optimization RTL.
+    pub rtl: RtlProgram,
+    /// Concatenated optimized RTL.
+    pub rtl_opt: RtlProgram,
+    /// Concatenated Linear.
+    pub linear: LinProgram,
+    /// Concatenated Mach.
+    pub mach: MachProgram,
+    /// Union of the per-unit return-address maps (function names are
+    /// program-unique, so the maps never clash).
+    pub ra_map: RaMap,
+    /// Syntactically linked Asm.
+    pub asm: AsmProgram,
+}
+
+fn merge_externs(
+    externs: &mut Vec<(String, Signature)>,
+    more: &[(String, Signature)],
+    defined: &BTreeSet<String>,
+) {
+    for (n, s) in more {
+        if !defined.contains(n) && !externs.iter().any(|(m, _)| m == n) {
+            externs.push((n.clone(), s.clone()));
+        }
+    }
+}
+
+macro_rules! merge_ir {
+    ($units:expr, $field:ident, $ty:ty) => {{
+        let mut out = <$ty>::default();
+        for u in $units {
+            out.functions.extend(u.$field.functions.iter().cloned());
+        }
+        let defined: BTreeSet<String> = out.functions.iter().map(|f| f.name.clone()).collect();
+        for u in $units {
+            merge_externs(&mut out.externs, &u.$field.externs, &defined);
+        }
+        out
+    }};
+}
+
+impl StagePrograms {
+    /// Link / merge the per-unit intermediate programs into per-stage whole
+    /// programs.
+    ///
+    /// # Errors
+    /// Reports a Clight- or Asm-level linking failure as a string.
+    pub fn build(units: &[CompiledUnit]) -> Result<StagePrograms, String> {
+        let first = units.first().ok_or("no units")?;
+        let mut clight = first.clight.clone();
+        let mut clight_simpl = first.clight_simpl.clone();
+        let mut asm = first.asm.clone();
+        for u in &units[1..] {
+            clight = clight::link(&clight, &u.clight).map_err(|e| format!("clight link: {e:?}"))?;
+            clight_simpl = clight::link(&clight_simpl, &u.clight_simpl)
+                .map_err(|e| format!("simpl-locals link: {e:?}"))?;
+            asm = link_asm(&asm, &u.asm).map_err(|e| format!("asm link: {e}"))?;
+        }
+        let mut ra_map = RaMap::new();
+        for u in units {
+            ra_map.extend(u.ra_map.iter().map(|(k, v)| (k.clone(), *v)));
+        }
+        Ok(StagePrograms {
+            clight,
+            clight_simpl,
+            rtl: merge_ir!(units, rtl, RtlProgram),
+            rtl_opt: merge_ir!(units, rtl_opt, RtlProgram),
+            linear: merge_ir!(units, linear, LinProgram),
+            mach: merge_ir!(units, mach, MachProgram),
+            ra_map,
+            asm,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-interface stage runners
+// ---------------------------------------------------------------------------
+
+fn name_of(symtab: &SymbolTable, vf: &Val) -> String {
+    match vf {
+        Val::Ptr(b, 0) => symtab
+            .ident_of(*b)
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("?block{b}")),
+        other => format!("?{other:?}"),
+    }
+}
+
+/// Read back the final contents of every mutable global, laid out per its
+/// [`InitDatum`] list. Unreadable cells observe as [`ObsVal::Undef`].
+fn read_globals(symtab: &SymbolTable, m: &Mem) -> Vec<(String, Vec<ObsVal>)> {
+    let mut out = Vec::new();
+    for (b, name, kind) in symtab.iter() {
+        let GlobKind::Var { init, readonly } = kind else {
+            continue;
+        };
+        if *readonly {
+            continue;
+        }
+        let mut vals = Vec::new();
+        let mut ofs = 0i64;
+        for d in init {
+            match d {
+                InitDatum::Int32(_) => {
+                    vals.push(obs_val(&m.load(Chunk::I32, b, ofs).unwrap_or(Val::Undef)));
+                }
+                InitDatum::Int64(_) => {
+                    vals.push(obs_val(&m.load(Chunk::I64, b, ofs).unwrap_or(Val::Undef)));
+                }
+                InitDatum::Space(n) => {
+                    let mut o = 0i64;
+                    while o + 8 <= *n {
+                        vals.push(obs_val(
+                            &m.load(Chunk::I64, b, ofs + o).unwrap_or(Val::Undef),
+                        ));
+                        o += 8;
+                    }
+                }
+            }
+            ofs += d.size();
+        }
+        out.push((name.to_string(), vals));
+    }
+    out
+}
+
+fn budget_outcome<IA>(o: &RunOutcome<IA>) -> Option<StageOutcome> {
+    match o {
+        RunOutcome::OutOfFuel { .. } => Some(StageOutcome::Budget("out of fuel".into())),
+        RunOutcome::OutOfMemory { used, limit, .. } => Some(StageOutcome::Budget(format!(
+            "out of memory: {used} > {limit}"
+        ))),
+        RunOutcome::DepthExceeded { depth, limit, .. } => Some(StageOutcome::Budget(format!(
+            "depth exceeded: {depth} > {limit}"
+        ))),
+        RunOutcome::TimedOut { elapsed, .. } => {
+            Some(StageOutcome::Budget(format!("timed out after {elapsed:?}")))
+        }
+        _ => None,
+    }
+}
+
+/// Run a C-interface semantics (Clight or RTL) on a C query.
+macro_rules! run_c_level {
+    ($sem:expr, $symtab:expr, $lib:expr, $q:expr, $budget:expr) => {{
+        let mut ext: Vec<(String, ObsVal)> = Vec::new();
+        let outcome = {
+            let mut env = |oq: &CQuery| {
+                let r = $lib.answer_c(oq)?;
+                ext.push((name_of($symtab, &oq.vf), obs_val(&r.retval)));
+                Some(r)
+            };
+            run_budgeted(&$sem, $q, &mut env, $budget)
+        };
+        if let Some(b) = budget_outcome(&outcome) {
+            b
+        } else {
+            match outcome {
+                RunOutcome::Complete { answer, .. } => StageOutcome::Ok(Obs {
+                    result: obs_val(&answer.retval),
+                    ext,
+                    globals: read_globals($symtab, &answer.mem),
+                }),
+                RunOutcome::Wrong { stuck, .. } => StageOutcome::Stuck(format!("{stuck}")),
+                RunOutcome::EnvRefused(q) => StageOutcome::EnvRefused(q),
+                _ => unreachable!("budget outcomes handled above"),
+            }
+        }
+    }};
+}
+
+fn run_clight_stage(
+    prog: &clight::Program,
+    symtab: &SymbolTable,
+    lib: &ExtLib,
+    q: &CQuery,
+    budget: &RunBudget,
+) -> StageOutcome {
+    let sem = ClightSem::new(prog.clone(), symtab.clone());
+    run_c_level!(sem, symtab, lib, q, budget)
+}
+
+fn run_rtl_stage(
+    prog: &RtlProgram,
+    symtab: &SymbolTable,
+    lib: &ExtLib,
+    q: &CQuery,
+    budget: &RunBudget,
+) -> StageOutcome {
+    let sem = RtlSem::new(prog.clone(), symtab.clone());
+    run_c_level!(sem, symtab, lib, q, budget)
+}
+
+fn run_linear_stage(
+    prog: &LinProgram,
+    symtab: &SymbolTable,
+    lib: &ExtLib,
+    q: &CQuery,
+    budget: &RunBudget,
+) -> StageOutcome {
+    let Some((_sig, lq)) = Cl.transport_query(q) else {
+        return StageOutcome::Transport("CL transport failed".into());
+    };
+    let sem = LinearSem::new(prog.clone(), symtab.clone());
+    let mut ext: Vec<(String, ObsVal)> = Vec::new();
+    let outcome = {
+        let mut env = |oq: &LQuery| {
+            let r = lib.answer_l(oq)?;
+            ext.push((
+                name_of(symtab, &oq.vf),
+                obs_val(&r.ls.get(Loc::Reg(abi::RESULT_REG))),
+            ));
+            Some(r)
+        };
+        run_budgeted(&sem, &lq, &mut env, budget)
+    };
+    if let Some(b) = budget_outcome(&outcome) {
+        return b;
+    }
+    match outcome {
+        RunOutcome::Complete { answer, .. } => StageOutcome::Ok(Obs {
+            result: obs_val(&answer.ls.get(Loc::Reg(abi::RESULT_REG))),
+            ext,
+            globals: read_globals(symtab, &answer.mem),
+        }),
+        RunOutcome::Wrong { stuck, .. } => StageOutcome::Stuck(format!("{stuck}")),
+        RunOutcome::EnvRefused(q) => StageOutcome::EnvRefused(q),
+        _ => unreachable!("budget outcomes handled above"),
+    }
+}
+
+/// Build an M-level query from a C-level one: register arguments in
+/// `r0..r3`, overflow arguments stored in a freshly allocated argument
+/// region `sp` points to (mirroring [`Ca::transport_query`]).
+fn m_query(q: &CQuery) -> Option<MQuery> {
+    let mut m2 = q.mem.clone();
+    let spb = m2.alloc(0, abi::size_arguments(&q.sig).max(0));
+    let mut rs = [Val::Undef; NREGS];
+    for (i, v) in q.args.iter().enumerate() {
+        if i < abi::PARAM_REGS.len() {
+            rs[abi::PARAM_REGS[i].index()] = *v;
+        } else {
+            let ofs = ((i - abi::PARAM_REGS.len()) as i64) * 8;
+            m2.store(Chunk::Any64, spb, ofs, *v).ok()?;
+        }
+    }
+    Some(MQuery {
+        vf: q.vf,
+        sp: Val::Ptr(spb, 0),
+        ra: Val::Undef,
+        rs,
+        mem: m2,
+    })
+}
+
+fn run_mach_stage(
+    prog: &MachProgram,
+    ra_map: &RaMap,
+    symtab: &SymbolTable,
+    lib: &ExtLib,
+    q: &CQuery,
+    budget: &RunBudget,
+) -> StageOutcome {
+    let Some(mq) = m_query(q) else {
+        return StageOutcome::Transport("CM transport failed".into());
+    };
+    let sem = MachSem::new(prog.clone(), symtab.clone())
+        .with_ra_oracle(backend::asmgen::make_ra_oracle(ra_map.clone(), symtab.clone()));
+    let mut ext: Vec<(String, ObsVal)> = Vec::new();
+    let outcome = {
+        let mut env = |oq: &MQuery| {
+            let r = lib.answer_m(oq)?;
+            ext.push((
+                name_of(symtab, &oq.vf),
+                obs_val(&r.rs[abi::RESULT_REG.index()]),
+            ));
+            Some(r)
+        };
+        run_budgeted(&sem, &mq, &mut env, budget)
+    };
+    if let Some(b) = budget_outcome(&outcome) {
+        return b;
+    }
+    match outcome {
+        RunOutcome::Complete { answer, .. } => StageOutcome::Ok(Obs {
+            result: obs_val(&answer.rs[abi::RESULT_REG.index()]),
+            ext,
+            globals: read_globals(symtab, &answer.mem),
+        }),
+        RunOutcome::Wrong { stuck, .. } => StageOutcome::Stuck(format!("{stuck}")),
+        RunOutcome::EnvRefused(q) => StageOutcome::EnvRefused(q),
+        _ => unreachable!("budget outcomes handled above"),
+    }
+}
+
+fn run_asm_stage(
+    prog: &AsmProgram,
+    symtab: &SymbolTable,
+    lib: &ExtLib,
+    q: &CQuery,
+    budget: &RunBudget,
+) -> StageOutcome {
+    let ca = Ca::new(symtab.len() as u32);
+    let Some((_w, qa)) = ca.transport_query(q) else {
+        return StageOutcome::Transport("CA transport failed".into());
+    };
+    let sem = AsmSem::new(prog.clone(), symtab.clone());
+    let mut ext: Vec<(String, ObsVal)> = Vec::new();
+    let outcome = {
+        let mut env = |oq: &ARegs| {
+            let r = lib.answer_a(oq)?;
+            ext.push((
+                name_of(symtab, &oq.rs.pc),
+                obs_val(&r.rs.get(abi::RESULT_REG)),
+            ));
+            Some(r)
+        };
+        run_budgeted(&sem, &qa, &mut env, budget)
+    };
+    if let Some(b) = budget_outcome(&outcome) {
+        return b;
+    }
+    match outcome {
+        RunOutcome::Complete { answer, .. } => StageOutcome::Ok(Obs {
+            result: obs_val(&answer.rs.get(abi::RESULT_REG)),
+            ext,
+            globals: read_globals(symtab, &answer.mem),
+        }),
+        RunOutcome::Wrong { stuck, .. } => StageOutcome::Stuck(format!("{stuck}")),
+        RunOutcome::EnvRefused(q) => StageOutcome::EnvRefused(q),
+        _ => unreachable!("budget outcomes handled above"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The oracle: per-query stage comparison
+// ---------------------------------------------------------------------------
+
+/// Verdict of the oracle on one query.
+#[derive(Debug, Clone)]
+pub enum QueryVerdict {
+    /// Every stage completed and observed the same behaviour.
+    Agree(Box<Obs>),
+    /// A stage was budget-limited; the query is skipped without a verdict.
+    Skipped {
+        /// The budget-limited stage.
+        stage: &'static str,
+    },
+    /// A finding at some stage.
+    Finding {
+        /// The failure class.
+        kind: FindingKind,
+        /// Human-readable context.
+        detail: String,
+    },
+}
+
+fn compare_stage(stage: &'static str, run: StageOutcome, base: &Obs) -> Option<QueryVerdict> {
+    match run {
+        StageOutcome::Ok(obs) => {
+            if obs == *base {
+                None
+            } else {
+                Some(QueryVerdict::Finding {
+                    kind: FindingKind::Disagreement { stage },
+                    detail: format!("clight observed [{base}] but {stage} observed [{obs}]"),
+                })
+            }
+        }
+        StageOutcome::Budget(_) => Some(QueryVerdict::Skipped { stage }),
+        StageOutcome::Stuck(d) => Some(QueryVerdict::Finding {
+            kind: FindingKind::Stuck { stage },
+            detail: d,
+        }),
+        StageOutcome::EnvRefused(d) => Some(QueryVerdict::Finding {
+            kind: FindingKind::EnvRefused { stage },
+            detail: d,
+        }),
+        StageOutcome::Transport(d) => Some(QueryVerdict::Finding {
+            kind: FindingKind::Transport { stage },
+            detail: d,
+        }),
+    }
+}
+
+/// Run one C-level query through every stage and compare observations
+/// against the Clight baseline.
+pub fn check_query(
+    sp: &StagePrograms,
+    symtab: &SymbolTable,
+    lib: &ExtLib,
+    q: &CQuery,
+    budget: &RunBudget,
+) -> QueryVerdict {
+    let base = match run_clight_stage(&sp.clight, symtab, lib, q, budget) {
+        StageOutcome::Ok(obs) => obs,
+        StageOutcome::Budget(_) => return QueryVerdict::Skipped { stage: "clight" },
+        StageOutcome::Stuck(d) => {
+            return QueryVerdict::Finding {
+                kind: FindingKind::Stuck { stage: "clight" },
+                detail: d,
+            }
+        }
+        StageOutcome::EnvRefused(d) => {
+            return QueryVerdict::Finding {
+                kind: FindingKind::EnvRefused { stage: "clight" },
+                detail: d,
+            }
+        }
+        StageOutcome::Transport(d) => {
+            return QueryVerdict::Finding {
+                kind: FindingKind::Transport { stage: "clight" },
+                detail: d,
+            }
+        }
+    };
+    if let Some(v) = compare_stage(
+        "simpl-locals",
+        run_clight_stage(&sp.clight_simpl, symtab, lib, q, budget),
+        &base,
+    ) {
+        return v;
+    }
+    if let Some(v) = compare_stage("rtl", run_rtl_stage(&sp.rtl, symtab, lib, q, budget), &base) {
+        return v;
+    }
+    if let Some(v) = compare_stage(
+        "rtl-opt",
+        run_rtl_stage(&sp.rtl_opt, symtab, lib, q, budget),
+        &base,
+    ) {
+        return v;
+    }
+    if let Some(v) = compare_stage(
+        "linear",
+        run_linear_stage(&sp.linear, symtab, lib, q, budget),
+        &base,
+    ) {
+        return v;
+    }
+    if let Some(v) = compare_stage(
+        "mach",
+        run_mach_stage(&sp.mach, &sp.ra_map, symtab, lib, q, budget),
+        &base,
+    ) {
+        return v;
+    }
+    if let Some(v) = compare_stage("asm", run_asm_stage(&sp.asm, symtab, lib, q, budget), &base) {
+        return v;
+    }
+    QueryVerdict::Agree(Box::new(base))
+}
+
+// ---------------------------------------------------------------------------
+// Whole-program oracle
+// ---------------------------------------------------------------------------
+
+/// The compile-then-link vs link-then-compile context: the generated units
+/// linked *at the Clight level* and compiled as one translation unit,
+/// against its own symbol table.
+struct WholeProgram {
+    unit: CompiledUnit,
+    symtab: SymbolTable,
+    lib: ExtLib,
+}
+
+fn build_whole(linked: &clight::Program, opts: CompilerOptions) -> Result<WholeProgram, String> {
+    let symtab = build_symtab(&[linked]).map_err(|e| format!("whole-program symtab: {e}"))?;
+    let unit =
+        compile_program(linked, &symtab, opts).map_err(|e| format!("whole-program compile: {e}"))?;
+    let lib = ExtLib::demo(symtab.clone());
+    Ok(WholeProgram { unit, symtab, lib })
+}
+
+fn is_budget_sim_err(e: &SimCheckError) -> bool {
+    matches!(
+        e,
+        SimCheckError::OutOfFuel { .. } | SimCheckError::BudgetExceeded { .. }
+    )
+}
+
+/// Run the oracle on one generated program: compile, validate, compare every
+/// stage on every query, and (for multi-unit programs) run the metamorphic
+/// link-composition checks.
+pub fn check_program(prog: &GProgram, cfg: &DifftestCfg) -> SeedOutcome {
+    let srcs = prog.render();
+    let refs: Vec<&str> = srcs.iter().map(String::as_str).collect();
+    let opts = CompilerOptions::validated();
+    let (units, symtab) = match compile_all(&refs, opts) {
+        Ok(x) => x,
+        Err(e) => {
+            return SeedOutcome::Finding {
+                kind: FindingKind::Compile,
+                detail: format!("{e}"),
+            }
+        }
+    };
+    for (i, u) in units.iter().enumerate() {
+        if let Some(d) = u.diagnostics.first() {
+            return SeedOutcome::Finding {
+                kind: FindingKind::ValidatorRejected,
+                detail: format!("unit {i}: {d}"),
+            };
+        }
+    }
+    let sp = match StagePrograms::build(&units) {
+        Ok(sp) => sp,
+        Err(e) => {
+            return SeedOutcome::Finding {
+                kind: FindingKind::Compile,
+                detail: e,
+            }
+        }
+    };
+    let lib = ExtLib::demo(symtab.clone());
+    let (_, entry) = prog.entry();
+    let entry_name = entry.name.clone();
+    let queries = gen_queries(prog.seed, entry.nparams as usize, cfg.queries);
+    let budget = RunBudget::with_fuel(cfg.fuel).no_trace();
+    let init = match symtab.build_init_mem() {
+        Ok(m) => m,
+        Err(e) => {
+            return SeedOutcome::Finding {
+                kind: FindingKind::Compile,
+                detail: format!("initial memory: {e:?}"),
+            }
+        }
+    };
+    let (Some(vf), Some(sig)) = (symtab.func_ptr(&entry_name), sp.clight.sig_of(&entry_name))
+    else {
+        return SeedOutcome::Finding {
+            kind: FindingKind::Compile,
+            detail: format!("entry `{entry_name}` missing from the linked program"),
+        };
+    };
+    // The metamorphic path: link at the Clight level, compile as one unit.
+    let whole = if cfg.check_links && units.len() >= 2 {
+        match build_whole(&sp.clight, opts) {
+            Ok(w) => Some(w),
+            Err(e) => {
+                return SeedOutcome::Finding {
+                    kind: FindingKind::LinkMismatch,
+                    detail: e,
+                }
+            }
+        }
+    } else {
+        None
+    };
+
+    let mut queries_run = 0usize;
+    let mut queries_skipped = 0usize;
+    for (qi, args) in queries.iter().enumerate() {
+        let q = CQuery {
+            vf,
+            sig: sig.clone(),
+            args: args.iter().map(|&a| Val::Int(a)).collect(),
+            mem: init.clone(),
+        };
+        let obs = match check_query(&sp, &symtab, &lib, &q, &budget) {
+            QueryVerdict::Agree(obs) => obs,
+            QueryVerdict::Skipped { .. } => {
+                queries_skipped += 1;
+                continue;
+            }
+            QueryVerdict::Finding { kind, detail } => {
+                return SeedOutcome::Finding {
+                    kind,
+                    detail: format!("query {qi} args {args:?}: {detail}"),
+                }
+            }
+        };
+        queries_run += 1;
+
+        if let Some(w) = &whole {
+            // Metamorphic check 1: link∘compile (the per-unit Asm linked by
+            // `link_asm`, already compared above) must observe the same
+            // behaviour as compile∘link (the Clight-linked whole program),
+            // each against its own symbol table.
+            let wq = match try_c_query(
+                &w.symtab,
+                &w.unit,
+                &entry_name,
+                args.iter().map(|&a| Val::Int(a)).collect(),
+            ) {
+                Ok(wq) => wq,
+                Err(e) => {
+                    return SeedOutcome::Finding {
+                        kind: FindingKind::LinkMismatch,
+                        detail: format!("query {qi}: whole-program query: {e}"),
+                    }
+                }
+            };
+            match run_asm_stage(&w.unit.asm, &w.symtab, &w.lib, &wq, &budget) {
+                StageOutcome::Ok(wobs) => {
+                    if wobs != *obs {
+                        return SeedOutcome::Finding {
+                            kind: FindingKind::LinkMismatch,
+                            detail: format!(
+                                "query {qi} args {args:?}: link-then-compile observed \
+                                 [{wobs}] but compile-then-link observed [{obs}]"
+                            ),
+                        };
+                    }
+                }
+                StageOutcome::Budget(_) => {}
+                StageOutcome::Stuck(d) | StageOutcome::EnvRefused(d) | StageOutcome::Transport(d) => {
+                    return SeedOutcome::Finding {
+                        kind: FindingKind::LinkMismatch,
+                        detail: format!("query {qi}: whole-program asm: {d}"),
+                    }
+                }
+            }
+            // Metamorphic check 2 (two-unit programs): `Asm(p1) ⊕ Asm(p2)`
+            // simulates the syntactically linked Asm (Thm 3.5).
+            if units.len() == 2 {
+                if let Some((_w, qa)) = Ca::new(symtab.len() as u32).transport_query(&q) {
+                    match check_thm35_budgeted(
+                        &units[0].asm,
+                        &units[1].asm,
+                        &symtab,
+                        &lib,
+                        &qa,
+                        &budget,
+                    ) {
+                        Ok(_) => {}
+                        Err(e) if is_budget_sim_err(&e) => {}
+                        Err(e) => {
+                            return SeedOutcome::Finding {
+                                kind: FindingKind::LinkMismatch,
+                                detail: format!("query {qi} args {args:?}: thm35: {e}"),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if queries_run == 0 {
+        SeedOutcome::Skipped(format!("all {queries_skipped} queries budget-limited"))
+    } else {
+        SeedOutcome::Agree {
+            queries_run,
+            queries_skipped,
+        }
+    }
+}
+
+/// Generate the program for `seed`, run the oracle, and — on a finding —
+/// shrink to a minimal reproducer whose failure has the same
+/// [`FindingKind::tag`].
+pub fn run_seed(seed: u64, cfg: &DifftestCfg) -> SeedReport {
+    let prog = generate(seed, &cfg.gen);
+    let outcome = check_program(&prog, cfg);
+    let mut reproducer = None;
+    if let SeedOutcome::Finding { kind, .. } = &outcome {
+        if cfg.reduce {
+            let tag = kind.tag();
+            let (min, stats) = reduce(
+                &prog,
+                |p| matches!(check_program(p, cfg), SeedOutcome::Finding { kind: k, .. } if k.tag() == tag),
+                cfg.reduce_checks,
+            );
+            reproducer = Some(Reproducer {
+                source: min.to_annotated_source(),
+                stmts: min.stmt_count(),
+                stats,
+            });
+        }
+    }
+    SeedReport {
+        seed,
+        outcome,
+        reproducer,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection escape rates under generated programs
+// ---------------------------------------------------------------------------
+
+/// Escape tallies for one mutation class probed with generated inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EscapeRow {
+    /// The mutation operator.
+    pub class: MutationClass,
+    /// Mutants with an applicable site in the entry function.
+    pub generated: usize,
+    /// Mutants the Thm 3.8 checker rejected on at least one generated query.
+    pub detected: usize,
+}
+
+impl EscapeRow {
+    /// Mutants every probe accepted.
+    pub fn escapes(&self) -> usize {
+        self.generated - self.detected
+    }
+}
+
+/// Re-run the fault-injection mutation classes against the *generated*
+/// program for `seed` (linked at the Clight level and compiled as one unit,
+/// so every internal call resolves), probing each mutant with the generated
+/// queries through [`check_thm38_budgeted`].
+///
+/// # Errors
+/// Reports compilation failures and baselines that do not pass the checker
+/// (such seeds carry no signal and are skipped by the campaign).
+pub fn faultinj_escape_rates(
+    seed: u64,
+    cfg: &DifftestCfg,
+    per_class: usize,
+) -> Result<Vec<EscapeRow>, String> {
+    let prog = generate(seed, &cfg.gen);
+    let srcs = prog.render();
+    let refs: Vec<&str> = srcs.iter().map(String::as_str).collect();
+    let (units, _) = compile_all(&refs, CompilerOptions::default()).map_err(|e| format!("{e}"))?;
+    let mut linked = units
+        .first()
+        .ok_or("no units")?
+        .clight
+        .clone();
+    for u in &units[1..] {
+        linked = clight::link(&linked, &u.clight).map_err(|e| format!("clight link: {e:?}"))?;
+    }
+    let whole = build_whole(&linked, CompilerOptions::default())?;
+    let (_, entry) = prog.entry();
+    let entry_name = entry.name.clone();
+    let queries = gen_queries(seed, entry.nparams as usize, cfg.queries.max(1));
+    let budget = RunBudget::with_fuel(cfg.fuel).no_trace();
+
+    // Keep only the probes the *baseline* passes within budget; a baseline
+    // rejection is an error (it would poison every tally).
+    let mut probes: Vec<Vec<Val>> = Vec::new();
+    for args in &queries {
+        let argv: Vec<Val> = args.iter().map(|&a| Val::Int(a)).collect();
+        let q = try_c_query(&whole.symtab, &whole.unit, &entry_name, argv.clone())
+            .map_err(|e| format!("baseline query: {e}"))?;
+        match check_thm38_budgeted(&whole.unit, &whole.symtab, &whole.lib, &q, &budget) {
+            Ok(_) => probes.push(argv),
+            Err(e) if is_budget_sim_err(&e) => {}
+            Err(e) => return Err(format!("baseline fails thm38: {e}")),
+        }
+    }
+    if probes.is_empty() {
+        return Err("all baseline probes budget-limited".into());
+    }
+
+    let mut master = SplitMix64::new(seed ^ 0x6d75_7461_6e74_7321);
+    let mut rows = Vec::with_capacity(MUTATION_CLASSES.len());
+    for &class in &MUTATION_CLASSES {
+        let mut rng = master.split();
+        let mut row = EscapeRow {
+            class,
+            generated: 0,
+            detected: 0,
+        };
+        let mut attempts = 0usize;
+        while row.generated < per_class && attempts < per_class * 4 {
+            attempts += 1;
+            let Some(m) = mutate(&whole.unit, &entry_name, class, &mut rng) else {
+                continue;
+            };
+            row.generated += 1;
+            let detected = probes.iter().any(|argv| {
+                match try_c_query(&whole.symtab, &m.unit, &entry_name, argv.clone()) {
+                    Ok(q) => {
+                        check_thm38_budgeted(&m.unit, &whole.symtab, &whole.lib, &q, &budget)
+                            .is_err()
+                    }
+                    Err(_) => true,
+                }
+            });
+            if detected {
+                row.detected += 1;
+            }
+        }
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_cfg() -> DifftestCfg {
+        DifftestCfg {
+            reduce: false,
+            ..DifftestCfg::quick()
+        }
+    }
+
+    #[test]
+    fn oracle_agrees_on_a_seed_sweep() {
+        let cfg = test_cfg();
+        for seed in 0..8u64 {
+            let report = run_seed(seed, &cfg);
+            assert!(
+                !matches!(report.outcome, SeedOutcome::Finding { .. }),
+                "seed {seed}: unexpected finding: {:?}",
+                report.outcome
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_is_deterministic() {
+        let cfg = test_cfg();
+        for seed in [3u64, 17] {
+            let a = run_seed(seed, &cfg);
+            let b = run_seed(seed, &cfg);
+            assert_eq!(a.outcome, b.outcome, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn tiny_fuel_skips_instead_of_reporting() {
+        // With a microscopic budget nothing completes: the verdict must be
+        // Skipped, never a Finding — budget exhaustion is not a bug.
+        let cfg = DifftestCfg {
+            fuel: 10,
+            reduce: false,
+            ..DifftestCfg::quick()
+        };
+        for seed in 0..4u64 {
+            let report = run_seed(seed, &cfg);
+            assert!(
+                matches!(report.outcome, SeedOutcome::Skipped(_)),
+                "seed {seed}: {:?}",
+                report.outcome
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_asm_is_a_stage_disagreement() {
+        // Mutate the linked whole program's Asm and feed it back through the
+        // stage comparison: the oracle must localize the fault to `asm`.
+        let cfg = test_cfg();
+        let prog = generate(5, &cfg.gen);
+        let srcs = prog.render();
+        let refs: Vec<&str> = srcs.iter().map(String::as_str).collect();
+        let (units, _) = compile_all(&refs, CompilerOptions::default()).expect("compiles");
+        let mut linked = units[0].clight.clone();
+        for u in &units[1..] {
+            linked = clight::link(&linked, &u.clight).expect("links");
+        }
+        let whole = build_whole(&linked, CompilerOptions::default()).expect("whole compiles");
+        let (_, entry) = prog.entry();
+        let mutant = mutate(
+            &whole.unit,
+            &entry.name,
+            MutationClass::ResultCorruption,
+            &mut SplitMix64::new(11),
+        )
+        .expect("entry has a Ret site");
+
+        let mut sp = StagePrograms::build(std::slice::from_ref(&whole.unit)).expect("builds");
+        sp.asm = mutant.unit.asm.clone();
+
+        let queries = gen_queries(5, entry.nparams as usize, 3);
+        let budget = RunBudget::with_fuel(2_000_000).no_trace();
+        let init = whole.symtab.build_init_mem().unwrap();
+        let sig = sp.clight.sig_of(&entry.name).unwrap();
+        let vf = whole.symtab.func_ptr(&entry.name).unwrap();
+        let mut found = false;
+        for args in &queries {
+            let q = CQuery {
+                vf,
+                sig: sig.clone(),
+                args: args.iter().map(|&a| Val::Int(a)).collect(),
+                mem: init.clone(),
+            };
+            match check_query(&sp, &whole.symtab, &whole.lib, &q, &budget) {
+                QueryVerdict::Finding {
+                    kind: FindingKind::Disagreement { stage },
+                    ..
+                } => {
+                    assert_eq!(stage, "asm");
+                    found = true;
+                    break;
+                }
+                QueryVerdict::Finding { kind, detail } => {
+                    panic!("wrong finding class {kind}: {detail}")
+                }
+                _ => {}
+            }
+        }
+        assert!(found, "result corruption escaped the oracle");
+    }
+
+    #[test]
+    fn findings_shrink_to_small_reproducers() {
+        // Reduce under a *synthetic* predicate (program still calls an
+        // external function) to exercise the reducer wiring end to end
+        // without needing a real compiler bug.
+        let cfg = DifftestCfg::quick();
+        let prog = generate(2, &cfg.gen);
+        let uses_ext = |p: &GProgram| p.render().concat().contains("inc(");
+        if !uses_ext(&prog) {
+            return; // seed without externals: nothing to exercise
+        }
+        let (min, stats) = reduce(&prog, |p| uses_ext(p), 400);
+        assert!(uses_ext(&min));
+        assert!(stats.to_stmts <= stats.from_stmts);
+        assert!(min.stmt_count() <= 25, "reproducer too large: {}", min.stmt_count());
+    }
+
+    #[test]
+    fn escape_rates_run_on_generated_programs() {
+        let cfg = test_cfg();
+        let rows = faultinj_escape_rates(1, &cfg, 2).expect("escape matrix runs");
+        assert_eq!(rows.len(), MUTATION_CLASSES.len());
+        // Result corruption always has a site (every function returns) and
+        // must always be detected: the entry's result is directly observed.
+        let rc = rows
+            .iter()
+            .find(|r| r.class == MutationClass::ResultCorruption)
+            .unwrap();
+        assert!(rc.generated > 0);
+        assert_eq!(rc.escapes(), 0, "result corruption escaped");
+    }
+}
+

@@ -14,6 +14,7 @@
 //! * [`sloc`] — significant-lines-of-code accounting for Tables 3 and 5.
 
 pub mod closed;
+pub mod difftest;
 pub mod driver;
 pub mod extlib;
 pub mod faultinj;
@@ -25,6 +26,11 @@ pub mod validate;
 pub mod workload;
 
 pub use closed::{run_closed, Closed, ClosedState};
+pub use difftest::{
+    check_program, check_query, faultinj_escape_rates, run_seed, DifftestCfg, EscapeRow,
+    FindingKind, Obs, ObsVal, QueryVerdict, Reproducer, SeedOutcome, SeedReport, StagePrograms,
+    STAGES,
+};
 pub use driver::{
     compile_all, compile_all_jobs, compile_unit, front_end, CompileError, CompiledUnit,
     CompilerOptions,

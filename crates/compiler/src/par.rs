@@ -124,7 +124,16 @@ where
 /// [`par_map`] for fallible item functions, with serial error semantics:
 /// the returned error is the one the *serial* loop would have hit first
 /// (the failing item with the smallest index), regardless of which worker
-/// saw its error first.
+/// saw its error first or how items were batched across workers.
+///
+/// Two failures in the same dispatch batch therefore race only on *who
+/// records first*, never on *which error is returned*: every worker
+/// publishes the lowest failing index it has seen, items above the current
+/// lowest failure are skipped (the serial loop would never have reached
+/// them), and the final selection takes the minimum index across all
+/// workers. This also means a panic in an item *after* the first failing
+/// index cannot mask the error the serial loop would have reported —
+/// previously the whole input was mapped eagerly and such a panic won.
 ///
 /// # Errors
 /// The error of the lowest-indexed failing item.
@@ -135,12 +144,70 @@ where
     E: Send,
     F: Fn(usize, &T) -> Result<R, E> + Sync,
 {
-    let results = par_map(jobs, items, f);
-    let mut out = Vec::with_capacity(results.len());
-    for r in results {
-        out.push(r?);
+    let workers = jobs.resolve().min(items.len().max(1));
+    if workers <= 1 || items.len() <= 1 {
+        // Exact serial behavior: stop at the first error.
+        let mut out = Vec::with_capacity(items.len());
+        for (i, t) in items.iter().enumerate() {
+            out.push(f(i, t)?);
+        }
+        return Ok(out);
     }
-    Ok(out)
+    let next = AtomicUsize::new(0);
+    // Lowest failing index seen so far, across all workers.
+    let first_err = AtomicUsize::new(usize::MAX);
+    let mut oks: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    let mut errs: Vec<(usize, E)> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let next = &next;
+            let first_err = &first_err;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut ok: Vec<(usize, R)> = Vec::new();
+                let mut err: Vec<(usize, E)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    // Items past the lowest known failure cannot change the
+                    // result (the serial loop would already have returned);
+                    // skip them. Items *below* it must still run — one of
+                    // them may fail with an even lower index.
+                    if i > first_err.load(Ordering::Relaxed) {
+                        continue;
+                    }
+                    match f(i, &items[i]) {
+                        Ok(r) => ok.push((i, r)),
+                        Err(e) => {
+                            first_err.fetch_min(i, Ordering::Relaxed);
+                            err.push((i, e));
+                        }
+                    }
+                }
+                (ok, err)
+            }));
+        }
+        for h in handles {
+            match h.join() {
+                Ok((ok, err)) => {
+                    oks.extend(ok);
+                    errs.extend(err);
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    // Selection is by index, not by arrival: the minimum failing index is
+    // exactly the error the serial loop reports.
+    if let Some((_, e)) = errs.into_iter().min_by_key(|(i, _)| *i) {
+        return Err(e);
+    }
+    debug_assert_eq!(oks.len(), items.len(), "no error implies full coverage");
+    oks.sort_by_key(|(i, _)| *i);
+    Ok(oks.into_iter().map(|(_, r)| r).collect())
 }
 
 #[cfg(test)]
@@ -170,7 +237,7 @@ mod tests {
     #[test]
     fn error_is_first_by_index_not_by_schedule() {
         let items: Vec<u32> = (0..100).collect();
-        for jobs in [Jobs::N(1), Jobs::N(4)] {
+        for jobs in [Jobs::N(1), Jobs::N(4), Jobs::N(16)] {
             let r: Result<Vec<u32>, u32> = try_par_map(jobs, &items, |_, x| {
                 if *x % 7 == 3 {
                     Err(*x)
@@ -180,6 +247,66 @@ mod tests {
             });
             // Serial loop hits item 3 first (3 % 7 == 3).
             assert_eq!(r.unwrap_err(), 3, "jobs={jobs:?}");
+        }
+    }
+
+    /// Two failures in the *same dispatch batch*: with `jobs = 4` the first
+    /// four items are claimed simultaneously, and whichever worker errors
+    /// first must not decide the result. Run many rounds to give the race
+    /// every chance to pick the wrong one, across jobs 1/4/16.
+    #[test]
+    fn adjacent_failures_in_one_batch_pick_lowest_index() {
+        let items: Vec<u32> = (0..32).collect();
+        for jobs in [Jobs::N(1), Jobs::N(4), Jobs::N(16)] {
+            for round in 0..50 {
+                let r: Result<Vec<u32>, u32> = try_par_map(jobs, &items, |i, x| {
+                    // Items 1 and 2 both fail; item 2 does so *instantly*
+                    // while item 1 spins first, so arrival order is
+                    // routinely 2-before-1 on a real scheduler.
+                    match i {
+                        1 => {
+                            for _ in 0..(round * 200) {
+                                std::hint::black_box(());
+                            }
+                            Err(*x)
+                        }
+                        2 => Err(*x),
+                        _ => Ok(*x),
+                    }
+                });
+                assert_eq!(r.unwrap_err(), 1, "jobs={jobs:?} round={round}");
+            }
+        }
+    }
+
+    /// The all-`Ok` path returns the full result vector in input order for
+    /// every worker count (same contract as `par_map`).
+    #[test]
+    fn try_par_map_ok_path_matches_serial() {
+        let items: Vec<u64> = (0..101).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * 2 + 1).collect();
+        for jobs in [Jobs::N(1), Jobs::N(4), Jobs::N(16)] {
+            let r: Result<Vec<u64>, ()> = try_par_map(jobs, &items, |_, x| Ok(x * 2 + 1));
+            assert_eq!(r.unwrap(), serial, "jobs={jobs:?}");
+        }
+    }
+
+    /// Once a low-index failure is known, items past it are skipped — the
+    /// serial loop would never have run them, and their errors must never
+    /// win. Item 0 fails immediately; a high item records whether it ran
+    /// after the failure was published.
+    #[test]
+    fn errors_after_the_first_failing_index_never_win() {
+        let items: Vec<u32> = (0..64).collect();
+        for jobs in [Jobs::N(1), Jobs::N(4), Jobs::N(16)] {
+            let r: Result<Vec<u32>, u32> = try_par_map(jobs, &items, |i, x| {
+                if i == 0 || i >= 32 {
+                    Err(*x)
+                } else {
+                    Ok(*x)
+                }
+            });
+            assert_eq!(r.unwrap_err(), 0, "jobs={jobs:?}");
         }
     }
 

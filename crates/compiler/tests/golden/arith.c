@@ -1,0 +1,10 @@
+int arith(int p0, int p1) {
+  int v0;
+  int v1;
+  v0 = 0;
+  v1 = 0;
+  v0 = ((p0 + (3 * p1)) - 7);
+  v1 = ((v0 << 2) ^ (p0 & 255));
+  v0 = ((v1 / 3) + (v0 % 5));
+  return (v0 + (2 * v1));
+}

@@ -1,0 +1,14 @@
+int branch(int p0, int p1) {
+  int v0;
+  v0 = 0;
+  if ((p0 - p1) > 0) {
+    if ((p0 & 1) > 0) {
+      v0 = (p0 - p1);
+    } else {
+      v0 = (p0 + p1);
+    }
+  } else {
+    v0 = (p1 - p0);
+  }
+  return (v0 * 3);
+}

@@ -1,0 +1,15 @@
+extern int inc(int);
+
+int wide(int p0, int p1, int p2, int p3, int p4, int p5) {
+  return (((p0 + p1) + (p2 + p3)) + ((p4 + p5) * 2));
+}
+
+int calls(int p0, int p1) {
+  int v0;
+  int v1;
+  v0 = 0;
+  v1 = 0;
+  v0 = wide(p0, p1, 1, 2, 3, 4);
+  v1 = inc(v0);
+  return (v1 - p0);
+}

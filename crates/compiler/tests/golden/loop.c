@@ -1,0 +1,11 @@
+int loop(int p0) {
+  int v0;
+  int c0;
+  v0 = 0;
+  c0 = 0;
+  while (c0 < 10) {
+    v0 = (v0 + (p0 + c0));
+    c0 = c0 + 1;
+  }
+  return v0;
+}

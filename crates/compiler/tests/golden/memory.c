@@ -1,0 +1,20 @@
+extern long sum2(long*);
+int acc = 0;
+long buf[8];
+
+int memory(int p0, int p1) {
+  int v0;
+  int v1;
+  long w[2];
+  long ws;
+  v0 = 0;
+  v1 = 0;
+  buf[(p0 & 7)] = (long) ((p0 * 5));
+  v1 = (int) buf[(p0 & 7)];
+  acc = acc + (v1 + p1);
+  v0 = acc;
+  w[0] = (long) (v0);
+  w[1] = (long) (v1);
+  ws = sum2(w);
+  return (int) ws;
+}

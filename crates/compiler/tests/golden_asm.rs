@@ -1,0 +1,122 @@
+//! Golden snapshot tests for `ccomp-o --dump-asm` (ISSUE.md satellite).
+//!
+//! Five committed workloads under `tests/golden/` are compiled with the
+//! default optimization pipeline and their Asm-O dump — rendered *exactly*
+//! as the `ccomp-o` binary renders it — is compared byte-for-byte against
+//! the committed `.s` snapshot. Any codegen change, however small, shows up
+//! as a readable diff here before it reaches the differential oracle.
+//!
+//! To refresh the snapshots after an intentional codegen change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p compiler --test golden_asm
+//! ```
+//!
+//! then review and commit the updated `.s` files.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use compiler::{compile_all, CompilerOptions};
+
+/// The five committed workloads: straight-line arithmetic (constprop/CSE
+/// fodder), branching, a counted loop, internal + external calls with a
+/// stack-spilled 6-arg callee, and global/pointer memory traffic.
+const WORKLOADS: [&str; 5] = ["arith", "branch", "loop", "calls", "memory"];
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+/// Render the Asm dump of one compiled file exactly as
+/// `ccomp-o --dump-asm FILE` prints it.
+fn dump_asm(file: &str, unit: &compiler::CompiledUnit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "; Asm-O for {file}");
+    for f in &unit.asm.functions {
+        out.push_str(&f.dump());
+    }
+    out
+}
+
+#[test]
+fn asm_snapshots_are_stable() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let dir = golden_dir();
+    let mut refreshed = Vec::new();
+    for name in WORKLOADS {
+        let c_path = dir.join(format!("{name}.c"));
+        let s_path = dir.join(format!("{name}.s"));
+        let src = std::fs::read_to_string(&c_path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", c_path.display()));
+        let (units, _symtab) = compile_all(&[&src], CompilerOptions::default())
+            .unwrap_or_else(|e| panic!("{name}.c must compile: {e}"));
+        let got = dump_asm(&format!("{name}.c"), &units[0]);
+
+        if update {
+            std::fs::write(&s_path, &got)
+                .unwrap_or_else(|e| panic!("cannot write {}: {e}", s_path.display()));
+            refreshed.push(name);
+            continue;
+        }
+
+        let want = std::fs::read_to_string(&s_path).unwrap_or_else(|e| {
+            panic!(
+                "missing snapshot {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+                s_path.display()
+            )
+        });
+        if got != want {
+            // Byte-exact comparison, but report the first differing line so
+            // the failure is actionable without a diff tool.
+            let mismatch = got
+                .lines()
+                .zip(want.lines())
+                .position(|(g, w)| g != w)
+                .map(|i| {
+                    format!(
+                        "first diff at line {}:\n  golden: {}\n  got:    {}",
+                        i + 1,
+                        want.lines().nth(i).unwrap_or(""),
+                        got.lines().nth(i).unwrap_or("")
+                    )
+                })
+                .unwrap_or_else(|| {
+                    format!(
+                        "same common prefix, lengths differ (golden {} lines, got {})",
+                        want.lines().count(),
+                        got.lines().count()
+                    )
+                });
+            panic!(
+                "asm snapshot mismatch for {name}.c — {mismatch}\n\
+                 (intentional codegen change? refresh with \
+                 UPDATE_GOLDEN=1 cargo test -p compiler --test golden_asm)"
+            );
+        }
+    }
+    if update {
+        // Make `UPDATE_GOLDEN=1` runs loud so a refresh is never silent.
+        eprintln!("refreshed {} snapshot(s): {refreshed:?}", refreshed.len());
+    }
+}
+
+/// Snapshots are a function of the source alone: recompiling yields the
+/// same bytes (guards against nondeterminism sneaking into codegen, which
+/// would also break `--jobs` byte-identity).
+#[test]
+fn asm_dump_is_deterministic() {
+    let dir = golden_dir();
+    for name in WORKLOADS {
+        let src = std::fs::read_to_string(dir.join(format!("{name}.c"))).unwrap();
+        let (u1, _) = compile_all(&[&src], CompilerOptions::default()).unwrap();
+        let (u2, _) = compile_all(&[&src], CompilerOptions::default()).unwrap();
+        assert_eq!(
+            dump_asm(name, &u1[0]),
+            dump_asm(name, &u2[0]),
+            "{name}: asm dump must be deterministic"
+        );
+    }
+}

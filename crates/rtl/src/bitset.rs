@@ -216,6 +216,64 @@ mod tests {
         assert_ne!(a, b);
     }
 
+    /// Word-boundary edges: bits 63, 64 and 65 straddle the first/second
+    /// `u64`; every operation must agree on which side of the boundary each
+    /// lives on.
+    #[test]
+    fn word_boundary_bits() {
+        for bit in [63u32, 64, 65] {
+            let mut s = BitSet::new();
+            assert!(!s.contains(bit));
+            assert!(s.insert(bit), "bit {bit}: first insert is fresh");
+            assert!(!s.insert(bit), "bit {bit}: reinsert is not");
+            assert!(s.contains(bit));
+            assert_eq!(s.len(), 1, "bit {bit}");
+            assert_eq!(s.iter().collect::<Vec<_>>(), vec![bit]);
+            // Neighbors on the other side of the boundary are unaffected.
+            assert!(!s.contains(bit.wrapping_sub(1)) || bit == 0);
+            assert!(!s.contains(bit + 1));
+            assert!(s.remove(bit));
+            assert!(s.is_empty(), "bit {bit}");
+        }
+        // All three together occupy exactly two words and iterate in order.
+        let s: BitSet = [65, 63, 64].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![63, 64, 65]);
+        assert_eq!(s.len(), 3);
+    }
+
+    /// `union_with`'s changed-bit return at word boundaries: growing only in
+    /// a *new trailing word* must report `true`, re-unioning must report
+    /// `false`, and a union that adds nothing but forces a resize (other is
+    /// wider but only with zero words) must report `false`.
+    #[test]
+    fn union_with_changed_bit_at_word_boundaries() {
+        // Gain confined to the second word.
+        let mut a: BitSet = [63].into_iter().collect();
+        let b: BitSet = [64].into_iter().collect();
+        assert!(a.union_with(&b), "gaining bit 64 must report change");
+        assert!(!a.union_with(&b), "idempotent re-union");
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![63, 64]);
+
+        // Gain confined to the third word (65 already shared, 128 new).
+        let mut c: BitSet = [63, 65].into_iter().collect();
+        let d: BitSet = [65, 128].into_iter().collect();
+        assert!(c.union_with(&d));
+        assert!(!c.union_with(&d));
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![63, 65, 128]);
+
+        // `other` wider only by an explicitly zeroed word: no semantic gain,
+        // so no change — even though `self`'s word vector grows.
+        let mut e: BitSet = [63].into_iter().collect();
+        let mut wide = BitSet::new();
+        wide.insert(64 + 63); // occupy word 1,
+        wide.remove(64 + 63); // then empty it again (words stay allocated).
+        assert!(!e.union_with(&wide), "zero-word widening is not a change");
+        assert_eq!(e.iter().collect::<Vec<_>>(), vec![63]);
+        // And semantic equality still holds against the never-widened set.
+        let f: BitSet = [63].into_iter().collect();
+        assert_eq!(e, f);
+    }
+
     #[test]
     fn lattice_laws() {
         let a: BitSet = [1, 64].into_iter().collect();
