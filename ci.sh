@@ -69,5 +69,22 @@ grep -q '"findings": 0,' /tmp/ci_difftest_1.json
 # The committed 500-seed baseline must be well-formed and clean too.
 grep -q '"schema": "compcerto-difftest/1"' DIFFTEST.json
 grep -q '"findings": 0,' DIFFTEST.json
+# PR 6: the report now carries a deterministic observability section.
+grep -q '"obs"' DIFFTEST.json
+grep -q '"stage_pairs": "6/6"' DIFFTEST.json
+
+echo "== observability gate (counter baseline + overhead) =="
+# EXPERIMENTS.md row B9 / DESIGN.md §10: recompute the deterministic
+# counter baseline and compare against the committed OBS.json *after*
+# normalization (the schema-aware normalizer strips the volatile
+# pool/timings sections — wall-clock is reported, never gated). The same
+# invocation asserts grammar coverage is complete, the difftest sweep is
+# finding-free, and metrics-on compilation stays within 5% (+ absolute
+# slack) of metrics-off.
+cargo run -q --release -p bench --bin obs_campaign -- --check OBS.json --max-overhead 5
+# The committed baseline itself must be schema-valid and fully covered.
+grep -q '"schema": "compcerto-obs/1"' OBS.json
+grep -q '"complete": true' OBS.json
+grep -q '"stage_pairs": "6/6"' OBS.json
 
 echo "== ci ok =="

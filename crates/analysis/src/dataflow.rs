@@ -57,6 +57,28 @@ fn dense_order<G: CfgView + ?Sized>(g: &G) -> (Vec<u32>, HashMap<u32, usize>) {
     (order, idx)
 }
 
+thread_local! {
+    static SOLVER_ITERATIONS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Cumulative worklist-solver iterations (node pops across
+/// [`forward_solve`] and [`backward_solve`]) on *this thread*.
+///
+/// Deterministic effort counter for the observability layer (DESIGN.md
+/// §10): the ordered worklists pop in exact RPO / postorder, so for a
+/// fixed CFG the delta between two reads is byte-reproducible and
+/// independent of `--jobs`. Kept separate from the sibling counter in
+/// `rtl::analysis` so metrics can attribute iterations to the trusted
+/// pipeline vs. the untrusted validator.
+#[must_use]
+pub fn solver_iterations() -> u64 {
+    SOLVER_ITERATIONS.with(std::cell::Cell::get)
+}
+
+fn tick_solver() {
+    SOLVER_ITERATIONS.with(|c| c.set(c.get() + 1));
+}
+
 /// Assemble the dense solver state back into the public node-keyed map.
 fn undense<S>(order: &[u32], state: Vec<Option<S>>) -> BTreeMap<u32, S> {
     order
@@ -90,6 +112,7 @@ where
     state[ei] = Some(entry);
     let mut work: BTreeSet<usize> = BTreeSet::from([ei]);
     while let Some(i) = work.pop_first() {
+        tick_solver();
         let n = order[i];
         let Some(before) = state[i].as_ref() else { continue };
         let after = transfer(n, before);
@@ -142,6 +165,7 @@ where
     let mut state: Vec<Option<S>> = order.iter().map(|_| None).collect();
     let mut work: BTreeSet<usize> = (0..order.len()).collect();
     while let Some(i) = work.pop_last() {
+        tick_solver();
         let n = order[i];
         let mut out = bot.clone();
         for s in g.successors(n) {

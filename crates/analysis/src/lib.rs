@@ -34,7 +34,10 @@ pub mod lint;
 pub mod validate;
 
 pub use cfg::{predecessors, reachable, reverse_postorder, CfgView, LinearCfg, MachCfg};
-pub use dataflow::{backward_solve, forward_solve, live_out, maybe_uninit, JoinSemiLattice, VarSet};
+pub use dataflow::{
+    backward_solve, forward_solve, live_out, maybe_uninit, solver_iterations, JoinSemiLattice,
+    VarSet,
+};
 pub use diag::Diagnostic;
 pub use dom::DomTree;
 pub use lint::{lint_asm, lint_linear, lint_ltl, lint_mach, lint_rtl};

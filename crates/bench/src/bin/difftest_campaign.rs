@@ -24,8 +24,10 @@
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
+use compcerto_gen::Coverage;
 use compiler::{
-    faultinj_escape_rates, par_map, run_seed, DifftestCfg, Jobs, SeedOutcome, SeedReport,
+    faultinj_escape_rates, par_map, run_seed_obs, Counters, DifftestCfg, Jobs, SeedObs,
+    SeedOutcome, SeedReport, STAGES,
 };
 
 struct Cli {
@@ -129,8 +131,24 @@ fn run(cli: &Cli) -> Result<(String, usize), String> {
     );
 
     // Phase 1 — the oracle sweep (order-preserving fan-out: the report is
-    // the same for every `--jobs` setting).
-    let reports: Vec<SeedReport> = par_map(cli.jobs, &seeds, |_, &s| run_seed(s, &cfg));
+    // the same for every `--jobs` setting). Each seed also contributes its
+    // observability bundle: deterministic counters, grammar coverage and
+    // the stage pairs actually compared (DESIGN.md §10).
+    let reports: Vec<(SeedReport, SeedObs)> =
+        par_map(cli.jobs, &seeds, |_, &s| run_seed_obs(s, &cfg));
+
+    // Fold the per-seed observability in seed order (commutative sums and
+    // set unions: jobs-invariant by construction).
+    let mut obs_counters = Counters::default();
+    let mut obs_coverage = Coverage::default();
+    let mut stages_compared: std::collections::BTreeSet<&'static str> =
+        std::collections::BTreeSet::new();
+    for (_, o) in &reports {
+        obs_counters.add(&o.counters);
+        obs_coverage.merge(&o.coverage);
+        stages_compared.extend(o.stages_compared.iter().copied());
+    }
+    let reports: Vec<SeedReport> = reports.into_iter().map(|(r, _)| r).collect();
 
     let mut agree = 0usize;
     let mut skipped = 0usize;
@@ -238,6 +256,55 @@ fn run(cli: &Cli) -> Result<(String, usize), String> {
         ));
     }
     j.push_str("  ],\n");
+
+    // Observability section (DESIGN.md §10): deterministic counters summed
+    // over the seed block, grammar-constructor coverage of the generated
+    // programs, and which of the six stage pairs the block exercised. No
+    // timings here — wall-clock never enters a committed report.
+    let non_baseline = STAGES.len() - 1;
+    j.push_str("  \"obs\": {\n");
+    j.push_str(&format!(
+        "    \"counters\": {},\n",
+        obs_counters.to_json_object(4)
+    ));
+    j.push_str("    \"gen_coverage\": {\n");
+    j.push_str(&format!(
+        "      \"complete\": {},\n",
+        obs_coverage.complete()
+    ));
+    let missing = obs_coverage.missing();
+    j.push_str(&format!(
+        "      \"missing\": [{}],\n",
+        missing
+            .iter()
+            .map(|m| format!("\"{}\"", json_str(m)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    j.push_str("      \"counters\": {\n");
+    let entries = obs_coverage.counter_entries();
+    for (i, (k, v)) in entries.iter().enumerate() {
+        j.push_str(&format!(
+            "        \"{k}\": {v}{}\n",
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("      }\n");
+    j.push_str("    },\n");
+    j.push_str(&format!(
+        "    \"stages_compared\": [{}],\n",
+        stages_compared
+            .iter()
+            .map(|s| format!("\"{s}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    j.push_str(&format!(
+        "    \"stage_pairs\": \"{}/{}\"\n",
+        stages_compared.len(),
+        non_baseline
+    ));
+    j.push_str("  },\n");
     j.push_str("  \"escape_matrix\": {\n");
     j.push_str(&format!("    \"seeds_probed\": {esc_probed},\n"));
     j.push_str(&format!("    \"seeds_skipped\": {esc_skipped},\n"));

@@ -18,12 +18,21 @@
 //!                        (`auto`/`0` = all hardware threads, the default;
 //!                        `1` = today's exact serial pipeline; output is
 //!                        byte-identical for every setting)
+//!   --metrics            print the observability report (deterministic
+//!                        counters first, wall-clock spans after) as text
+//!   --metrics-json       like --metrics, but as a `compcerto-obs/1` JSON
+//!                        document on stdout
+//!   --trace-json         with --run/--check: emit the execution's
+//!                        JSON-lines event trace (run-start/step/external/
+//!                        terminal) on stdout before the result
 //!   -O0                  disable the optional optimizations
 //! ```
 
 use std::process::ExitCode;
 
-use compiler::{c_query, check_thm38, compile_all_jobs, CompilerOptions, ExtLib, Jobs};
+use compiler::{
+    c_query, check_thm38, compile_all_jobs, CompilerOptions, ExtLib, Jobs, MetricsReport,
+};
 use mem::Val;
 
 struct Cli {
@@ -32,6 +41,9 @@ struct Cli {
     dump_rtl: bool,
     validate: bool,
     validate_json: bool,
+    metrics: bool,
+    metrics_json: bool,
+    trace_json: bool,
     run: Option<(String, Vec<i32>, bool)>,
     opts: CompilerOptions,
     jobs: Jobs,
@@ -45,6 +57,9 @@ fn parse_args() -> Result<Cli, String> {
         dump_rtl: false,
         validate: false,
         validate_json: false,
+        metrics: false,
+        metrics_json: false,
+        trace_json: false,
         run: None,
         opts: CompilerOptions::default(),
         jobs: Jobs::Auto,
@@ -58,6 +73,12 @@ fn parse_args() -> Result<Cli, String> {
                 cli.validate = true;
                 cli.validate_json = true;
             }
+            "--metrics" => cli.metrics = true,
+            "--metrics-json" => {
+                cli.metrics = true;
+                cli.metrics_json = true;
+            }
+            "--trace-json" => cli.trace_json = true,
             "-O0" => cli.opts = CompilerOptions::none(),
             "--jobs" => {
                 let v = args.next().ok_or("--jobs requires a value")?;
@@ -87,8 +108,9 @@ fn parse_args() -> Result<Cli, String> {
     if cli.files.is_empty() {
         return Err("no input files".into());
     }
-    // `-O0` rebuilds `opts`, so transfer the flag at the end.
+    // `-O0` rebuilds `opts`, so transfer the flags at the end.
     cli.opts.validate = cli.validate;
+    cli.opts.metrics = cli.metrics;
     Ok(cli)
 }
 
@@ -101,6 +123,7 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: ccomp-o [--dump-asm] [--dump-rtl] [--validate] [--validate-json] \
+                 [--metrics] [--metrics-json] [--trace-json] \
                  [--jobs N|auto] [-O0] [--run FN ARGS... | --check FN ARGS...] FILE.c ..."
             );
             return ExitCode::from(2);
@@ -162,6 +185,12 @@ fn main() -> ExitCode {
         }
     }
 
+    // Everything executed from here on (the Clight run and the Thm 3.8 /
+    // Cor 3.9 checks) contributes its deterministic counter delta to the
+    // `--metrics` report; the compile-phase counters live in the per-unit
+    // metrics absorbed by `from_units` below.
+    let run_snap = cli.metrics.then(compiler::ObsSnapshot::take);
+
     if let Some((fname, args, check)) = cli.run {
         let unit = match units.iter().find(|u| u.clight.function(&fname).is_some()) {
             Some(u) => u,
@@ -186,7 +215,18 @@ fn main() -> ExitCode {
             };
         }
         let sem = clight::ClightSem::new(whole, symtab.clone());
-        let out = compcerto_core::lts::run(&sem, &q, &mut |m| lib.answer_c(m), 100_000_000);
+        let budget = if cli.trace_json {
+            compcerto_core::lts::RunBudget::with_fuel(100_000_000).json_trace()
+        } else {
+            compcerto_core::lts::RunBudget::with_fuel(100_000_000).no_trace()
+        };
+        let out =
+            compcerto_core::lts::run_budgeted(&sem, &q, &mut |m| lib.answer_c(m), &budget);
+        if cli.trace_json {
+            for line in compcerto_core::obs::take_trace() {
+                println!("{line}");
+            }
+        }
         match out {
             compcerto_core::lts::RunOutcome::Complete { answer, .. } => {
                 println!("{fname}({args:?}) = {}", answer.retval);
@@ -223,6 +263,21 @@ fn main() -> ExitCode {
                     return ExitCode::from(1);
                 }
             }
+        }
+    }
+
+    if cli.metrics {
+        let mut report = MetricsReport::from_units("ccomp-o", &units);
+        if let Some(snap) = run_snap {
+            let delta = snap.delta();
+            if !delta.0.is_empty() {
+                report.absorb_counters(&delta);
+            }
+        }
+        if cli.metrics_json {
+            print!("{}", report.to_json());
+        } else {
+            print!("{}", report.render_text());
         }
     }
     ExitCode::SUCCESS

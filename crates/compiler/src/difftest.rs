@@ -714,6 +714,27 @@ pub fn check_query(
     q: &CQuery,
     budget: &RunBudget,
 ) -> QueryVerdict {
+    check_query_rec(sp, symtab, lib, q, budget, None)
+}
+
+/// [`check_query`] with an optional stage-pair recorder: each non-baseline
+/// stage name is inserted *when its comparison against the Clight baseline
+/// actually runs* (an early finding or skip leaves later stages unrecorded),
+/// so a campaign can prove which of the six stage pairs its seed block
+/// exercised (`gen/tests/coverage.rs`).
+fn check_query_rec(
+    sp: &StagePrograms,
+    symtab: &SymbolTable,
+    lib: &ExtLib,
+    q: &CQuery,
+    budget: &RunBudget,
+    mut rec: Option<&mut BTreeSet<&'static str>>,
+) -> QueryVerdict {
+    let mut record = |stage: &'static str| {
+        if let Some(set) = rec.as_deref_mut() {
+            set.insert(stage);
+        }
+    };
     let base = match run_clight_stage(&sp.clight, symtab, lib, q, budget) {
         StageOutcome::Ok(obs) => obs,
         StageOutcome::Budget(_) => return QueryVerdict::Skipped { stage: "clight" },
@@ -736,6 +757,7 @@ pub fn check_query(
             }
         }
     };
+    record("simpl-locals");
     if let Some(v) = compare_stage(
         "simpl-locals",
         run_clight_stage(&sp.clight_simpl, symtab, lib, q, budget),
@@ -743,9 +765,11 @@ pub fn check_query(
     ) {
         return v;
     }
+    record("rtl");
     if let Some(v) = compare_stage("rtl", run_rtl_stage(&sp.rtl, symtab, lib, q, budget), &base) {
         return v;
     }
+    record("rtl-opt");
     if let Some(v) = compare_stage(
         "rtl-opt",
         run_rtl_stage(&sp.rtl_opt, symtab, lib, q, budget),
@@ -753,6 +777,7 @@ pub fn check_query(
     ) {
         return v;
     }
+    record("linear");
     if let Some(v) = compare_stage(
         "linear",
         run_linear_stage(&sp.linear, symtab, lib, q, budget),
@@ -760,6 +785,7 @@ pub fn check_query(
     ) {
         return v;
     }
+    record("mach");
     if let Some(v) = compare_stage(
         "mach",
         run_mach_stage(&sp.mach, &sp.ra_map, symtab, lib, q, budget),
@@ -767,6 +793,7 @@ pub fn check_query(
     ) {
         return v;
     }
+    record("asm");
     if let Some(v) = compare_stage("asm", run_asm_stage(&sp.asm, symtab, lib, q, budget), &base) {
         return v;
     }
@@ -805,6 +832,16 @@ fn is_budget_sim_err(e: &SimCheckError) -> bool {
 /// stage on every query, and (for multi-unit programs) run the metamorphic
 /// link-composition checks.
 pub fn check_program(prog: &GProgram, cfg: &DifftestCfg) -> SeedOutcome {
+    check_program_rec(prog, cfg, None)
+}
+
+/// [`check_program`] with an optional stage-pair recorder threaded through
+/// every query (see [`check_query_rec`]).
+fn check_program_rec(
+    prog: &GProgram,
+    cfg: &DifftestCfg,
+    mut rec: Option<&mut BTreeSet<&'static str>>,
+) -> SeedOutcome {
     let srcs = prog.render();
     let refs: Vec<&str> = srcs.iter().map(String::as_str).collect();
     let opts = CompilerOptions::validated();
@@ -879,7 +916,7 @@ pub fn check_program(prog: &GProgram, cfg: &DifftestCfg) -> SeedOutcome {
             args: args.iter().map(|&a| Val::Int(a)).collect(),
             mem: init.clone(),
         };
-        let obs = match check_query(&sp, &symtab, &lib, &q, &budget) {
+        let obs = match check_query_rec(&sp, &symtab, &lib, &q, &budget, rec.as_deref_mut()) {
             QueryVerdict::Agree(obs) => obs,
             QueryVerdict::Skipped { .. } => {
                 queries_skipped += 1;
@@ -995,6 +1032,77 @@ pub fn run_seed(seed: u64, cfg: &DifftestCfg) -> SeedReport {
         outcome,
         reproducer,
     }
+}
+
+// ---------------------------------------------------------------------------
+// Observed seed runs: coverage, stage pairs, and deterministic counters
+// ---------------------------------------------------------------------------
+
+/// What one observed seed run ([`run_seed_obs`]) contributes to a campaign's
+/// observability section, beyond the verdict itself.
+///
+/// Everything here is a pure function of `(seed, DifftestCfg)`:
+///
+/// * [`coverage`](SeedObs::coverage) is computed from the generated program
+///   alone;
+/// * [`stages_compared`](SeedObs::stages_compared) records which of the six
+///   non-baseline stages were actually compared against Clight on at least
+///   one query;
+/// * [`counters`](SeedObs::counters) is the [`ObsSnapshot`] delta around the
+///   whole run (generation, compilation, every stage execution, and any
+///   reduction). The entire seed runs on one thread, so the delta is exact
+///   and — because campaign aggregation is a commutative sum in seed order —
+///   jobs-invariant.
+///
+/// [`ObsSnapshot`]: crate::obs::ObsSnapshot
+#[derive(Debug, Clone)]
+pub struct SeedObs {
+    /// Grammar-constructor coverage of the generated program.
+    pub coverage: compcerto_gen::Coverage,
+    /// Stage names (subset of [`STAGES`] minus `"clight"`) compared against
+    /// the baseline on at least one query.
+    pub stages_compared: BTreeSet<&'static str>,
+    /// Deterministic counter deltas for the whole seed run.
+    pub counters: crate::obs::Counters,
+}
+
+/// [`run_seed`] plus observability: the same [`SeedReport`] (byte-identical
+/// verdicts), bundled with the seed's [`SeedObs`].
+pub fn run_seed_obs(seed: u64, cfg: &DifftestCfg) -> (SeedReport, SeedObs) {
+    let snap = crate::obs::ObsSnapshot::take();
+    let prog = generate(seed, &cfg.gen);
+    let coverage = compcerto_gen::Coverage::of_program(&prog);
+    let mut stages = BTreeSet::new();
+    let outcome = check_program_rec(&prog, cfg, Some(&mut stages));
+    let mut reproducer = None;
+    if let SeedOutcome::Finding { kind, .. } = &outcome {
+        if cfg.reduce {
+            let tag = kind.tag();
+            let (min, stats) = reduce(
+                &prog,
+                |p| matches!(check_program(p, cfg), SeedOutcome::Finding { kind: k, .. } if k.tag() == tag),
+                cfg.reduce_checks,
+            );
+            reproducer = Some(Reproducer {
+                source: min.to_annotated_source(),
+                stmts: min.stmt_count(),
+                stats,
+            });
+        }
+    }
+    let counters = snap.delta();
+    (
+        SeedReport {
+            seed,
+            outcome,
+            reproducer,
+        },
+        SeedObs {
+            coverage,
+            stages_compared: stages,
+            counters,
+        },
+    )
 }
 
 // ---------------------------------------------------------------------------

@@ -33,6 +33,13 @@ pub struct CompilerOptions {
     /// [`CompiledUnit::diagnostics`]; compilation still succeeds, callers
     /// decide what to do with a non-empty report.
     pub validate: bool,
+    /// Collect per-unit observability metrics (DESIGN.md §10): the
+    /// deterministic counter delta of the unit's pass pipeline plus
+    /// per-pass wall-clock spans, landing in [`CompiledUnit::metrics`].
+    /// Off by default; the counters themselves tick unconditionally (they
+    /// are a few thread-local adds), this flag only controls the per-pass
+    /// timing spans and the snapshot/delta bookkeeping.
+    pub metrics: bool,
 }
 
 impl Default for CompilerOptions {
@@ -44,6 +51,7 @@ impl Default for CompilerOptions {
             cse: true,
             deadcode: true,
             validate: false,
+            metrics: false,
         }
     }
 }
@@ -58,6 +66,7 @@ impl CompilerOptions {
             cse: false,
             deadcode: false,
             validate: false,
+            metrics: false,
         }
     }
 
@@ -67,6 +76,13 @@ impl CompilerOptions {
             validate: true,
             ..CompilerOptions::default()
         }
+    }
+
+    /// Enable per-unit observability metrics collection.
+    #[must_use]
+    pub fn with_metrics(mut self) -> CompilerOptions {
+        self.metrics = true;
+        self
     }
 }
 
@@ -141,6 +157,10 @@ pub struct CompiledUnit {
     /// [`CompilerOptions::validate`] was set — or when it was set and the
     /// unit is clean).
     pub diagnostics: Vec<compcerto_validate::Diagnostic>,
+    /// Observability metrics of this unit's pass pipeline (`None` unless
+    /// [`CompilerOptions::metrics`] was set). The counter bag is
+    /// deterministic; the pass spans are wall-clock (see `crate::obs`).
+    pub metrics: Option<crate::obs::UnitMetrics>,
 }
 
 /// The shared front-end prefix of [`compile_unit`] and [`compile_all`]:
@@ -175,37 +195,66 @@ pub fn compile_program(
     symtab: &SymbolTable,
     opts: CompilerOptions,
 ) -> Result<CompiledUnit, CompileError> {
-    let clight_simpl = simpl_locals(typed);
-    let csharp = cshmgen(&clight_simpl).map_err(CompileError::Cshmgen)?;
-    let cminor = cminorgen(&csharp).map_err(CompileError::Cminorgen)?;
-    let cminorsel = selection(&cminor);
-    let rtl0 = rtlgen(&cminorsel);
+    // Observability (DESIGN.md §10): the snapshot/delta pair runs entirely
+    // on this thread, and the parallel pool runs each unit entirely on one
+    // worker — so the per-unit counter delta is schedule- and
+    // jobs-invariant by construction. Pass spans are wall-clock and land
+    // in the volatile (never gated) half of the metrics.
+    let snap = opts.metrics.then(crate::obs::ObsSnapshot::take);
+    let mut pass_ms: Vec<(&'static str, f64)> = Vec::new();
+
+    /// Run one pass, recording its wall-clock span when metrics are on.
+    fn span<T>(
+        on: bool,
+        pass_ms: &mut Vec<(&'static str, f64)>,
+        name: &'static str,
+        f: impl FnOnce() -> T,
+    ) -> T {
+        if !on {
+            return f();
+        }
+        let t0 = std::time::Instant::now();
+        let r = f();
+        pass_ms.push((name, t0.elapsed().as_secs_f64() * 1e3));
+        r
+    }
+    let on = opts.metrics;
+    let ms = &mut pass_ms;
+
+    let clight_simpl = span(on, ms, "simpl_locals", || simpl_locals(typed));
+    let csharp =
+        span(on, ms, "cshmgen", || cshmgen(&clight_simpl)).map_err(CompileError::Cshmgen)?;
+    let cminor = span(on, ms, "cminorgen", || cminorgen(&csharp)).map_err(CompileError::Cminorgen)?;
+    let cminorsel = span(on, ms, "selection", || selection(&cminor));
+    let rtl0 = span(on, ms, "rtlgen", || rtlgen(&cminorsel));
 
     let mut r = rtl0.clone();
     if opts.tailcall {
-        r = tailcall(&r);
+        r = span(on, ms, "tailcall", || tailcall(&r));
     }
     if opts.inlining {
-        r = inlining(&r);
+        r = span(on, ms, "inlining", || inlining(&r));
     }
-    r = renumber(&r);
+    r = span(on, ms, "renumber", || renumber(&r));
     let romem = Romem::new(symtab);
     if opts.constprop {
-        r = constprop(&r, &romem);
+        r = span(on, ms, "constprop", || constprop(&r, &romem));
     }
     if opts.cse {
-        r = cse(&r);
+        r = span(on, ms, "cse", || cse(&r));
     }
     if opts.deadcode {
-        r = deadcode(&r);
+        r = span(on, ms, "deadcode", || deadcode(&r));
     }
 
-    let ltl = allocation(&r);
-    let ltl_tunneled = tunneling(&ltl);
-    let linear_raw = linearize(&ltl_tunneled);
-    let linear = debugvar(&cleanup_labels(&linear_raw));
-    let mach = stacking(&linear).map_err(CompileError::Stacking)?;
-    let (asm, ra_map) = asmgen(&mach);
+    let ltl = span(on, ms, "allocation", || allocation(&r));
+    let ltl_tunneled = span(on, ms, "tunneling", || tunneling(&ltl));
+    let linear_raw = span(on, ms, "linearize", || linearize(&ltl_tunneled));
+    let linear = span(on, ms, "cleanup_labels", || {
+        debugvar(&cleanup_labels(&linear_raw))
+    });
+    let mach = span(on, ms, "stacking", || stacking(&linear)).map_err(CompileError::Stacking)?;
+    let (asm, ra_map) = span(on, ms, "asmgen", || asmgen(&mach));
 
     let mut unit = CompiledUnit {
         clight: typed.clone(),
@@ -223,9 +272,15 @@ pub fn compile_program(
         asm,
         ra_map,
         diagnostics: Vec::new(),
+        metrics: None,
     };
     if opts.validate {
-        unit.diagnostics = crate::validate::validate_unit(&unit);
+        unit.diagnostics = span(on, ms, "validate", || crate::validate::validate_unit(&unit));
+    }
+    if let Some(snap) = snap {
+        let mut counters = snap.delta();
+        counters.add(&crate::obs::ir_counters(&unit));
+        unit.metrics = Some(crate::obs::UnitMetrics { counters, pass_ms });
     }
     Ok(unit)
 }

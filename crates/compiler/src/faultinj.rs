@@ -471,6 +471,12 @@ pub struct CampaignReport {
     pub cfg: CampaignCfg,
     /// Per-class tallies, in [`MUTATION_CLASSES`] order.
     pub stats: Vec<ClassStats>,
+    /// Deterministic observability counters summed over every mutant check
+    /// (static validation + dynamic probes). Each mutant's delta is captured
+    /// on the worker thread that ran it and the fold is a commutative `u64`
+    /// sum in mutant order, so the bag is byte-identical for every
+    /// `cfg.jobs` setting.
+    pub counters: crate::obs::Counters,
 }
 
 impl CampaignReport {
@@ -622,12 +628,16 @@ pub fn run_campaign(cfg: &CampaignCfg) -> Result<CampaignReport, String> {
         }
     }
 
-    // Phase 2 — check (parallel; results come back in input order).
-    let outcomes: Vec<(bool, Option<SimCheckError>)> = par_map(cfg.jobs, &mutants, |_, (_, m)| {
-        let statically = !crate::validate::validate_unit(&m.unit).is_empty();
-        let dynamic = probe_mutant(m, &symtab, &lib, cfg);
-        (statically, dynamic)
-    });
+    // Phase 2 — check (parallel; results come back in input order). Each
+    // mutant's observability delta is captured entirely on the worker thread
+    // that checks it, so the per-mutant bags are schedule-invariant.
+    let outcomes: Vec<(bool, Option<SimCheckError>, crate::obs::Counters)> =
+        par_map(cfg.jobs, &mutants, |_, (_, m)| {
+            let snap = crate::obs::ObsSnapshot::take();
+            let statically = !crate::validate::validate_unit(&m.unit).is_empty();
+            let dynamic = probe_mutant(m, &symtab, &lib, cfg);
+            (statically, dynamic, snap.delta())
+        });
 
     // Phase 3 — tally (serial fold over the ordered outcomes).
     let mut stats: Vec<ClassStats> = MUTATION_CLASSES
@@ -643,7 +653,8 @@ pub fn run_campaign(cfg: &CampaignCfg) -> Result<CampaignReport, String> {
             errors: BTreeMap::new(),
         })
         .collect();
-    for ((ci, mutant), (statically, dynamic)) in mutants.iter().zip(&outcomes) {
+    let mut counters = crate::obs::Counters::default();
+    for ((ci, mutant), (statically, dynamic, delta)) in mutants.iter().zip(&outcomes) {
         let st = &mut stats[*ci];
         if *statically {
             st.static_caught += 1;
@@ -658,10 +669,12 @@ pub fn run_campaign(cfg: &CampaignCfg) -> Result<CampaignReport, String> {
                 st.expected_class += 1;
             }
         }
+        counters.add(delta);
     }
     Ok(CampaignReport {
         cfg: cfg.clone(),
         stats,
+        counters,
     })
 }
 

@@ -19,6 +19,7 @@ pub mod driver;
 pub mod extlib;
 pub mod faultinj;
 pub mod harness;
+pub mod obs;
 pub mod par;
 pub mod registry;
 pub mod sloc;
@@ -27,15 +28,19 @@ pub mod workload;
 
 pub use closed::{run_closed, Closed, ClosedState};
 pub use difftest::{
-    check_program, check_query, faultinj_escape_rates, run_seed, DifftestCfg, EscapeRow,
-    FindingKind, Obs, ObsVal, QueryVerdict, Reproducer, SeedOutcome, SeedReport, StagePrograms,
-    STAGES,
+    check_program, check_query, faultinj_escape_rates, run_seed, run_seed_obs, DifftestCfg,
+    EscapeRow, FindingKind, Obs, ObsVal, QueryVerdict, Reproducer, SeedObs, SeedOutcome,
+    SeedReport, StagePrograms, STAGES,
 };
 pub use driver::{
     compile_all, compile_all_jobs, compile_unit, front_end, CompileError, CompiledUnit,
     CompilerOptions,
 };
-pub use par::{available_parallelism, par_map, try_par_map, Jobs};
+pub use obs::{
+    ir_counters, normalize_metrics_json, Counters, MetricsReport, ObsSnapshot, UnitMetrics,
+    OBS_SCHEMA,
+};
+pub use par::{available_parallelism, par_map, pool_stats, try_par_map, Jobs, PoolStats};
 pub use extlib::ExtLib;
 pub use faultinj::{
     mutate, run_campaign, CampaignCfg, CampaignReport, Mutant, Mutation, MutationClass,

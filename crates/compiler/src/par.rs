@@ -20,7 +20,57 @@
 //! Everything here is `std`-only (`std::thread::scope`); the workspace stays
 //! offline and dependency-free.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+// ---------------------------------------------------------------------------
+// Pool occupancy stats (observability layer, DESIGN.md §10)
+// ---------------------------------------------------------------------------
+
+static POOL_POOLS: AtomicU64 = AtomicU64::new(0);
+static POOL_ITEMS: AtomicU64 = AtomicU64::new(0);
+static POOL_WORKERS_MAX: AtomicU64 = AtomicU64::new(0);
+static POOL_BUSIEST: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative process-wide pool statistics.
+///
+/// These are *scheduling* observations — `busiest_worker_items` depends on
+/// which worker won the atomic-index race — so the metrics reports place
+/// them in the volatile `pool` section that
+/// [`crate::obs::normalize_metrics_json`] strips before any byte
+/// comparison. They are reported for humans, never gated.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoolStats {
+    /// Pooled map invocations ([`par_map`] + [`try_par_map`]).
+    pub pools: u64,
+    /// Total items dispatched across all pools.
+    pub items: u64,
+    /// Largest worker count any pool resolved to.
+    pub workers_max: u64,
+    /// Most items any single worker processed in one pool (occupancy
+    /// skew; equals the pool's item count in a serial run).
+    pub busiest_worker_items: u64,
+}
+
+/// Read the cumulative process-wide [`PoolStats`].
+#[must_use]
+pub fn pool_stats() -> PoolStats {
+    PoolStats {
+        pools: POOL_POOLS.load(Ordering::Relaxed),
+        items: POOL_ITEMS.load(Ordering::Relaxed),
+        workers_max: POOL_WORKERS_MAX.load(Ordering::Relaxed),
+        busiest_worker_items: POOL_BUSIEST.load(Ordering::Relaxed),
+    }
+}
+
+fn note_pool(workers: usize, items: usize) {
+    POOL_POOLS.fetch_add(1, Ordering::Relaxed);
+    POOL_ITEMS.fetch_add(items as u64, Ordering::Relaxed);
+    POOL_WORKERS_MAX.fetch_max(workers as u64, Ordering::Relaxed);
+}
+
+fn note_worker_items(n: usize) {
+    POOL_BUSIEST.fetch_max(n as u64, Ordering::Relaxed);
+}
 
 /// Degree of parallelism for a pooled operation.
 ///
@@ -84,8 +134,10 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     let workers = jobs.resolve().min(items.len().max(1));
+    note_pool(workers, items.len());
     if workers <= 1 || items.len() <= 1 {
         // Exact serial behavior: same loop, same order, no threads.
+        note_worker_items(items.len());
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
     let next = AtomicUsize::new(0);
@@ -104,6 +156,7 @@ where
                     }
                     local.push((i, f(i, &items[i])));
                 }
+                note_worker_items(local.len());
                 local
             }));
         }
@@ -145,8 +198,10 @@ where
     F: Fn(usize, &T) -> Result<R, E> + Sync,
 {
     let workers = jobs.resolve().min(items.len().max(1));
+    note_pool(workers, items.len());
     if workers <= 1 || items.len() <= 1 {
         // Exact serial behavior: stop at the first error.
+        note_worker_items(items.len());
         let mut out = Vec::with_capacity(items.len());
         for (i, t) in items.iter().enumerate() {
             out.push(f(i, t)?);
@@ -187,6 +242,7 @@ where
                         }
                     }
                 }
+                note_worker_items(ok.len() + err.len());
                 (ok, err)
             }));
         }

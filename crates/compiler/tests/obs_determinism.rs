@@ -1,0 +1,126 @@
+//! Observability determinism (DESIGN.md §10): the *deterministic* half of
+//! a metrics report — the counter bag — must be byte-identical across
+//! worker-pool widths and across repeated runs; the *volatile* half (pool
+//! stats, wall-clock spans) is stripped by the schema-aware normalizer
+//! ([`compiler::normalize_metrics_json`], itself pinned by unit tests in
+//! `compiler::obs`).
+//!
+//! Two corpora are pinned:
+//!
+//! * the five committed golden workloads (`tests/golden/*.c`), compiled
+//!   with metrics on under `--jobs 1/4/16`;
+//! * a 50-seed difftest block run through [`run_seed_obs`] under the same
+//!   three pool widths, with coverage and stage sets folded in seed order.
+//!
+//! Counters are compared after normalization (the full JSON document still
+//! contains `pool`/`timings_ms`, which legitimately differ run to run).
+
+use std::collections::BTreeSet;
+
+use compcerto_gen::Coverage;
+use compiler::{
+    compile_all_jobs, normalize_metrics_json, par_map, run_seed_obs, CompilerOptions, DifftestCfg,
+    Jobs, MetricsReport,
+};
+
+const GOLDEN: [&str; 5] = [
+    include_str!("golden/arith.c"),
+    include_str!("golden/branch.c"),
+    include_str!("golden/calls.c"),
+    include_str!("golden/loop.c"),
+    include_str!("golden/memory.c"),
+];
+
+const DIFFTEST_SEEDS: u64 = 50;
+
+/// Compile the golden corpus with metrics on under `jobs` and return the
+/// *normalized* metrics JSON (volatile sections stripped).
+fn golden_metrics_json(jobs: Jobs) -> String {
+    let (units, _tbl) = compile_all_jobs(
+        &GOLDEN,
+        CompilerOptions::validated().with_metrics(),
+        jobs,
+    )
+    .expect("golden corpus compiles");
+    let report = MetricsReport::from_units("golden-compile", &units);
+    normalize_metrics_json(&report.to_json()).expect("schema marker present")
+}
+
+/// Run the 50-seed difftest block under `jobs`; returns the normalized
+/// metrics JSON plus the folded coverage/stage observations.
+fn difftest_metrics_json(jobs: Jobs) -> (String, Coverage, BTreeSet<&'static str>) {
+    let cfg = DifftestCfg::quick();
+    let seeds: Vec<u64> = (0..DIFFTEST_SEEDS).collect();
+    let results = par_map(jobs, &seeds, |_, &s| run_seed_obs(s, &cfg));
+    let mut coverage = Coverage::default();
+    let mut stages = BTreeSet::new();
+    let mut report = MetricsReport {
+        kind: "difftest".into(),
+        ..MetricsReport::default()
+    };
+    for (seed_report, obs) in &results {
+        assert!(
+            !matches!(
+                seed_report.outcome,
+                compiler::SeedOutcome::Finding { .. }
+            ),
+            "seed {} produced a finding",
+            seed_report.seed
+        );
+        coverage.merge(&obs.coverage);
+        stages.extend(obs.stages_compared.iter().copied());
+        report.absorb_counters(&obs.counters);
+    }
+    let json = normalize_metrics_json(&report.to_json()).expect("schema marker present");
+    (json, coverage, stages)
+}
+
+#[test]
+fn golden_metrics_are_jobs_invariant_and_repeatable() {
+    let j1 = golden_metrics_json(Jobs::N(1));
+    let j4 = golden_metrics_json(Jobs::N(4));
+    let j16 = golden_metrics_json(Jobs::N(16));
+    assert_eq!(j1, j4, "golden metrics differ between --jobs 1 and 4");
+    assert_eq!(j1, j16, "golden metrics differ between --jobs 1 and 16");
+    // Two runs at the same width must also agree byte-for-byte: counters
+    // may not depend on thread-local history or allocation addresses.
+    let again = golden_metrics_json(Jobs::N(4));
+    assert_eq!(j4, again, "golden metrics differ across two identical runs");
+    // The normalized document keeps the deterministic sections...
+    assert!(j1.contains("\"schema\": \"compcerto-obs/1\""));
+    assert!(j1.contains("\"counters\""));
+    assert!(j1.contains("\"ir.asm_instrs\""));
+    assert!(j1.contains("\"solver.rtl_iterations\""));
+    // ...and has actually stripped the volatile ones.
+    assert!(!j1.contains("\"pool\""), "pool stats must be stripped");
+    assert!(!j1.contains("\"timings_ms\""), "timings must be stripped");
+}
+
+#[test]
+fn difftest_block_metrics_are_jobs_invariant_and_repeatable() {
+    let (j1, cov1, st1) = difftest_metrics_json(Jobs::N(1));
+    let (j4, cov4, st4) = difftest_metrics_json(Jobs::N(4));
+    let (j16, cov16, st16) = difftest_metrics_json(Jobs::N(16));
+    assert_eq!(j1, j4, "difftest metrics differ between --jobs 1 and 4");
+    assert_eq!(j1, j16, "difftest metrics differ between --jobs 1 and 16");
+    assert_eq!(cov1, cov4);
+    assert_eq!(cov1, cov16);
+    assert_eq!(st1, st4);
+    assert_eq!(st1, st16);
+    // Repeatability at a fixed width.
+    let (again, _, _) = difftest_metrics_json(Jobs::N(4));
+    assert_eq!(j4, again, "difftest metrics differ across two runs");
+    // The 50-seed block must be doing real work: interpreters ran at every
+    // stage, memory traffic happened, both solver families iterated.
+    assert!(j1.contains("\"lts.runs\""));
+    assert!(!j1.contains("\"lts.runs\": 0,"), "no LTS runs recorded");
+    assert!(!j1.contains("\"mem.loads\": 0,"), "no memory loads recorded");
+    assert!(
+        !j1.contains("\"solver.rtl_iterations\": 0,"),
+        "RTL dataflow solver never iterated"
+    );
+    assert!(
+        !j1.contains("\"solver.validate_iterations\": 0,"),
+        "validator dataflow solver never iterated"
+    );
+}

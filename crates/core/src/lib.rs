@@ -57,6 +57,7 @@ pub mod hcomp;
 pub mod iface;
 pub mod invariants;
 pub mod lts;
+pub mod obs;
 pub mod regs;
 pub mod rng;
 pub mod seqcomp;

@@ -215,18 +215,26 @@ pub enum TraceMode {
     Off,
     /// Retain the last `n` states (`Ring(0)` behaves like `Off`).
     Ring(usize),
+    /// Emit structured JSON-lines events (`compcerto-obs/1`) into the
+    /// thread-local sink drained by [`crate::obs::take_trace`]: one
+    /// `run-start` line, one `step`/`external` line per transition (step
+    /// lines capped at [`crate::obs::MAX_STEP_EVENTS`] per run) and exactly
+    /// one `terminal` line. No states are cloned or retained (the ring is
+    /// empty), so failing outcomes carry an empty diagnostic trace — this
+    /// mode trades the ring for a machine-readable event stream.
+    Json,
 }
 
 impl TraceMode {
-    /// Ring capacity (0 when off).
+    /// Ring capacity (0 when off or in JSON-lines mode).
     pub fn capacity(self) -> usize {
         match self {
-            TraceMode::Off => 0,
+            TraceMode::Off | TraceMode::Json => 0,
             TraceMode::Ring(n) => n,
         }
     }
 
-    /// True when no states are retained.
+    /// True when no states are retained in the diagnostic ring.
     pub fn is_off(self) -> bool {
         self.capacity() == 0
     }
@@ -310,6 +318,15 @@ impl RunBudget {
     #[must_use]
     pub fn no_trace(mut self) -> RunBudget {
         self.trace = TraceMode::Off;
+        self
+    }
+
+    /// Emit structured JSON-lines trace events ([`TraceMode::Json`]) into
+    /// the thread-local sink ([`crate::obs::take_trace`]) instead of
+    /// retaining a state ring.
+    #[must_use]
+    pub fn json_trace(mut self) -> RunBudget {
+        self.trace = TraceMode::Json;
         self
     }
 }
@@ -650,17 +667,89 @@ pub fn run<Sem: Lts>(
     run_budgeted(lts, q, env, &RunBudget::with_fuel(fuel))
 }
 
+/// Per-run statistics accumulated by the inner step loop and consumed by
+/// the single outer bookkeeping point of [`run_budgeted`].
+#[derive(Default)]
+struct RunStats {
+    /// Internal steps taken (resumes included).
+    steps: u64,
+    /// Outgoing external calls handed to the environment.
+    external_calls: u64,
+    /// Observable events drained by `step_into`.
+    events: u64,
+}
+
 /// Run `lts` on incoming question `q` under the full [`RunBudget`].
 ///
 /// This is the analog of closing a strategy against an environment strategy;
 /// with an always-refusing `env` it runs closed components. Every quota
 /// violation is reported as an outcome — this function never panics on
 /// behalf of the component.
+///
+/// Observability (DESIGN.md §10): every run bumps the thread-local
+/// [`crate::obs::LtsCounters`] — `runs`, `steps`, `external_calls`,
+/// `events`, and exactly one terminal-outcome counter — at a *single*
+/// bookkeeping point after the step loop returns. Under
+/// [`TraceMode::Json`] the runner also appends `compcerto-obs/1` JSON-lines
+/// events to the thread-local sink (`run-start` before the loop,
+/// `step`/`external` inside it, and exactly one `terminal` line at the same
+/// single bookkeeping point — the ring trace and the sink never
+/// double-report the final stuck/answer event).
 pub fn run_budgeted<Sem: Lts>(
     lts: &Sem,
     q: &Question<Sem::I>,
     env: &mut Env<'_, Question<Sem::O>, Answer<Sem::O>>,
     budget: &RunBudget,
+) -> RunOutcome<Answer<Sem::I>> {
+    let json = budget.trace == TraceMode::Json;
+    if json {
+        crate::obs::emit_run_start(&lts.name());
+    }
+    let mut stats = RunStats::default();
+    let outcome = run_inner(lts, q, env, budget, json, &mut stats);
+    // Single bookkeeping point: whichever arm ended the inner loop, the
+    // outcome counter is bumped and the `terminal` event emitted here and
+    // only here — once per run, by construction.
+    crate::obs::bump(|c| {
+        c.runs += 1;
+        c.steps += stats.steps;
+        c.external_calls += stats.external_calls;
+        c.events += stats.events;
+        match &outcome {
+            RunOutcome::Complete { .. } => c.completes += 1,
+            RunOutcome::Wrong { .. } => c.wrongs += 1,
+            RunOutcome::EnvRefused(_) => c.env_refused += 1,
+            RunOutcome::OutOfFuel { .. } => c.out_of_fuel += 1,
+            RunOutcome::OutOfMemory { .. } => c.out_of_memory += 1,
+            RunOutcome::DepthExceeded { .. } => c.depth_exceeded += 1,
+            RunOutcome::TimedOut { .. } => c.timed_out += 1,
+        }
+    });
+    if json {
+        let label = match &outcome {
+            RunOutcome::Complete { .. } => "complete",
+            RunOutcome::Wrong { .. } => "stuck",
+            RunOutcome::EnvRefused(_) => "env-refused",
+            RunOutcome::OutOfFuel { .. } => "out-of-fuel",
+            RunOutcome::OutOfMemory { .. } => "out-of-memory",
+            RunOutcome::DepthExceeded { .. } => "depth-exceeded",
+            RunOutcome::TimedOut { .. } => "timed-out",
+        };
+        crate::obs::emit_terminal(label, stats.steps);
+    }
+    outcome
+}
+
+/// The step loop of [`run_budgeted`]. Deliberately returns *without*
+/// touching the outcome counters or emitting the terminal trace event —
+/// that bookkeeping happens exactly once in the caller.
+fn run_inner<Sem: Lts>(
+    lts: &Sem,
+    q: &Question<Sem::I>,
+    env: &mut Env<'_, Question<Sem::O>, Answer<Sem::O>>,
+    budget: &RunBudget,
+    json: bool,
+    stats: &mut RunStats,
 ) -> RunOutcome<Answer<Sem::I>> {
     if !lts.accepts(q) {
         return RunOutcome::Wrong {
@@ -723,12 +812,19 @@ pub fn run_budgeted<Sem: Lts>(
         }
         // `step_into` appends events to the run-wide `trace` buffer; the
         // `Internal` arm's event vector is always empty (and unallocated).
-        match lts.step_into(&state, &mut trace) {
+        let events_before = trace.len();
+        let step = lts.step_into(&state, &mut trace);
+        stats.events += (trace.len() - events_before) as u64;
+        match step {
             Step::Internal(s, evs) => {
                 debug_assert!(evs.is_empty(), "step_into must drain events into the buffer");
                 state = s;
                 steps += 1;
+                stats.steps = steps;
                 ring.record(steps, &state);
+                if json && steps <= crate::obs::MAX_STEP_EVENTS {
+                    crate::obs::emit_step(steps);
+                }
             }
             Step::Final(a) => {
                 return RunOutcome::Complete {
@@ -737,22 +833,32 @@ pub fn run_budgeted<Sem: Lts>(
                     steps,
                 }
             }
-            Step::External(oq) => match env(&oq) {
-                Some(ans) => match lts.resume(&state, ans) {
-                    Ok(s) => {
-                        state = s;
-                        steps += 1;
-                        ring.record(steps, &state);
-                    }
-                    Err(stuck) => {
-                        return RunOutcome::Wrong {
-                            stuck,
-                            trace: ring.render(),
+            Step::External(oq) => {
+                stats.external_calls += 1;
+                if json {
+                    crate::obs::emit_external(steps);
+                }
+                match env(&oq) {
+                    Some(ans) => match lts.resume(&state, ans) {
+                        Ok(s) => {
+                            state = s;
+                            steps += 1;
+                            stats.steps = steps;
+                            ring.record(steps, &state);
+                            if json && steps <= crate::obs::MAX_STEP_EVENTS {
+                                crate::obs::emit_step(steps);
+                            }
                         }
-                    }
-                },
-                None => return RunOutcome::EnvRefused(format!("{oq:?}")),
-            },
+                        Err(stuck) => {
+                            return RunOutcome::Wrong {
+                                stuck,
+                                trace: ring.render(),
+                            }
+                        }
+                    },
+                    None => return RunOutcome::EnvRefused(format!("{oq:?}")),
+                }
+            }
             Step::Stuck(stuck) => {
                 return RunOutcome::Wrong {
                     stuck,

@@ -264,6 +264,7 @@ fn drive<Sem: Lts>(
                 s = s2;
                 ctx.fuel -= 1;
                 ctx.steps += 1;
+                crate::obs::bump(|c| c.sim_steps += 1);
                 ctx.ring.record(ctx.steps, &s);
             }
             Step::Final(a) => return Ok(Interaction::Final(a)),

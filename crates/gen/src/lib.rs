@@ -27,10 +27,12 @@
 //! so the generator stays decoupled from the compiler: the oracle plugs in
 //! as an ordinary predicate.
 
+pub mod coverage;
 pub mod generate;
 pub mod program;
 pub mod reduce;
 
+pub use coverage::{Coverage, EXPR_CONSTRUCTORS, STMT_CONSTRUCTORS};
 pub use generate::{generate, GenCfg};
 pub use program::{GExpr, GFn, GProgram, GStmt, GUnit};
 pub use reduce::{reduce, ReduceStats};

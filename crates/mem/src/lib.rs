@@ -37,6 +37,7 @@ mod injp;
 #[allow(clippy::module_inception)]
 mod mem;
 mod memval;
+pub mod obs;
 mod perm;
 mod value;
 
@@ -47,5 +48,6 @@ pub use inject::{mem_inject, memval_inject, val_inject, val_list_inject, InjectE
 pub use injp::{InjpViolation, InjpWorld};
 pub use mem::{BlockId, Mem};
 pub use memval::MemVal;
+pub use obs::MemCounters;
 pub use perm::Perm;
 pub use value::{Cmp, Typ, Val};

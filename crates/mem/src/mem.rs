@@ -68,6 +68,7 @@ impl BlockContents {
                         mvs,
                         non_concrete: 1,
                     };
+                    crate::obs::bump(|c| c.demotes += 1);
                 }
             },
             BlockContents::Abstract { mvs, non_concrete } => {
@@ -96,6 +97,7 @@ impl BlockContents {
                 }
             }
             *self = BlockContents::Concrete(bs);
+            crate::obs::bump(|c| c.promotes += 1);
         }
     }
 
@@ -244,6 +246,10 @@ impl Mem {
             perms: vec![Perm::Freeable; size],
         })));
         self.live_bytes += size as u64;
+        crate::obs::bump(|c| {
+            c.allocs += 1;
+            c.alloc_bytes += size as u64;
+        });
         id
     }
 
@@ -263,6 +269,7 @@ impl Mem {
     /// Requires `Freeable` permission on the whole range.
     pub fn free(&mut self, b: BlockId, lo: i64, hi: i64) -> Result<(), MemError> {
         self.range_perm(b, lo, hi, Perm::Freeable)?;
+        crate::obs::bump(|c| c.frees += 1);
         let (blo, bhi) = self.bounds(b)?;
         if lo <= blo && hi >= bhi {
             self.blocks[b as usize] = None;
@@ -357,6 +364,7 @@ impl Mem {
     pub fn load(&self, chunk: Chunk, b: BlockId, ofs: i64) -> Result<Val, MemError> {
         self.check_align(chunk, ofs)?;
         self.range_perm(b, ofs, ofs + chunk.size(), Perm::Readable)?;
+        crate::obs::bump(|c| c.loads += 1);
         let bd = self.block(b).ok_or(MemError::InvalidBlock(b))?;
         let i = (ofs - bd.lo) as usize;
         let n = chunk.size() as usize;
@@ -375,6 +383,7 @@ impl Mem {
     pub fn store(&mut self, chunk: Chunk, b: BlockId, ofs: i64, v: Val) -> Result<(), MemError> {
         self.check_align(chunk, ofs)?;
         self.range_perm(b, ofs, ofs + chunk.size(), Perm::Writable)?;
+        crate::obs::bump(|c| c.stores += 1);
         let fast = encode_scalar_bytes(chunk, v);
         let bd = self.block_mut(b).ok_or(MemError::InvalidBlock(b))?;
         let i = (ofs - bd.lo) as usize;

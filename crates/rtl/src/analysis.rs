@@ -16,6 +16,28 @@ use crate::lang::{Inst, Node, PReg, RtlFunction, RtlOp};
 // Worklist solvers
 // ---------------------------------------------------------------------------
 
+thread_local! {
+    static SOLVER_ITERATIONS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Cumulative worklist-solver iterations (node pops across
+/// [`forward_solve`] and [`backward_solve`]) on *this thread*.
+///
+/// A deterministic effort counter for the observability layer (DESIGN.md
+/// §10): the worklists are ordered `BTreeSet`s popped in exact RPO /
+/// postorder, so for a fixed function the pop sequence — and hence this
+/// counter's delta — is byte-reproducible and independent of `--jobs`
+/// (each function is solved entirely on one worker thread). Diff two reads
+/// to attribute iterations to a region of code.
+#[must_use]
+pub fn solver_iterations() -> u64 {
+    SOLVER_ITERATIONS.with(std::cell::Cell::get)
+}
+
+fn tick_solver() {
+    SOLVER_ITERATIONS.with(|c| c.set(c.get() + 1));
+}
+
 /// Predecessor map of a function's CFG.
 ///
 /// Each CFG edge is recorded once: an instruction that lists the same
@@ -112,6 +134,7 @@ where
     state[ei] = Some(entry);
     let mut work: BTreeSet<usize> = BTreeSet::from([ei]);
     while let Some(i) = work.pop_first() {
+        tick_solver();
         let n = order[i];
         let Some(inst) = f.code.get(&n) else { continue };
         let after = match state[i].as_ref() {
@@ -168,6 +191,7 @@ where
     let mut state: Vec<Option<S>> = order.iter().map(|_| None).collect();
     let mut work: BTreeSet<usize> = (0..order.len()).collect();
     while let Some(i) = work.pop_last() {
+        tick_solver();
         let n = order[i];
         let Some(inst) = f.code.get(&n) else { continue };
         let mut out = bot.clone();

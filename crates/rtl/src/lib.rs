@@ -34,8 +34,8 @@ pub mod sem;
 pub mod tailcall;
 
 pub use analysis::{
-    backward_solve, forward_solve, liveness, predecessors, value_analysis, AEnv, AVal,
-    JoinSemiLattice, Romem,
+    backward_solve, forward_solve, liveness, predecessors, solver_iterations, value_analysis,
+    AEnv, AVal, JoinSemiLattice, Romem,
 };
 pub use bitset::BitSet;
 pub use constprop::constprop;
