@@ -20,6 +20,12 @@ echo "== clippy unwrap/expect gate (library paths) =="
 cargo clippy -p compcerto-core -p mem -p rtl -p compiler -p compcerto-validate --lib -- \
     -D clippy::unwrap_used -D clippy::expect_used
 
+echo "== bin unwrap/expect audit (ISSUE 6: no panicking shortcuts in drivers) =="
+# The evaluation/driver bins must fail gracefully (exit 1/2 with a
+# message), never unwind. A plain text audit keeps the gate independent of
+# clippy's transitive-lint behavior.
+! grep -n '\.unwrap()\|\.expect(' crates/bench/src/bin/*.rs crates/compiler/src/bin/*.rs
+
 echo "== fault-injection campaign (determinism smoke) =="
 cargo run -q -p bench --bin faultinj_campaign -- --seed 42 --per-class 5 > /tmp/ci_camp_1.txt
 cargo run -q -p bench --bin faultinj_campaign -- --seed 42 --per-class 5 > /tmp/ci_camp_2.txt
@@ -86,5 +92,38 @@ cargo run -q --release -p bench --bin obs_campaign -- --check OBS.json --max-ove
 grep -q '"schema": "compcerto-obs/1"' OBS.json
 grep -q '"complete": true' OBS.json
 grep -q '"stage_pairs": "6/6"' OBS.json
+
+echo "== resilience gate (fault sweep deterministic, no aborts) =="
+# ISSUE 6 / DESIGN.md §11: 240 injections across the four environment-fault
+# classes must produce the committed outcome table byte-for-byte under both
+# a serial and a parallel pool (thread-local arming makes the sweep
+# jobs-invariant), and the process must never abort (`aborts` is emitted
+# only when every injection returned).
+cargo run -q --release -p bench --bin resilience_campaign -- --jobs 1 --out /tmp/ci_resil_1.json
+cargo run -q --release -p bench --bin resilience_campaign -- --jobs 4 --out /tmp/ci_resil_2.json
+cmp /tmp/ci_resil_1.json /tmp/ci_resil_2.json
+cargo run -q --release -p bench --bin resilience_campaign -- --jobs 4 --check RESIL.json
+grep -q '"schema": "compcerto-resil/1"' RESIL.json
+grep -q '"aborts": 0,' RESIL.json
+
+echo "== kill-and-resume smoke (checkpointed campaigns) =="
+# A campaign stopped at a block boundary and resumed in a fresh process
+# must produce a final report byte-identical to the uninterrupted run, and
+# must clean up its checkpoint afterwards.
+cargo run -q --release -p bench --bin difftest_campaign -- --quick --jobs auto --block 5 --max-blocks 1 \
+    --out /tmp/ci_resume.json --ckpt /tmp/ci_resume.ckpt
+test -f /tmp/ci_resume.ckpt
+cargo run -q --release -p bench --bin difftest_campaign -- --quick --jobs auto --block 5 --resume \
+    --out /tmp/ci_resume.json --ckpt /tmp/ci_resume.ckpt
+cmp /tmp/ci_difftest_1.json /tmp/ci_resume.json
+test ! -f /tmp/ci_resume.ckpt
+# Same for the fault-injection campaign (per-class checkpoints).
+cargo run -q -p bench --bin faultinj_campaign -- --seed 42 --per-class 5 \
+    --ckpt /tmp/ci_fi.ckpt --max-classes 4 > /tmp/ci_fi_paused.txt
+test -f /tmp/ci_fi.ckpt
+cargo run -q -p bench --bin faultinj_campaign -- --seed 42 --per-class 5 \
+    --ckpt /tmp/ci_fi.ckpt --resume > /tmp/ci_fi_resumed.txt 2>/dev/null
+cmp /tmp/ci_camp_1.txt /tmp/ci_fi_resumed.txt
+test ! -f /tmp/ci_fi.ckpt
 
 echo "== ci ok =="

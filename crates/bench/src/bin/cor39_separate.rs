@@ -7,6 +7,13 @@ use compcerto_core::conv::SimConv;
 use compiler::{c_query, check_cor39, check_thm35, compile_all, CompilerOptions, ExtLib};
 use mem::Val;
 
+/// Fixture failures are configuration bugs, not runtime conditions — exit
+/// with the usage code instead of unwinding (the bins are unwrap-free).
+fn die(msg: impl std::fmt::Display) -> ! {
+    eprintln!("cor39_separate: {msg}");
+    std::process::exit(2)
+}
+
 /// Generate a two-unit program pair where unit 0 calls into unit 1 `depth`
 /// levels deep.
 fn make_pair(depth: usize) -> (String, String) {
@@ -35,8 +42,8 @@ fn main() {
     println!("{:-<66}", "");
     for depth in [0, 2, 5, 9] {
         let (src1, src2) = make_pair(depth);
-        let (units, tbl) =
-            compile_all(&[&src1, &src2], CompilerOptions::default()).expect("compiles");
+        let (units, tbl) = compile_all(&[&src1, &src2], CompilerOptions::default())
+            .unwrap_or_else(|e| die(format!("depth {depth}: pair does not compile: {e:?}")));
         let lib = ExtLib::demo(tbl.clone());
         let mut crossings = 0usize;
         let queries = 4;
@@ -45,7 +52,9 @@ fn main() {
             let report = check_cor39(&units[0], &units[1], &tbl, &lib, &q)
                 .unwrap_or_else(|e| panic!("depth {depth}, top({x}): {e}"));
             crossings += report.external_calls;
-            let (_, qa) = Ca::new(tbl.len() as u32).transport_query(&q).unwrap();
+            let (_, qa) = Ca::new(tbl.len() as u32)
+                .transport_query(&q)
+                .unwrap_or_else(|| die(format!("depth {depth}: C query does not transport")));
             check_thm35(&units[0].asm, &units[1].asm, &tbl, &lib, &qa)
                 .unwrap_or_else(|e| panic!("depth {depth} thm35: {e}"));
         }

@@ -9,7 +9,8 @@
 //! cargo run --release -p bench --bin difftest_campaign -- \
 //!     [--seeds N] [--seed-base N] [--jobs N|auto] [--quick] \
 //!     [--fuel N] [--queries N] [--no-reduce] \
-//!     [--escape-seeds N] [--per-class N] [--out PATH]
+//!     [--escape-seeds N] [--per-class N] [--out PATH] \
+//!     [--block N] [--ckpt PATH] [--resume] [--max-blocks N]
 //! ```
 //!
 //! Writes a machine-readable summary (schema `compcerto-difftest/1`) to
@@ -20,14 +21,31 @@
 //! machine facts (no core counts, no timings). `ci.sh` runs `--quick` and
 //! fails on any finding; a non-quick sweep exits 1 on findings too, with
 //! each finding's shrunk reproducer inlined in the JSON.
+//!
+//! # Checkpoint/resume (resilience layer, DESIGN.md §11)
+//!
+//! Seeds are processed in blocks of `--block` (default 16); after each
+//! block a `compcerto-ckpt/1` checkpoint is written atomically next to the
+//! report (`--ckpt`, default `<out>.ckpt`). A killed campaign restarted
+//! with `--resume` continues from the last completed block and produces a
+//! final report **byte-identical** to the uninterrupted run — per-seed
+//! results are pure and the aggregation is a commutative fold in seed
+//! order, so where the process died is unobservable in the output. The
+//! checkpoint embeds a fingerprint of every result-affecting flag; resuming
+//! under different flags is a usage error. `--max-blocks N` stops after N
+//! blocks (leaving the checkpoint behind) — the hook the CI kill-and-resume
+//! smoke uses to simulate a mid-campaign kill at a block boundary.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
 use std::process::ExitCode;
 
-use compcerto_gen::Coverage;
+use bench::ckpt::{self, json_str};
+use bench::json::Json;
+use compcerto_gen::{EXPR_CONSTRUCTORS, STMT_CONSTRUCTORS};
 use compiler::{
-    faultinj_escape_rates, par_map, run_seed_obs, Counters, DifftestCfg, Jobs, SeedObs,
-    SeedOutcome, SeedReport, STAGES,
+    faultinj_escape_rates, par_map, run_seed_obs, DifftestCfg, Jobs, SeedOutcome, SeedReport,
+    STAGES,
 };
 
 struct Cli {
@@ -41,6 +59,10 @@ struct Cli {
     escape_seeds: u64,
     per_class: usize,
     out: String,
+    block: u64,
+    ckpt: Option<String>,
+    resume: bool,
+    max_blocks: Option<u64>,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -55,6 +77,10 @@ fn parse_args() -> Result<Cli, String> {
         escape_seeds: 2,
         per_class: 3,
         out: "DIFFTEST.json".to_string(),
+        block: 16,
+        ckpt: None,
+        resume: false,
+        max_blocks: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -71,13 +97,17 @@ fn parse_args() -> Result<Cli, String> {
             "--queries" => cli.queries = Some(take("--queries")? as usize),
             "--escape-seeds" => cli.escape_seeds = take("--escape-seeds")?,
             "--per-class" => cli.per_class = take("--per-class")? as usize,
+            "--block" => cli.block = take("--block")?.max(1),
+            "--max-blocks" => cli.max_blocks = Some(take("--max-blocks")?),
             "--quick" => cli.quick = true,
             "--no-reduce" => cli.no_reduce = true,
+            "--resume" => cli.resume = true,
             "--jobs" => {
                 let v = args.next().ok_or("--jobs needs a value")?;
                 cli.jobs = Jobs::parse(&v)?;
             }
             "--out" => cli.out = args.next().ok_or("--out needs a value")?.to_string(),
+            "--ckpt" => cli.ckpt = Some(args.next().ok_or("--ckpt needs a value")?.to_string()),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -89,24 +119,330 @@ fn parse_args() -> Result<Cli, String> {
     Ok(cli)
 }
 
-/// Minimal JSON string escaping (no serde in the offline workspace).
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
+/// One shrunk finding, owned (checkpoints round-trip through JSON).
+struct FindingRow {
+    seed: u64,
+    kind: String,
+    detail: String,
+    stmts: i64,
+    source: String,
 }
 
-fn run(cli: &Cli) -> Result<(String, usize), String> {
+/// The campaign's phase-1 aggregate: everything the final report needs,
+/// with owned keys so a checkpoint can be reloaded. The fold is
+/// commutative per seed, which is what makes block-wise accumulation
+/// (and therefore resume) byte-equivalent to the one-shot run.
+struct Agg {
+    completed: u64,
+    agree: usize,
+    skipped: usize,
+    queries_run: usize,
+    queries_skipped: usize,
+    counters: BTreeMap<String, u64>,
+    cov_stmts: BTreeMap<String, u64>,
+    cov_exprs: BTreeMap<String, u64>,
+    stages: BTreeSet<String>,
+    findings: Vec<FindingRow>,
+}
+
+impl Agg {
+    fn new() -> Agg {
+        Agg {
+            completed: 0,
+            agree: 0,
+            skipped: 0,
+            queries_run: 0,
+            queries_skipped: 0,
+            counters: BTreeMap::new(),
+            // Pre-populate like `Coverage::default()`: the key set is
+            // stable whether or not a constructor was ever reached.
+            cov_stmts: STMT_CONSTRUCTORS
+                .iter()
+                .map(|n| ((*n).to_string(), 0))
+                .collect(),
+            cov_exprs: EXPR_CONSTRUCTORS
+                .iter()
+                .map(|n| ((*n).to_string(), 0))
+                .collect(),
+            stages: BTreeSet::new(),
+            findings: Vec::new(),
+        }
+    }
+
+    /// Fold one seed's report + observability bundle (printing findings as
+    /// they are folded, exactly like the pre-checkpoint campaign did).
+    fn fold(&mut self, r: &SeedReport, o: &compiler::SeedObs) {
+        for (k, v) in &o.counters.0 {
+            *self.counters.entry((*k).to_string()).or_insert(0) += v;
+        }
+        for (k, v) in &o.coverage.stmts {
+            *self.cov_stmts.entry((*k).to_string()).or_insert(0) += v;
+        }
+        for (k, v) in &o.coverage.exprs {
+            *self.cov_exprs.entry((*k).to_string()).or_insert(0) += v;
+        }
+        self.stages
+            .extend(o.stages_compared.iter().map(|s| (*s).to_string()));
+        match &r.outcome {
+            SeedOutcome::Agree {
+                queries_run: qr,
+                queries_skipped: qs,
+            } => {
+                self.agree += 1;
+                self.queries_run += qr;
+                self.queries_skipped += qs;
+            }
+            SeedOutcome::Skipped(_) => self.skipped += 1,
+            SeedOutcome::Finding { kind, detail } => {
+                println!("FINDING seed={} kind={kind}: {detail}", r.seed);
+                let (stmts, source) = match &r.reproducer {
+                    Some(rep) => {
+                        println!(
+                            "  reduced to {} statements ({} checks, {} rounds):",
+                            rep.stmts, rep.stats.checks, rep.stats.rounds
+                        );
+                        for line in rep.source.lines() {
+                            println!("  | {line}");
+                        }
+                        (rep.stmts as i64, rep.source.clone())
+                    }
+                    None => (-1, String::new()),
+                };
+                self.findings.push(FindingRow {
+                    seed: r.seed,
+                    kind: format!("{kind}"),
+                    detail: detail.clone(),
+                    stmts,
+                    source,
+                });
+            }
+        }
+    }
+
+    /// Serialize as a `compcerto-ckpt/1` checkpoint.
+    fn to_ckpt_json(&self, fingerprint: &str) -> String {
+        let mut j = String::new();
+        j.push_str("{\n");
+        let _ = writeln!(j, "  \"schema\": \"{}\",", ckpt::CKPT_SCHEMA);
+        j.push_str("  \"bin\": \"difftest_campaign\",\n");
+        let _ = writeln!(j, "  \"cfg\": \"{}\",", json_str(fingerprint));
+        let _ = writeln!(j, "  \"completed\": {},", self.completed);
+        let _ = writeln!(j, "  \"agree\": {},", self.agree);
+        let _ = writeln!(j, "  \"skipped\": {},", self.skipped);
+        let _ = writeln!(j, "  \"queries_run\": {},", self.queries_run);
+        let _ = writeln!(j, "  \"queries_skipped\": {},", self.queries_skipped);
+        let _ = writeln!(j, "  \"counters\": {},", ckpt::u64_map_json(&self.counters));
+        let _ = writeln!(j, "  \"cov_stmts\": {},", ckpt::u64_map_json(&self.cov_stmts));
+        let _ = writeln!(j, "  \"cov_exprs\": {},", ckpt::u64_map_json(&self.cov_exprs));
+        let stages: Vec<String> = self.stages.iter().map(|s| format!("\"{s}\"")).collect();
+        let _ = writeln!(j, "  \"stages\": [{}],", stages.join(", "));
+        j.push_str("  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            let _ = writeln!(
+                j,
+                "    {{\"seed\": {}, \"kind\": \"{}\", \"detail\": \"{}\", \
+                 \"stmts\": {}, \"source\": \"{}\"}}{}",
+                f.seed,
+                json_str(&f.kind),
+                json_str(&f.detail),
+                f.stmts,
+                json_str(&f.source),
+                if i + 1 < self.findings.len() { "," } else { "" }
+            );
+        }
+        j.push_str("  ]\n");
+        j.push_str("}\n");
+        j
+    }
+
+    /// Reload from a validated checkpoint document.
+    fn from_ckpt(j: &Json) -> Result<Agg, String> {
+        let u = |key: &str| -> Result<u64, String> {
+            j.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("checkpoint: missing `{key}`"))
+        };
+        let mut agg = Agg::new();
+        agg.completed = u("completed")?;
+        agg.agree = u("agree")? as usize;
+        agg.skipped = u("skipped")? as usize;
+        agg.queries_run = u("queries_run")? as usize;
+        agg.queries_skipped = u("queries_skipped")? as usize;
+        agg.counters = ckpt::u64_map(
+            j.get("counters").ok_or("checkpoint: missing `counters`")?,
+            "counters",
+        )?;
+        agg.cov_stmts = ckpt::u64_map(
+            j.get("cov_stmts").ok_or("checkpoint: missing `cov_stmts`")?,
+            "cov_stmts",
+        )?;
+        agg.cov_exprs = ckpt::u64_map(
+            j.get("cov_exprs").ok_or("checkpoint: missing `cov_exprs`")?,
+            "cov_exprs",
+        )?;
+        agg.stages = j
+            .get("stages")
+            .and_then(Json::as_arr)
+            .ok_or("checkpoint: missing `stages`")?
+            .iter()
+            .filter_map(|s| s.as_str().map(str::to_string))
+            .collect();
+        for f in j
+            .get("findings")
+            .and_then(Json::as_arr)
+            .ok_or("checkpoint: missing `findings`")?
+        {
+            agg.findings.push(FindingRow {
+                seed: f
+                    .get("seed")
+                    .and_then(Json::as_u64)
+                    .ok_or("checkpoint: finding without `seed`")?,
+                kind: f
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+                detail: f
+                    .get("detail")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+                stmts: f.get("stmts").and_then(Json::as_i64).unwrap_or(-1),
+                source: f
+                    .get("source")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+            });
+        }
+        Ok(agg)
+    }
+
+    // --- Coverage helpers mirroring `compcerto_gen::Coverage` over owned
+    // --- keys (same key sets, same orders, same renderings).
+
+    fn cov_missing(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .cov_stmts
+            .iter()
+            .filter(|(_, v)| **v == 0)
+            .map(|(k, _)| format!("stmt:{k}"))
+            .chain(
+                self.cov_exprs
+                    .iter()
+                    .filter(|(_, v)| **v == 0)
+                    .map(|(k, _)| format!("expr:{k}")),
+            )
+            .collect();
+        out.sort();
+        out
+    }
+
+    fn cov_entries(&self) -> Vec<(String, u64)> {
+        self.cov_stmts
+            .iter()
+            .map(|(k, v)| (format!("gen.stmt.{k}"), *v))
+            .chain(
+                self.cov_exprs
+                    .iter()
+                    .map(|(k, v)| (format!("gen.expr.{k}"), *v)),
+            )
+            .collect()
+    }
+
+    /// `Counters::to_json_object` over owned keys (same rendering).
+    fn counters_json(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let inner = " ".repeat(indent + 2);
+        if self.counters.is_empty() {
+            return "{}".to_string();
+        }
+        let mut s = String::from("{\n");
+        let mut first = true;
+        for (k, v) in &self.counters {
+            if !first {
+                s.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(s, "{inner}\"{k}\": {v}");
+        }
+        let _ = write!(s, "\n{pad}}}");
+        s
+    }
+}
+
+/// The fingerprint of every flag that affects report bytes (`--jobs`,
+/// `--block` and the checkpoint plumbing deliberately excluded: the report
+/// is invariant under them).
+fn fingerprint(cli: &Cli, cfg: &DifftestCfg) -> String {
+    format!(
+        "difftest seed_base={} seeds={} quick={} fuel={} queries={} reduce={} \
+         escape_seeds={} per_class={}",
+        cli.seed_base,
+        cli.seeds,
+        cli.quick,
+        cfg.fuel,
+        cfg.queries,
+        cfg.reduce,
+        cli.escape_seeds,
+        cli.per_class
+    )
+}
+
+/// Phase-1 outcome: the aggregate, or "paused at a checkpoint" (max-blocks
+/// reached with seeds remaining).
+enum Phase1 {
+    Done(Agg),
+    Paused,
+}
+
+fn run_phase1(cli: &Cli, cfg: &DifftestCfg, ckpt_path: &str, fp: &str) -> Result<Phase1, String> {
+    let mut agg = if cli.resume {
+        let j = ckpt::load(ckpt_path, "difftest_campaign", fp)?;
+        let agg = Agg::from_ckpt(&j)?;
+        println!(
+            "resumed from {ckpt_path}: {}/{} seeds already folded",
+            agg.completed, cli.seeds
+        );
+        agg
+    } else {
+        Agg::new()
+    };
+    if agg.completed > cli.seeds {
+        return Err(format!(
+            "checkpoint has {} completed seeds but --seeds is {}",
+            agg.completed, cli.seeds
+        ));
+    }
+
+    let mut blocks_this_run = 0u64;
+    while agg.completed < cli.seeds {
+        if let Some(max) = cli.max_blocks {
+            if blocks_this_run >= max {
+                println!(
+                    "pausing after {max} blocks ({} of {} seeds folded; checkpoint at {ckpt_path})",
+                    agg.completed, cli.seeds
+                );
+                return Ok(Phase1::Paused);
+            }
+        }
+        let lo = cli.seed_base + agg.completed;
+        let n = cli.block.min(cli.seeds - agg.completed);
+        let seeds: Vec<u64> = (lo..lo + n).collect();
+        // Order-preserving fan-out: the block's reports come back in seed
+        // order, so the fold is the serial fold.
+        let reports = par_map(cli.jobs, &seeds, |_, &s| run_seed_obs(s, cfg));
+        for (r, o) in &reports {
+            agg.fold(r, o);
+        }
+        agg.completed += n;
+        blocks_this_run += 1;
+        ckpt::write_atomic(ckpt_path, &agg.to_ckpt_json(fp))?;
+    }
+    Ok(Phase1::Done(agg))
+}
+
+fn run(cli: &Cli) -> Result<Option<(String, usize)>, String> {
     let mut cfg = if cli.quick {
         DifftestCfg::quick()
     } else {
@@ -120,7 +456,12 @@ fn run(cli: &Cli) -> Result<(String, usize), String> {
     }
     cfg.reduce = !cli.no_reduce;
 
-    let seeds: Vec<u64> = (cli.seed_base..cli.seed_base + cli.seeds).collect();
+    let fp = fingerprint(cli, &cfg);
+    let ckpt_path = cli
+        .ckpt
+        .clone()
+        .unwrap_or_else(|| format!("{}.ckpt", cli.out));
+
     println!(
         "difftest_campaign: seeds {}..{} quick={} fuel={} queries={}",
         cli.seed_base,
@@ -130,65 +471,27 @@ fn run(cli: &Cli) -> Result<(String, usize), String> {
         cfg.queries
     );
 
-    // Phase 1 — the oracle sweep (order-preserving fan-out: the report is
-    // the same for every `--jobs` setting). Each seed also contributes its
-    // observability bundle: deterministic counters, grammar coverage and
-    // the stage pairs actually compared (DESIGN.md §10).
-    let reports: Vec<(SeedReport, SeedObs)> =
-        par_map(cli.jobs, &seeds, |_, &s| run_seed_obs(s, &cfg));
-
-    // Fold the per-seed observability in seed order (commutative sums and
-    // set unions: jobs-invariant by construction).
-    let mut obs_counters = Counters::default();
-    let mut obs_coverage = Coverage::default();
-    let mut stages_compared: std::collections::BTreeSet<&'static str> =
-        std::collections::BTreeSet::new();
-    for (_, o) in &reports {
-        obs_counters.add(&o.counters);
-        obs_coverage.merge(&o.coverage);
-        stages_compared.extend(o.stages_compared.iter().copied());
-    }
-    let reports: Vec<SeedReport> = reports.into_iter().map(|(r, _)| r).collect();
-
-    let mut agree = 0usize;
-    let mut skipped = 0usize;
-    let mut findings: Vec<&SeedReport> = Vec::new();
-    let mut queries_run = 0usize;
-    let mut queries_skipped = 0usize;
-    for r in &reports {
-        match &r.outcome {
-            SeedOutcome::Agree {
-                queries_run: qr,
-                queries_skipped: qs,
-            } => {
-                agree += 1;
-                queries_run += qr;
-                queries_skipped += qs;
-            }
-            SeedOutcome::Skipped(_) => skipped += 1,
-            SeedOutcome::Finding { kind, detail } => {
-                println!("FINDING seed={} kind={kind}: {detail}", r.seed);
-                if let Some(rep) = &r.reproducer {
-                    println!(
-                        "  reduced to {} statements ({} checks, {} rounds):",
-                        rep.stmts, rep.stats.checks, rep.stats.rounds
-                    );
-                    for line in rep.source.lines() {
-                        println!("  | {line}");
-                    }
-                }
-                findings.push(r);
-            }
-        }
-    }
+    // Phase 1 — the oracle sweep, block by block with checkpoints.
+    let agg = match run_phase1(cli, &cfg, &ckpt_path, &fp)? {
+        Phase1::Done(agg) => agg,
+        Phase1::Paused => return Ok(None),
+    };
     println!(
-        "oracle: {agree} agree, {skipped} skipped, {} findings \
-         ({queries_run} queries compared, {queries_skipped} budget-skipped)",
-        findings.len()
+        "oracle: {} agree, {} skipped, {} findings \
+         ({} queries compared, {} budget-skipped)",
+        agg.agree,
+        agg.skipped,
+        agg.findings.len(),
+        agg.queries_run,
+        agg.queries_skipped
     );
 
     // Phase 2 — fault-injection escape rates under generated programs.
-    let esc_seeds: Vec<u64> = seeds.iter().copied().take(cli.escape_seeds as usize).collect();
+    // Pure in (seed, cfg) and cheap next to phase 1, so it simply re-runs
+    // after a resume — the report stays byte-identical either way.
+    let esc_seeds: Vec<u64> = (cli.seed_base..cli.seed_base + cli.seeds)
+        .take(cli.escape_seeds as usize)
+        .collect();
     let esc_results = par_map(cli.jobs, &esc_seeds, |_, &s| {
         (s, faultinj_escape_rates(s, &cfg, cli.per_class))
     });
@@ -232,27 +535,29 @@ fn run(cli: &Cli) -> Result<(String, usize), String> {
     j.push_str(&format!("  \"seeds\": {},\n", cli.seeds));
     j.push_str(&format!("  \"fuel\": {},\n", cfg.fuel));
     j.push_str(&format!("  \"queries_per_seed\": {},\n", cfg.queries));
-    j.push_str(&format!("  \"agree\": {agree},\n"));
-    j.push_str(&format!("  \"skipped\": {skipped},\n"));
-    j.push_str(&format!("  \"queries_compared\": {queries_run},\n"));
-    j.push_str(&format!("  \"queries_budget_skipped\": {queries_skipped},\n"));
-    j.push_str(&format!("  \"findings\": {},\n", findings.len()));
+    j.push_str(&format!("  \"agree\": {},\n", agg.agree));
+    j.push_str(&format!("  \"skipped\": {},\n", agg.skipped));
+    j.push_str(&format!("  \"queries_compared\": {},\n", agg.queries_run));
+    j.push_str(&format!(
+        "  \"queries_budget_skipped\": {},\n",
+        agg.queries_skipped
+    ));
+    j.push_str(&format!("  \"findings\": {},\n", agg.findings.len()));
     j.push_str("  \"finding_rows\": [\n");
-    for (i, r) in findings.iter().enumerate() {
-        let SeedOutcome::Finding { kind, detail } = &r.outcome else {
-            continue;
-        };
-        let (stmts, source) = match &r.reproducer {
-            Some(rep) => (rep.stmts as i64, json_str(&rep.source)),
-            None => (-1, String::new()),
+    for (i, f) in agg.findings.iter().enumerate() {
+        let source = if f.source.is_empty() {
+            String::new()
+        } else {
+            json_str(&f.source)
         };
         j.push_str(&format!(
             "    {{\"seed\": {}, \"kind\": \"{}\", \"detail\": \"{}\", \
-             \"reduced_stmts\": {stmts}, \"reproducer\": \"{source}\"}}{}\n",
-            r.seed,
-            json_str(&format!("{kind}")),
-            json_str(detail),
-            if i + 1 < findings.len() { "," } else { "" }
+             \"reduced_stmts\": {}, \"reproducer\": \"{source}\"}}{}\n",
+            f.seed,
+            json_str(&f.kind),
+            json_str(&f.detail),
+            f.stmts,
+            if i + 1 < agg.findings.len() { "," } else { "" }
         ));
     }
     j.push_str("  ],\n");
@@ -263,16 +568,10 @@ fn run(cli: &Cli) -> Result<(String, usize), String> {
     // timings here — wall-clock never enters a committed report.
     let non_baseline = STAGES.len() - 1;
     j.push_str("  \"obs\": {\n");
-    j.push_str(&format!(
-        "    \"counters\": {},\n",
-        obs_counters.to_json_object(4)
-    ));
+    j.push_str(&format!("    \"counters\": {},\n", agg.counters_json(4)));
     j.push_str("    \"gen_coverage\": {\n");
-    j.push_str(&format!(
-        "      \"complete\": {},\n",
-        obs_coverage.complete()
-    ));
-    let missing = obs_coverage.missing();
+    let missing = agg.cov_missing();
+    j.push_str(&format!("      \"complete\": {},\n", missing.is_empty()));
     j.push_str(&format!(
         "      \"missing\": [{}],\n",
         missing
@@ -282,7 +581,7 @@ fn run(cli: &Cli) -> Result<(String, usize), String> {
             .join(", ")
     ));
     j.push_str("      \"counters\": {\n");
-    let entries = obs_coverage.counter_entries();
+    let entries = agg.cov_entries();
     for (i, (k, v)) in entries.iter().enumerate() {
         j.push_str(&format!(
             "        \"{k}\": {v}{}\n",
@@ -293,7 +592,7 @@ fn run(cli: &Cli) -> Result<(String, usize), String> {
     j.push_str("    },\n");
     j.push_str(&format!(
         "    \"stages_compared\": [{}],\n",
-        stages_compared
+        agg.stages
             .iter()
             .map(|s| format!("\"{s}\""))
             .collect::<Vec<_>>()
@@ -301,7 +600,7 @@ fn run(cli: &Cli) -> Result<(String, usize), String> {
     ));
     j.push_str(&format!(
         "    \"stage_pairs\": \"{}/{}\"\n",
-        stages_compared.len(),
+        agg.stages.len(),
         non_baseline
     ));
     j.push_str("  },\n");
@@ -322,7 +621,9 @@ fn run(cli: &Cli) -> Result<(String, usize), String> {
     j.push_str("    ]\n");
     j.push_str("  }\n");
     j.push_str("}\n");
-    Ok((j, findings.len()))
+    // The final report replaces the checkpoint.
+    ckpt::remove(&ckpt_path);
+    Ok(Some((j, agg.findings.len())))
 }
 
 fn main() -> ExitCode {
@@ -333,13 +634,14 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: difftest_campaign [--seeds N] [--seed-base N] [--jobs N|auto] \
                  [--quick] [--fuel N] [--queries N] [--no-reduce] \
-                 [--escape-seeds N] [--per-class N] [--out PATH]"
+                 [--escape-seeds N] [--per-class N] [--out PATH] \
+                 [--block N] [--ckpt PATH] [--resume] [--max-blocks N]"
             );
             return ExitCode::from(2);
         }
     };
     match run(&cli) {
-        Ok((json, nfindings)) => {
+        Ok(Some((json, nfindings))) => {
             if let Err(e) = std::fs::write(&cli.out, json) {
                 eprintln!("error: cannot write `{}`: {e}", cli.out);
                 return ExitCode::from(1);
@@ -351,6 +653,8 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             }
         }
+        // Paused at a checkpoint (--max-blocks): not a failure.
+        Ok(None) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("error: {msg}");
             ExitCode::from(2)

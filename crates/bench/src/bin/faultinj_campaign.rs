@@ -6,18 +6,52 @@
 //!
 //! ```text
 //! cargo run -p bench --bin faultinj_campaign -- \
-//!     [--seed N] [--per-class N] [--fuel N] [--jobs N|auto]
+//!     [--seed N] [--per-class N] [--fuel N] [--jobs N|auto] \
+//!     [--ckpt PATH] [--resume] [--max-classes N]
 //! ```
 //!
 //! Output is byte-deterministic for a given seed *and any `--jobs` value*:
 //! mutation sites and payloads come from SplitMix64 (generated serially
 //! before the probe fan-out), budgets are fuel-based (no wall-clock), and
 //! tallies use ordered maps over index-ordered probe results.
+//!
+//! # Checkpoint/resume (resilience layer, DESIGN.md §11)
+//!
+//! The campaign's resumable unit is one mutation class
+//! ([`compiler::run_campaign_class`] is a pure function of `(cfg, class)` —
+//! each class owns its own split of the master RNG). After every completed
+//! class a `compcerto-ckpt/1` checkpoint is written atomically; `--resume`
+//! reloads the finished rows and continues with the next class, printing a
+//! final matrix **byte-identical** to the uninterrupted run (resume
+//! progress notes go to stderr so stdout stays comparable). `--max-classes
+//! N` stops after N classes this invocation, leaving the checkpoint behind
+//! — the hook the CI kill-and-resume smoke uses.
 
-use compiler::{run_campaign, CampaignCfg, Jobs};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::process::ExitCode;
 
-fn parse_args() -> Result<CampaignCfg, String> {
-    let mut cfg = CampaignCfg::default();
+use bench::ckpt::{self, json_str};
+use bench::json::Json;
+use compiler::{
+    intern_counter_key, intern_error_class, run_campaign_class, CampaignBase, CampaignCfg,
+    CampaignReport, ClassStats, Counters, Jobs, MUTATION_CLASSES,
+};
+
+struct Cli {
+    cfg: CampaignCfg,
+    ckpt: String,
+    resume: bool,
+    max_classes: Option<usize>,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut cli = Cli {
+        cfg: CampaignCfg::default(),
+        ckpt: "FAULTINJ.ckpt".to_string(),
+        resume: false,
+        max_classes: None,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut take = |name: &str| -> Result<u64, String> {
@@ -27,37 +61,207 @@ fn parse_args() -> Result<CampaignCfg, String> {
                 .map_err(|e| format!("{name}: {e}"))
         };
         match flag.as_str() {
-            "--seed" => cfg.seed = take("--seed")?,
-            "--per-class" => cfg.per_class = take("--per-class")? as usize,
-            "--fuel" => cfg.fuel = take("--fuel")?,
+            "--seed" => cli.cfg.seed = take("--seed")?,
+            "--per-class" => cli.cfg.per_class = take("--per-class")? as usize,
+            "--fuel" => cli.cfg.fuel = take("--fuel")?,
+            "--max-classes" => cli.max_classes = Some(take("--max-classes")? as usize),
+            "--resume" => cli.resume = true,
             "--jobs" => {
                 let v = args.next().ok_or("--jobs needs a value")?;
-                cfg.jobs = Jobs::parse(&v)?;
+                cli.cfg.jobs = Jobs::parse(&v)?;
             }
+            "--ckpt" => cli.ckpt = args.next().ok_or("--ckpt needs a value")?.to_string(),
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    Ok(cfg)
+    Ok(cli)
 }
 
-fn main() {
-    let cfg = match parse_args() {
-        Ok(cfg) => cfg,
+/// Fingerprint of every result-affecting knob (`--jobs` excluded: the
+/// matrix is jobs-invariant by construction).
+fn fingerprint(cfg: &CampaignCfg) -> String {
+    format!(
+        "faultinj seed={} per_class={} fuel={} probes={:?}",
+        cfg.seed, cfg.per_class, cfg.fuel, cfg.probe_args
+    )
+}
+
+fn ckpt_json(fp: &str, stats: &[ClassStats], counters: &Counters) -> String {
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "  \"schema\": \"{}\",", ckpt::CKPT_SCHEMA);
+    j.push_str("  \"bin\": \"faultinj_campaign\",\n");
+    let _ = writeln!(j, "  \"cfg\": \"{}\",", json_str(fp));
+    let _ = writeln!(j, "  \"completed_classes\": {},", stats.len());
+    let cmap: BTreeMap<String, u64> = counters
+        .0
+        .iter()
+        .map(|(k, v)| ((*k).to_string(), *v))
+        .collect();
+    let _ = writeln!(j, "  \"counters\": {},", ckpt::u64_map_json(&cmap));
+    j.push_str("  \"classes\": [\n");
+    for (i, s) in stats.iter().enumerate() {
+        let emap: BTreeMap<String, u64> = s
+            .errors
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), *v as u64))
+            .collect();
+        let _ = writeln!(
+            j,
+            "    {{\"class\": \"{}\", \"generated\": {}, \"detected\": {}, \
+             \"static_caught\": {}, \"caught_both\": {}, \"expected_class\": {}, \
+             \"errors\": {}}}{}",
+            s.class.name(),
+            s.generated,
+            s.detected,
+            s.static_caught,
+            s.caught_both,
+            s.expected_class,
+            ckpt::u64_map_json(&emap),
+            if i + 1 < stats.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ]\n");
+    j.push_str("}\n");
+    j
+}
+
+/// Rebuild the completed rows from a validated checkpoint, interning error
+/// class names back to their `&'static str` keys.
+fn from_ckpt(j: &Json) -> Result<(Vec<ClassStats>, Counters), String> {
+    let rows = j
+        .get("classes")
+        .and_then(Json::as_arr)
+        .ok_or("checkpoint: missing `classes`")?;
+    if rows.len() > MUTATION_CLASSES.len() {
+        return Err(format!(
+            "checkpoint: {} classes, campaign only has {}",
+            rows.len(),
+            MUTATION_CLASSES.len()
+        ));
+    }
+    let mut stats = Vec::with_capacity(rows.len());
+    for (ci, row) in rows.iter().enumerate() {
+        let name = row
+            .get("class")
+            .and_then(Json::as_str)
+            .ok_or("checkpoint: class row without `class`")?;
+        let class = MUTATION_CLASSES[ci];
+        if class.name() != name {
+            return Err(format!(
+                "checkpoint: class {ci} is `{name}`, expected `{}`",
+                class.name()
+            ));
+        }
+        let u = |key: &str| -> Result<usize, String> {
+            row.get(key)
+                .and_then(Json::as_u64)
+                .map(|v| v as usize)
+                .ok_or_else(|| format!("checkpoint: class `{name}` missing `{key}`"))
+        };
+        let mut errors: BTreeMap<&'static str, usize> = BTreeMap::new();
+        let emap = ckpt::u64_map(
+            row.get("errors")
+                .ok_or_else(|| format!("checkpoint: class `{name}` missing `errors`"))?,
+            "errors",
+        )?;
+        for (k, v) in &emap {
+            let interned = intern_error_class(k)
+                .ok_or_else(|| format!("checkpoint: unknown error class `{k}`"))?;
+            errors.insert(interned, *v as usize);
+        }
+        stats.push(ClassStats {
+            class,
+            generated: u("generated")?,
+            detected: u("detected")?,
+            static_caught: u("static_caught")?,
+            caught_both: u("caught_both")?,
+            expected_class: u("expected_class")?,
+            errors,
+        });
+    }
+    let mut counters = Counters::default();
+    let cmap = ckpt::u64_map(
+        j.get("counters").ok_or("checkpoint: missing `counters`")?,
+        "counters",
+    )?;
+    for (k, v) in &cmap {
+        let interned = intern_counter_key(k)
+            .ok_or_else(|| format!("checkpoint: unknown counter key `{k}`"))?;
+        counters.0.insert(interned, *v);
+    }
+    Ok((stats, counters))
+}
+
+/// `Ok(Some(report))` = campaign complete; `Ok(None)` = paused at a
+/// checkpoint (`--max-classes`).
+fn run(cli: &Cli) -> Result<Option<CampaignReport>, String> {
+    let fp = fingerprint(&cli.cfg);
+    let (mut stats, mut counters) = if cli.resume {
+        let j = ckpt::load(&cli.ckpt, "faultinj_campaign", &fp)?;
+        let (stats, counters) = from_ckpt(&j)?;
+        eprintln!(
+            "resumed from {}: {}/{} classes already done",
+            cli.ckpt,
+            stats.len(),
+            MUTATION_CLASSES.len()
+        );
+        (stats, counters)
+    } else {
+        (Vec::new(), Counters::default())
+    };
+
+    if stats.len() < MUTATION_CLASSES.len() {
+        let base = CampaignBase::prepare(&cli.cfg)?;
+        let mut classes_this_run = 0usize;
+        while stats.len() < MUTATION_CLASSES.len() {
+            if let Some(max) = cli.max_classes {
+                if classes_this_run >= max {
+                    eprintln!(
+                        "pausing after {max} classes ({} of {} done; checkpoint at {})",
+                        stats.len(),
+                        MUTATION_CLASSES.len(),
+                        cli.ckpt
+                    );
+                    return Ok(None);
+                }
+            }
+            let (st, c) = run_campaign_class(&cli.cfg, &base, stats.len());
+            stats.push(st);
+            counters.add(&c);
+            classes_this_run += 1;
+            ckpt::write_atomic(&cli.ckpt, &ckpt_json(&fp, &stats, &counters))?;
+        }
+    }
+    ckpt::remove(&cli.ckpt);
+    Ok(Some(CampaignReport {
+        cfg: cli.cfg.clone(),
+        stats,
+        counters,
+    }))
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(cli) => cli,
         Err(e) => {
             eprintln!("faultinj_campaign: {e}");
-            std::process::exit(2);
+            return ExitCode::from(2);
         }
     };
-    match run_campaign(&cfg) {
-        Ok(report) => {
+    match run(&cli) {
+        Ok(Some(report)) => {
             println!("{report}");
             if report.total_escapes() > 0 {
-                std::process::exit(1);
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
             }
         }
+        Ok(None) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("faultinj_campaign: {e}");
-            std::process::exit(2);
+            ExitCode::from(2)
         }
     }
 }

@@ -9,6 +9,13 @@
 use compcerto_core::algebra::{derive, goal_convention, Chain};
 use compiler::registry::pass_registry;
 
+/// Derivation failures are registry bugs, not runtime conditions — exit
+/// with the usage code instead of unwinding (the bins are unwrap-free).
+fn die(msg: impl std::fmt::Display) -> ! {
+    eprintln!("fig11_incremental: {msg}");
+    std::process::exit(2)
+}
+
 fn main() {
     println!("Fig. 11: incremental composition of C passes (cf. paper Fig. 11)");
     println!("{:-<74}", "");
@@ -34,7 +41,8 @@ fn main() {
             }
         }
         let full = prefix.clone().then(rest);
-        let d = derive(full).expect("prefix derivation succeeds");
+        let d = derive(full)
+            .unwrap_or_else(|e| die(format!("prefix through `{}`: {e:?}", p.name)));
         assert_eq!(d.current(), &goal_convention());
         println!(
             "{:<16}{:>8}{:>12}   {}",

@@ -1,0 +1,161 @@
+//! Campaign checkpoint/resume helpers (resilience layer, DESIGN.md §11).
+//!
+//! Long campaigns die for infrastructure reasons — OOM killers, CI
+//! timeouts, a laptop lid. A campaign that loses three hours of seeds to a
+//! kill signal is not resilient, whatever its oracle does. The campaign
+//! bins therefore write a small JSON checkpoint (schema
+//! [`CKPT_SCHEMA`]) after every completed block of work, and `--resume`
+//! continues from the last completed block. Two invariants make this safe:
+//!
+//! * **Byte-identical results.** Campaign aggregation is commutative
+//!   per-seed/per-class folding, so "fold blocks 0..k from the checkpoint,
+//!   then keep going" produces exactly the bytes of the uninterrupted run
+//!   (`ci.sh` kill-and-resume smoke asserts this).
+//! * **Config fingerprinting.** A checkpoint embeds a fingerprint of every
+//!   result-affecting flag; resuming under a different configuration is a
+//!   usage error (exit 2), never a silently mixed report.
+//!
+//! Checkpoints are written atomically (temp file + rename) so a kill
+//! *during* a checkpoint write leaves the previous checkpoint intact.
+
+use std::collections::BTreeMap;
+
+use crate::json::{self, Json};
+
+/// Schema stamped on every campaign checkpoint.
+pub const CKPT_SCHEMA: &str = "compcerto-ckpt/1";
+
+/// Minimal JSON string escaping (no serde in the offline workspace). The
+/// exact inverse of what [`crate::json`] unescapes.
+#[must_use]
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Write `contents` to `path` atomically: a kill mid-write leaves either
+/// the old checkpoint or the new one, never a torn file.
+///
+/// # Errors
+/// Reports the failing filesystem operation.
+pub fn write_atomic(path: &str, contents: &str) -> Result<(), String> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, contents).map_err(|e| format!("cannot write `{tmp}`: {e}"))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("cannot rename `{tmp}` -> `{path}`: {e}"))
+}
+
+/// Load and validate a checkpoint: the file must parse, carry
+/// [`CKPT_SCHEMA`], name the expected `bin`, and match the caller's config
+/// `fingerprint` exactly.
+///
+/// # Errors
+/// A message suitable for a usage error (exit 2): missing file, parse
+/// failure, or a schema/bin/fingerprint mismatch.
+pub fn load(path: &str, bin: &str, fingerprint: &str) -> Result<Json, String> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read checkpoint `{path}`: {e}"))?;
+    let j = json::parse(&src).map_err(|e| format!("checkpoint `{path}`: {e}"))?;
+    let schema = j.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != CKPT_SCHEMA {
+        return Err(format!(
+            "checkpoint `{path}`: schema `{schema}` != `{CKPT_SCHEMA}`"
+        ));
+    }
+    let got_bin = j.get("bin").and_then(Json::as_str).unwrap_or("");
+    if got_bin != bin {
+        return Err(format!(
+            "checkpoint `{path}` belongs to `{got_bin}`, not `{bin}`"
+        ));
+    }
+    let got_fp = j.get("cfg").and_then(Json::as_str).unwrap_or("");
+    if got_fp != fingerprint {
+        return Err(format!(
+            "checkpoint `{path}` was taken under a different configuration\n  \
+             checkpoint: {got_fp}\n  requested:  {fingerprint}"
+        ));
+    }
+    Ok(j)
+}
+
+/// Remove a checkpoint file (after the final report was written). Missing
+/// files are fine; other errors are reported but non-fatal by convention.
+pub fn remove(path: &str) {
+    if let Err(e) = std::fs::remove_file(path) {
+        if e.kind() != std::io::ErrorKind::NotFound {
+            eprintln!("warning: cannot remove checkpoint `{path}`: {e}");
+        }
+    }
+}
+
+/// Decode a JSON object whose members are all unsigned integers.
+///
+/// # Errors
+/// Reports the first non-integer member.
+pub fn u64_map(j: &Json, what: &str) -> Result<BTreeMap<String, u64>, String> {
+    let mut out = BTreeMap::new();
+    for (k, v) in j.as_obj().ok_or_else(|| format!("{what}: not an object"))? {
+        let n = v
+            .as_u64()
+            .ok_or_else(|| format!("{what}.{k}: not a u64"))?;
+        out.insert(k.clone(), n);
+    }
+    Ok(out)
+}
+
+/// Encode a `String -> u64` map as a compact single-line JSON object (the
+/// checkpoint format; key order is the map's, i.e. deterministic).
+#[must_use]
+pub fn u64_map_json(map: &BTreeMap<String, u64>) -> String {
+    let members: Vec<String> = map
+        .iter()
+        .map(|(k, v)| format!("\"{}\": {v}", json_str(k)))
+        .collect();
+    format!("{{{}}}", members.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_write_then_load_round_trips() {
+        let dir = std::env::temp_dir();
+        let path = dir
+            .join("compcerto_ckpt_test.json")
+            .to_string_lossy()
+            .into_owned();
+        let body = format!(
+            "{{\"schema\": \"{CKPT_SCHEMA}\", \"bin\": \"t\", \"cfg\": \"a=1\", \"completed\": 7}}"
+        );
+        write_atomic(&path, &body).expect("write");
+        let j = load(&path, "t", "a=1").expect("load");
+        assert_eq!(j.get("completed").and_then(Json::as_u64), Some(7));
+        // Wrong fingerprint or bin is a usage error.
+        assert!(load(&path, "t", "a=2").is_err());
+        assert!(load(&path, "other", "a=1").is_err());
+        remove(&path);
+        assert!(load(&path, "t", "a=1").is_err());
+    }
+
+    #[test]
+    fn u64_map_round_trips_through_json() {
+        let mut m = BTreeMap::new();
+        m.insert("lts.runs".to_string(), u64::MAX - 1);
+        m.insert("mem.allocs".to_string(), 0);
+        let encoded = u64_map_json(&m);
+        let parsed = crate::json::parse(&encoded).expect("parses");
+        let back = u64_map(&parsed, "m").expect("decodes");
+        assert_eq!(back, m);
+    }
+}

@@ -5,6 +5,8 @@
 //! `benches/` measure the machinery itself, using the offline
 //! [`microbench`] harness.
 
+pub mod ckpt;
+pub mod json;
 pub mod microbench;
 
 use compcerto_core::symtab::SymbolTable;

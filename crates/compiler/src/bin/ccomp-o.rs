@@ -27,11 +27,27 @@
 //!                        terminal) on stdout before the result
 //!   -O0                  disable the optional optimizations
 //! ```
+//!
+//! # Exit codes
+//!
+//! The driver's exit code is a contract (scripts and CI build on it):
+//!
+//! * `0` — every unit compiled clean; all requested runs/checks passed.
+//! * `1` — findings: a unit failed, was poisoned by a contained panic, or
+//!   was **degraded** (compiled with the optional RTL optimizations
+//!   skipped after an optimizer panic or validator rejection — output is
+//!   still produced, but the degradation is reported and the exit code
+//!   says so); also execution/check failures and unreadable inputs.
+//! * `2` — usage errors (bad flags, no input files).
+//! * `101` — never. The pipeline is panic-isolated
+//!   ([`compiler::resilience`]): a panicking pass poisons its unit and is
+//!   reported under exit code 1 instead of aborting the process.
 
 use std::process::ExitCode;
 
 use compiler::{
-    c_query, check_thm38, compile_all_jobs, CompilerOptions, ExtLib, Jobs, MetricsReport,
+    c_query, check_thm38, compile_all_resilient, CompilerOptions, ExtLib, Jobs, MetricsReport,
+    UnitOutcome,
 };
 use mem::Val;
 
@@ -141,10 +157,49 @@ fn main() -> ExitCode {
         }
     }
     let refs: Vec<&str> = sources.iter().map(String::as_str).collect();
-    let (units, symtab) = match compile_all_jobs(&refs, cli.opts, cli.jobs) {
-        Ok(x) => x,
-        Err(e) => {
-            eprintln!("error: {e}");
+    // The panic-isolated pipeline: a unit that fails, panics, or degrades
+    // never takes the batch (or the process) down with it.
+    let batch = compile_all_resilient(&refs, cli.opts, cli.jobs);
+    let mut units = Vec::with_capacity(batch.outcomes.len());
+    let mut degraded = 0usize;
+    let mut fatal = 0usize;
+    for (file, outcome) in cli.files.iter().zip(batch.outcomes) {
+        match outcome {
+            UnitOutcome::Ok(unit) => units.push(*unit),
+            UnitOutcome::Degraded {
+                unit,
+                pass,
+                reason,
+                detail,
+            } => {
+                degraded += 1;
+                eprintln!(
+                    "warning: {file}: degraded — {} in `{pass}` ({detail}); \
+                     recompiled with the optional RTL optimizations skipped",
+                    reason.name()
+                );
+                units.push(*unit);
+            }
+            UnitOutcome::Failed { stage, error } => {
+                fatal += 1;
+                eprintln!("error: {file}: {stage}: {error}");
+            }
+            UnitOutcome::Poisoned { pass, panic_msg } => {
+                fatal += 1;
+                eprintln!(
+                    "error: {file}: internal panic in `{pass}` (contained): {panic_msg}"
+                );
+            }
+        }
+    }
+    if fatal > 0 {
+        eprintln!("error: {fatal} unit(s) failed to compile");
+        return ExitCode::from(1);
+    }
+    let symtab = match batch.symtab {
+        Some(t) => t,
+        None => {
+            eprintln!("error: the units do not link");
             return ExitCode::from(1);
         }
     };
@@ -280,5 +335,11 @@ fn main() -> ExitCode {
             print!("{}", report.render_text());
         }
     }
-    ExitCode::SUCCESS
+    // Degraded output is usable output, but the exit code must say so.
+    if degraded > 0 {
+        eprintln!("warning: {degraded} unit(s) compiled degraded");
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
 }

@@ -204,12 +204,16 @@ pub fn compile_program(
     let mut pass_ms: Vec<(&'static str, f64)> = Vec::new();
 
     /// Run one pass, recording its wall-clock span when metrics are on.
+    /// Every pass announces itself to the resilience layer first, so a
+    /// panic unwinding out of `f` is attributed to the right pass (and the
+    /// pass-panic envfault has its injection point).
     fn span<T>(
         on: bool,
         pass_ms: &mut Vec<(&'static str, f64)>,
         name: &'static str,
         f: impl FnOnce() -> T,
     ) -> T {
+        crate::resilience::pass_boundary(name);
         if !on {
             return f();
         }

@@ -1,0 +1,195 @@
+//! Seeded environment-fault orchestration (resilience layer, DESIGN.md §11).
+//!
+//! The injection *points* live next to their victims — allocator exhaustion
+//! in [`mem::envfault`], trace-sink write errors and deadline jitter in
+//! [`compcerto_core::envfault`], worker panics and pass panics here — but
+//! campaigns want one vocabulary and one switchboard. This module provides
+//! both: [`FaultClass`] names the four injectable environment-fault classes,
+//! and [`FaultPlan`] is a single armable description (class + 1-based site
+//! index) that the `resilience_campaign` bin derives from a SplitMix64
+//! stream. Arming is deterministic: a plan plus a fixed workload yields a
+//! byte-identical outcome on every run and every `--jobs` setting, because
+//! the thread-local fault classes are armed *inside* the pool work item
+//! (which runs entirely on one worker) and the process-global worker-panic
+//! class is consumed exactly once by a compare-exchange.
+//!
+//! The pass-panic hook is the degradation ladder's test harness: arming
+//! `arm_pass_panic("constprop")` makes the driver's next `constprop` pass
+//! boundary panic, which the resilience layer must catch, retry without
+//! RTL-opt and report as `Degraded`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use compcerto_core::rng::SplitMix64;
+
+/// The four injectable environment-fault classes (EXPERIMENTS.md B10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// The n-th `Mem::alloc` on the arming thread panics (allocator
+    /// exhaustion; contained per unit by the resilience layer).
+    MemAlloc,
+    /// The n-th JSON trace-sink append on the arming thread is dropped
+    /// (sink degrades gracefully, run continues).
+    SinkWrite,
+    /// The pool worker processing item n panics once (contained and
+    /// requeued by the self-healing pool).
+    WorkerPanic,
+    /// The n-th strided deadline check reports the deadline exceeded
+    /// (forces a deterministic `TimedOut`).
+    DeadlineJitter,
+}
+
+/// All fault classes, in report order.
+pub const FAULT_CLASSES: [FaultClass; 4] = [
+    FaultClass::MemAlloc,
+    FaultClass::SinkWrite,
+    FaultClass::WorkerPanic,
+    FaultClass::DeadlineJitter,
+];
+
+impl FaultClass {
+    /// Stable report name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::MemAlloc => "mem-alloc",
+            FaultClass::SinkWrite => "sink-write",
+            FaultClass::WorkerPanic => "worker-panic",
+            FaultClass::DeadlineJitter => "deadline-jitter",
+        }
+    }
+}
+
+/// One armable fault: a class plus its 1-based site index (which alloc,
+/// which sink append, which pool item, which deadline check).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// What to break.
+    pub class: FaultClass,
+    /// When to break it (1-based occurrence count; for `WorkerPanic`, the
+    /// 0-based pool item index).
+    pub site: u64,
+}
+
+impl FaultPlan {
+    /// Derive a plan from a seeded stream: uniform class, site in
+    /// `1..=max_site`. Consumes exactly two draws.
+    pub fn derive(rng: &mut SplitMix64, max_site: u64) -> FaultPlan {
+        let class = FAULT_CLASSES[rng.below(FAULT_CLASSES.len() as u64) as usize];
+        let site = 1 + rng.below(max_site.max(1));
+        FaultPlan { class, site }
+    }
+
+    /// Arm this fault. Thread-local classes must be armed on the thread
+    /// that will run the faulted workload; `WorkerPanic` is process-global.
+    pub fn arm(self) {
+        match self.class {
+            FaultClass::MemAlloc => mem::envfault::arm_alloc_fault(self.site),
+            FaultClass::SinkWrite => compcerto_core::envfault::arm_sink_fault(self.site),
+            FaultClass::WorkerPanic => arm_worker_panic(self.site as usize),
+            FaultClass::DeadlineJitter => {
+                compcerto_core::envfault::arm_deadline_jitter(self.site);
+            }
+        }
+    }
+}
+
+/// Disarm every fault class this thread can see (thread-local classes on
+/// this thread, plus the process-global worker-panic arm).
+pub fn disarm_all() {
+    mem::envfault::disarm();
+    compcerto_core::envfault::disarm();
+    WORKER_PANIC_ITEM.store(usize::MAX, Ordering::SeqCst);
+    PASS_PANIC.with(|p| p.set(None));
+}
+
+// ---------------------------------------------------------------------------
+// Worker-panic injection (process-global: the pool's workers are anonymous)
+// ---------------------------------------------------------------------------
+
+static WORKER_PANIC_ITEM: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+/// Arm a one-shot worker panic: the pool worker that claims item `item`
+/// panics before running it. Consumed by the first claim, so the pool's
+/// single retry of the item succeeds.
+pub fn arm_worker_panic(item: usize) {
+    WORKER_PANIC_ITEM.store(item, Ordering::SeqCst);
+}
+
+/// True while a worker-panic arm has not fired yet.
+#[must_use]
+pub fn worker_panic_pending() -> bool {
+    WORKER_PANIC_ITEM.load(Ordering::SeqCst) != usize::MAX
+}
+
+/// Hook called by the pool before each item. One-shot via compare-exchange:
+/// exactly one claim of the armed item panics, every retry proceeds.
+pub(crate) fn maybe_worker_panic(item: usize) {
+    if WORKER_PANIC_ITEM
+        .compare_exchange(item, usize::MAX, Ordering::SeqCst, Ordering::SeqCst)
+        .is_ok()
+    {
+        panic!("envfault: injected worker panic on item {item}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass-panic injection (thread-local: the driver runs a unit on one thread)
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static PASS_PANIC: std::cell::Cell<Option<&'static str>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// Arm a one-shot panic at the next boundary of the named driver pass on
+/// this thread (e.g. `"constprop"`). Used by the degradation-ladder tests;
+/// pair with `Jobs::N(1)` so the unit compiles on the arming thread.
+pub fn arm_pass_panic(pass: &'static str) {
+    PASS_PANIC.with(|p| p.set(Some(pass)));
+}
+
+/// Hook called by the driver at every pass boundary.
+pub(crate) fn maybe_pass_panic(pass: &str) {
+    let fire = PASS_PANIC.with(|p| match p.get() {
+        Some(armed) if armed == pass => {
+            p.set(None);
+            true
+        }
+        _ => false,
+    });
+    if fire {
+        panic!("envfault: injected pass panic in {pass}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_panic_is_one_shot() {
+        disarm_all();
+        arm_worker_panic(3);
+        assert!(worker_panic_pending());
+        // Non-matching items pass through.
+        maybe_worker_panic(2);
+        let r = std::panic::catch_unwind(|| maybe_worker_panic(3));
+        assert!(r.is_err());
+        assert!(!worker_panic_pending());
+        // Second claim of the same item (the retry) proceeds.
+        maybe_worker_panic(3);
+    }
+
+    #[test]
+    fn fault_plan_derivation_is_deterministic() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..32 {
+            let pa = FaultPlan::derive(&mut a, 100);
+            let pb = FaultPlan::derive(&mut b, 100);
+            assert_eq!(pa, pb);
+            assert!((1..=100).contains(&pa.site));
+        }
+    }
+}

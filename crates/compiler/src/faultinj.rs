@@ -357,6 +357,32 @@ fn mutate_rtl(unit: &CompiledUnit, fname: &str, rng: &mut SplitMix64) -> Option<
     })
 }
 
+/// Every name [`classify`] can produce, in declaration order. The
+/// checkpoint reader interns parsed histogram keys through this table to
+/// rebuild the `&'static str`-keyed [`ClassStats::errors`] maps.
+pub const ERROR_CLASSES: [&str; 13] = [
+    "CannotTransportQuery",
+    "QueryNotRelated",
+    "NotAccepted",
+    "Wrong",
+    "OutOfFuel",
+    "BudgetExceeded",
+    "Precondition",
+    "InteractionMismatch",
+    "ExternalNotRelated",
+    "EnvRefused",
+    "CannotTransportReply",
+    "EnvRepliesNotRelated",
+    "FinalNotRelated",
+];
+
+/// Map an error-class name back to its interned `&'static str` (used when
+/// resuming a campaign from a checkpoint).
+#[must_use]
+pub fn intern_error_class(name: &str) -> Option<&'static str> {
+    ERROR_CLASSES.iter().copied().find(|c| *c == name)
+}
+
 /// Stable name of the error class a checker outcome falls into.
 pub fn classify(err: &SimCheckError) -> &'static str {
     match err {
@@ -564,98 +590,123 @@ fn probe_mutant(
     None
 }
 
-/// Run a full campaign: compile [`CAMPAIGN_SRC`] once, generate
-/// `cfg.per_class` seeded mutants per class, check each under the budget,
-/// and tally the sensitivity matrix.
+/// The compiled campaign workload plus everything the checker needs,
+/// prepared once and shared by the per-class runs (the campaign's
+/// checkpoint/resume granularity is one mutation class).
+pub struct CampaignBase {
+    baseline: CompiledUnit,
+    symtab: SymbolTable,
+    lib: ExtLib,
+}
+
+impl CampaignBase {
+    /// Compile [`CAMPAIGN_SRC`] and sanity-check that the unmutated
+    /// program passes both the dynamic checker and static validation —
+    /// otherwise every tally downstream is noise.
+    ///
+    /// # Errors
+    /// Reports a compilation or baseline-sanity failure as a string.
+    pub fn prepare(cfg: &CampaignCfg) -> Result<CampaignBase, String> {
+        let (mut units, symtab) =
+            compile_all_jobs(&[CAMPAIGN_SRC], CompilerOptions::default(), cfg.jobs)
+                .map_err(|e| format!("campaign workload failed to compile: {e:?}"))?;
+        let baseline = units.remove(0);
+        let lib = ExtLib::demo(symtab.clone());
+        let base_mutant = Mutant {
+            unit: baseline.clone(),
+            mutation: Mutation {
+                class: MutationClass::ResultCorruption,
+                desc: "baseline".into(),
+            },
+        };
+        if let Some(e) = probe_mutant(&base_mutant, &symtab, &lib, cfg) {
+            return Err(format!("baseline program fails the checker: {e}"));
+        }
+        let base_diags = crate::validate::validate_unit(&baseline);
+        if !base_diags.is_empty() {
+            return Err(format!(
+                "baseline program fails static validation: {}",
+                base_diags[0]
+            ));
+        }
+        Ok(CampaignBase {
+            baseline,
+            symtab,
+            lib,
+        })
+    }
+}
+
+/// Run one mutation class (`MUTATION_CLASSES[ci]`) of the campaign: the
+/// resumable unit of work. A pure function of `(cfg, ci)` — the class's
+/// RNG stream is reconstructed by replaying the master RNG's splits, so
+/// running classes 0..k, checkpointing, and resuming at k+1 in a fresh
+/// process produces exactly the tallies of the uninterrupted run.
 ///
 /// Three phases, split so the expensive one parallelizes without touching
 /// determinism:
 ///
 /// 1. **Generate** (serial): mutation sites and payloads thread one
-///    [`SplitMix64`] per class, exactly as before — the mutant stream is a
-///    pure function of `cfg.seed`.
+///    [`SplitMix64`] per class — the mutant stream is a pure function of
+///    `cfg.seed` and `ci`.
 /// 2. **Check** (parallel): every mutant's static validation + dynamic
 ///    probes are independent; they fan out over `cfg.jobs` workers
 ///    ([`par_map`] returns results in input order).
-/// 3. **Tally** (serial): fold the ordered results into the per-class
-///    matrix.
+/// 3. **Tally** (serial): fold the ordered results into the class row.
 ///
-/// The report is byte-identical for every `jobs` setting.
-///
-/// # Errors
-/// Reports a compilation failure of the campaign workload as a string.
-pub fn run_campaign(cfg: &CampaignCfg) -> Result<CampaignReport, String> {
-    let (mut units, symtab) =
-        compile_all_jobs(&[CAMPAIGN_SRC], CompilerOptions::default(), cfg.jobs)
-            .map_err(|e| format!("campaign workload failed to compile: {e:?}"))?;
-    let baseline = units.remove(0);
-    let lib = ExtLib::demo(symtab.clone());
+/// # Panics
+/// Panics when `ci` is out of range for [`MUTATION_CLASSES`].
+#[must_use]
+pub fn run_campaign_class(
+    cfg: &CampaignCfg,
+    base: &CampaignBase,
+    ci: usize,
+) -> (ClassStats, crate::obs::Counters) {
+    let class = MUTATION_CLASSES[ci];
 
-    // Sanity: the unmutated program must pass, otherwise every tally below
-    // is noise.
-    let base_mutant = Mutant {
-        unit: baseline.clone(),
-        mutation: Mutation {
-            class: MutationClass::ResultCorruption,
-            desc: "baseline".into(),
-        },
-    };
-    if let Some(e) = probe_mutant(&base_mutant, &symtab, &lib, cfg) {
-        return Err(format!("baseline program fails the checker: {e}"));
-    }
-    let base_diags = crate::validate::validate_unit(&baseline);
-    if !base_diags.is_empty() {
-        return Err(format!(
-            "baseline program fails static validation: {}",
-            base_diags[0]
-        ));
-    }
-
-    // Phase 1 — generate (serial, seed-deterministic).
+    // Phase 1 — generate (serial, seed-deterministic). `split()` draws
+    // once from the master per class, so class `ci` owns the (ci+1)-th
+    // split stream regardless of which classes ran in this process.
     let mut master = SplitMix64::new(cfg.seed);
-    let mut mutants: Vec<(usize, Mutant)> = Vec::new();
-    let mut generated_per_class = [0usize; MUTATION_CLASSES.len()];
-    for (ci, &class) in MUTATION_CLASSES.iter().enumerate() {
-        let mut rng = master.split();
-        let mut attempts = 0usize;
-        while generated_per_class[ci] < cfg.per_class && attempts < cfg.per_class * 4 {
-            attempts += 1;
-            let Some(mutant) = mutate(&baseline, "entry", class, &mut rng) else {
-                continue;
-            };
-            generated_per_class[ci] += 1;
-            mutants.push((ci, mutant));
-        }
+    let mut rng = master.split();
+    for _ in 0..ci {
+        rng = master.split();
+    }
+    let mut mutants: Vec<Mutant> = Vec::new();
+    let mut generated = 0usize;
+    let mut attempts = 0usize;
+    while generated < cfg.per_class && attempts < cfg.per_class * 4 {
+        attempts += 1;
+        let Some(mutant) = mutate(&base.baseline, "entry", class, &mut rng) else {
+            continue;
+        };
+        generated += 1;
+        mutants.push(mutant);
     }
 
     // Phase 2 — check (parallel; results come back in input order). Each
     // mutant's observability delta is captured entirely on the worker thread
     // that checks it, so the per-mutant bags are schedule-invariant.
     let outcomes: Vec<(bool, Option<SimCheckError>, crate::obs::Counters)> =
-        par_map(cfg.jobs, &mutants, |_, (_, m)| {
+        par_map(cfg.jobs, &mutants, |_, m| {
             let snap = crate::obs::ObsSnapshot::take();
             let statically = !crate::validate::validate_unit(&m.unit).is_empty();
-            let dynamic = probe_mutant(m, &symtab, &lib, cfg);
+            let dynamic = probe_mutant(m, &base.symtab, &base.lib, cfg);
             (statically, dynamic, snap.delta())
         });
 
     // Phase 3 — tally (serial fold over the ordered outcomes).
-    let mut stats: Vec<ClassStats> = MUTATION_CLASSES
-        .iter()
-        .enumerate()
-        .map(|(ci, &class)| ClassStats {
-            class,
-            generated: generated_per_class[ci],
-            detected: 0,
-            static_caught: 0,
-            caught_both: 0,
-            expected_class: 0,
-            errors: BTreeMap::new(),
-        })
-        .collect();
+    let mut st = ClassStats {
+        class,
+        generated,
+        detected: 0,
+        static_caught: 0,
+        caught_both: 0,
+        expected_class: 0,
+        errors: BTreeMap::new(),
+    };
     let mut counters = crate::obs::Counters::default();
-    for ((ci, mutant), (statically, dynamic, delta)) in mutants.iter().zip(&outcomes) {
-        let st = &mut stats[*ci];
+    for (mutant, (statically, dynamic, delta)) in mutants.iter().zip(&outcomes) {
         if *statically {
             st.static_caught += 1;
         }
@@ -670,6 +721,26 @@ pub fn run_campaign(cfg: &CampaignCfg) -> Result<CampaignReport, String> {
             }
         }
         counters.add(delta);
+    }
+    (st, counters)
+}
+
+/// Run a full campaign: [`CampaignBase::prepare`] once, then
+/// [`run_campaign_class`] for every class in [`MUTATION_CLASSES`] order.
+/// The report is byte-identical for every `jobs` setting, and — because
+/// each class is a pure function of `(cfg, ci)` — identical whether the
+/// classes ran in one process or across a checkpoint/resume boundary.
+///
+/// # Errors
+/// Reports a compilation failure of the campaign workload as a string.
+pub fn run_campaign(cfg: &CampaignCfg) -> Result<CampaignReport, String> {
+    let base = CampaignBase::prepare(cfg)?;
+    let mut stats: Vec<ClassStats> = Vec::with_capacity(MUTATION_CLASSES.len());
+    let mut counters = crate::obs::Counters::default();
+    for ci in 0..MUTATION_CLASSES.len() {
+        let (st, c) = run_campaign_class(cfg, &base, ci);
+        stats.push(st);
+        counters.add(&c);
     }
     Ok(CampaignReport {
         cfg: cfg.clone(),

@@ -16,12 +16,14 @@
 pub mod closed;
 pub mod difftest;
 pub mod driver;
+pub mod envfault;
 pub mod extlib;
 pub mod faultinj;
 pub mod harness;
 pub mod obs;
 pub mod par;
 pub mod registry;
+pub mod resilience;
 pub mod sloc;
 pub mod validate;
 pub mod workload;
@@ -37,19 +39,22 @@ pub use driver::{
     CompilerOptions,
 };
 pub use obs::{
-    ir_counters, normalize_metrics_json, Counters, MetricsReport, ObsSnapshot, UnitMetrics,
-    OBS_SCHEMA,
+    intern_counter_key, ir_counters, normalize_metrics_json, Counters, MetricsReport, ObsSnapshot,
+    UnitMetrics, DELTA_COUNTER_KEYS, OBS_SCHEMA,
 };
 pub use par::{available_parallelism, par_map, pool_stats, try_par_map, Jobs, PoolStats};
 pub use extlib::ExtLib;
 pub use faultinj::{
-    mutate, run_campaign, CampaignCfg, CampaignReport, Mutant, Mutation, MutationClass,
-    MUTATION_CLASSES,
+    intern_error_class, mutate, run_campaign, run_campaign_class, CampaignBase, CampaignCfg,
+    CampaignReport, ClassStats, Mutant, Mutation, MutationClass, ERROR_CLASSES, MUTATION_CLASSES,
 };
 pub use harness::{
     c_query, check_cor39, check_cor39_budgeted, check_thm35, check_thm35_budgeted, check_thm38,
     check_thm38_budgeted, default_budget, try_c_query,
 };
 pub use registry::{pass_registry, PassInfo};
+pub use resilience::{
+    compile_all_resilient, contain, DegradeReason, ResilientBatch, UnitOutcome,
+};
 pub use validate::validate_unit;
 pub use workload::{WorkloadCfg, WorkloadGen};

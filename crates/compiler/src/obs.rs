@@ -37,6 +37,40 @@ pub const OBS_SCHEMA: &str = "compcerto-obs/1";
 // Counters
 // ---------------------------------------------------------------------------
 
+/// Every counter key [`ObsSnapshot::delta`] emits. The checkpoint reader
+/// interns parsed counter names through this table to rebuild a
+/// `&'static str`-keyed [`Counters`] bag after a campaign resume.
+pub const DELTA_COUNTER_KEYS: [&str; 21] = [
+    "lts.runs",
+    "lts.steps",
+    "lts.sim_steps",
+    "lts.external_calls",
+    "lts.events",
+    "lts.completes",
+    "lts.wrongs",
+    "lts.env_refused",
+    "lts.out_of_fuel",
+    "lts.out_of_memory",
+    "lts.depth_exceeded",
+    "lts.timed_out",
+    "mem.allocs",
+    "mem.alloc_bytes",
+    "mem.frees",
+    "mem.loads",
+    "mem.stores",
+    "mem.demotes",
+    "mem.promotes",
+    "solver.rtl_iterations",
+    "solver.validate_iterations",
+];
+
+/// Map a counter name back to its interned `&'static str` key (used when
+/// resuming a campaign from a checkpoint).
+#[must_use]
+pub fn intern_counter_key(name: &str) -> Option<&'static str> {
+    DELTA_COUNTER_KEYS.iter().copied().find(|k| *k == name)
+}
+
 /// An ordered bag of deterministic counters, keyed by the dotted taxonomy
 /// of DESIGN.md §10 (`ir.*`, `lts.*`, `mem.*`, `solver.*`, `gen.*`).
 /// `BTreeMap` keeps JSON emission order stable by construction.

@@ -17,10 +17,30 @@
 //! result, and that never escapes this module. `jobs = 1` (or a single-item
 //! input) bypasses the pool entirely and runs the exact serial loop.
 //!
+//! # Self-healing (resilience layer, DESIGN.md §11)
+//!
+//! The pool contains worker panics instead of letting them unwind out of
+//! the dispatch loop. Every item runs under
+//! [`crate::resilience::contain_unwind`]; an item whose closure panics is
+//! retried **exactly once**, immediately, on the same (surviving) worker.
+//! A transient panic — an injected environment fault, a poisoned cache line
+//! of infrastructure state — therefore heals invisibly: the output is
+//! byte-identical to the panic-free run. An item that panics twice is
+//! treated as deterministically poisoned; the pool finishes every other
+//! item, then re-raises the panic of the *lowest-indexed* twice-panicking
+//! item (exactly the one the serial loop would have died on). Containment
+//! also means a panic can never strand the atomic dispatch index mid-batch:
+//! workers always run their loop to completion, so every `join` returns and
+//! the pool cannot hang (regression-tested below).
+//!
 //! Everything here is `std`-only (`std::thread::scope`); the workspace stays
 //! offline and dependency-free.
 
+use std::any::Any;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::resilience::contain_unwind;
 
 // ---------------------------------------------------------------------------
 // Pool occupancy stats (observability layer, DESIGN.md §10)
@@ -120,6 +140,35 @@ pub fn available_parallelism() -> usize {
         .unwrap_or(1)
 }
 
+/// A contained panic: the payload (for faithful re-raising) plus its
+/// rendered message (for diagnostics).
+type PanicRecord = (Box<dyn Any + Send>, String);
+
+/// Run item `i` through the worker-panic injection point and `run`,
+/// containing any panic and retrying **exactly once** on the same
+/// (surviving) worker. `Err` carries the second, deterministic panic.
+fn run_healed<R>(i: usize, run: impl Fn() -> R) -> Result<R, PanicRecord> {
+    match contain_unwind(|| {
+        crate::envfault::maybe_worker_panic(i);
+        run()
+    }) {
+        Ok(r) => Ok(r),
+        // First panic: contained; the item is requeued once, immediately.
+        // (The injection point is one-shot, so an injected fault cannot
+        // re-fire here; a genuine deterministic panic will.)
+        Err(_first) => contain_unwind(run),
+    }
+}
+
+/// Re-raise the lowest-indexed twice-panicking item — the panic the serial
+/// loop would have surfaced — after printing the contained message (the
+/// quiet panic hook suppressed it when it first fired).
+fn reraise(i: usize, record: PanicRecord) -> ! {
+    let (payload, msg) = record;
+    eprintln!("par: item {i} panicked twice (not healable): {msg}");
+    std::panic::resume_unwind(payload)
+}
+
 /// Map `f` over `items` on a pool of `jobs` workers, returning the results
 /// **in input order** (byte-identical to the serial map; see the module
 /// docs for the determinism argument).
@@ -136,16 +185,26 @@ where
     let workers = jobs.resolve().min(items.len().max(1));
     note_pool(workers, items.len());
     if workers <= 1 || items.len() <= 1 {
-        // Exact serial behavior: same loop, same order, no threads.
+        // Exact serial behavior: same loop, same order, no threads — with
+        // the same single-retry healing as the pooled path.
         note_worker_items(items.len());
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let mut out = Vec::with_capacity(items.len());
+        for (i, t) in items.iter().enumerate() {
+            match run_healed(i, || f(i, t)) {
+                Ok(r) => out.push(r),
+                Err(record) => reraise(i, record),
+            }
+        }
+        return out;
     }
     let next = AtomicUsize::new(0);
+    let poisoned: Mutex<Vec<(usize, PanicRecord)>> = Mutex::new(Vec::new());
     let mut tagged: Vec<(usize, R)> = Vec::with_capacity(items.len());
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             let next = &next;
+            let poisoned = &poisoned;
             let f = &f;
             handles.push(scope.spawn(move || {
                 let mut local: Vec<(usize, R)> = Vec::new();
@@ -154,21 +213,38 @@ where
                     if i >= items.len() {
                         break;
                     }
-                    local.push((i, f(i, &items[i])));
+                    match run_healed(i, || f(i, &items[i])) {
+                        Ok(r) => local.push((i, r)),
+                        // A twice-panicking item is recorded, never
+                        // unwound: the dispatch loop always completes, so
+                        // no join can hang on a stranded index.
+                        Err(record) => {
+                            if let Ok(mut p) = poisoned.lock() {
+                                p.push((i, record));
+                            }
+                        }
+                    }
                 }
                 note_worker_items(local.len());
                 local
             }));
         }
         for h in handles {
-            match h.join() {
-                Ok(local) => tagged.extend(local),
-                // A worker panicking means `f` panicked on some item;
-                // propagate it (the pool adds no failure modes of its own).
-                Err(payload) => std::panic::resume_unwind(payload),
+            // Workers contain every item panic, so `join` cannot fail; a
+            // poisoned join (unreachable) simply contributes no results.
+            if let Ok(local) = h.join() {
+                tagged.extend(local);
             }
         }
     });
+    let poisoned = poisoned
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    // Selection by index, not arrival: the panic the serial loop would
+    // have surfaced first wins, regardless of worker scheduling.
+    if let Some((i, record)) = poisoned.into_iter().min_by_key(|(i, _)| *i) {
+        reraise(i, record);
+    }
     // Reassemble in input order: scheduling order never escapes.
     tagged.sort_by_key(|(i, _)| *i);
     tagged.into_iter().map(|(_, r)| r).collect()
@@ -200,17 +276,22 @@ where
     let workers = jobs.resolve().min(items.len().max(1));
     note_pool(workers, items.len());
     if workers <= 1 || items.len() <= 1 {
-        // Exact serial behavior: stop at the first error.
+        // Exact serial behavior: stop at the first error — with the same
+        // single-retry healing as the pooled path.
         note_worker_items(items.len());
         let mut out = Vec::with_capacity(items.len());
         for (i, t) in items.iter().enumerate() {
-            out.push(f(i, t)?);
+            match run_healed(i, || f(i, t)) {
+                Ok(r) => out.push(r?),
+                Err(record) => reraise(i, record),
+            }
         }
         return Ok(out);
     }
     let next = AtomicUsize::new(0);
     // Lowest failing index seen so far, across all workers.
     let first_err = AtomicUsize::new(usize::MAX);
+    let poisoned: Mutex<Vec<(usize, PanicRecord)>> = Mutex::new(Vec::new());
     let mut oks: Vec<(usize, R)> = Vec::with_capacity(items.len());
     let mut errs: Vec<(usize, E)> = Vec::new();
     std::thread::scope(|scope| {
@@ -218,6 +299,7 @@ where
         for _ in 0..workers {
             let next = &next;
             let first_err = &first_err;
+            let poisoned = &poisoned;
             let f = &f;
             handles.push(scope.spawn(move || {
                 let mut ok: Vec<(usize, R)> = Vec::new();
@@ -234,11 +316,21 @@ where
                     if i > first_err.load(Ordering::Relaxed) {
                         continue;
                     }
-                    match f(i, &items[i]) {
-                        Ok(r) => ok.push((i, r)),
-                        Err(e) => {
+                    match run_healed(i, || f(i, &items[i])) {
+                        Ok(Ok(r)) => ok.push((i, r)),
+                        Ok(Err(e)) => {
                             first_err.fetch_min(i, Ordering::Relaxed);
                             err.push((i, e));
+                        }
+                        // A twice-panicking item is recorded, never
+                        // unwound: the dispatch loop always completes, so
+                        // no join can hang on a stranded index. (A healed
+                        // single panic records nothing — and does not touch
+                        // `first_err`, since the item succeeded.)
+                        Err(record) => {
+                            if let Ok(mut p) = poisoned.lock() {
+                                p.push((i, record));
+                            }
                         }
                     }
                 }
@@ -247,23 +339,32 @@ where
             }));
         }
         for h in handles {
-            match h.join() {
-                Ok((ok, err)) => {
-                    oks.extend(ok);
-                    errs.extend(err);
-                }
-                Err(payload) => std::panic::resume_unwind(payload),
+            // Workers contain every item panic, so `join` cannot fail.
+            if let Ok((ok, err)) = h.join() {
+                oks.extend(ok);
+                errs.extend(err);
             }
         }
     });
-    // Selection is by index, not by arrival: the minimum failing index is
-    // exactly the error the serial loop reports.
-    if let Some((_, e)) = errs.into_iter().min_by_key(|(i, _)| *i) {
-        return Err(e);
+    let poisoned = poisoned
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    // Selection is by index, not by arrival, for errors *and* panics: the
+    // serial loop surfaces whichever failing index is lowest, so the pool
+    // must too — a panic after the first failing error index never wins,
+    // and vice versa.
+    let min_panic = poisoned.into_iter().min_by_key(|(i, _)| *i);
+    let min_err = errs.into_iter().min_by_key(|(i, _)| *i);
+    match (min_panic, min_err) {
+        (Some((pi, record)), Some((ei, _))) if pi < ei => reraise(pi, record),
+        (Some((pi, record)), None) => reraise(pi, record),
+        (_, Some((_, e))) => Err(e),
+        (None, None) => {
+            debug_assert_eq!(oks.len(), items.len(), "no error implies full coverage");
+            oks.sort_by_key(|(i, _)| *i);
+            Ok(oks.into_iter().map(|(_, r)| r).collect())
+        }
     }
-    debug_assert_eq!(oks.len(), items.len(), "no error implies full coverage");
-    oks.sort_by_key(|(i, _)| *i);
-    Ok(oks.into_iter().map(|(_, r)| r).collect())
 }
 
 #[cfg(test)]
@@ -363,6 +464,129 @@ mod tests {
                 }
             });
             assert_eq!(r.unwrap_err(), 0, "jobs={jobs:?}");
+        }
+    }
+
+    /// A transient panic (fires exactly once, then the retry succeeds)
+    /// must heal invisibly: the output is byte-identical to the panic-free
+    /// run, across jobs 1/4/16.
+    #[test]
+    fn transient_panic_heals_with_identical_output() {
+        use std::sync::atomic::AtomicBool;
+        let items: Vec<u64> = (0..64).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * 5 + 2).collect();
+        for jobs in [Jobs::N(1), Jobs::N(4), Jobs::N(16)] {
+            let fired = AtomicBool::new(false);
+            let out = par_map(jobs, &items, |i, x| {
+                if i == 13 && !fired.swap(true, Ordering::SeqCst) {
+                    panic!("transient infrastructure fault");
+                }
+                x * 5 + 2
+            });
+            assert_eq!(out, serial, "jobs={jobs:?}");
+            assert!(fired.load(Ordering::SeqCst));
+        }
+    }
+
+    /// A deterministic (twice-panicking) item re-raises its panic after the
+    /// rest of the batch completes — and the *lowest* poisoned index wins,
+    /// whatever the schedule.
+    #[test]
+    fn deterministic_panic_propagates_lowest_index() {
+        let items: Vec<u64> = (0..48).collect();
+        for jobs in [Jobs::N(1), Jobs::N(4), Jobs::N(16)] {
+            let r = crate::resilience::contain(|| {
+                par_map(jobs, &items, |i, x| {
+                    if i == 7 || i == 29 {
+                        panic!("poisoned item {i}");
+                    }
+                    x + 1
+                })
+            });
+            assert_eq!(r, Err("poisoned item 7".to_string()), "jobs={jobs:?}");
+        }
+    }
+
+    /// try_par_map: a deterministic panic below the first failing error
+    /// index wins; a panic above it loses to the error — serial semantics
+    /// either way, across jobs 1/4/16.
+    #[test]
+    fn try_par_map_ranks_panics_and_errors_by_index() {
+        let items: Vec<u32> = (0..32).collect();
+        for jobs in [Jobs::N(1), Jobs::N(4), Jobs::N(16)] {
+            // Panic at 2, error at 5: the panic is first in serial order.
+            let r = crate::resilience::contain(|| {
+                try_par_map(jobs, &items, |i, x| match i {
+                    2 => panic!("poisoned item 2"),
+                    5 => Err(*x),
+                    _ => Ok(*x),
+                })
+            });
+            assert_eq!(r, Err("poisoned item 2".to_string()), "jobs={jobs:?}");
+            // Error at 3, panic at 20: the error is first in serial order.
+            let r = crate::resilience::contain(|| {
+                try_par_map(jobs, &items, |i, x| match i {
+                    3 => Err(*x),
+                    20 => panic!("poisoned item 20"),
+                    _ => Ok(*x),
+                })
+            });
+            assert_eq!(r, Ok(Err(3)), "jobs={jobs:?}");
+        }
+    }
+
+    /// Regression (ISSUE 6 satellite): a panicking worker must not strand
+    /// the dispatch index or hang the remaining joins. Many items, several
+    /// deterministic panics, a full worker complement — the call must
+    /// return (with the lowest panic) rather than deadlock.
+    #[test]
+    fn panicking_workers_cannot_hang_the_pool() {
+        let items: Vec<u32> = (0..256).collect();
+        let r = crate::resilience::contain(|| {
+            try_par_map(Jobs::N(16), &items, |i, x| {
+                if i % 61 == 17 {
+                    panic!("poisoned item {i}");
+                }
+                Ok::<u32, u32>(*x)
+            })
+        });
+        assert_eq!(r, Err("poisoned item 17".to_string()));
+    }
+
+    /// A transient panic in try_par_map heals and the error semantics are
+    /// untouched: the healed item contributes its value, the batch agrees
+    /// with the serial result.
+    #[test]
+    fn try_par_map_transient_panic_heals() {
+        use std::sync::atomic::AtomicBool;
+        let items: Vec<u64> = (0..40).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * 3).collect();
+        for jobs in [Jobs::N(1), Jobs::N(4), Jobs::N(16)] {
+            let fired = AtomicBool::new(false);
+            let r: Result<Vec<u64>, ()> = try_par_map(jobs, &items, |i, x| {
+                if i == 9 && !fired.swap(true, Ordering::SeqCst) {
+                    panic!("transient fault");
+                }
+                Ok(x * 3)
+            });
+            assert_eq!(r, Ok(serial.clone()), "jobs={jobs:?}");
+        }
+    }
+
+    /// The envfault worker-panic injection is contained, the item requeued
+    /// once, and the output identical to the unfaulted run.
+    #[test]
+    fn injected_worker_panic_is_healed() {
+        let items: Vec<u64> = (0..32).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x ^ 0xAB).collect();
+        for jobs in [Jobs::N(1), Jobs::N(4), Jobs::N(16)] {
+            crate::envfault::arm_worker_panic(11);
+            let out = par_map(jobs, &items, |_, x| x ^ 0xAB);
+            assert_eq!(out, expected, "jobs={jobs:?}");
+            assert!(
+                !crate::envfault::worker_panic_pending(),
+                "the armed fault must have fired (jobs={jobs:?})"
+            );
         }
     }
 

@@ -1,0 +1,466 @@
+//! Panic-isolated, gracefully degrading batch compilation (DESIGN.md §11).
+//!
+//! The strict pipeline ([`crate::driver::compile_all_jobs`]) has serial
+//! error semantics: the first failing unit aborts the batch. That is the
+//! right contract for a one-shot CLI, and exactly the wrong one for the
+//! long-lived compile service of ROADMAP item 1, where one poisoned unit
+//! must never take the batch (or the process) down. This module provides
+//! the resilient alternative:
+//!
+//! * [`contain`] / [`contain_unwind`] — the crate's single `catch_unwind`
+//!   wrapper. It installs (once) a panic hook that *suppresses* the default
+//!   stderr backtrace for panics unwinding into a containment region and
+//!   records the panic site instead, so contained faults are data, not
+//!   console noise; panics outside any containment region print exactly as
+//!   before.
+//! * [`UnitOutcome`] — the per-unit result taxonomy: `Ok`, `Degraded`
+//!   (compiled, but only after the degradation ladder stepped in),
+//!   `Failed` (a typed [`CompileError`] rendered per stage), `Poisoned`
+//!   (a contained panic, attributed to the pass that was running).
+//! * the **degradation ladder** — a panic inside an *optional* RTL
+//!   optimization pass, or a validator rejection, triggers exactly one
+//!   retry of the unit with RTL-opt disabled; success downgrades the unit
+//!   to [`UnitOutcome::Degraded`] with a structured diagnostic instead of
+//!   losing it. (The unoptimized pipeline compiles the same semantics — the
+//!   difftest oracle accepts degraded units, see
+//!   `compiler/tests/resilience.rs`.)
+//! * [`compile_all_resilient`] — batch compilation where every unit gets an
+//!   outcome, in input order, deterministically, no matter what any single
+//!   unit does.
+//!
+//! Pass attribution works through [`pass_boundary`]: the driver calls it at
+//! the start of every pass, recording the pass name in a thread-local. When
+//! a contained panic unwinds out of a unit, the recorded name tells the
+//! taxonomy *which* pass poisoned the unit — without wrapping every pass in
+//! its own `catch_unwind` (which the per-pass value flow would not allow).
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+use compcerto_core::symtab::SymbolTable;
+
+use crate::driver::{front_end, CompileError, CompiledUnit, CompilerOptions};
+use crate::par::{self, Jobs};
+
+// ---------------------------------------------------------------------------
+// Containment: catch_unwind with quiet, attributed panics
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Depth of nested containment regions on this thread (the panic hook
+    /// suppresses printing whenever it is non-zero).
+    static CONTAINING: Cell<u32> = const { Cell::new(0) };
+    /// The `"panicked at <site>: <msg>"` rendering of the most recent
+    /// contained panic on this thread.
+    static LAST_PANIC: RefCell<Option<String>> = const { RefCell::new(None) };
+    /// The driver pass that was running when the last contained panic
+    /// unwound (set by [`pass_boundary`]).
+    static CURRENT_PASS: Cell<&'static str> = const { Cell::new("") };
+}
+
+static HOOK: Once = Once::new();
+
+fn ensure_hook() {
+    HOOK.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if CONTAINING.with(Cell::get) > 0 {
+                LAST_PANIC.with(|p| *p.borrow_mut() = Some(info.to_string()));
+            } else {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Render a caught panic payload as a message string, preferring the
+/// `&str`/`String` payload of an ordinary `panic!`.
+#[must_use]
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run `f`, containing any panic. On panic, returns the payload together
+/// with its rendered message. The default panic output is suppressed for
+/// the duration (the caller owns reporting).
+///
+/// # Errors
+/// The panic payload and its message, when `f` panicked.
+pub fn contain_unwind<R>(f: impl FnOnce() -> R) -> Result<R, (Box<dyn Any + Send>, String)> {
+    ensure_hook();
+    CONTAINING.with(|c| c.set(c.get() + 1));
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    CONTAINING.with(|c| c.set(c.get() - 1));
+    result.map_err(|payload| {
+        let msg = panic_message(payload.as_ref());
+        (payload, msg)
+    })
+}
+
+/// [`contain_unwind`] for callers that only want the message.
+///
+/// # Errors
+/// The rendered panic message, when `f` panicked.
+pub fn contain<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    contain_unwind(f).map_err(|(_, msg)| msg)
+}
+
+/// Driver hook: called at the boundary of every pass (before the pass
+/// runs), recording the pass name for panic attribution, and giving the
+/// pass-panic envfault its injection point.
+pub(crate) fn pass_boundary(pass: &'static str) {
+    CURRENT_PASS.with(|p| p.set(pass));
+    crate::envfault::maybe_pass_panic(pass);
+}
+
+/// The pass recorded by the most recent [`pass_boundary`] on this thread.
+fn current_pass() -> &'static str {
+    CURRENT_PASS.with(Cell::get)
+}
+
+// ---------------------------------------------------------------------------
+// The per-unit outcome taxonomy
+// ---------------------------------------------------------------------------
+
+/// Why a unit was degraded rather than compiled at full strength.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// An optional RTL optimization pass panicked; the retry skipped the
+    /// whole optional-optimization tier.
+    OptimizerPanic,
+    /// The static validation layer rejected the optimized unit; the retry
+    /// compiled (and validated) without the optional optimizations.
+    ValidatorRejected,
+}
+
+impl DegradeReason {
+    /// Stable report name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DegradeReason::OptimizerPanic => "optimizer-panic",
+            DegradeReason::ValidatorRejected => "validator-rejected",
+        }
+    }
+}
+
+/// The outcome of one unit under resilient compilation. Exactly one
+/// variant per unit, in input order, deterministically.
+#[derive(Debug)]
+pub enum UnitOutcome {
+    /// Compiled at full strength.
+    Ok(Box<CompiledUnit>),
+    /// Compiled only after the degradation ladder retried with RTL-opt
+    /// disabled; the unit is usable but unoptimized.
+    Degraded {
+        /// The (degraded) compiled unit.
+        unit: Box<CompiledUnit>,
+        /// The pass at fault in the first attempt.
+        pass: String,
+        /// What went wrong in the first attempt.
+        reason: DegradeReason,
+        /// Human-readable detail (panic message or first diagnostic).
+        detail: String,
+    },
+    /// A typed pipeline error ([`CompileError`], rendered with its stage).
+    Failed {
+        /// The pipeline stage that rejected the unit.
+        stage: &'static str,
+        /// The rendered error.
+        error: String,
+    },
+    /// A panic the ladder could not absorb (a mandatory pass panicked, or
+    /// the retry panicked too). The batch continues without this unit.
+    Poisoned {
+        /// The pass that was running when the panic unwound.
+        pass: String,
+        /// The rendered panic message.
+        panic_msg: String,
+    },
+}
+
+impl UnitOutcome {
+    /// The compiled unit, when one exists (full-strength or degraded).
+    #[must_use]
+    pub fn unit(&self) -> Option<&CompiledUnit> {
+        match self {
+            UnitOutcome::Ok(u) => Some(u),
+            UnitOutcome::Degraded { unit, .. } => Some(unit),
+            UnitOutcome::Failed { .. } | UnitOutcome::Poisoned { .. } => None,
+        }
+    }
+
+    /// Stable one-word label for reports.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            UnitOutcome::Ok(_) => "ok",
+            UnitOutcome::Degraded { .. } => "degraded",
+            UnitOutcome::Failed { .. } => "failed",
+            UnitOutcome::Poisoned { .. } => "poisoned",
+        }
+    }
+}
+
+fn stage_of(e: &CompileError) -> &'static str {
+    match e {
+        CompileError::Parse(_) => "parse",
+        CompileError::Type(_) => "typecheck",
+        CompileError::Link(_) => "link",
+        CompileError::Cshmgen(_) => "cshmgen",
+        CompileError::Cminorgen(_) => "cminorgen",
+        CompileError::Stacking(_) => "stacking",
+    }
+}
+
+fn failed(e: &CompileError) -> UnitOutcome {
+    UnitOutcome::Failed {
+        stage: stage_of(e),
+        error: e.to_string(),
+    }
+}
+
+/// The optional RTL optimization passes — the tier the degradation ladder
+/// disables on retry. Must match the driver's `CompilerOptions` flags.
+const OPTIONAL_OPT_PASSES: [&str; 5] = ["tailcall", "inlining", "constprop", "cse", "deadcode"];
+
+fn without_rtl_opt(opts: CompilerOptions) -> CompilerOptions {
+    CompilerOptions {
+        tailcall: false,
+        inlining: false,
+        constprop: false,
+        cse: false,
+        deadcode: false,
+        ..opts
+    }
+}
+
+/// Compile one already-typed unit with panic isolation and the degradation
+/// ladder. Never panics, never aborts: every input maps to exactly one
+/// [`UnitOutcome`].
+pub fn compile_program_isolated(
+    typed: &clight::Program,
+    symtab: &SymbolTable,
+    opts: CompilerOptions,
+) -> UnitOutcome {
+    pass_boundary("front-end");
+    match contain(|| crate::driver::compile_program(typed, symtab, opts)) {
+        Ok(Ok(unit)) => {
+            if opts.validate && !unit.diagnostics.is_empty() {
+                // Validator rejection: step down the ladder.
+                let detail = unit.diagnostics[0].to_string();
+                retry_degraded(typed, symtab, opts, "validate", DegradeReason::ValidatorRejected, detail)
+            } else {
+                UnitOutcome::Ok(Box::new(unit))
+            }
+        }
+        Ok(Err(e)) => failed(&e),
+        Err(panic_msg) => {
+            let pass = current_pass();
+            if OPTIONAL_OPT_PASSES.contains(&pass) {
+                retry_degraded(
+                    typed,
+                    symtab,
+                    opts,
+                    pass,
+                    DegradeReason::OptimizerPanic,
+                    panic_msg,
+                )
+            } else {
+                UnitOutcome::Poisoned {
+                    pass: pass.to_string(),
+                    panic_msg,
+                }
+            }
+        }
+    }
+}
+
+/// The second rung of the ladder: one retry with the optional RTL
+/// optimizations disabled. Success degrades the unit; anything else is
+/// final.
+fn retry_degraded(
+    typed: &clight::Program,
+    symtab: &SymbolTable,
+    opts: CompilerOptions,
+    pass: &str,
+    reason: DegradeReason,
+    detail: String,
+) -> UnitOutcome {
+    let fallback = without_rtl_opt(opts);
+    pass_boundary("front-end");
+    match contain(|| crate::driver::compile_program(typed, symtab, fallback)) {
+        Ok(Ok(unit)) => {
+            if fallback.validate && !unit.diagnostics.is_empty() {
+                UnitOutcome::Failed {
+                    stage: "validate",
+                    error: format!(
+                        "validator rejected the unit even with RTL-opt disabled: {}",
+                        unit.diagnostics[0]
+                    ),
+                }
+            } else {
+                UnitOutcome::Degraded {
+                    unit: Box::new(unit),
+                    pass: pass.to_string(),
+                    reason,
+                    detail,
+                }
+            }
+        }
+        Ok(Err(e)) => failed(&e),
+        Err(panic_msg) => UnitOutcome::Poisoned {
+            pass: current_pass().to_string(),
+            panic_msg,
+        },
+    }
+}
+
+/// The result of a resilient batch compilation.
+#[derive(Debug)]
+pub struct ResilientBatch {
+    /// One outcome per input source, in input order.
+    pub outcomes: Vec<UnitOutcome>,
+    /// The shared symbol table, built from the units whose front end
+    /// succeeded. `None` only when symbol-table construction itself failed
+    /// (every parsed unit is then reported `Failed` at stage `link`).
+    pub symtab: Option<SymbolTable>,
+}
+
+impl ResilientBatch {
+    /// Count of outcomes with the given label.
+    #[must_use]
+    pub fn count(&self, label: &str) -> usize {
+        self.outcomes.iter().filter(|o| o.label() == label).count()
+    }
+}
+
+/// Batch compilation that never gives up on the batch: each unit's front
+/// end and back end run under [`contain`], the symbol table is built from
+/// whatever parsed, and every unit gets a deterministic [`UnitOutcome`].
+///
+/// This is the entry point the CLI (and, later, the `serve` daemon) uses;
+/// campaigns that *want* strict first-error semantics keep calling
+/// [`crate::driver::compile_all_jobs`].
+pub fn compile_all_resilient(
+    sources: &[&str],
+    opts: CompilerOptions,
+    jobs: Jobs,
+) -> ResilientBatch {
+    // Front-end fan-out, isolated per unit: a panicking or failing unit
+    // parses to an outcome, not an abort.
+    let fronts: Vec<Result<clight::Program, UnitOutcome>> =
+        par::par_map(jobs, sources, |_, src| {
+            pass_boundary("front-end");
+            match contain(|| front_end(src)) {
+                Ok(Ok(typed)) => Ok(typed),
+                Ok(Err(e)) => Err(failed(&e)),
+                Err(panic_msg) => Err(UnitOutcome::Poisoned {
+                    pass: current_pass().to_string(),
+                    panic_msg,
+                }),
+            }
+        });
+
+    // Shared barrier: the symbol table spans every unit that parsed.
+    let parsed: Vec<&clight::Program> = fronts.iter().filter_map(|r| r.as_ref().ok()).collect();
+    let symtab = match clight::build_symtab(&parsed) {
+        Ok(t) => t,
+        Err(e) => {
+            // A link error poisons linking, not parsing: every unit that
+            // parsed is reported failed at the link stage; front-end
+            // failures keep their own outcome.
+            let link_err = CompileError::Link(e);
+            let outcomes = fronts
+                .into_iter()
+                .map(|r| match r {
+                    Ok(_) => failed(&link_err),
+                    Err(o) => o,
+                })
+                .collect();
+            return ResilientBatch {
+                outcomes,
+                symtab: None,
+            };
+        }
+    };
+
+    // Back-end fan-out, isolated per unit, against the shared table. Units
+    // whose front end already produced an outcome keep it verbatim.
+    let backs: Vec<Option<UnitOutcome>> = par::par_map(jobs, &fronts, |_, front| match front {
+        Ok(typed) => Some(compile_program_isolated(typed, &symtab, opts)),
+        Err(_) => None,
+    });
+    let outcomes = fronts
+        .into_iter()
+        .zip(backs)
+        .map(|(front, back)| match front {
+            Err(o) => o,
+            Ok(_) => back.unwrap_or(UnitOutcome::Failed {
+                stage: "internal",
+                error: "missing back-end outcome".to_string(),
+            }),
+        })
+        .collect();
+
+    ResilientBatch {
+        outcomes,
+        symtab: Some(symtab),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contain_returns_value_and_catches_panic() {
+        assert_eq!(contain(|| 41 + 1), Ok(42));
+        let r = contain(|| panic!("boom {}", 7));
+        assert_eq!(r, Err("boom 7".to_string()));
+    }
+
+    #[test]
+    fn contain_nests() {
+        let r = contain(|| {
+            let inner = contain(|| -> u32 { panic!("inner") });
+            assert_eq!(inner, Err("inner".to_string()));
+            5u32
+        });
+        assert_eq!(r, Ok(5));
+    }
+
+    #[test]
+    fn clean_batch_is_all_ok() {
+        let srcs = ["int f(int a) { return a + 1; }", "int g(int b) { return b * 2; }"];
+        let batch = compile_all_resilient(&srcs, CompilerOptions::default(), Jobs::N(1));
+        assert_eq!(batch.outcomes.len(), 2);
+        assert!(batch.outcomes.iter().all(|o| o.label() == "ok"));
+        assert!(batch.symtab.is_some());
+    }
+
+    #[test]
+    fn parse_failure_is_isolated_to_its_unit() {
+        let srcs = [
+            "int f(int a) { return a + 1; }",
+            "int broken(int { return 0; }",
+            "int g(int b) { return b - 3; }",
+        ];
+        let batch = compile_all_resilient(&srcs, CompilerOptions::default(), Jobs::N(1));
+        assert_eq!(batch.outcomes[0].label(), "ok");
+        assert_eq!(batch.outcomes[1].label(), "failed");
+        assert_eq!(batch.outcomes[2].label(), "ok");
+        match &batch.outcomes[1] {
+            UnitOutcome::Failed { stage, .. } => assert_eq!(*stage, "parse"),
+            o => panic!("expected Failed, got {}", o.label()),
+        }
+    }
+}

@@ -53,6 +53,7 @@ pub mod cc;
 pub mod cconv;
 pub mod cklr;
 pub mod conv;
+pub mod envfault;
 pub mod hcomp;
 pub mod iface;
 pub mod invariants;

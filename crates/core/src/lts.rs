@@ -802,7 +802,12 @@ fn run_inner<Sem: Lts>(
         if let (Some(deadline), Some(start)) = (budget.deadline, started) {
             if steps % DEADLINE_STRIDE == 0 {
                 let elapsed = start.elapsed();
-                if elapsed > deadline {
+                // An armed envfault deadline jitter treats this check as if
+                // the clock had already jumped past the deadline — the only
+                // wall-clock-dependent outcome becomes deterministically
+                // reachable (the stride schedule is a pure function of the
+                // run).
+                if elapsed > deadline || crate::envfault::deadline_jitter_fires() {
                     return RunOutcome::TimedOut {
                         elapsed,
                         trace: ring.render(),

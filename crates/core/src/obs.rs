@@ -129,6 +129,17 @@ pub fn trace_len() -> usize {
     SINK.with(|s| s.borrow().len())
 }
 
+/// Single append point for the trace sink. A sink-write fault armed via
+/// [`crate::envfault`] makes this append fail; the sink degrades gracefully
+/// by dropping the line and bumping the per-thread drop counter (read with
+/// [`crate::envfault::take_sink_dropped`]) — the run itself continues.
+fn sink_push(line: String) {
+    if crate::envfault::sink_write_fails() {
+        return;
+    }
+    SINK.with(|s| s.borrow_mut().push(line));
+}
+
 fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for ch in s.chars() {
@@ -150,24 +161,19 @@ pub(crate) fn emit_run_start(lts_name: &str) {
         OBS_SCHEMA,
         escape(lts_name)
     );
-    SINK.with(|s| s.borrow_mut().push(line));
+    sink_push(line);
 }
 
 pub(crate) fn emit_step(n: u64) {
-    SINK.with(|s| s.borrow_mut().push(format!("{{\"ev\":\"step\",\"n\":{n}}}")));
+    sink_push(format!("{{\"ev\":\"step\",\"n\":{n}}}"));
 }
 
 pub(crate) fn emit_external(n: u64) {
-    SINK.with(|s| {
-        s.borrow_mut()
-            .push(format!("{{\"ev\":\"external\",\"n\":{n}}}"))
-    });
+    sink_push(format!("{{\"ev\":\"external\",\"n\":{n}}}"));
 }
 
 pub(crate) fn emit_terminal(outcome: &str, steps: u64) {
-    SINK.with(|s| {
-        s.borrow_mut().push(format!(
-            "{{\"ev\":\"terminal\",\"outcome\":\"{outcome}\",\"steps\":{steps}}}"
-        ))
-    });
+    sink_push(format!(
+        "{{\"ev\":\"terminal\",\"outcome\":\"{outcome}\",\"steps\":{steps}}}"
+    ));
 }

@@ -30,6 +30,7 @@
 //! ```
 
 mod chunk;
+pub mod envfault;
 mod error;
 mod extends;
 mod inject;

@@ -226,7 +226,11 @@ impl Mem {
     ///
     /// Allocation never fails (memory is unbounded in the model); an empty or
     /// negative range yields a zero-sized block that admits no accesses.
+    /// The only exception is a deliberately armed [`crate::envfault`]
+    /// allocation fault, which simulates allocator exhaustion by panicking —
+    /// the resilience layer above contains that panic per work item.
     pub fn alloc(&mut self, lo: i64, hi: i64) -> BlockId {
+        crate::envfault::on_alloc();
         let size = (hi - lo).max(0) as usize;
         let id = self.blocks.len() as BlockId;
         // Fresh memory is all-Undef, which has no concrete byte form; a
