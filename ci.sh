@@ -34,12 +34,33 @@ cat /tmp/ci_camp_1.txt
 
 echo "== static validation gate (honest battery clean, matrix deterministic) =="
 # Phase 1 compiles the example/workload battery with the validation layer
-# on and fails on any diagnostic; phase 2 requires at least 4 of the 10
-# mutation classes to be caught statically. Two runs must be byte-identical.
+# on and fails on any diagnostic; phase 2 requires ALL 10 mutation classes
+# to be caught statically (the abstract-interpretation validators closed
+# the rtl-constant-drift gap — DESIGN.md §12). Two runs must be
+# byte-identical.
 cargo run -q -p bench --bin validate_campaign -- --seed 42 --per-class 5 > /tmp/ci_val_1.txt
 cargo run -q -p bench --bin validate_campaign -- --seed 42 --per-class 5 > /tmp/ci_val_2.txt
 cmp /tmp/ci_val_1.txt /tmp/ci_val_2.txt
 cat /tmp/ci_val_1.txt
+
+echo "== abstract-interpretation gate (validated opt passes + fact export) =="
+# DESIGN.md §12 / EXPERIMENTS.md row B11: the golden corpus must compile
+# cleanly with the full default pipeline (vprop/ndce on) under the static
+# validators — ccomp-o exits nonzero on any diagnostic or degradation, so
+# `set -e` is the gate, per file and linked as one program.
+for f in crates/compiler/tests/golden/*.c; do
+    cargo run -q --release -p compiler --bin ccomp-o -- --validate "$f" > /dev/null
+done
+cargo run -q --release -p compiler --bin ccomp-o -- --validate \
+    crates/compiler/tests/golden/*.c > /dev/null
+# The analysis fact export must be schema-tagged and byte-deterministic.
+cargo run -q --release -p compiler --bin ccomp-o -- --analyze-json \
+    crates/compiler/tests/golden/*.c > /tmp/ci_analyze_1.json
+cargo run -q --release -p compiler --bin ccomp-o -- --analyze-json \
+    crates/compiler/tests/golden/*.c > /tmp/ci_analyze_2.json
+cmp /tmp/ci_analyze_1.json /tmp/ci_analyze_2.json
+grep -q '"schema": "compcerto-analysis/1"' /tmp/ci_analyze_1.json
+grep -q '"needed"' /tmp/ci_analyze_1.json
 
 echo "== perf smoke (serial/parallel determinism + BENCH schema) =="
 # The quick profile of the B7 baseline (EXPERIMENTS.md): times each hot

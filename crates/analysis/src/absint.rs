@@ -1,0 +1,642 @@
+//! Abstract-interpretation solvers over RTL and the translation validators
+//! for the analysis-driven optimization pair (DESIGN.md §12).
+//!
+//! The *domains* (intervals, pointer provenance, neededness masks and their
+//! transfer functions) live in [`rtl::absint`]; this module owns the
+//! fixpoint engines that run them — a forward interval **value analysis**
+//! with widening and a backward **neededness** analysis — plus the two
+//! a-posteriori validators, [`validate_constprop`] and [`validate_deadcode`],
+//! that re-justify every rewrite of the untrusted `vprop`/`ndce` passes
+//! from facts recomputed on the pass *input*.
+//!
+//! The driver computes the facts once per function and hands them to the
+//! passes as plain data; the validators recompute byte-identical facts (the
+//! worklists pop in a deterministic order), so an honest compile is clean
+//! by construction while any divergence — an optimizer bug, or a fault
+//! injected between the snapshot and the backend (the `rtl-constant-drift`
+//! class) — surfaces as a structured [`Diagnostic`].
+//!
+//! Both solvers tick their own thread-local effort counters
+//! ([`value_solver_iterations`], [`needed_solver_iterations`]) for the
+//! `solver.*` observability taxonomy.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use rtl::absint::{
+    eval_op_va, op_arg_needs, NeedEnv, Needs, VaEnv, VaVal,
+};
+use rtl::ndce::{deletable, NeedFacts};
+use rtl::vprop::{rewrite_cond, rewrite_op, VaFacts};
+use rtl::{Inst, JoinSemiLattice, Node, Romem, RtlFunction, RtlProgram};
+
+use crate::cfg::reverse_postorder;
+use crate::diag::Diagnostic;
+
+/// Growing joins tolerated at a node before the interval bounds are
+/// widened to the width extremes (loop-carried counters settle in one or
+/// two trips around a loop; anything still growing after that widens).
+const WIDEN_AFTER: u32 = 2;
+
+thread_local! {
+    static VALUE_ITERATIONS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    static NEEDED_ITERATIONS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Cumulative worklist pops of the interval value analysis on this thread
+/// (deterministic: the worklist pops in exact RPO).
+#[must_use]
+pub fn value_solver_iterations() -> u64 {
+    VALUE_ITERATIONS.with(std::cell::Cell::get)
+}
+
+/// Cumulative worklist pops of the neededness analysis on this thread
+/// (deterministic: the worklist pops in exact postorder).
+#[must_use]
+pub fn needed_solver_iterations() -> u64 {
+    NEEDED_ITERATIONS.with(std::cell::Cell::get)
+}
+
+/// Dense node numbering: reverse postorder of the reachable subgraph, then
+/// any unreachable nodes in ascending id order (same convention as
+/// [`crate::dataflow`]).
+fn dense_order(f: &RtlFunction) -> (Vec<Node>, HashMap<Node, usize>) {
+    let mut order = reverse_postorder(f);
+    let mut seen: BTreeSet<Node> = order.iter().copied().collect();
+    for n in f.code.keys() {
+        if seen.insert(*n) {
+            order.push(*n);
+        }
+    }
+    let idx = order.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+    (order, idx)
+}
+
+/// The abstract environment *after* executing `inst` in `env` (registers
+/// only — memory is summarized by the read-only-globals view `romem`).
+fn value_transfer(env: &VaEnv, inst: &Inst, romem: &Romem) -> VaEnv {
+    let mut out = env.clone();
+    match inst {
+        Inst::Op(op, dst, _) => {
+            out.set(*dst, eval_op_va(env, op));
+        }
+        Inst::Load(chunk, base, disp, dst, _) => {
+            let v = match env.get(*base) {
+                VaVal::Global(s, d) => match romem.load(*chunk, s, d + disp) {
+                    Some(v) => VaVal::of_const(&v),
+                    None => VaVal::Top,
+                },
+                _ => VaVal::Top,
+            };
+            out.set(*dst, v);
+        }
+        Inst::Call(_, _, _, dst, _) => {
+            if let Some(d) = dst {
+                out.set(*d, VaVal::Top);
+            }
+        }
+        // Stores don't touch registers; the memory they write is never the
+        // read-only region `romem` folds from.
+        Inst::Store(_, _, _, _, _)
+        | Inst::Cond(_, _, _)
+        | Inst::Nop(_)
+        | Inst::Tailcall(_, _, _)
+        | Inst::Return(_) => {}
+    }
+    out
+}
+
+/// Forward interval value analysis of one function: the abstract register
+/// environment *before* each reachable node. Parameters enter at `Top`
+/// (the caller is unknown), every other register at `Bot` (= unwritten,
+/// reads as `Undef`). Join points that keep growing are widened after
+/// [`WIDEN_AFTER`] growing joins, so loops terminate.
+#[must_use]
+pub fn value_facts(f: &RtlFunction, romem: &Romem) -> BTreeMap<Node, VaEnv> {
+    if !f.code.contains_key(&f.entry) {
+        return BTreeMap::new();
+    }
+    let (order, idx) = dense_order(f);
+    let mut state: Vec<Option<VaEnv>> = order.iter().map(|_| None).collect();
+    let mut grows: Vec<u32> = vec![0; order.len()];
+    let Some(&ei) = idx.get(&f.entry) else {
+        return BTreeMap::new();
+    };
+    let mut entry_env = VaEnv::default();
+    for p in &f.params {
+        entry_env.set(*p, VaVal::Top);
+    }
+    state[ei] = Some(entry_env);
+    let mut work: BTreeSet<usize> = BTreeSet::from([ei]);
+    while let Some(i) = work.pop_first() {
+        VALUE_ITERATIONS.with(|c| c.set(c.get() + 1));
+        let n = order[i];
+        let Some(inst) = f.code.get(&n) else { continue };
+        let Some(before) = state[i].as_ref() else { continue };
+        let after = value_transfer(before, inst, romem);
+        for s in inst.successors() {
+            let Some(&si) = idx.get(&s) else { continue };
+            let changed = match state[si].as_mut() {
+                Some(cur) => {
+                    let mut joined = cur.clone();
+                    if joined.join_in_place(&after) {
+                        grows[si] += 1;
+                        if grows[si] > WIDEN_AFTER {
+                            joined = cur.widen(&joined);
+                        }
+                        *cur = joined;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                None => {
+                    state[si] = Some(after.clone());
+                    true
+                }
+            };
+            if changed {
+                work.insert(si);
+            }
+        }
+    }
+    order
+        .iter()
+        .zip(state)
+        .filter_map(|(n, s)| s.map(|s| (*n, s)))
+        .collect()
+}
+
+/// The needed-*before* environment of `inst` given the needed-after
+/// environment `out`: kill the definition, then charge each used register
+/// with the need the operator structure assigns it (floored — a live
+/// result never propagates `Nothing` to its operands, see `rtl::absint`).
+fn needed_transfer(inst: &Inst, out: &NeedEnv) -> NeedEnv {
+    let mut inn = out.clone();
+    if let Some(d) = inst.def() {
+        inn.kill(d);
+    }
+    match inst {
+        Inst::Op(op, dst, _) => {
+            let nv = out.get(*dst);
+            for (r, n) in op.uses().iter().zip(op_arg_needs(op, nv)) {
+                inn.add(*r, n);
+            }
+        }
+        Inst::Load(_, base, _, dst, _) => {
+            // A load whose result is dead is deletable, so its address is
+            // unneeded *by this instruction*; otherwise the address must be
+            // exact.
+            if !out.get(*dst).is_nothing() {
+                inn.add(*base, Needs::All);
+            }
+        }
+        _ => {
+            for r in inst.uses() {
+                inn.add(r, Needs::All);
+            }
+        }
+    }
+    inn
+}
+
+/// Backward neededness analysis of one function: what the continuation
+/// *after* each node observes of every register (`Nothing` entries are
+/// implicit). Solved over all nodes (unreachable code is trivially dead).
+#[must_use]
+pub fn neededness(f: &RtlFunction) -> BTreeMap<Node, NeedEnv> {
+    let (order, idx) = dense_order(f);
+    // Dense predecessor lists, each edge once.
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); order.len()];
+    for (i, n) in order.iter().enumerate() {
+        let Some(inst) = f.code.get(n) else { continue };
+        let mut succs = inst.successors();
+        succs.sort_unstable();
+        succs.dedup();
+        for s in succs {
+            if let Some(&si) = idx.get(&s) {
+                preds[si].push(i);
+            }
+        }
+    }
+    // state[i] = needed-BEFORE node i (its "in" env).
+    let mut state: Vec<Option<NeedEnv>> = order.iter().map(|_| None).collect();
+    let mut work: BTreeSet<usize> = (0..order.len()).collect();
+    while let Some(i) = work.pop_last() {
+        NEEDED_ITERATIONS.with(|c| c.set(c.get() + 1));
+        let n = order[i];
+        let Some(inst) = f.code.get(&n) else { continue };
+        let mut out = NeedEnv::default();
+        for s in inst.successors() {
+            if let Some(&si) = idx.get(&s) {
+                if let Some(ss) = state[si].as_ref() {
+                    out.join_in_place(ss);
+                }
+            }
+        }
+        let inn = needed_transfer(inst, &out);
+        let changed = match state[i].as_mut() {
+            Some(cur) => cur.join_in_place(&inn),
+            None => {
+                state[i] = Some(inn);
+                true
+            }
+        };
+        if changed {
+            work.extend(preds[i].iter().copied());
+        }
+    }
+    // Publish needed-AFTER per node: the join of the successors' in-envs.
+    let mut out_map = BTreeMap::new();
+    for (i, n) in order.iter().enumerate() {
+        let Some(inst) = f.code.get(n) else { continue };
+        let mut out = NeedEnv::default();
+        for s in inst.successors() {
+            if let Some(&si) = idx.get(&s) {
+                if let Some(ss) = state[si].as_ref() {
+                    out.join_in_place(ss);
+                }
+            }
+        }
+        let _ = i;
+        out_map.insert(*n, out);
+    }
+    out_map
+}
+
+/// Solve the value analysis for every function of a program, keyed by
+/// function name — the fact set `rtl::vprop` consumes.
+#[must_use]
+pub fn value_facts_program(prog: &RtlProgram, romem: &Romem) -> VaFacts {
+    prog.functions
+        .iter()
+        .map(|f| (f.name.clone(), value_facts(f, romem)))
+        .collect()
+}
+
+/// Solve the neededness analysis for every function of a program, keyed by
+/// function name — the fact set `rtl::ndce` consumes.
+#[must_use]
+pub fn needed_facts_program(prog: &RtlProgram) -> NeedFacts {
+    prog.functions
+        .iter()
+        .map(|f| (f.name.clone(), neededness(f)))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Translation validators
+// ---------------------------------------------------------------------------
+
+/// Shape checks shared by both validators: the passes rewrite instructions
+/// in place and never add, remove, or re-key nodes, functions, or any
+/// function metadata.
+fn check_shape(
+    pass: &'static str,
+    input: &RtlProgram,
+    output: &RtlProgram,
+    out: &mut Vec<Diagnostic>,
+) -> bool {
+    let rule_shape: &'static str = match pass {
+        "constprop" => "constprop.shape",
+        _ => "deadcode.shape",
+    };
+    if input.functions.len() != output.functions.len() {
+        out.push(Diagnostic::new(
+            pass,
+            "<program>",
+            None,
+            rule_shape,
+            format!(
+                "function count changed: {} -> {}",
+                input.functions.len(),
+                output.functions.len()
+            ),
+        ));
+        return false;
+    }
+    let mut ok = true;
+    for (fi, fo) in input.functions.iter().zip(&output.functions) {
+        if fi.name != fo.name {
+            out.push(Diagnostic::new(
+                pass,
+                &fi.name,
+                None,
+                rule_shape,
+                format!("function renamed to `{}`", fo.name),
+            ));
+            ok = false;
+            continue;
+        }
+        if fi.sig != fo.sig
+            || fi.params != fo.params
+            || fi.stack_size != fo.stack_size
+            || fi.entry != fo.entry
+        {
+            out.push(Diagnostic::new(
+                pass,
+                &fi.name,
+                None,
+                rule_shape,
+                "signature/params/stack/entry changed",
+            ));
+            ok = false;
+        }
+        if fi.code.len() != fo.code.len()
+            || fi.code.keys().zip(fo.code.keys()).any(|(a, b)| a != b)
+        {
+            out.push(Diagnostic::new(
+                pass,
+                &fi.name,
+                None,
+                rule_shape,
+                "node key set changed",
+            ));
+            ok = false;
+        }
+    }
+    ok
+}
+
+/// Validate a `vprop` (analysis-driven constant propagation) run: recompute
+/// the interval facts on the pass *input* and require every differing node
+/// to be exactly the rewrite those facts justify. `O(program)` and
+/// deterministic — honest compiles are provably clean because the pass and
+/// the validator consult the same canonical rewrite function.
+#[must_use]
+pub fn validate_constprop(
+    input: &RtlProgram,
+    output: &RtlProgram,
+    romem: &Romem,
+) -> Vec<Diagnostic> {
+    const PASS: &str = "constprop";
+    let mut out = Vec::new();
+    if !check_shape(PASS, input, output, &mut out) {
+        return out;
+    }
+    for (fi, fo) in input.functions.iter().zip(&output.functions) {
+        let facts = value_facts(fi, romem);
+        for (n, ii) in &fi.code {
+            let Some(io) = fo.code.get(n) else { continue };
+            if ii == io {
+                continue;
+            }
+            let justified = match (ii, io, facts.get(n)) {
+                // A rewritten node needs solved facts; an unreachable node
+                // has none and must be untouched.
+                (_, _, None) => false,
+                (Inst::Op(op, dst, next), Inst::Op(op2, dst2, next2), Some(env)) => {
+                    dst == dst2 && next == next2 && rewrite_op(env, op).as_ref() == Some(op2)
+                }
+                (Inst::Cond(r, t, e), Inst::Nop(_), Some(env)) => {
+                    rewrite_cond(env, *r, *t, *e).as_ref() == Some(io)
+                }
+                _ => false,
+            };
+            if !justified {
+                out.push(Diagnostic::new(
+                    PASS,
+                    &fi.name,
+                    Some(*n),
+                    "constprop.unjustified-rewrite",
+                    format!("`{ii}` became `{io}` but the value facts do not justify it"),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Validate an `ndce` (neededness dead-code elimination) run: recompute the
+/// neededness facts on the pass *input* and require every differing node to
+/// be the deletion of a pure instruction whose result is needed at
+/// `Nothing`. Any other divergence — including a drifted constant injected
+/// after the snapshot (`rtl-constant-drift`) — is a finding.
+#[must_use]
+pub fn validate_deadcode(input: &RtlProgram, output: &RtlProgram) -> Vec<Diagnostic> {
+    const PASS: &str = "deadcode";
+    let mut out = Vec::new();
+    if !check_shape(PASS, input, output, &mut out) {
+        return out;
+    }
+    for (fi, fo) in input.functions.iter().zip(&output.functions) {
+        let facts = neededness(fi);
+        for (n, ii) in &fi.code {
+            let Some(io) = fo.code.get(n) else { continue };
+            if ii == io {
+                continue;
+            }
+            let justified = deletable(ii)
+                && matches!(
+                    (ii.def(), ii.successors().as_slice(), io),
+                    (Some(dst), [next], Inst::Nop(next2))
+                        if next == next2
+                            && facts.get(n).map(|env| env.get(dst).is_nothing())
+                                == Some(true)
+                );
+            if !justified {
+                out.push(Diagnostic::new(
+                    PASS,
+                    &fi.name,
+                    Some(*n),
+                    "deadcode.unjustified-removal",
+                    format!("`{ii}` became `{io}` but its result is still needed"),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compcerto_core::iface::Signature;
+    use compcerto_core::symtab::SymbolTable;
+    use mem::{Cmp, Val};
+    use minor::MBinop;
+    use rtl::absint::Itv;
+    use rtl::{ndce, vprop, RtlOp};
+
+    fn fun(name: &str, params: Vec<u32>, code: Vec<(Node, Inst)>) -> RtlFunction {
+        RtlFunction {
+            name: name.into(),
+            sig: Signature::int_fn(params.len()),
+            params,
+            stack_size: 0,
+            entry: 0,
+            code: code.into_iter().collect(),
+            next_reg: 16,
+        }
+    }
+
+    fn prog(f: RtlFunction) -> RtlProgram {
+        RtlProgram {
+            functions: vec![f],
+            externs: vec![],
+        }
+    }
+
+    fn romem() -> Romem {
+        Romem::new(&SymbolTable::new())
+    }
+
+    /// A counting loop: i := 0; while (i < 8) i := i + 1; return i.
+    fn counting_loop() -> RtlProgram {
+        prog(fun(
+            "loop",
+            vec![],
+            vec![
+                (0, Inst::Op(RtlOp::Int(0), 1, 1)),
+                (
+                    1,
+                    Inst::Op(RtlOp::BinopImm(MBinop::Cmp32(Cmp::Lt), 1, Val::Int(8)), 2, 2),
+                ),
+                (2, Inst::Cond(2, 3, 4)),
+                (3, Inst::Op(RtlOp::BinopImm(MBinop::Add32, 1, Val::Int(1)), 1, 1)),
+                (4, Inst::Return(Some(1))),
+            ],
+        ))
+    }
+
+    #[test]
+    fn widening_terminates_and_bounds_the_counter() {
+        let p = counting_loop();
+        let facts = value_facts(&p.functions[0], &romem());
+        // At the loop header the counter has widened to a genuine 32-bit
+        // interval — in particular it is *defined* (never Top), which is
+        // the fact branch folding builds on. (The `+1` over the widened
+        // interval may wrap, so the bounds honestly reach the width
+        // extremes: `Cond` reads a materialized boolean register, leaving
+        // no relational guard to refine the counter against.)
+        let VaVal::I32(itv) = facts[&1].get(1).clone() else {
+            panic!("counter should be an interval, got {}", facts[&1].get(1));
+        };
+        assert!(itv.contains(0) && itv.contains(7));
+        // The analysis must have terminated with a finite iteration count.
+        assert!(value_solver_iterations() > 0);
+    }
+
+    #[test]
+    fn honest_vprop_run_validates_clean() {
+        let p = counting_loop();
+        let rm = romem();
+        let facts = value_facts_program(&p, &rm);
+        let out = vprop(&p, &facts);
+        assert!(validate_constprop(&p, &out, &rm).is_empty());
+    }
+
+    #[test]
+    fn honest_ndce_run_validates_clean_and_deletes_chains() {
+        // r2 := r0+1; r3 := r2*2 — a dead chain behind a live return.
+        let p = prog(fun(
+            "f",
+            vec![0],
+            vec![
+                (0, Inst::Op(RtlOp::BinopImm(MBinop::Add32, 0, Val::Int(1)), 2, 1)),
+                (1, Inst::Op(RtlOp::BinopImm(MBinop::Mul32, 2, Val::Int(2)), 3, 2)),
+                (2, Inst::Return(Some(0))),
+            ],
+        ));
+        let facts = needed_facts_program(&p);
+        let out = ndce(&p, &facts);
+        // The whole chain cascades away in one fixpoint.
+        assert_eq!(out.functions[0].code[&0], Inst::Nop(1));
+        assert_eq!(out.functions[0].code[&1], Inst::Nop(2));
+        assert!(validate_deadcode(&p, &out).is_empty());
+    }
+
+    #[test]
+    fn needed_results_are_transitively_protected() {
+        // r2 := r0 & 1; r3 := r2 & 2; return r3 — the masks miss (1 & 2 ==
+        // 0) but the floor keeps the chain alive: deleting r2's def would
+        // leave r3 computed from Undef.
+        let p = prog(fun(
+            "f",
+            vec![0],
+            vec![
+                (0, Inst::Op(RtlOp::BinopImm(MBinop::And32, 0, Val::Int(1)), 2, 1)),
+                (1, Inst::Op(RtlOp::BinopImm(MBinop::And32, 2, Val::Int(2)), 3, 2)),
+                (2, Inst::Return(Some(3))),
+            ],
+        ));
+        let facts = needed_facts_program(&p);
+        let out = ndce(&p, &facts);
+        assert_eq!(out.functions[0].code, p.functions[0].code);
+    }
+
+    #[test]
+    fn constant_drift_is_caught_statically() {
+        // Simulate the `rtl-constant-drift` fault: the "output" differs
+        // from the snapshot by one immediate, with no facts to justify it.
+        let p = counting_loop();
+        let mut drifted = p.clone();
+        drifted.functions[0]
+            .code
+            .insert(0, Inst::Op(RtlOp::Int(41), 1, 1));
+        let diags = validate_deadcode(&p, &drifted);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "deadcode.unjustified-removal");
+        let diags = validate_constprop(&p, &drifted, &romem());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "constprop.unjustified-rewrite");
+    }
+
+    #[test]
+    fn unjustified_branch_fold_is_caught() {
+        // Folding a Cond whose scrutinee is *not* definite must be flagged.
+        let p = prog(fun(
+            "f",
+            vec![0],
+            vec![
+                (0, Inst::Cond(0, 1, 2)),
+                (1, Inst::Return(Some(0))),
+                (2, Inst::Return(None)),
+            ],
+        ));
+        let mut bad = p.clone();
+        bad.functions[0].code.insert(0, Inst::Nop(1));
+        let diags = validate_constprop(&p, &bad, &romem());
+        assert_eq!(diags.len(), 1);
+    }
+
+    #[test]
+    fn rekeyed_output_fails_shape() {
+        let p = counting_loop();
+        let mut renumbered = p.clone();
+        let f = &mut renumbered.functions[0];
+        let code = std::mem::take(&mut f.code);
+        f.code = code.into_iter().map(|(n, i)| (n + 10, i)).collect();
+        assert!(!validate_deadcode(&p, &renumbered).is_empty());
+    }
+
+    #[test]
+    fn interval_comparison_folds_the_loop_guard_bound() {
+        // i ∈ [0,8] after widening? The guard i < 8 inside the body can't
+        // fold (interval spans), but a guard against 1000 can.
+        let p = prog(fun(
+            "g",
+            vec![],
+            vec![
+                (0, Inst::Op(RtlOp::Int(5), 1, 1)),
+                (
+                    1,
+                    Inst::Op(
+                        RtlOp::BinopImm(MBinop::Cmp32(Cmp::Lt), 1, Val::Int(1000)),
+                        2,
+                        2,
+                    ),
+                ),
+                (2, Inst::Cond(2, 3, 4)),
+                (3, Inst::Return(Some(1))),
+                (4, Inst::Return(None)),
+            ],
+        ));
+        let rm = romem();
+        let facts = value_facts_program(&p, &rm);
+        let out = vprop(&p, &facts);
+        assert_eq!(out.functions[0].code[&1], Inst::Op(RtlOp::Int(1), 2, 2));
+        assert_eq!(out.functions[0].code[&2], Inst::Nop(3));
+        assert!(validate_constprop(&p, &out, &rm).is_empty());
+        let _ = Itv::point(0); // keep the import exercised
+    }
+}

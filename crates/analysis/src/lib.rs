@@ -26,6 +26,7 @@
 //! which injected convention violations are caught *without running* the
 //! semantics).
 
+pub mod absint;
 pub mod cfg;
 pub mod dataflow;
 pub mod diag;
@@ -33,6 +34,10 @@ pub mod dom;
 pub mod lint;
 pub mod validate;
 
+pub use absint::{
+    needed_facts_program, needed_solver_iterations, neededness, validate_constprop,
+    validate_deadcode, value_facts, value_facts_program, value_solver_iterations,
+};
 pub use cfg::{predecessors, reachable, reverse_postorder, CfgView, LinearCfg, MachCfg};
 pub use dataflow::{
     backward_solve, forward_solve, live_out, maybe_uninit, solver_iterations, JoinSemiLattice,

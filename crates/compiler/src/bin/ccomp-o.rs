@@ -14,6 +14,10 @@
 //!                        printed and the exit code is nonzero
 //!   --validate-json      like --validate, but findings are emitted as one
 //!                        JSON object per line
+//!   --analyze-json       emit the abstract-interpretation facts driving
+//!                        the Vprop/Ndce passes (per-function value facts
+//!                        and neededness sets) as a deterministic
+//!                        `compcerto-analysis/1` JSON document
 //!   --jobs N             compile translation units on N worker threads
 //!                        (`auto`/`0` = all hardware threads, the default;
 //!                        `1` = today's exact serial pipeline; output is
@@ -57,6 +61,7 @@ struct Cli {
     dump_rtl: bool,
     validate: bool,
     validate_json: bool,
+    analyze_json: bool,
     metrics: bool,
     metrics_json: bool,
     trace_json: bool,
@@ -73,6 +78,7 @@ fn parse_args() -> Result<Cli, String> {
         dump_rtl: false,
         validate: false,
         validate_json: false,
+        analyze_json: false,
         metrics: false,
         metrics_json: false,
         trace_json: false,
@@ -89,6 +95,7 @@ fn parse_args() -> Result<Cli, String> {
                 cli.validate = true;
                 cli.validate_json = true;
             }
+            "--analyze-json" => cli.analyze_json = true,
             "--metrics" => cli.metrics = true,
             "--metrics-json" => {
                 cli.metrics = true;
@@ -139,7 +146,7 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: ccomp-o [--dump-asm] [--dump-rtl] [--validate] [--validate-json] \
-                 [--metrics] [--metrics-json] [--trace-json] \
+                 [--analyze-json] [--metrics] [--metrics-json] [--trace-json] \
                  [--jobs N|auto] [-O0] [--run FN ARGS... | --check FN ARGS...] FILE.c ..."
             );
             return ExitCode::from(2);
@@ -223,6 +230,13 @@ fn main() -> ExitCode {
         if !cli.validate_json {
             println!("static validation: clean ({} unit(s))", units.len());
         }
+    }
+
+    if cli.analyze_json {
+        print!(
+            "{}",
+            compiler::analysis_json(&cli.files, &units, &symtab)
+        );
     }
 
     for (file, unit) in cli.files.iter().zip(&units) {

@@ -27,6 +27,13 @@ pub struct CompilerOptions {
     pub cse: bool,
     /// Run `Deadcode`.
     pub deadcode: bool,
+    /// Run `Vprop` — interval-driven constant propagation with branch
+    /// folding, consuming the forward value analysis of
+    /// `compcerto-validate` (DESIGN.md §12).
+    pub vprop: bool,
+    /// Run `Ndce` — neededness-driven dead-code elimination, consuming the
+    /// backward liveness-of-bits analysis (DESIGN.md §12).
+    pub ndce: bool,
     /// Run the static validation layer after compiling: per-IR
     /// well-formedness lints and per-pass translation validators
     /// (see [`crate::validate`]). Findings land in
@@ -50,6 +57,8 @@ impl Default for CompilerOptions {
             constprop: true,
             cse: true,
             deadcode: true,
+            vprop: true,
+            ndce: true,
             validate: false,
             metrics: false,
         }
@@ -65,6 +74,8 @@ impl CompilerOptions {
             constprop: false,
             cse: false,
             deadcode: false,
+            vprop: false,
+            ndce: false,
             validate: false,
             metrics: false,
         }
@@ -135,6 +146,14 @@ pub struct CompiledUnit {
     pub cminorsel: SelProgram,
     /// After `RTLgen`.
     pub rtl: RtlProgram,
+    /// The `Vprop` input snapshot: the RTL program right before the
+    /// abstract-interpretation passes (equal to [`CompiledUnit::rtl_opt`]
+    /// when both are disabled). The `Vprop` translation validator
+    /// recomputes value facts on this program.
+    pub rtl_vprop_in: RtlProgram,
+    /// The `Ndce` input snapshot: after `Vprop`, before `Ndce`. The `Ndce`
+    /// translation validator recomputes neededness facts on this program.
+    pub rtl_ndce_in: RtlProgram,
     /// After the (enabled) RTL optimizations and `Renumber`.
     pub rtl_opt: RtlProgram,
     /// After `Allocation`.
@@ -250,6 +269,24 @@ pub fn compile_program(
     if opts.deadcode {
         r = span(on, ms, "deadcode", || deadcode(&r));
     }
+    // The abstract-interpretation tier (DESIGN.md §12): both passes are
+    // *untrusted* — they consume facts solved by `compcerto-validate`'s
+    // fixpoint engine, and the snapshots taken here are what the matching
+    // translation validators recompute those facts on.
+    let rtl_vprop_in = r.clone();
+    if opts.vprop {
+        r = span(on, ms, "vprop", || {
+            let facts = compcerto_validate::value_facts_program(&r, &romem);
+            rtl::vprop(&r, &facts)
+        });
+    }
+    let rtl_ndce_in = r.clone();
+    if opts.ndce {
+        r = span(on, ms, "ndce", || {
+            let facts = compcerto_validate::needed_facts_program(&r);
+            rtl::ndce(&r, &facts)
+        });
+    }
 
     let ltl = span(on, ms, "allocation", || allocation(&r));
     let ltl_tunneled = span(on, ms, "tunneling", || tunneling(&ltl));
@@ -267,6 +304,8 @@ pub fn compile_program(
         cminor,
         cminorsel,
         rtl: rtl0,
+        rtl_vprop_in,
+        rtl_ndce_in,
         rtl_opt: r,
         ltl,
         ltl_tunneled,
@@ -279,7 +318,9 @@ pub fn compile_program(
         metrics: None,
     };
     if opts.validate {
-        unit.diagnostics = span(on, ms, "validate", || crate::validate::validate_unit(&unit));
+        unit.diagnostics = span(on, ms, "validate", || {
+            crate::validate::validate_unit(&unit, symtab)
+        });
     }
     if let Some(snap) = snap {
         let mut counters = snap.delta();

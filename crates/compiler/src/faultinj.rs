@@ -622,7 +622,7 @@ impl CampaignBase {
         if let Some(e) = probe_mutant(&base_mutant, &symtab, &lib, cfg) {
             return Err(format!("baseline program fails the checker: {e}"));
         }
-        let base_diags = crate::validate::validate_unit(&baseline);
+        let base_diags = crate::validate::validate_unit(&baseline, &symtab);
         if !base_diags.is_empty() {
             return Err(format!(
                 "baseline program fails static validation: {}",
@@ -690,7 +690,7 @@ pub fn run_campaign_class(
     let outcomes: Vec<(bool, Option<SimCheckError>, crate::obs::Counters)> =
         par_map(cfg.jobs, &mutants, |_, m| {
             let snap = crate::obs::ObsSnapshot::take();
-            let statically = !crate::validate::validate_unit(&m.unit).is_empty();
+            let statically = !crate::validate::validate_unit(&m.unit, &base.symtab).is_empty();
             let dynamic = probe_mutant(m, &base.symtab, &base.lib, cfg);
             (statically, dynamic, snap.delta())
         });
@@ -791,27 +791,23 @@ mod tests {
             jobs: Jobs::Auto,
         };
         let report = run_campaign(&cfg).expect("campaign runs");
-        assert!(
-            report.statically_caught_classes() >= 4,
-            "static layer must catch at least 4 classes, got {}",
-            report.statically_caught_classes()
+        assert_eq!(
+            report.statically_caught_classes(),
+            report.stats.len(),
+            "every mutation class must be caught statically"
         );
         for s in &report.stats {
-            match s.class {
-                // A consistent re-run of the backend is exactly the case a
-                // translation validator cannot flag: the target faithfully
-                // implements the (wrong) RTL. This is the principled static
-                // escape that motivates keeping the dynamic checker.
-                MutationClass::RtlConstantDrift => assert_eq!(
-                    s.static_caught, 0,
-                    "consistent backend re-run must be statically clean"
-                ),
-                _ => assert_eq!(
-                    s.static_caught, s.generated,
-                    "{}: asm-level tampering must be caught statically",
-                    s.class
-                ),
-            }
+            // RtlConstantDrift used to be the principled static escape: a
+            // consistent backend re-run faithfully implements the (wrong)
+            // RTL, so no backend validator can flag it. The abstract-
+            // interpretation validators close it by checking the final RTL
+            // against the per-unit `rtl_ndce_in` snapshot, which the drift
+            // does not (and cannot) patch.
+            assert_eq!(
+                s.static_caught, s.generated,
+                "{}: tampering must be caught statically",
+                s.class
+            );
         }
     }
 

@@ -13,6 +13,7 @@
 //!   programs and queries for the experiment sweeps;
 //! * [`sloc`] — significant-lines-of-code accounting for Tables 3 and 5.
 
+pub mod analyze;
 pub mod closed;
 pub mod difftest;
 pub mod driver;
@@ -28,6 +29,7 @@ pub mod sloc;
 pub mod validate;
 pub mod workload;
 
+pub use analyze::{analysis_json, ANALYSIS_SCHEMA};
 pub use closed::{run_closed, Closed, ClosedState};
 pub use difftest::{
     check_program, check_query, faultinj_escape_rates, run_seed, run_seed_obs, DifftestCfg,

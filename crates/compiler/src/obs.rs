@@ -40,7 +40,7 @@ pub const OBS_SCHEMA: &str = "compcerto-obs/1";
 /// Every counter key [`ObsSnapshot::delta`] emits. The checkpoint reader
 /// interns parsed counter names through this table to rebuild a
 /// `&'static str`-keyed [`Counters`] bag after a campaign resume.
-pub const DELTA_COUNTER_KEYS: [&str; 21] = [
+pub const DELTA_COUNTER_KEYS: [&str; 23] = [
     "lts.runs",
     "lts.steps",
     "lts.sim_steps",
@@ -62,6 +62,8 @@ pub const DELTA_COUNTER_KEYS: [&str; 21] = [
     "mem.promotes",
     "solver.rtl_iterations",
     "solver.validate_iterations",
+    "solver.value.iters",
+    "solver.needed.iters",
 ];
 
 /// Map a counter name back to its interned `&'static str` key (used when
@@ -134,6 +136,8 @@ pub struct ObsSnapshot {
     mem: MemCounters,
     rtl_solver: u64,
     validate_solver: u64,
+    value_solver: u64,
+    needed_solver: u64,
 }
 
 impl ObsSnapshot {
@@ -145,6 +149,8 @@ impl ObsSnapshot {
             mem: mem::obs::counters(),
             rtl_solver: rtl::solver_iterations(),
             validate_solver: compcerto_validate::solver_iterations(),
+            value_solver: compcerto_validate::value_solver_iterations(),
+            needed_solver: compcerto_validate::needed_solver_iterations(),
         }
     }
 
@@ -183,6 +189,14 @@ impl ObsSnapshot {
         c.set(
             "solver.validate_iterations",
             now.validate_solver.saturating_sub(self.validate_solver),
+        );
+        c.set(
+            "solver.value.iters",
+            now.value_solver.saturating_sub(self.value_solver),
+        );
+        c.set(
+            "solver.needed.iters",
+            now.needed_solver.saturating_sub(self.needed_solver),
         );
         c
     }
@@ -235,7 +249,34 @@ pub fn ir_counters(unit: &crate::driver::CompiledUnit) -> Counters {
         unit.asm.functions.iter().map(|f| f.code.len() as u64).sum(),
     );
     c.set("ir.diagnostics", unit.diagnostics.len() as u64);
+    c.set(
+        "ir.vprop_rewrites",
+        nodes_differing(&unit.rtl_vprop_in, &unit.rtl_ndce_in),
+    );
+    c.set(
+        "ir.ndce_eliminated",
+        nodes_differing(&unit.rtl_ndce_in, &unit.rtl_opt),
+    );
     c
+}
+
+/// Count the nodes an RTL pass rewrote: pairs functions by name and tallies
+/// the nodes whose instruction differs between pass input and output (both
+/// `Vprop` and `Ndce` preserve the node key set, so this is exactly the
+/// rewrite count).
+fn nodes_differing(input: &rtl::RtlProgram, output: &rtl::RtlProgram) -> u64 {
+    let mut n = 0u64;
+    for fi in &input.functions {
+        let Some(fo) = output.functions.iter().find(|f| f.name == fi.name) else {
+            continue;
+        };
+        n += fi
+            .code
+            .iter()
+            .filter(|(k, inst)| fo.code.get(k) != Some(inst))
+            .count() as u64;
+    }
+    n
 }
 
 // ---------------------------------------------------------------------------

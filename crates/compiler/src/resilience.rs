@@ -230,7 +230,9 @@ fn failed(e: &CompileError) -> UnitOutcome {
 
 /// The optional RTL optimization passes — the tier the degradation ladder
 /// disables on retry. Must match the driver's `CompilerOptions` flags.
-const OPTIONAL_OPT_PASSES: [&str; 5] = ["tailcall", "inlining", "constprop", "cse", "deadcode"];
+const OPTIONAL_OPT_PASSES: [&str; 7] = [
+    "tailcall", "inlining", "constprop", "cse", "deadcode", "vprop", "ndce",
+];
 
 fn without_rtl_opt(opts: CompilerOptions) -> CompilerOptions {
     CompilerOptions {
@@ -239,6 +241,8 @@ fn without_rtl_opt(opts: CompilerOptions) -> CompilerOptions {
         constprop: false,
         cse: false,
         deadcode: false,
+        vprop: false,
+        ndce: false,
         ..opts
     }
 }

@@ -91,6 +91,24 @@ fn golden_metrics_are_jobs_invariant_and_repeatable() {
     assert!(j1.contains("\"counters\""));
     assert!(j1.contains("\"ir.asm_instrs\""));
     assert!(j1.contains("\"solver.rtl_iterations\""));
+    // The abstract-interpretation tier (DESIGN.md §12) reports its own
+    // solver effort and per-pass rewrite deltas, all jobs-invariant.
+    assert!(j1.contains("\"solver.value.iters\""));
+    assert!(j1.contains("\"solver.needed.iters\""));
+    assert!(
+        !j1.contains("\"solver.value.iters\": 0,"),
+        "value-analysis solver never iterated on the golden corpus"
+    );
+    assert!(
+        !j1.contains("\"solver.needed.iters\": 0,"),
+        "neededness solver never iterated on the golden corpus"
+    );
+    assert!(j1.contains("\"ir.vprop_rewrites\""));
+    assert!(j1.contains("\"ir.ndce_eliminated\""));
+    assert!(
+        !j1.contains("\"ir.ndce_eliminated\": 0,"),
+        "ndce deleted nothing on the golden corpus"
+    );
     // ...and has actually stripped the volatile ones.
     assert!(!j1.contains("\"pool\""), "pool stats must be stripped");
     assert!(!j1.contains("\"timings_ms\""), "timings must be stripped");
@@ -122,5 +140,13 @@ fn difftest_block_metrics_are_jobs_invariant_and_repeatable() {
     assert!(
         !j1.contains("\"solver.validate_iterations\": 0,"),
         "validator dataflow solver never iterated"
+    );
+    assert!(
+        !j1.contains("\"solver.value.iters\": 0,"),
+        "value-analysis solver never iterated over the difftest block"
+    );
+    assert!(
+        !j1.contains("\"solver.needed.iters\": 0,"),
+        "neededness solver never iterated over the difftest block"
     );
 }

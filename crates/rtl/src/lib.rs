@@ -13,13 +13,18 @@
 //! | Constprop† | [`constprop`] | `va·ext ↠ va·ext` |
 //! | CSE† | [`cse`] | `va·ext ↠ va·ext` |
 //! | Deadcode† | [`deadcode`] | `va·ext ↠ va·ext` |
+//! | Vprop† | [`vprop`] | `va·ext ↠ va·ext` |
+//! | Ndce† | [`ndce`] | `va·ext ↠ va·ext` |
 //!
 //! († = optional optimizations; the final convention `C` is insensitive to
 //! whether they run, paper §3.4.)
 //!
 //! The value-analysis framework backing the `va` passes lives in
-//! [`analysis`].
+//! [`analysis`]; the interval/neededness abstract domains behind the
+//! `vprop`/`ndce` pair (DESIGN.md §12) live in [`absint`], with their
+//! fixpoint solvers and translation validators in `compcerto-validate`.
 
+pub mod absint;
 pub mod analysis;
 pub mod bitset;
 pub mod constprop;
@@ -28,11 +33,17 @@ pub mod deadcode;
 pub mod gen;
 pub mod inlining;
 pub mod lang;
+pub mod ndce;
 pub mod ptree;
 pub mod renumber;
 pub mod sem;
 pub mod tailcall;
+pub mod vprop;
 
+pub use absint::{
+    commutes, eval_binop_va, eval_op_va, eval_unop_va, op_arg_needs, up_to_msb, Itv, NeedEnv,
+    Needs, VaEnv, VaVal,
+};
 pub use analysis::{
     backward_solve, forward_solve, liveness, predecessors, solver_iterations, value_analysis,
     AEnv, AVal, JoinSemiLattice, Romem,
@@ -44,6 +55,8 @@ pub use deadcode::deadcode;
 pub use gen::rtlgen;
 pub use inlining::inlining;
 pub use lang::{Inst, Node, PReg, RtlFunction, RtlOp, RtlProgram};
+pub use ndce::ndce;
 pub use renumber::renumber;
-pub use sem::{RtlSem, RtlState};
+pub use sem::{RtlFrame, RtlSem, RtlState};
 pub use tailcall::tailcall;
+pub use vprop::vprop;

@@ -27,6 +27,32 @@ pub struct RtlFrame {
     sp: BlockId,
 }
 
+impl RtlFrame {
+    /// The function this activation executes.
+    #[must_use]
+    pub fn fname(&self) -> &Ident {
+        &self.fname
+    }
+
+    /// The node about to execute.
+    #[must_use]
+    pub fn pc(&self) -> Node {
+        self.pc
+    }
+
+    /// The register file (a missing register reads as `Undef`).
+    #[must_use]
+    pub fn regs(&self) -> &BTreeMap<PReg, Val> {
+        &self.regs
+    }
+
+    /// The activation's stack block.
+    #[must_use]
+    pub fn sp(&self) -> BlockId {
+        self.sp
+    }
+}
+
 /// States of the RTL LTS.
 #[derive(Debug, Clone)]
 pub enum RtlState {
