@@ -81,6 +81,16 @@ awk '/"checksum_serial"/ {
 grep -q '"schema": "compcerto-perf/1"' BENCH_PR3.json
 grep -q '"checksums_match": true' BENCH_PR3.json
 
+echo "== interp-throughput smoke (arena/fused dispatch) =="
+# DESIGN.md §13 / EXPERIMENTS.md row B12: re-measure the fixed 64-seed
+# interpretation sweep and gate against the committed BENCH_PR8.json. The
+# verdict checksum must match exactly — the batched interpreters are
+# required to be observationally invisible. The throughput floor (default
+# 4x vs the committed pre-change measurement) is enforced only on boxes
+# with >= 4 cores; below that the bin reports the ratio as advisory.
+cargo run -q --release -p bench --bin interp_campaign -- --check BENCH_PR8.json
+grep -q '"schema": "compcerto-interp/1"' BENCH_PR8.json
+
 echo "== differential-testing campaign (quick oracle sweep) =="
 # EXPERIMENTS.md row B8: the seeded generator → cross-stage oracle over a
 # fixed seed block. The bin exits nonzero on any finding (disagreement,

@@ -10,13 +10,14 @@
 //! where `pc` equals the activation's initial `ra` (the environment's return
 //! address).
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 use compcerto_core::iface::{ARegs, Signature, A};
-use compcerto_core::lts::{Lts, Step, Stuck};
+use compcerto_core::lts::{Batch, Event, Lts, Step, Stuck};
 use compcerto_core::regs::{Mreg, Regset};
 use compcerto_core::symtab::{Ident, SymbolTable};
-use mem::{Chunk, Val};
+use mem::{BlockId, Chunk, Val};
 use minor::{MBinop, MUnop};
 
 /// A branch label.
@@ -195,15 +196,51 @@ pub struct AsmSem {
     prog: AsmProgram,
     symtab: SymbolTable,
     label: String,
+    /// Per-symtab-block function index (first definition wins, like
+    /// [`AsmProgram::function`]); drives the batched fast path.
+    func_of_block: Vec<Option<usize>>,
+    /// Per-symtab-block "declared function this unit does not define" flag
+    /// (the external-suspension test of `step`).
+    foreign_block: Vec<bool>,
+    /// Per-function label → instruction index, parallel to
+    /// `prog.functions`.
+    labels: Vec<BTreeMap<Label, usize>>,
 }
 
 impl AsmSem {
     /// Wrap a program with the shared symbol table.
     pub fn new(prog: AsmProgram, symtab: SymbolTable) -> AsmSem {
+        let labels: Vec<BTreeMap<Label, usize>> = prog
+            .functions
+            .iter()
+            .map(|f| {
+                f.code
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, inst)| match inst {
+                        AsmInst::Label(l) => Some((*l, i)),
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut func_of_block = Vec::with_capacity(symtab.len());
+        let mut foreign_block = Vec::with_capacity(symtab.len());
+        for b in 0..symtab.len() as u32 {
+            let fidx = symtab
+                .ident_of(b)
+                .and_then(|name| prog.functions.iter().position(|f| f.name == name));
+            let is_fn = symtab.sig_of_ptr(&Val::Ptr(b, 0)).is_some();
+            foreign_block.push(is_fn && fidx.is_none());
+            func_of_block.push(fidx);
+        }
         AsmSem {
             prog,
             symtab,
             label: "Asm".into(),
+            func_of_block,
+            foreign_block,
+            labels,
         }
     }
 
@@ -424,6 +461,199 @@ impl Lts for AsmSem {
         match self.exec(s) {
             Ok(next) => Step::Internal(next, vec![]),
             Err(stuck) => Step::Stuck(stuck),
+        }
+    }
+
+    /// The batched fast path (DESIGN.md §13): identical transitions, stuck
+    /// messages, fuel accounting, and memory-op sequence as single-stepping,
+    /// executed in place. Code-block resolution is cached while `pc` stays
+    /// in one function; label targets come from the precomputed maps.
+    #[allow(clippy::too_many_lines)]
+    fn step_batch(
+        &self,
+        s: &mut AsmState,
+        fuel_left: u64,
+        _events: &mut Vec<Event>,
+    ) -> Batch<ARegs, ARegs> {
+        let prefixed = |msg: String| Stuck::new(format!("{}: {msg}", self.label));
+        let mut n: u64 = 0;
+        let mut cached: Option<(BlockId, usize)> = None;
+        loop {
+            if n == fuel_left {
+                return Batch::Ran(n);
+            }
+            // Final: control returned to the environment's return address.
+            if s.rs.pc == s.ra0 && s.rs.pc.is_defined() {
+                return Batch::Final(
+                    n,
+                    ARegs {
+                        rs: s.rs.clone(),
+                        mem: s.mem.clone(),
+                    },
+                );
+            }
+            // External: pc entered a function this unit does not define.
+            if let Val::Ptr(b, 0) = s.rs.pc {
+                if self.foreign_block.get(b as usize).copied().unwrap_or(false) {
+                    return Batch::External(
+                        n,
+                        ARegs {
+                            rs: s.rs.clone(),
+                            mem: s.mem.clone(),
+                        },
+                    );
+                }
+            }
+            let Val::Ptr(fb, idx) = s.rs.pc else {
+                return Batch::Stuck(
+                    n,
+                    prefixed(format!("pc is not a code pointer: {}", s.rs.pc)),
+                );
+            };
+            let fi = match cached {
+                Some((cb, fi)) if cb == fb => fi,
+                _ => {
+                    let Some(fi) = self.func_of_block.get(fb as usize).copied().flatten() else {
+                        return Batch::Stuck(n, prefixed("pc outside this unit's code".into()));
+                    };
+                    cached = Some((fb, fi));
+                    fi
+                }
+            };
+            let f = &self.prog.functions[fi];
+            let labels = &self.labels[fi];
+            let idx = idx as usize;
+            let Some(inst) = f.code.get(idx) else {
+                return Batch::Stuck(n, prefixed(format!("pc {} past end of `{}`", idx, f.name)));
+            };
+            let next = Val::Ptr(fb, idx as i64 + 1);
+            s.rs.pc = next;
+            match inst {
+                AsmInst::Label(_) => {}
+                AsmInst::MovImm32(d, v) => s.rs.set(*d, Val::Int(*v)),
+                AsmInst::MovImm64(d, v) => s.rs.set(*d, Val::Long(*v)),
+                AsmInst::Mov(d, src) => {
+                    let v = s.rs.get(*src);
+                    s.rs.set(*d, v);
+                }
+                AsmInst::LoadSym(d, sym, disp) => match self.symtab.block_of(sym) {
+                    Some(b) => s.rs.set(*d, Val::Ptr(b, *disp)),
+                    None => return Batch::Stuck(n, prefixed(format!("unknown symbol `{sym}`"))),
+                },
+                AsmInst::LeaSp(d, ofs) => {
+                    let v = s.rs.sp.add(Val::Long(*ofs));
+                    s.rs.set(*d, v);
+                }
+                AsmInst::Unop(m, d, src) => {
+                    let v = m.eval(s.rs.get(*src));
+                    s.rs.set(*d, v);
+                }
+                AsmInst::Binop(m, d, a, b) => {
+                    let v = m.eval(s.rs.get(*a), s.rs.get(*b));
+                    s.rs.set(*d, v);
+                }
+                AsmInst::BinopImm(m, d, a, i) => {
+                    let v = m.eval(s.rs.get(*a), *i);
+                    s.rs.set(*d, v);
+                }
+                AsmInst::Load(c, d, base, disp) => {
+                    let addr = s.rs.get(*base).add(Val::Long(*disp));
+                    match s.mem.loadv(*c, addr) {
+                        Ok(v) => s.rs.set(*d, v),
+                        Err(e) => {
+                            return Batch::Stuck(n, prefixed(format!("load failed: {e}")))
+                        }
+                    }
+                }
+                AsmInst::Store(c, src, base, disp) => {
+                    let addr = s.rs.get(*base).add(Val::Long(*disp));
+                    if let Err(e) = s.mem.storev(*c, addr, s.rs.get(*src)) {
+                        return Batch::Stuck(n, prefixed(format!("store failed: {e}")));
+                    }
+                }
+                AsmInst::LoadSp(c, d, ofs) => {
+                    let addr = s.rs.sp.add(Val::Long(*ofs));
+                    match s.mem.loadv(*c, addr) {
+                        Ok(v) => s.rs.set(*d, v),
+                        Err(e) => {
+                            return Batch::Stuck(n, prefixed(format!("frame load failed: {e}")))
+                        }
+                    }
+                }
+                AsmInst::StoreSp(c, src, ofs) => {
+                    let addr = s.rs.sp.add(Val::Long(*ofs));
+                    if let Err(e) = s.mem.storev(*c, addr, s.rs.get(*src)) {
+                        return Batch::Stuck(n, prefixed(format!("frame store failed: {e}")));
+                    }
+                }
+                AsmInst::AddSp(imm) => {
+                    s.rs.sp = s.rs.sp.add(Val::Long(*imm));
+                }
+                AsmInst::AllocFrame(size) => {
+                    let b = s.mem.alloc(0, *size);
+                    if let Err(e) = s.mem.store(Chunk::Any64, b, 0, s.rs.sp) {
+                        return Batch::Stuck(n, prefixed(format!("storing link: {e}")));
+                    }
+                    s.rs.sp = Val::Ptr(b, 0);
+                }
+                AsmInst::FreeFrame(size) => {
+                    let Val::Ptr(b, 0) = s.rs.sp else {
+                        return Batch::Stuck(n, prefixed("sp is not a frame base".into()));
+                    };
+                    let link = match s.mem.load(Chunk::Any64, b, 0) {
+                        Ok(v) => v,
+                        Err(e) => {
+                            return Batch::Stuck(n, prefixed(format!("loading link: {e}")))
+                        }
+                    };
+                    if let Err(e) = s.mem.free(b, 0, *size) {
+                        return Batch::Stuck(n, prefixed(format!("freeing frame: {e}")));
+                    }
+                    s.rs.sp = link;
+                }
+                AsmInst::SaveRa(ofs) => {
+                    let addr = s.rs.sp.add(Val::Long(*ofs));
+                    if let Err(e) = s.mem.storev(Chunk::Any64, addr, s.rs.ra) {
+                        return Batch::Stuck(n, prefixed(format!("saving ra: {e}")));
+                    }
+                }
+                AsmInst::RestoreRa(ofs) => {
+                    let addr = s.rs.sp.add(Val::Long(*ofs));
+                    match s.mem.loadv(Chunk::Any64, addr) {
+                        Ok(v) => s.rs.ra = v,
+                        Err(e) => {
+                            return Batch::Stuck(n, prefixed(format!("restoring ra: {e}")))
+                        }
+                    }
+                }
+                AsmInst::Jmp(l) => match labels.get(l) {
+                    Some(&i) => s.rs.pc = Val::Ptr(fb, i as i64),
+                    None => return Batch::Stuck(n, prefixed(format!("missing label {l}"))),
+                },
+                AsmInst::Jcc(r, l) => match s.rs.get(*r).truth() {
+                    Some(true) => match labels.get(l) {
+                        Some(&i) => s.rs.pc = Val::Ptr(fb, i as i64),
+                        None => return Batch::Stuck(n, prefixed(format!("missing label {l}"))),
+                    },
+                    Some(false) => {}
+                    None => {
+                        return Batch::Stuck(n, prefixed("undefined branch condition".into()))
+                    }
+                },
+                AsmInst::Call(callee) => match self.symtab.func_ptr(callee) {
+                    Some(target) => {
+                        s.rs.ra = next;
+                        s.rs.pc = target;
+                    }
+                    None => {
+                        return Batch::Stuck(n, prefixed(format!("unknown callee `{callee}`")))
+                    }
+                },
+                AsmInst::Ret => {
+                    s.rs.pc = s.rs.ra;
+                }
+            }
+            n += 1;
         }
     }
 

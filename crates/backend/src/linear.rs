@@ -4,7 +4,7 @@
 use std::collections::BTreeMap;
 
 use compcerto_core::iface::{LQuery, LReply, Signature, L};
-use compcerto_core::lts::{Lts, Step, Stuck};
+use compcerto_core::lts::{Batch, Event, Lts, Step, Stuck};
 use compcerto_core::regs::{Loc, Locset, Mreg};
 use compcerto_core::symtab::{Ident, SymbolTable};
 use mem::{BlockId, Chunk, Mem, Val};
@@ -148,15 +148,29 @@ pub struct LinearSem {
     prog: LinProgram,
     symtab: SymbolTable,
     label: String,
+    /// Function index by name (first definition wins, like
+    /// [`LinProgram::function`]); drives the batched fast path.
+    fidx_of_name: BTreeMap<Ident, usize>,
+    /// Per-function label → instruction index, parallel to
+    /// `prog.functions`.
+    labels: Vec<BTreeMap<Label, usize>>,
 }
 
 impl LinearSem {
     /// Wrap a program with the shared symbol table.
     pub fn new(prog: LinProgram, symtab: SymbolTable) -> LinearSem {
+        let mut fidx_of_name = BTreeMap::new();
+        let mut labels = Vec::with_capacity(prog.functions.len());
+        for (i, f) in prog.functions.iter().enumerate() {
+            fidx_of_name.entry(f.name.clone()).or_insert(i);
+            labels.push(label_targets(f));
+        }
         LinearSem {
             prog,
             symtab,
             label: "Linear".into(),
+            fidx_of_name,
+            labels,
         }
     }
 
@@ -413,6 +427,238 @@ impl Lts for LinearSem {
                 )
             }
             LinState::External { q, .. } => Step::External(q.clone()),
+        }
+    }
+
+    /// The batched fast path (DESIGN.md §13): identical transitions, stuck
+    /// messages, fuel accounting, and memory-op sequence as single-stepping,
+    /// but executed in place — no per-instruction frame/locset/memory clones,
+    /// no caller-stack copies, and label targets from the precomputed maps.
+    #[allow(clippy::too_many_lines)]
+    fn step_batch(
+        &self,
+        s: &mut LinState,
+        fuel_left: u64,
+        _events: &mut Vec<Event>,
+    ) -> Batch<LQuery, LReply> {
+        let prefixed = |msg: String| Stuck::new(format!("{}: {msg}", self.label));
+        let mut st = std::mem::replace(
+            s,
+            LinState::Ret {
+                ls: Locset::new(),
+                mem: Mem::new(),
+                stack: Vec::new(),
+            },
+        );
+        let mut n: u64 = 0;
+        loop {
+            match st {
+                // Only reachable at batch entry: external calls made inside
+                // the batch return directly from the `Exec` arm below.
+                LinState::External { q, cur, stack } => {
+                    let out = q.clone();
+                    *s = LinState::External { q, cur, stack };
+                    return Batch::External(n, out);
+                }
+                LinState::Call {
+                    fname,
+                    ls,
+                    mut mem,
+                    stack,
+                } => {
+                    if n == fuel_left {
+                        *s = LinState::Call {
+                            fname,
+                            ls,
+                            mem,
+                            stack,
+                        };
+                        return Batch::Ran(n);
+                    }
+                    let Some(&fi) = self.fidx_of_name.get(&fname) else {
+                        return Batch::Stuck(n, Stuck::new(format!("unknown function `{fname}`")));
+                    };
+                    let f = &self.prog.functions[fi];
+                    let sp = mem.alloc(0, f.stack_size);
+                    let entry_ls = ls.shift_incoming();
+                    n += 1;
+                    st = LinState::Exec {
+                        cur: LinFrame {
+                            fname,
+                            pc: 0,
+                            ls: entry_ls.clone(),
+                            entry_ls,
+                            sp,
+                        },
+                        mem,
+                        stack,
+                    };
+                }
+                LinState::Exec {
+                    mut cur,
+                    mut mem,
+                    mut stack,
+                } => {
+                    let Some(&fi) = self.fidx_of_name.get(&cur.fname) else {
+                        return Batch::Stuck(n, Stuck::new("frame names unknown function"));
+                    };
+                    let f = &self.prog.functions[fi];
+                    let labels = &self.labels[fi];
+                    loop {
+                        if n == fuel_left {
+                            *s = LinState::Exec { cur, mem, stack };
+                            return Batch::Ran(n);
+                        }
+                        let Some(inst) = f.code.get(cur.pc) else {
+                            return Batch::Stuck(
+                                n,
+                                prefixed(format!("pc {} past end of `{}`", cur.pc, cur.fname)),
+                            );
+                        };
+                        match inst {
+                            LinInst::Label(_) => {
+                                cur.pc += 1;
+                                n += 1;
+                            }
+                            LinInst::Op(op, dst) => {
+                                let v = match self.eval_op(&cur, op) {
+                                    Ok(v) => v,
+                                    Err(e) => return Batch::Stuck(n, e),
+                                };
+                                cur.ls.set(*dst, v);
+                                cur.pc += 1;
+                                n += 1;
+                            }
+                            LinInst::Load(chunk, base, disp, dst) => {
+                                let addr = cur.ls.get(*base).add(Val::Long(*disp));
+                                let v = match mem.loadv(*chunk, addr) {
+                                    Ok(v) => v,
+                                    Err(e) => {
+                                        return Batch::Stuck(
+                                            n,
+                                            prefixed(format!("load failed: {e}")),
+                                        )
+                                    }
+                                };
+                                cur.ls.set(*dst, v);
+                                cur.pc += 1;
+                                n += 1;
+                            }
+                            LinInst::Store(chunk, base, disp, src) => {
+                                let addr = cur.ls.get(*base).add(Val::Long(*disp));
+                                if let Err(e) = mem.storev(*chunk, addr, cur.ls.get(*src)) {
+                                    return Batch::Stuck(
+                                        n,
+                                        prefixed(format!("store failed: {e}")),
+                                    );
+                                }
+                                cur.pc += 1;
+                                n += 1;
+                            }
+                            LinInst::Goto(l) => match labels.get(l) {
+                                Some(&i) => {
+                                    cur.pc = i;
+                                    n += 1;
+                                }
+                                None => {
+                                    return Batch::Stuck(n, prefixed(format!("missing label {l}")))
+                                }
+                            },
+                            LinInst::CondGoto(loc, l) => match cur.ls.get(*loc).truth() {
+                                Some(true) => match labels.get(l) {
+                                    Some(&i) => {
+                                        cur.pc = i;
+                                        n += 1;
+                                    }
+                                    None => {
+                                        return Batch::Stuck(
+                                            n,
+                                            prefixed(format!("missing label {l}")),
+                                        )
+                                    }
+                                },
+                                Some(false) => {
+                                    cur.pc += 1;
+                                    n += 1;
+                                }
+                                None => {
+                                    return Batch::Stuck(
+                                        n,
+                                        prefixed("undefined branch condition".into()),
+                                    )
+                                }
+                            },
+                            LinInst::Call(callee, sig) => {
+                                if self.fidx_of_name.contains_key(callee) {
+                                    let fname = callee.clone();
+                                    let ls = cur.ls.clone();
+                                    stack.push(cur);
+                                    n += 1;
+                                    st = LinState::Call {
+                                        fname,
+                                        ls,
+                                        mem,
+                                        stack,
+                                    };
+                                    break;
+                                }
+                                let Some(vf) = self.symtab.func_ptr(callee) else {
+                                    return Batch::Stuck(
+                                        n,
+                                        prefixed(format!("unknown callee `{callee}`")),
+                                    );
+                                };
+                                n += 1;
+                                let q = LQuery {
+                                    vf,
+                                    sig: sig.clone(),
+                                    ls: cur.ls.clone(),
+                                    mem,
+                                };
+                                let out = q.clone();
+                                *s = LinState::External { q, cur, stack };
+                                return if n == fuel_left {
+                                    Batch::Ran(n)
+                                } else {
+                                    Batch::External(n, out)
+                                };
+                            }
+                            LinInst::Return => {
+                                if let Err(e) = mem.free(cur.sp, 0, f.stack_size) {
+                                    return Batch::Stuck(
+                                        n,
+                                        prefixed(format!("freeing stack data: {e}")),
+                                    );
+                                }
+                                let ls = return_regs(&cur.entry_ls, &cur.ls);
+                                n += 1;
+                                st = LinState::Ret { ls, mem, stack };
+                                break;
+                            }
+                        }
+                    }
+                }
+                LinState::Ret { ls, mem, mut stack } => {
+                    if n == fuel_left {
+                        *s = LinState::Ret { ls, mem, stack };
+                        return Batch::Ran(n);
+                    }
+                    if stack.is_empty() {
+                        return Batch::Final(n, LReply { ls, mem });
+                    }
+                    let Some(mut caller) = stack.pop() else {
+                        return Batch::Stuck(n, Stuck::new("return with no caller frame"));
+                    };
+                    caller.ls = return_regs(&caller.ls, &ls);
+                    caller.pc += 1;
+                    n += 1;
+                    st = LinState::Exec {
+                        cur: caller,
+                        mem,
+                        stack,
+                    };
+                }
+            }
         }
     }
 

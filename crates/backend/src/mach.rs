@@ -16,7 +16,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use compcerto_core::iface::{MQuery, MReply, Signature, M};
-use compcerto_core::lts::{Lts, Step, Stuck};
+use compcerto_core::lts::{Batch, Event, Lts, Step, Stuck};
 use compcerto_core::regs::{Mreg, NREGS};
 use compcerto_core::symtab::{Ident, SymbolTable};
 use mem::{BlockId, Chunk, Mem, Val};
@@ -185,6 +185,12 @@ pub struct MachSem {
     symtab: SymbolTable,
     ra_oracle: RaOracle,
     label: String,
+    /// Function index by name (first definition wins, like
+    /// [`MachProgram::function`]); drives the batched fast path.
+    fidx_of_name: BTreeMap<Ident, usize>,
+    /// Per-function label → instruction index, parallel to
+    /// `prog.functions`.
+    labels: Vec<BTreeMap<Label, usize>>,
 }
 
 impl std::fmt::Debug for MachSem {
@@ -198,11 +204,19 @@ impl std::fmt::Debug for MachSem {
 impl MachSem {
     /// Wrap a program; the return-address oracle defaults to `Undef`.
     pub fn new(prog: MachProgram, symtab: SymbolTable) -> MachSem {
+        let mut fidx_of_name = BTreeMap::new();
+        let mut labels = Vec::with_capacity(prog.functions.len());
+        for (i, f) in prog.functions.iter().enumerate() {
+            fidx_of_name.entry(f.name.clone()).or_insert(i);
+            labels.push(label_targets(f));
+        }
         MachSem {
             prog,
             symtab,
             ra_oracle: Arc::new(|_, _| Val::Undef),
             label: "Mach".into(),
+            fidx_of_name,
+            labels,
         }
     }
 
@@ -499,6 +513,288 @@ impl Lts for MachSem {
                 )
             }
             MachState::External { q, .. } => Step::External(q.clone()),
+        }
+    }
+
+    /// The batched fast path (DESIGN.md §13): identical transitions, stuck
+    /// messages, fuel accounting, and memory-op sequence as single-stepping,
+    /// executed in place with precomputed name/label tables.
+    #[allow(clippy::too_many_lines)]
+    fn step_batch(
+        &self,
+        s: &mut MachState,
+        fuel_left: u64,
+        _events: &mut Vec<Event>,
+    ) -> Batch<MQuery, MReply> {
+        let prefixed = |msg: String| Stuck::new(format!("{}: {msg}", self.label));
+        let mut st = std::mem::replace(
+            s,
+            MachState::Ret {
+                regs: [Val::Undef; NREGS],
+                mem: Mem::new(),
+                stack: Vec::new(),
+            },
+        );
+        let mut n: u64 = 0;
+        loop {
+            match st {
+                // Only reachable at batch entry (externals inside the batch
+                // return directly from the `Exec` arm).
+                MachState::External { q, cur, stack } => {
+                    let out = q.clone();
+                    *s = MachState::External { q, cur, stack };
+                    return Batch::External(n, out);
+                }
+                MachState::Call {
+                    fname,
+                    regs,
+                    sp,
+                    mut mem,
+                    stack,
+                } => {
+                    if n == fuel_left {
+                        *s = MachState::Call {
+                            fname,
+                            regs,
+                            sp,
+                            mem,
+                            stack,
+                        };
+                        return Batch::Ran(n);
+                    }
+                    let Some(&fi) = self.fidx_of_name.get(&fname) else {
+                        return Batch::Stuck(n, Stuck::new(format!("unknown function `{fname}`")));
+                    };
+                    let f = &self.prog.functions[fi];
+                    let fp = mem.alloc(0, f.frame_size);
+                    n += 1;
+                    st = MachState::Exec {
+                        cur: MachFrame {
+                            fname,
+                            pc: 0,
+                            regs,
+                            fp,
+                            parent_sp: sp,
+                        },
+                        mem,
+                        stack,
+                    };
+                }
+                MachState::Exec {
+                    mut cur,
+                    mut mem,
+                    mut stack,
+                } => {
+                    let Some(&fi) = self.fidx_of_name.get(&cur.fname) else {
+                        return Batch::Stuck(n, Stuck::new("frame names unknown function"));
+                    };
+                    let f = &self.prog.functions[fi];
+                    let labels = &self.labels[fi];
+                    loop {
+                        if n == fuel_left {
+                            *s = MachState::Exec { cur, mem, stack };
+                            return Batch::Ran(n);
+                        }
+                        let Some(inst) = f.code.get(cur.pc) else {
+                            return Batch::Stuck(
+                                n,
+                                prefixed(format!("pc {} past end of `{}`", cur.pc, cur.fname)),
+                            );
+                        };
+                        match inst {
+                            MachInst::Label(_) => {
+                                cur.pc += 1;
+                                n += 1;
+                            }
+                            MachInst::Op(op, dst) => {
+                                let v = match self.eval_op(&cur, op) {
+                                    Ok(v) => v,
+                                    Err(e) => return Batch::Stuck(n, e),
+                                };
+                                cur.regs[dst.index()] = v;
+                                cur.pc += 1;
+                                n += 1;
+                            }
+                            MachInst::Load(chunk, base, disp, dst) => {
+                                let addr = cur.regs[base.index()].add(Val::Long(*disp));
+                                let v = match mem.loadv(*chunk, addr) {
+                                    Ok(v) => v,
+                                    Err(e) => {
+                                        return Batch::Stuck(
+                                            n,
+                                            prefixed(format!("load failed: {e}")),
+                                        )
+                                    }
+                                };
+                                cur.regs[dst.index()] = v;
+                                cur.pc += 1;
+                                n += 1;
+                            }
+                            MachInst::Store(chunk, base, disp, src) => {
+                                let addr = cur.regs[base.index()].add(Val::Long(*disp));
+                                if let Err(e) = mem.storev(*chunk, addr, cur.regs[src.index()]) {
+                                    return Batch::Stuck(
+                                        n,
+                                        prefixed(format!("store failed: {e}")),
+                                    );
+                                }
+                                cur.pc += 1;
+                                n += 1;
+                            }
+                            MachInst::GetStack(ofs, dst) => {
+                                let v = match mem.load(Chunk::Any64, cur.fp, *ofs) {
+                                    Ok(v) => v,
+                                    Err(e) => {
+                                        return Batch::Stuck(
+                                            n,
+                                            prefixed(format!("getstack failed: {e}")),
+                                        )
+                                    }
+                                };
+                                cur.regs[dst.index()] = v;
+                                cur.pc += 1;
+                                n += 1;
+                            }
+                            MachInst::SetStack(src, ofs) => {
+                                if let Err(e) =
+                                    mem.store(Chunk::Any64, cur.fp, *ofs, cur.regs[src.index()])
+                                {
+                                    return Batch::Stuck(
+                                        n,
+                                        prefixed(format!("setstack failed: {e}")),
+                                    );
+                                }
+                                cur.pc += 1;
+                                n += 1;
+                            }
+                            MachInst::GetParam(ofs, dst) => {
+                                let v = match mem
+                                    .loadv(Chunk::Any64, cur.parent_sp.add(Val::Long(*ofs)))
+                                {
+                                    Ok(v) => v,
+                                    Err(e) => {
+                                        return Batch::Stuck(
+                                            n,
+                                            prefixed(format!("getparam failed: {e}")),
+                                        )
+                                    }
+                                };
+                                cur.regs[dst.index()] = v;
+                                cur.pc += 1;
+                                n += 1;
+                            }
+                            MachInst::Goto(l) => match labels.get(l) {
+                                Some(&i) => {
+                                    cur.pc = i;
+                                    n += 1;
+                                }
+                                None => {
+                                    return Batch::Stuck(n, prefixed(format!("missing label {l}")))
+                                }
+                            },
+                            MachInst::CondGoto(r, l) => match cur.regs[r.index()].truth() {
+                                Some(true) => match labels.get(l) {
+                                    Some(&i) => {
+                                        cur.pc = i;
+                                        n += 1;
+                                    }
+                                    None => {
+                                        return Batch::Stuck(
+                                            n,
+                                            prefixed(format!("missing label {l}")),
+                                        )
+                                    }
+                                },
+                                Some(false) => {
+                                    cur.pc += 1;
+                                    n += 1;
+                                }
+                                None => {
+                                    return Batch::Stuck(
+                                        n,
+                                        prefixed("undefined branch condition".into()),
+                                    )
+                                }
+                            },
+                            MachInst::Call(callee, _sig) => {
+                                let sp = Val::Ptr(cur.fp, f.outgoing_ofs);
+                                if self.fidx_of_name.contains_key(callee) {
+                                    let fname = callee.clone();
+                                    let regs = cur.regs;
+                                    stack.push(cur);
+                                    n += 1;
+                                    st = MachState::Call {
+                                        fname,
+                                        regs,
+                                        sp,
+                                        mem,
+                                        stack,
+                                    };
+                                    break;
+                                }
+                                let Some(vf) = self.symtab.func_ptr(callee) else {
+                                    return Batch::Stuck(
+                                        n,
+                                        prefixed(format!("unknown callee `{callee}`")),
+                                    );
+                                };
+                                let ra = (self.ra_oracle)(&cur.fname, cur.pc);
+                                n += 1;
+                                let q = MQuery {
+                                    vf,
+                                    sp,
+                                    ra,
+                                    rs: cur.regs,
+                                    mem,
+                                };
+                                let out = q.clone();
+                                *s = MachState::External { q, cur, stack };
+                                return if n == fuel_left {
+                                    Batch::Ran(n)
+                                } else {
+                                    Batch::External(n, out)
+                                };
+                            }
+                            MachInst::Return => {
+                                if let Err(e) = mem.free(cur.fp, 0, f.frame_size) {
+                                    return Batch::Stuck(
+                                        n,
+                                        prefixed(format!("freeing frame: {e}")),
+                                    );
+                                }
+                                let regs = cur.regs;
+                                n += 1;
+                                st = MachState::Ret { regs, mem, stack };
+                                break;
+                            }
+                        }
+                    }
+                }
+                MachState::Ret {
+                    regs,
+                    mem,
+                    mut stack,
+                } => {
+                    if n == fuel_left {
+                        *s = MachState::Ret { regs, mem, stack };
+                        return Batch::Ran(n);
+                    }
+                    if stack.is_empty() {
+                        return Batch::Final(n, MReply { rs: regs, mem });
+                    }
+                    let Some(mut caller) = stack.pop() else {
+                        return Batch::Stuck(n, Stuck::new("return with no caller frame"));
+                    };
+                    caller.regs = regs;
+                    caller.pc += 1;
+                    n += 1;
+                    st = MachState::Exec {
+                        cur: caller,
+                        mem,
+                        stack,
+                    };
+                }
+            }
         }
     }
 

@@ -39,6 +39,8 @@
 //! ```
 
 pub mod ast;
+#[doc(hidden)]
+pub mod fast;
 pub mod lexer;
 pub mod link;
 pub mod parser;

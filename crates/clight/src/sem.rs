@@ -11,11 +11,12 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use compcerto_core::iface::{CQuery, CReply, C};
-use compcerto_core::lts::{Lts, Step, Stuck};
+use compcerto_core::lts::{Batch, Event, Lts, Step, Stuck};
 use compcerto_core::symtab::{Ident, SymbolTable};
 use mem::{BlockId, Mem, Val};
 
 use crate::ast::{Binop, CallDest, Expr, Function, Program, Stmt, TempId, Unop};
+use crate::fast;
 use crate::ty::Ty;
 
 /// The open semantics `Clight(p) : C ↠ C` of a translation unit.
@@ -29,16 +30,30 @@ pub struct ClightSem {
     prog: Program,
     symtab: SymbolTable,
     label: String,
+    /// Prepared arenas driving the batched fast path (DESIGN.md §13).
+    fast: fast::PProg,
 }
 
 impl ClightSem {
     /// Wrap a typed program as an open transition system.
     pub fn new(prog: Program, symtab: SymbolTable) -> ClightSem {
+        let fast = fast::prepare(&prog, &symtab);
         ClightSem {
             prog,
             symtab,
             label: "Clight".into(),
+            fast,
         }
+    }
+
+    /// The prepared program (fast-path internals).
+    pub(crate) fn fast(&self) -> &fast::PProg {
+        &self.fast
+    }
+
+    /// The display label (fast-path stuck-message prefix).
+    pub(crate) fn label(&self) -> &str {
+        &self.label
     }
 
     /// Override the display name (useful when several units coexist).
@@ -141,6 +156,58 @@ pub enum State {
         /// Continuation.
         kont: Kont,
     },
+
+    // The remaining variants are the fast interpreter's mid-batch states
+    // (crate::fast, DESIGN.md §13). They arise only inside batched runs
+    // (`step_batch`), never from `initial` or traced single-stepping, and
+    // behave identically to their legacy counterparts under `step`,
+    // `resume`, and `measure`.
+    /// (internal) Fast-path `Entry` with the callee pre-resolved.
+    #[doc(hidden)]
+    FEntry {
+        /// Callee function index.
+        fidx: u32,
+        /// Argument values.
+        args: Vec<Val>,
+        /// Memory.
+        mem: Mem,
+        /// Pending continuation.
+        kont: fast::PKont,
+    },
+    /// (internal) Fast-path `Stmt` at an arena statement id.
+    #[doc(hidden)]
+    FStmt {
+        /// Current statement id (into the frame's function arena).
+        sid: u32,
+        /// Activation frame.
+        frame: fast::PFrame,
+        /// Continuation.
+        kont: fast::PKont,
+        /// Memory.
+        mem: Mem,
+    },
+    /// (internal) Fast-path `Returning`.
+    #[doc(hidden)]
+    FReturning {
+        /// Value being returned.
+        v: Val,
+        /// Memory.
+        mem: Mem,
+        /// Continuation (always `Stop` or `Call`).
+        kont: fast::PKont,
+    },
+    /// (internal) Fast-path `External`.
+    #[doc(hidden)]
+    FExternal {
+        /// The outgoing question.
+        q: CQuery,
+        /// Where the result goes.
+        dest: fast::PDest,
+        /// Suspended frame.
+        frame: fast::PFrame,
+        /// Continuation.
+        kont: fast::PKont,
+    },
 }
 
 // The `Kont` type is private; states embed it, so `State` exposes no public
@@ -170,20 +237,28 @@ impl State {
     /// The memory component of the state.
     fn mem_ref(&self) -> &Mem {
         match self {
-            State::Entry { mem, .. } | State::Stmt { mem, .. } | State::Returning { mem, .. } => {
-                mem
-            }
-            State::External { q, .. } => &q.mem,
+            State::Entry { mem, .. }
+            | State::Stmt { mem, .. }
+            | State::Returning { mem, .. }
+            | State::FEntry { mem, .. }
+            | State::FStmt { mem, .. }
+            | State::FReturning { mem, .. } => mem,
+            State::External { q, .. } | State::FExternal { q, .. } => &q.mem,
         }
     }
 
-    /// The continuation component of the state.
-    fn kont_ref(&self) -> &Kont {
+    /// The call depth of the continuation component (both representations
+    /// count their `Call` links the same way).
+    fn call_depth(&self) -> u64 {
         match self {
             State::Entry { kont, .. }
             | State::Stmt { kont, .. }
             | State::Returning { kont, .. }
-            | State::External { kont, .. } => kont,
+            | State::External { kont, .. } => kont.call_depth(),
+            State::FEntry { kont, .. }
+            | State::FStmt { kont, .. }
+            | State::FReturning { kont, .. }
+            | State::FExternal { kont, .. } => kont.call_depth(),
         }
     }
 }
@@ -544,7 +619,7 @@ impl ClightSem {
     }
 }
 
-fn eval_binop(op: Binop, a: Val, b: Val) -> Val {
+pub(crate) fn eval_binop(op: Binop, a: Val, b: Val) -> Val {
     match op {
         Binop::Add => a.add(b),
         Binop::Sub => a.sub(b),
@@ -651,8 +726,24 @@ impl Lts for ClightSem {
                 }
                 _ => Step::Stuck(Stuck::new("return into a non-call continuation")),
             },
-            State::External { q, .. } => Step::External(q.clone()),
+            State::External { q, .. } | State::FExternal { q, .. } => Step::External(q.clone()),
+            // Fast-path states single-step through a batch of size one, so
+            // `step` stays total (and bit-identical) on them too.
+            State::FEntry { .. } | State::FStmt { .. } | State::FReturning { .. } => {
+                fast::step_one(self, s)
+            }
         }
+    }
+
+    fn step_batch(
+        &self,
+        s: &mut State,
+        fuel_left: u64,
+        _events: &mut Vec<Event>,
+    ) -> Batch<CQuery, CReply> {
+        // Clight emits no events; the prepared arena loop replicates the
+        // legacy stepper's observables exactly (tests/fast_equiv.rs).
+        fast::step_batch(self, s, fuel_left)
     }
 
     fn resume(&self, s: &State, a: CReply) -> Result<State, Stuck> {
@@ -670,6 +761,20 @@ impl Lts for ClightSem {
                     mem,
                 })
             }
+            State::FExternal {
+                dest, frame, kont, ..
+            } => {
+                let mut frame = frame.clone();
+                let mut mem = a.mem;
+                fast::write_dest(&self.fast, &self.label, dest, a.retval, &mut frame, &mut mem)?;
+                let sid = self.fast.funcs[frame.fidx as usize].skip_sid;
+                Ok(State::FStmt {
+                    sid,
+                    frame,
+                    kont: kont.clone(),
+                    mem,
+                })
+            }
             _ => self.stuck("resume in non-external state"),
         }
     }
@@ -677,7 +782,7 @@ impl Lts for ClightSem {
     fn measure(&self, s: &State) -> compcerto_core::lts::StateMeasure {
         compcerto_core::lts::StateMeasure {
             mem_bytes: s.mem_ref().allocated_bytes(),
-            call_depth: s.kont_ref().call_depth(),
+            call_depth: s.call_depth(),
         }
     }
 }

@@ -654,6 +654,31 @@ fn run_asm_stage(
     }
 }
 
+/// Run a single named stage (one of [`STAGES`]) on one C-level query —
+/// the per-stage entry point used by the `interp_campaign` bench to
+/// attribute step throughput to each interpreter via the `lts.*` counters.
+///
+/// Unknown stage names report as [`StageOutcome::Transport`].
+pub fn run_stage(
+    sp: &StagePrograms,
+    symtab: &SymbolTable,
+    lib: &ExtLib,
+    stage: &str,
+    q: &CQuery,
+    budget: &RunBudget,
+) -> StageOutcome {
+    match stage {
+        "clight" => run_clight_stage(&sp.clight, symtab, lib, q, budget),
+        "simpl-locals" => run_clight_stage(&sp.clight_simpl, symtab, lib, q, budget),
+        "rtl" => run_rtl_stage(&sp.rtl, symtab, lib, q, budget),
+        "rtl-opt" => run_rtl_stage(&sp.rtl_opt, symtab, lib, q, budget),
+        "linear" => run_linear_stage(&sp.linear, symtab, lib, q, budget),
+        "mach" => run_mach_stage(&sp.mach, &sp.ra_map, symtab, lib, q, budget),
+        "asm" => run_asm_stage(&sp.asm, symtab, lib, q, budget),
+        other => StageOutcome::Transport(format!("unknown stage `{other}`")),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // The oracle: per-query stage comparison
 // ---------------------------------------------------------------------------

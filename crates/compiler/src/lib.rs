@@ -32,9 +32,9 @@ pub mod workload;
 pub use analyze::{analysis_json, ANALYSIS_SCHEMA};
 pub use closed::{run_closed, Closed, ClosedState};
 pub use difftest::{
-    check_program, check_query, faultinj_escape_rates, run_seed, run_seed_obs, DifftestCfg,
-    EscapeRow, FindingKind, Obs, ObsVal, QueryVerdict, Reproducer, SeedObs, SeedOutcome,
-    SeedReport, StagePrograms, STAGES,
+    check_program, check_query, faultinj_escape_rates, run_seed, run_seed_obs, run_stage,
+    DifftestCfg, EscapeRow, FindingKind, Obs, ObsVal, QueryVerdict, Reproducer, SeedObs,
+    SeedOutcome, SeedReport, StageOutcome, StagePrograms, STAGES,
 };
 pub use driver::{
     compile_all, compile_all_jobs, compile_unit, front_end, CompileError, CompiledUnit,

@@ -1,0 +1,84 @@
+//! Arena-vs-legacy stepping equivalence (DESIGN.md §13).
+//!
+//! The batched fast interpreters only engage on trace-off budgets
+//! (`RunBudget::no_trace`), so the same query can be driven down both
+//! paths: a ring-trace budget single-steps every stage through the legacy
+//! `step` relation, while a trace-off budget runs the arena/fused-dispatch
+//! loops. Over the fixed seed block the two must be indistinguishable —
+//! identical verdicts (answers, external-call traces, final globals) and
+//! identical `lts.*` counter deltas (steps, external calls, outcomes).
+
+use compcerto_core::iface::CQuery;
+use compcerto_core::lts::RunBudget;
+use compcerto_core::obs;
+use compcerto_gen::generate::gen_queries;
+use compcerto_gen::{generate, GenCfg};
+use compiler::{
+    check_query, compile_all, CompilerOptions, ExtLib, QueryVerdict, StagePrograms,
+};
+use mem::Val;
+
+/// Seeds in the fixed block (the `interp_campaign` block, kept small
+/// enough for a debug-profile tier-1 run).
+const SEEDS: u64 = 64;
+/// Queries per seed (the difftest default).
+const QUERIES: usize = 3;
+/// Fuel per stage execution (the difftest default).
+const FUEL: u64 = 2_000_000;
+
+fn verdict_repr(v: &QueryVerdict) -> String {
+    match v {
+        QueryVerdict::Agree(obs) => format!("agree:{obs}"),
+        QueryVerdict::Skipped { stage } => format!("skip@{stage}"),
+        QueryVerdict::Finding { kind, detail } => format!("finding:{kind}:{detail}"),
+    }
+}
+
+#[test]
+fn fast_path_matches_legacy_on_seed_block() {
+    for seed in 0..SEEDS {
+        let prog = generate(seed, &GenCfg::default());
+        let srcs = prog.render();
+        let refs: Vec<&str> = srcs.iter().map(String::as_str).collect();
+        let (units, symtab) =
+            compile_all(&refs, CompilerOptions::default()).expect("seed compiles");
+        let sp = StagePrograms::build(&units).expect("stage programs build");
+        let lib = ExtLib::demo(symtab.clone());
+        let init = symtab.build_init_mem().expect("initial memory");
+        let (_, entry) = prog.entry();
+        let vf = symtab.func_ptr(&entry.name).expect("entry symbol");
+        let sig = sp.clight.sig_of(&entry.name).expect("entry signature");
+
+        // Legacy path: ring trace forces single-stepping in the runner.
+        let legacy = RunBudget::with_fuel(FUEL).trace_capacity(16);
+        // Fast path: trace-off budgets take the batched interpreters.
+        let fast = RunBudget::with_fuel(FUEL).no_trace();
+
+        for args in gen_queries(seed, entry.nparams as usize, QUERIES) {
+            let q = CQuery {
+                vf,
+                sig: sig.clone(),
+                args: args.iter().map(|&a| Val::Int(a)).collect(),
+                mem: init.clone(),
+            };
+
+            let c0 = obs::counters();
+            let vl = check_query(&sp, &symtab, &lib, &q, &legacy);
+            let dl = obs::counters().since(&c0);
+
+            let c1 = obs::counters();
+            let vf_ = check_query(&sp, &symtab, &lib, &q, &fast);
+            let df = obs::counters().since(&c1);
+
+            assert_eq!(
+                verdict_repr(&vl),
+                verdict_repr(&vf_),
+                "seed {seed} args {args:?}: verdict diverged between legacy and fast paths"
+            );
+            assert_eq!(
+                dl, df,
+                "seed {seed} args {args:?}: lts.* counters diverged between legacy and fast paths"
+            );
+        }
+    }
+}

@@ -5,7 +5,8 @@
 //! Asm-O, on the fault-injection campaign report, and on the error path.
 
 use compiler::{
-    compile_all_jobs, run_campaign, CampaignCfg, CompilerOptions, Jobs, WorkloadCfg, WorkloadGen,
+    compile_all_jobs, run_campaign, CampaignCfg, CompilerOptions, Jobs, StagePrograms,
+    WorkloadCfg, WorkloadGen,
 };
 
 /// Pretty-print every Asm-O function of every unit, in unit order.
@@ -65,6 +66,39 @@ fn campaign_report_is_jobs_invariant() {
     let par = run_campaign(&mk(Jobs::N(4))).expect("campaign runs");
     // The rendered report is the external artifact; compare it bytewise.
     assert_eq!(format!("{serial}"), format!("{par}"));
+}
+
+#[test]
+fn interned_symbols_are_jobs_invariant() {
+    // `Sym` assignment (DESIGN.md §13) is a pure function of linked
+    // program order, so the interpreter arenas built from a parallel
+    // compilation must intern every name to the same dense id as a serial
+    // one — ids leak into nothing observable, but drifting ids would be
+    // the first symptom of a nondeterministic link order.
+    let srcs = [
+        "int mult(int n, int p) { return n * p; }",
+        "extern int mult(int, int); int sqr(int n) { int r; r = mult(n, n); return r; }",
+        "extern int sqr(int); int entry(int a) { int r; r = sqr(a); return r + a; }",
+    ];
+    let assignment = |jobs| {
+        let (units, tbl) =
+            compile_all_jobs(&srcs, CompilerOptions::default(), jobs).expect("corpus compiles");
+        let sp = StagePrograms::build(&units).expect("stage programs build");
+        let p = clight::fast::prepare(&sp.clight, &tbl);
+        sp.clight
+            .functions
+            .iter()
+            .map(|f| f.name.clone())
+            .chain(sp.clight.externs.iter().map(|e| e.name.clone()))
+            .map(|name| {
+                let sym = p.syms.lookup(&name).expect("every linked name interns");
+                (name, sym.index())
+            })
+            .collect::<Vec<_>>()
+    };
+    let serial = assignment(Jobs::N(1));
+    assert_eq!(serial, assignment(Jobs::N(4)));
+    assert_eq!(serial, assignment(Jobs::N(16)));
 }
 
 #[test]

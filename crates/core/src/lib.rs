@@ -56,6 +56,7 @@ pub mod conv;
 pub mod envfault;
 pub mod hcomp;
 pub mod iface;
+pub mod intern;
 pub mod invariants;
 pub mod lts;
 pub mod obs;

@@ -112,6 +112,38 @@ pub enum Step<S, OQ, IA> {
     Stuck(Stuck),
 }
 
+/// Result of a *batched* stretch of transitions ([`Lts::step_batch`]).
+///
+/// A batch mutates the state in place and reports how many internal steps it
+/// took, so the runner's fast loop pays one virtual call for many steps
+/// instead of one per step. The step count `n` is what keeps fuel accounting
+/// bit-for-bit identical to single-stepping:
+///
+/// * `Ran(n)` — `n` internal steps were taken, `1 <= n <= fuel_left`; the
+///   state is mid-execution and the runner will call again.
+/// * `Final(n, a)` / `External(n, q)` / `Stuck(n, s)` — `n` internal steps
+///   (`n < fuel_left`, strictly) were taken *before* the terminal condition
+///   was discovered. Discovery itself costs no fuel, exactly like the
+///   classic loop — and because that loop checks fuel *before* looking at
+///   the next transition, a batch that used up all of `fuel_left` must
+///   report `Ran(fuel_left)` even if the very next transition would be
+///   final: the runner then returns out-of-fuel, as single-stepping would.
+///
+/// For `External(n, q)` the state left behind must be the suspended external
+/// state that [`Lts::resume`] accepts.
+#[derive(Debug, Clone)]
+pub enum Batch<OQ, IA> {
+    /// `n` internal steps taken; more work remains.
+    Ran(u64),
+    /// `n` internal steps, then a final answer was discovered.
+    Final(u64, IA),
+    /// `n` internal steps, then the component suspended on an outgoing
+    /// question.
+    External(u64, OQ),
+    /// `n` internal steps, then no transition applied.
+    Stuck(u64, Stuck),
+}
+
 /// Resource usage of one LTS state, as reported by [`Lts::measure`].
 ///
 /// The runner compares this against the [`RunBudget`] quotas after every
@@ -182,6 +214,33 @@ pub trait Lts {
                 Step::Internal(s2, Vec::new())
             }
             other => other,
+        }
+    }
+
+    /// Take up to `fuel_left` internal steps *in place*, returning how many
+    /// were taken and what (if anything) ended the batch — see [`Batch`] for
+    /// the exact fuel-accounting contract. The runner only calls this with
+    /// `fuel_left >= 1`, and only from the zero-overhead fast path (trace
+    /// off, no quotas, no deadline), so implementations are free to mutate
+    /// `s` without cloning.
+    ///
+    /// The default takes exactly one step via [`Lts::step_into`]; interpreter
+    /// semantics with a precompiled dense dispatch loop override it to run
+    /// many steps per call.
+    fn step_batch(
+        &self,
+        s: &mut Self::State,
+        _fuel_left: u64,
+        events: &mut Vec<Event>,
+    ) -> Batch<Question<Self::O>, Answer<Self::I>> {
+        match self.step_into(s, events) {
+            Step::Internal(s2, _evs) => {
+                *s = s2;
+                Batch::Ran(1)
+            }
+            Step::Final(a) => Batch::Final(0, a),
+            Step::External(oq) => Batch::External(0, oq),
+            Step::Stuck(stuck) => Batch::Stuck(0, stuck),
         }
     }
 
@@ -768,6 +827,71 @@ fn run_inner<Sem: Lts>(
     };
     let started = budget.deadline.map(|_| Instant::now());
     let quotas_on = budget.max_mem_bytes.is_some() || budget.max_call_depth.is_some();
+    // Fast path: with the trace off, no per-state quotas and no deadline,
+    // nothing in the classic loop observes intermediate states, so batched
+    // in-place stepping ([`Lts::step_batch`]) is observationally identical —
+    // same answers, same step/event/external tallies, same stuck reports,
+    // same fuel boundary (the [`Batch`] contract makes terminal discovery
+    // free, exactly like the fuel-checked-first classic loop).
+    if budget.trace == TraceMode::Off && !quotas_on && budget.deadline.is_none() {
+        let mut trace = Vec::new();
+        let mut steps = 0u64;
+        loop {
+            let fuel_left = budget.fuel - steps;
+            if fuel_left == 0 {
+                return RunOutcome::OutOfFuel {
+                    trace: StepTrace::default(),
+                };
+            }
+            let events_before = trace.len();
+            let batch = lts.step_batch(&mut state, fuel_left, &mut trace);
+            stats.events += (trace.len() - events_before) as u64;
+            match batch {
+                Batch::Ran(n) => {
+                    steps += n;
+                    stats.steps = steps;
+                }
+                Batch::Final(n, a) => {
+                    steps += n;
+                    stats.steps = steps;
+                    return RunOutcome::Complete {
+                        answer: a,
+                        trace,
+                        steps,
+                    };
+                }
+                Batch::External(n, oq) => {
+                    steps += n;
+                    stats.steps = steps;
+                    stats.external_calls += 1;
+                    match env(&oq) {
+                        Some(ans) => match lts.resume(&state, ans) {
+                            Ok(s) => {
+                                state = s;
+                                steps += 1;
+                                stats.steps = steps;
+                            }
+                            Err(stuck) => {
+                                return RunOutcome::Wrong {
+                                    stuck,
+                                    trace: StepTrace::default(),
+                                }
+                            }
+                        },
+                        None => return RunOutcome::EnvRefused(format!("{oq:?}")),
+                    }
+                }
+                Batch::Stuck(n, stuck) => {
+                    steps += n;
+                    stats.steps = steps;
+                    return RunOutcome::Wrong {
+                        stuck,
+                        trace: StepTrace::default(),
+                    };
+                }
+            }
+        }
+    }
     let mut ring: TraceRing<Sem::State> = TraceRing::new(budget.trace.capacity());
     let mut trace = Vec::new();
     let mut steps = 0u64;

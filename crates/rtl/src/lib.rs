@@ -30,6 +30,7 @@ pub mod bitset;
 pub mod constprop;
 pub mod cse;
 pub mod deadcode;
+mod fast;
 pub mod gen;
 pub mod inlining;
 pub mod lang;

@@ -4,10 +4,11 @@
 use std::collections::BTreeMap;
 
 use compcerto_core::iface::{CQuery, CReply, C};
-use compcerto_core::lts::{Lts, Step, Stuck};
+use compcerto_core::lts::{Batch, Event, Lts, Step, Stuck};
 use compcerto_core::symtab::{Ident, SymbolTable};
 use mem::{BlockId, Mem, Val};
 
+use crate::fast;
 use crate::lang::{Inst, Node, PReg, RtlFunction, RtlOp, RtlProgram};
 
 /// The open semantics `RTL(p) : C ↠ C`.
@@ -15,16 +16,18 @@ use crate::lang::{Inst, Node, PReg, RtlFunction, RtlOp, RtlProgram};
 pub struct RtlSem {
     prog: RtlProgram,
     symtab: SymbolTable,
-    label: String,
+    pub(crate) label: String,
+    /// Prepared arena form driving [`Lts::step_batch`] (see `fast`).
+    pub(crate) fast: fast::PProg,
 }
 
 /// An RTL activation.
 #[derive(Debug, Clone)]
 pub struct RtlFrame {
-    fname: Ident,
-    pc: Node,
-    regs: BTreeMap<PReg, Val>,
-    sp: BlockId,
+    pub(crate) fname: Ident,
+    pub(crate) pc: Node,
+    pub(crate) regs: BTreeMap<PReg, Val>,
+    pub(crate) sp: BlockId,
 }
 
 impl RtlFrame {
@@ -99,10 +102,12 @@ pub enum RtlState {
 impl RtlSem {
     /// Wrap an RTL program and the shared symbol table.
     pub fn new(prog: RtlProgram, symtab: SymbolTable) -> RtlSem {
+        let fast = fast::prepare(&prog, &symtab);
         RtlSem {
             prog,
             symtab,
             label: "RTL".into(),
+            fast,
         }
     }
 
@@ -396,6 +401,17 @@ impl Lts for RtlSem {
             }
             RtlState::External { q, .. } => Step::External(q.clone()),
         }
+    }
+
+    fn step_batch(
+        &self,
+        s: &mut RtlState,
+        fuel_left: u64,
+        _events: &mut Vec<Event>,
+    ) -> Batch<CQuery, CReply> {
+        // RTL emits no events; the prepared arena loop replicates the legacy
+        // stepper's observables exactly (tests/fast_equiv.rs).
+        fast::step_batch(self, s, fuel_left)
     }
 
     fn resume(&self, s: &RtlState, a: CReply) -> Result<RtlState, Stuck> {
