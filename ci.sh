@@ -91,6 +91,38 @@ echo "== interp-throughput smoke (arena/fused dispatch) =="
 cargo run -q --release -p bench --bin interp_campaign -- --check BENCH_PR8.json
 grep -q '"schema": "compcerto-interp/1"' BENCH_PR8.json
 
+echo "== compile-server gate (cache cold/warm byte-identity) =="
+# ISSUE 9 / DESIGN.md §14: the same golden batch is served twice against a
+# fresh cache directory by two separate `ccomp-o serve` processes. The
+# first run must miss for every unit, the second must hit for every unit
+# (the cache is on disk, not in the process), and the compiled artifacts
+# must be byte-identical once the cache-status tags — the only intended
+# difference — are stripped. The corruption/protocol/identity batteries
+# behind this gate run as integration tests under `cargo test` above.
+rm -rf /tmp/ci_serve_cache
+printf '%s\n' \
+    '{"schema":"compcerto-serve/1","op":"compile","id":1,"units":[{"source":"int add(int x, int y) { return x + y; }"},{"source":"extern int add(int, int); int twice(int n) { int r; r = add(n, n); return r; }"}]}' \
+    '{"schema":"compcerto-serve/1","op":"stats","id":2}' \
+    > /tmp/ci_serve_batch.txt
+cargo run -q --release -p compiler --bin ccomp-o -- serve --cache-dir /tmp/ci_serve_cache \
+    < /tmp/ci_serve_batch.txt > /tmp/ci_serve_1.txt
+cargo run -q --release -p compiler --bin ccomp-o -- serve --cache-dir /tmp/ci_serve_cache \
+    < /tmp/ci_serve_batch.txt > /tmp/ci_serve_2.txt
+grep -q '"cache":{"hit":0,"miss":2,"evict":0}' /tmp/ci_serve_1.txt
+grep -q '"cache":{"hit":2,"miss":0,"evict":0}' /tmp/ci_serve_2.txt
+sed 's/"cache":"miss",//g; s/"cache":"hit",//g; s/"cache":{[^}]*}//g' /tmp/ci_serve_1.txt | head -1 > /tmp/ci_serve_1.norm
+sed 's/"cache":"miss",//g; s/"cache":"hit",//g; s/"cache":{[^}]*}//g' /tmp/ci_serve_2.txt | head -1 > /tmp/ci_serve_2.norm
+cmp /tmp/ci_serve_1.norm /tmp/ci_serve_2.norm
+
+echo "== serve-cache bench gate (warm speedup baseline) =="
+# EXPERIMENTS.md row B13: re-run the 24-batch cold/warm campaign with its
+# in-process identity assertions (jobs matrix, restart, partial hit) and
+# gate the artifact checksum against the committed BENCH_PR9.json. The
+# warm-speedup floor (5x) is enforced only on boxes with >= 4 cores;
+# below that the ratio is reported as advisory.
+cargo run -q --release -p bench --bin serve_campaign -- --check BENCH_PR9.json
+grep -q '"schema": "compcerto-serve-bench/1"' BENCH_PR9.json
+
 echo "== differential-testing campaign (quick oracle sweep) =="
 # EXPERIMENTS.md row B8: the seeded generator → cross-stage oracle over a
 # fixed seed block. The bin exits nonzero on any finding (disagreement,
@@ -101,6 +133,9 @@ echo "== differential-testing campaign (quick oracle sweep) =="
 cargo run -q --release -p bench --bin difftest_campaign -- --quick --jobs 1 --out /tmp/ci_difftest_1.json
 cargo run -q --release -p bench --bin difftest_campaign -- --quick --jobs auto --out /tmp/ci_difftest_2.json
 cmp /tmp/ci_difftest_1.json /tmp/ci_difftest_2.json
+# ISSUE 9: `--check` against a matching baseline must exit 0; the
+# flag-mismatch exit-2 contract is covered by bench/tests/difftest_check.
+cargo run -q --release -p bench --bin difftest_campaign -- --quick --jobs auto --check /tmp/ci_difftest_1.json
 grep -q '"schema": "compcerto-difftest/1"' /tmp/ci_difftest_1.json
 grep -q '"findings": 0,' /tmp/ci_difftest_1.json
 # The committed 500-seed baseline must be well-formed and clean too.

@@ -10,11 +10,19 @@
 //!     [--seeds N] [--seed-base N] [--jobs N|auto] [--quick] \
 //!     [--fuel N] [--queries N] [--no-reduce] \
 //!     [--escape-seeds N] [--per-class N] [--out PATH] \
-//!     [--block N] [--ckpt PATH] [--resume] [--max-blocks N]
+//!     [--block N] [--ckpt PATH] [--resume] [--max-blocks N] \
+//!     [--check PATH]
 //! ```
 //!
 //! Writes a machine-readable summary (schema `compcerto-difftest/1`) to
-//! `DIFFTEST.json` (or `--out`). The report is **byte-identical for a given
+//! `DIFFTEST.json` (or `--out`). With `--check PATH` the campaign runs,
+//! renders the report and byte-compares it to the committed baseline
+//! instead of writing: a mismatch is a regression (exit 1). Before any
+//! seed runs, the baseline's own configuration header (`seeds`,
+//! `seed_base`, `quick`, `fuel`, `queries_per_seed`) is compared to this
+//! invocation's — a mismatch (e.g. checking a 500-seed baseline with
+//! `--seeds 50`) is a **usage error (exit 2)** that names the exact
+//! regeneration command, never a silent half-comparison. The report is **byte-identical for a given
 //! seed block under any `--jobs` setting**: every per-seed verdict is a pure
 //! function of `(seed, cfg)`, the fan-out uses the order-preserving worker
 //! pool ([`compiler::par_map`]), and the JSON deliberately records no
@@ -63,6 +71,7 @@ struct Cli {
     ckpt: Option<String>,
     resume: bool,
     max_blocks: Option<u64>,
+    check: Option<String>,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -81,6 +90,7 @@ fn parse_args() -> Result<Cli, String> {
         ckpt: None,
         resume: false,
         max_blocks: None,
+        check: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -108,6 +118,7 @@ fn parse_args() -> Result<Cli, String> {
             }
             "--out" => cli.out = args.next().ok_or("--out needs a value")?.to_string(),
             "--ckpt" => cli.ckpt = Some(args.next().ok_or("--ckpt needs a value")?.to_string()),
+            "--check" => cli.check = Some(args.next().ok_or("--check needs a value")?.to_string()),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -442,7 +453,9 @@ fn run_phase1(cli: &Cli, cfg: &DifftestCfg, ckpt_path: &str, fp: &str) -> Result
     Ok(Phase1::Done(agg))
 }
 
-fn run(cli: &Cli) -> Result<Option<(String, usize)>, String> {
+/// The effective difftest configuration of this invocation (`--quick`
+/// presets, then the explicit overrides).
+fn build_cfg(cli: &Cli) -> DifftestCfg {
     let mut cfg = if cli.quick {
         DifftestCfg::quick()
     } else {
@@ -455,12 +468,80 @@ fn run(cli: &Cli) -> Result<Option<(String, usize)>, String> {
         cfg.queries = q;
     }
     cfg.reduce = !cli.no_reduce;
+    cfg
+}
+
+/// `--check` preflight: load the baseline and compare its configuration
+/// header against this invocation *before any seed runs*. Returns the
+/// baseline bytes for the final comparison.
+///
+/// # Errors
+/// Usage errors (exit 2): an unreadable or unparsable baseline, a wrong schema, or
+/// a configuration mismatch — each naming the exact regeneration command.
+fn load_check_baseline(path: &str, cli: &Cli, cfg: &DifftestCfg) -> Result<String, String> {
+    let raw = std::fs::read_to_string(path)
+        .map_err(|e| format!("--check: cannot read baseline `{path}`: {e}"))?;
+    let j = bench::json::parse(&raw).map_err(|e| format!("--check: baseline `{path}`: {e}"))?;
+    let schema = j.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != "compcerto-difftest/1" {
+        return Err(format!(
+            "--check: baseline `{path}` has schema `{schema}`, not `compcerto-difftest/1`"
+        ));
+    }
+    // The regeneration command for THIS baseline — quoted verbatim in
+    // every mismatch message so the fix is a copy-paste, not archaeology.
+    let base_seeds = j.get("seeds").and_then(Json::as_u64).unwrap_or(0);
+    let regen = format!(
+        "cargo run --release -p bench --bin difftest_campaign -- {}--seeds {base_seeds} \
+         --jobs auto --out {path}",
+        if j.get("quick").and_then(Json::as_bool) == Some(true) {
+            "--quick "
+        } else {
+            ""
+        }
+    );
+    let mismatch = |what: &str, baseline: String, requested: String| {
+        format!(
+            "--check: baseline `{path}` was generated with {what} {baseline}, but this \
+             invocation requests {requested};\n  \
+             comparing them would be meaningless — align the flags, or regenerate the \
+             baseline with:\n  {regen}"
+        )
+    };
+    if base_seeds != cli.seeds {
+        return Err(mismatch("seed count", base_seeds.to_string(), cli.seeds.to_string()));
+    }
+    let checks: [(&str, u64, u64); 3] = [
+        ("seed_base", j.get("seed_base").and_then(Json::as_u64).unwrap_or(0), cli.seed_base),
+        ("fuel", j.get("fuel").and_then(Json::as_u64).unwrap_or(0), cfg.fuel),
+        (
+            "queries_per_seed",
+            j.get("queries_per_seed").and_then(Json::as_u64).unwrap_or(0),
+            cfg.queries as u64,
+        ),
+    ];
+    for (what, got, want) in checks {
+        if got != want {
+            return Err(mismatch(what, got.to_string(), want.to_string()));
+        }
+    }
+    let base_quick = j.get("quick").and_then(Json::as_bool).unwrap_or(false);
+    if base_quick != cli.quick {
+        return Err(mismatch("quick", base_quick.to_string(), cli.quick.to_string()));
+    }
+    Ok(raw)
+}
+
+fn run(cli: &Cli) -> Result<Option<(String, usize)>, String> {
+    let cfg = build_cfg(cli);
 
     let fp = fingerprint(cli, &cfg);
-    let ckpt_path = cli
-        .ckpt
-        .clone()
-        .unwrap_or_else(|| format!("{}.ckpt", cli.out));
+    // In check mode the default checkpoint lives next to the baseline
+    // (never clobbering a regeneration run's `<out>.ckpt`).
+    let ckpt_path = cli.ckpt.clone().unwrap_or_else(|| match &cli.check {
+        Some(b) => format!("{b}.check.ckpt"),
+        None => format!("{}.ckpt", cli.out),
+    });
 
     println!(
         "difftest_campaign: seeds {}..{} quick={} fuel={} queries={}",
@@ -635,13 +716,39 @@ fn main() -> ExitCode {
                 "usage: difftest_campaign [--seeds N] [--seed-base N] [--jobs N|auto] \
                  [--quick] [--fuel N] [--queries N] [--no-reduce] \
                  [--escape-seeds N] [--per-class N] [--out PATH] \
-                 [--block N] [--ckpt PATH] [--resume] [--max-blocks N]"
+                 [--block N] [--ckpt PATH] [--resume] [--max-blocks N] [--check PATH]"
             );
             return ExitCode::from(2);
         }
     };
+    // `--check` preflight: a baseline generated under different flags is
+    // rejected as a usage error before any seed runs.
+    let baseline = match &cli.check {
+        Some(path) => match load_check_baseline(path, &cli, &build_cfg(&cli)) {
+            Ok(raw) => Some(raw),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
     match run(&cli) {
         Ok(Some((json, nfindings))) => {
+            if let Some(want) = baseline {
+                let path = cli.check.as_deref().unwrap_or("");
+                if json == want {
+                    println!("check: report matches {path}");
+                    return ExitCode::SUCCESS;
+                }
+                eprintln!(
+                    "error: regenerated report differs from baseline `{path}` \
+                     ({} vs {} bytes); the difftest outcome drifted",
+                    json.len(),
+                    want.len()
+                );
+                return ExitCode::from(1);
+            }
             if let Err(e) = std::fs::write(&cli.out, json) {
                 eprintln!("error: cannot write `{}`: {e}", cli.out);
                 return ExitCode::from(1);

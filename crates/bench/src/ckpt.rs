@@ -20,13 +20,13 @@
 
 use std::collections::BTreeMap;
 
-use crate::json::{self, Json};
+use compiler::json::{self, Json};
 
 /// Schema stamped on every campaign checkpoint.
 pub const CKPT_SCHEMA: &str = "compcerto-ckpt/1";
 
 /// Minimal JSON string escaping (no serde in the offline workspace). The
-/// exact inverse of what [`crate::json`] unescapes.
+/// exact inverse of what [`compiler::json`] unescapes.
 #[must_use]
 pub fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -154,7 +154,7 @@ mod tests {
         m.insert("lts.runs".to_string(), u64::MAX - 1);
         m.insert("mem.allocs".to_string(), 0);
         let encoded = u64_map_json(&m);
-        let parsed = crate::json::parse(&encoded).expect("parses");
+        let parsed = compiler::json::parse(&encoded).expect("parses");
         let back = u64_map(&parsed, "m").expect("decodes");
         assert_eq!(back, m);
     }

@@ -6,8 +6,12 @@
 //! [`microbench`] harness.
 
 pub mod ckpt;
-pub mod json;
 pub mod microbench;
+
+/// Re-export: the JSON reader moved into the `compiler` crate when the
+/// serve cache became its second consumer; the campaign binaries keep
+/// importing it as `bench::json`.
+pub use compiler::json;
 
 use compcerto_core::symtab::SymbolTable;
 use compiler::{compile_all, CompiledUnit, CompilerOptions};

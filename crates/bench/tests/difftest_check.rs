@@ -1,0 +1,119 @@
+//! Contract tests for `difftest_campaign --check` (ISSUE 9 satellite):
+//! checking against a baseline generated under different flags must be a
+//! hard usage error (exit 2) that names the regeneration command — never a
+//! silent comparison of incomparable reports — while a matching rerun
+//! exits 0 and a drifted report exits 1.
+
+use std::path::PathBuf;
+use std::process::Output;
+
+fn campaign(args: &[&str]) -> Output {
+    std::process::Command::new(env!("CARGO_BIN_EXE_difftest_campaign"))
+        .args(args)
+        .output()
+        .expect("spawn difftest_campaign")
+}
+
+/// Generate a tiny quick-mode baseline under `tag` and return its path.
+fn make_baseline(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "difftest-check-test-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create dir");
+    let out = dir.join("base.json");
+    let gen = campaign(&[
+        "--quick",
+        "--seeds",
+        "4",
+        "--jobs",
+        "auto",
+        "--out",
+        out.to_str().expect("path"),
+    ]);
+    assert!(
+        gen.status.success(),
+        "baseline generation failed: {}",
+        String::from_utf8_lossy(&gen.stderr)
+    );
+    out
+}
+
+#[test]
+fn check_passes_against_a_fresh_baseline() {
+    let base = make_baseline("pass");
+    // A different --jobs must not matter: the report is jobs-invariant.
+    let out = campaign(&["--quick", "--seeds", "4", "--jobs", "1", "--check", base.to_str().expect("path")]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("check: report matches"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let _ = std::fs::remove_dir_all(base.parent().expect("dir"));
+}
+
+#[test]
+fn seed_count_mismatch_is_a_usage_error_naming_the_regen_command() {
+    let base = make_baseline("seeds");
+    let out = campaign(&["--quick", "--seeds", "7", "--check", base.to_str().expect("path")]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "a seed-count mismatch must be exit 2, got: {:?}",
+        out.status.code()
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("seed count"), "{err}");
+    // The message must hand the user the exact regeneration command.
+    assert!(
+        err.contains("difftest_campaign -- --quick --seeds 4 --jobs auto --out"),
+        "{err}"
+    );
+    let _ = std::fs::remove_dir_all(base.parent().expect("dir"));
+}
+
+#[test]
+fn quick_flag_mismatch_is_a_usage_error() {
+    let base = make_baseline("quick");
+    // Same seed count, but the baseline was quick and this run is not.
+    let out = campaign(&["--seeds", "4", "--check", base.to_str().expect("path")]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("quick") && err.contains("regenerate"), "{err}");
+    let _ = std::fs::remove_dir_all(base.parent().expect("dir"));
+}
+
+#[test]
+fn drifted_baseline_is_a_check_failure_not_a_usage_error() {
+    let base = make_baseline("drift");
+    let raw = std::fs::read_to_string(&base).expect("read baseline");
+    // Tamper with a result member (not the config header): the preflight
+    // passes, the byte comparison catches it.
+    std::fs::write(&base, raw.replace("\"agree\": 4", "\"agree\": 3")).expect("tamper");
+    let out = campaign(&["--quick", "--seeds", "4", "--check", base.to_str().expect("path")]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("differs from baseline"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_dir_all(base.parent().expect("dir"));
+}
+
+#[test]
+fn missing_baseline_is_a_usage_error() {
+    let out = campaign(&["--quick", "--seeds", "4", "--check", "/nonexistent/base.json"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("cannot read baseline"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! ccomp-o [OPTIONS] FILE.c [FILE.c ...]
+//! ccomp-o serve --cache-dir DIR [serve options]
 //!
 //!   --dump-asm           print the generated Asm-O code
 //!   --dump-rtl           print the optimized RTL
@@ -31,6 +32,26 @@
 //!                        terminal) on stdout before the result
 //!   -O0                  disable the optional optimizations
 //! ```
+//!
+//! # The compile server
+//!
+//! `ccomp-o serve` starts a persistent daemon speaking newline-framed JSON
+//! (`compcerto-serve/1`, see [`compiler::serve`]) on stdin/stdout — or on
+//! a Unix socket with `--socket PATH` — backed by a content-addressed
+//! artifact cache:
+//!
+//! ```text
+//!   --cache-dir DIR      artifact cache directory (required; created)
+//!   --socket PATH        listen on a Unix socket instead of stdin/stdout
+//!   --jobs N|auto        worker-pool width for the function-level fan-out
+//!   -O0                  disable the optional optimizations
+//!   --no-validate        skip the static validation layer
+//!   --no-metrics         skip the per-unit metrics counters
+//! ```
+//!
+//! The server defaults to validation + metrics on (cached artifacts carry
+//! both). Its exit codes follow the same contract: 0 on EOF or a
+//! `shutdown` op, 1 on I/O failure, 2 on usage errors, never 101.
 //!
 //! # Exit codes
 //!
@@ -137,7 +158,87 @@ fn parse_args() -> Result<Cli, String> {
     Ok(cli)
 }
 
+const SERVE_USAGE: &str = "usage: ccomp-o serve --cache-dir DIR [--socket PATH] \
+     [--jobs N|auto] [-O0] [--no-validate] [--no-metrics]";
+
+/// The `ccomp-o serve` subcommand: parse the serve flags, then hand the
+/// process over to the framing loop ([`compiler::serve`]).
+fn serve_main(args: &[String]) -> ExitCode {
+    let mut cache_dir: Option<String> = None;
+    let mut socket: Option<String> = None;
+    let mut jobs = Jobs::Auto;
+    let mut opts = CompilerOptions::validated().with_metrics();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--cache-dir" => match it.next() {
+                Some(d) => cache_dir = Some(d.clone()),
+                None => {
+                    eprintln!("error: --cache-dir requires a value\n{SERVE_USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--socket" => match it.next() {
+                Some(p) => socket = Some(p.clone()),
+                None => {
+                    eprintln!("error: --socket requires a value\n{SERVE_USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--jobs" => match it.next().map(|v| Jobs::parse(v)) {
+                Some(Ok(j)) => jobs = j,
+                Some(Err(e)) => {
+                    eprintln!("error: {e}\n{SERVE_USAGE}");
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("error: --jobs requires a value\n{SERVE_USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "-O0" => {
+                // Preserve the validate/metrics toggles across the rebuild.
+                let (v, m) = (opts.validate, opts.metrics);
+                opts = CompilerOptions::none();
+                opts.validate = v;
+                opts.metrics = m;
+            }
+            "--no-validate" => opts.validate = false,
+            "--no-metrics" => opts.metrics = false,
+            "-h" | "--help" => {
+                eprintln!("{SERVE_USAGE}");
+                return ExitCode::from(2);
+            }
+            other => {
+                eprintln!("error: unknown serve option `{other}`\n{SERVE_USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(cache_dir) = cache_dir else {
+        eprintln!("error: serve requires --cache-dir\n{SERVE_USAGE}");
+        return ExitCode::from(2);
+    };
+    let cfg = compiler::ServeConfig {
+        opts,
+        jobs,
+        cache_dir,
+    };
+    let code = match socket {
+        Some(path) => compiler::run_unix(cfg, &path),
+        None => compiler::run_stdio(cfg),
+    };
+    ExitCode::from(code)
+}
+
 fn main() -> ExitCode {
+    // The server has its own flag grammar; dispatch before the batch
+    // compiler's parse sees `serve` as an input file.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("serve") {
+        return serve_main(&argv[1..]);
+    }
+
     let cli = match parse_args() {
         Ok(c) => c,
         Err(msg) => {
@@ -147,7 +248,9 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: ccomp-o [--dump-asm] [--dump-rtl] [--validate] [--validate-json] \
                  [--analyze-json] [--metrics] [--metrics-json] [--trace-json] \
-                 [--jobs N|auto] [-O0] [--run FN ARGS... | --check FN ARGS...] FILE.c ..."
+                 [--jobs N|auto] [-O0] [--run FN ARGS... | --check FN ARGS...] FILE.c ...\n\
+                 \x20      ccomp-o serve --cache-dir DIR [--socket PATH] [--jobs N|auto] [-O0] \
+                 [--no-validate] [--no-metrics]"
             );
             return ExitCode::from(2);
         }

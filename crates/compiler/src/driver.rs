@@ -7,9 +7,12 @@ use backend::{
     AsmSem, LinProgram, LtlProgram, MachSem,
 };
 use clight::{build_symtab, parse, simpl_locals, typecheck};
-use compcerto_core::symtab::SymbolTable;
+use compcerto_core::iface::Signature;
+use compcerto_core::symtab::{Ident, SymbolTable};
 use minor::{cminorgen, cshmgen, selection, CmProgram, CsProgram, SelProgram};
-use rtl::{constprop, cse, deadcode, inlining, renumber, rtlgen, tailcall, Romem, RtlProgram};
+use rtl::{
+    constprop, cse, deadcode, inlining, renumber, rtlgen, tailcall, Romem, RtlFunction, RtlProgram,
+};
 
 use crate::par::{self, Jobs};
 
@@ -205,42 +208,118 @@ pub fn compile_unit(
     compile_program(&typed, symtab, opts)
 }
 
-/// Compile an already-typed program against a given symbol table.
+/// Run one pass, recording its wall-clock span when metrics are on.
+/// Every pass announces itself to the resilience layer first, so a
+/// panic unwinding out of `f` is attributed to the right pass (and the
+/// pass-panic envfault has its injection point).
+fn span<T>(
+    on: bool,
+    pass_ms: &mut Vec<(&'static str, f64)>,
+    name: &'static str,
+    f: impl FnOnce() -> T,
+) -> T {
+    crate::resilience::pass_boundary(name);
+    if !on {
+        return f();
+    }
+    let t0 = std::time::Instant::now();
+    let r = f();
+    pass_ms.push((name, t0.elapsed().as_secs_f64() * 1e3));
+    r
+}
+
+/// Every pass name, in canonical pipeline order. Per-function pass spans
+/// are merged (summed) into this order so a unit's `pass_ms` reads the
+/// same whether its back end ran whole-program or function-by-function.
+const PASS_ORDER: [&'static str; 20] = [
+    "simpl_locals",
+    "cshmgen",
+    "cminorgen",
+    "selection",
+    "rtlgen",
+    "tailcall",
+    "inlining",
+    "renumber",
+    "constprop",
+    "cse",
+    "deadcode",
+    "vprop",
+    "ndce",
+    "allocation",
+    "tunneling",
+    "linearize",
+    "cleanup_labels",
+    "stacking",
+    "asmgen",
+    "validate",
+];
+
+/// Sum pass spans by name into canonical [`PASS_ORDER`] order. Timings are
+/// volatile (stripped before any byte comparison) — this merge only keeps
+/// the human-facing report shaped like the serial pipeline's.
+fn merge_pass_ms(parts: Vec<Vec<(&'static str, f64)>>) -> Vec<(&'static str, f64)> {
+    let mut sums: std::collections::BTreeMap<&'static str, f64> = std::collections::BTreeMap::new();
+    for part in parts {
+        for (name, ms) in part {
+            *sums.entry(name).or_insert(0.0) += ms;
+        }
+    }
+    PASS_ORDER
+        .iter()
+        .filter_map(|n| sums.get(n).map(|v| (*n, *v)))
+        .collect()
+}
+
+/// The cross-function half of one unit's compilation (DESIGN.md §14): the
+/// Clight → RTL stages plus the two whole-program RTL passes (`Tailcall`,
+/// `Inlining` — the latter reads every function's body to build its
+/// eligibility map). Everything after this point is a pure per-function
+/// map, which is what lets [`compile_all_jobs`] and the serve scheduler
+/// fan *functions*, not units, over the worker pool.
+#[derive(Debug)]
+pub struct UnitPrefix {
+    /// After `SimplLocals`.
+    pub clight_simpl: clight::Program,
+    /// After `Cshmgen`.
+    pub csharp: CsProgram,
+    /// After `Cminorgen`.
+    pub cminor: CmProgram,
+    /// After `Selection`.
+    pub cminorsel: SelProgram,
+    /// After `RTLgen` (the `rtl` snapshot of [`CompiledUnit`]).
+    pub rtl: RtlProgram,
+    /// After `Tailcall` + `Inlining`: the program whose functions become
+    /// the per-function work items.
+    pub rtl_pre: RtlProgram,
+    /// The read-only-globals summary the RTL optimizations consult: a pure
+    /// function of the shared symbol table, built once per unit (inside the
+    /// prefix counter window, exactly like the historical whole-unit
+    /// pipeline) and shared by reference across the unit's per-function
+    /// work items — `mem`'s block table is `Arc`-backed so the summary
+    /// crosses the pool boundary.
+    pub romem: Romem,
+    /// Deterministic counter delta of the prefix (when metrics are on).
+    counters: Option<crate::obs::Counters>,
+    /// Wall-clock spans of the prefix passes (volatile).
+    pass_ms: Vec<(&'static str, f64)>,
+}
+
+/// Clight → RTL, plus the cross-function RTL passes. See [`UnitPrefix`].
 ///
 /// # Errors
-/// See [`compile_unit`].
-pub fn compile_program(
+/// Reports `Cshmgen`/`Cminorgen` failures.
+pub fn unit_prefix(
     typed: &clight::Program,
     symtab: &SymbolTable,
     opts: CompilerOptions,
-) -> Result<CompiledUnit, CompileError> {
-    // Observability (DESIGN.md §10): the snapshot/delta pair runs entirely
-    // on this thread, and the parallel pool runs each unit entirely on one
-    // worker — so the per-unit counter delta is schedule- and
-    // jobs-invariant by construction. Pass spans are wall-clock and land
-    // in the volatile (never gated) half of the metrics.
+) -> Result<UnitPrefix, CompileError> {
+    // Observability (DESIGN.md §10): each phase's snapshot/delta pair runs
+    // entirely on the thread executing that phase, and per-unit counters
+    // are the *sum* of the unit's phase deltas — u64 sums commute, so the
+    // total is schedule- and jobs-invariant however the phases are
+    // distributed over workers.
     let snap = opts.metrics.then(crate::obs::ObsSnapshot::take);
     let mut pass_ms: Vec<(&'static str, f64)> = Vec::new();
-
-    /// Run one pass, recording its wall-clock span when metrics are on.
-    /// Every pass announces itself to the resilience layer first, so a
-    /// panic unwinding out of `f` is attributed to the right pass (and the
-    /// pass-panic envfault has its injection point).
-    fn span<T>(
-        on: bool,
-        pass_ms: &mut Vec<(&'static str, f64)>,
-        name: &'static str,
-        f: impl FnOnce() -> T,
-    ) -> T {
-        crate::resilience::pass_boundary(name);
-        if !on {
-            return f();
-        }
-        let t0 = std::time::Instant::now();
-        let r = f();
-        pass_ms.push((name, t0.elapsed().as_secs_f64() * 1e3));
-        r
-    }
     let on = opts.metrics;
     let ms = &mut pass_ms;
 
@@ -258,10 +337,65 @@ pub fn compile_program(
     if opts.inlining {
         r = span(on, ms, "inlining", || inlining(&r));
     }
-    r = span(on, ms, "renumber", || renumber(&r));
     let romem = Romem::new(symtab);
+    Ok(UnitPrefix {
+        clight_simpl,
+        csharp,
+        cminor,
+        cminorsel,
+        rtl: rtl0,
+        rtl_pre: r,
+        romem,
+        counters: snap.map(|s| s.delta()),
+        pass_ms,
+    })
+}
+
+/// One function's back end: every per-function artifact from `Renumber`
+/// through `Asmgen`, carried as singleton programs so [`assemble_unit`]
+/// can reassemble the unit by concatenating functions in input order.
+#[derive(Debug)]
+pub struct FnBack {
+    vprop_in: RtlProgram,
+    ndce_in: RtlProgram,
+    rtl_opt: RtlProgram,
+    ltl: LtlProgram,
+    ltl_tunneled: LtlProgram,
+    linear_raw: LinProgram,
+    linear: LinProgram,
+    mach: backend::mach::MachProgram,
+    asm: AsmProgram,
+    ra_map: backend::asmgen::RaMap,
+    counters: Option<crate::obs::Counters>,
+    pass_ms: Vec<(&'static str, f64)>,
+}
+
+/// The per-function back end (DESIGN.md §14): `Renumber` → `Asmgen` on a
+/// singleton program. All of these passes are per-function maps in the
+/// whole-program pipeline, so running them on one function at a time
+/// produces byte-identical artifacts and counter totals — the property the
+/// `jobs_determinism`/`obs_determinism`/golden-Asm suites gate.
+///
+/// # Errors
+/// Reports `Stacking` failures.
+pub fn fn_back_end(
+    func: &RtlFunction,
+    externs: &[(Ident, Signature)],
+    romem: &Romem,
+    opts: CompilerOptions,
+) -> Result<FnBack, CompileError> {
+    let snap = opts.metrics.then(crate::obs::ObsSnapshot::take);
+    let mut pass_ms: Vec<(&'static str, f64)> = Vec::new();
+    let on = opts.metrics;
+    let ms = &mut pass_ms;
+
+    let mut r = RtlProgram {
+        functions: vec![func.clone()],
+        externs: externs.to_vec(),
+    };
+    r = span(on, ms, "renumber", || renumber(&r));
     if opts.constprop {
-        r = span(on, ms, "constprop", || constprop(&r, &romem));
+        r = span(on, ms, "constprop", || constprop(&r, romem));
     }
     if opts.cse {
         r = span(on, ms, "cse", || cse(&r));
@@ -273,14 +407,14 @@ pub fn compile_program(
     // *untrusted* — they consume facts solved by `compcerto-validate`'s
     // fixpoint engine, and the snapshots taken here are what the matching
     // translation validators recompute those facts on.
-    let rtl_vprop_in = r.clone();
+    let vprop_in = r.clone();
     if opts.vprop {
         r = span(on, ms, "vprop", || {
-            let facts = compcerto_validate::value_facts_program(&r, &romem);
+            let facts = compcerto_validate::value_facts_program(&r, romem);
             rtl::vprop(&r, &facts)
         });
     }
-    let rtl_ndce_in = r.clone();
+    let ndce_in = r.clone();
     if opts.ndce {
         r = span(on, ms, "ndce", || {
             let facts = compcerto_validate::needed_facts_program(&r);
@@ -297,15 +431,9 @@ pub fn compile_program(
     let mach = span(on, ms, "stacking", || stacking(&linear)).map_err(CompileError::Stacking)?;
     let (asm, ra_map) = span(on, ms, "asmgen", || asmgen(&mach));
 
-    let mut unit = CompiledUnit {
-        clight: typed.clone(),
-        clight_simpl,
-        csharp,
-        cminor,
-        cminorsel,
-        rtl: rtl0,
-        rtl_vprop_in,
-        rtl_ndce_in,
+    Ok(FnBack {
+        vprop_in,
+        ndce_in,
         rtl_opt: r,
         ltl,
         ltl_tunneled,
@@ -314,20 +442,163 @@ pub fn compile_program(
         mach,
         asm,
         ra_map,
+        counters: snap.map(|s| s.delta()),
+        pass_ms,
+    })
+}
+
+/// Concatenate the per-function singleton programs back into whole-unit
+/// programs (functions in input order, the unit's externs at every level —
+/// every back-end pass passes `externs` through unchanged) and seed the
+/// metrics bag with the prefix + per-function counter deltas. Validation
+/// and the final metric assembly happen in [`finalize_unit`].
+fn merge_unit(
+    typed: &clight::Program,
+    opts: CompilerOptions,
+    mut prefix: UnitPrefix,
+    backs: Vec<FnBack>,
+) -> CompiledUnit {
+    let ex = prefix.rtl_pre.externs.clone();
+    let n = backs.len();
+    let mut vprop_in_f = Vec::with_capacity(n);
+    let mut ndce_in_f = Vec::with_capacity(n);
+    let mut rtl_opt_f = Vec::with_capacity(n);
+    let mut ltl_f = Vec::with_capacity(n);
+    let mut ltl_tun_f = Vec::with_capacity(n);
+    let mut lin_raw_f = Vec::with_capacity(n);
+    let mut lin_f = Vec::with_capacity(n);
+    let mut mach_f = Vec::with_capacity(n);
+    let mut asm_f = Vec::with_capacity(n);
+    let mut ra_map = backend::asmgen::RaMap::new();
+    let mut counters = prefix.counters.take().unwrap_or_default();
+    let mut ms_parts: Vec<Vec<(&'static str, f64)>> = vec![std::mem::take(&mut prefix.pass_ms)];
+    for b in backs {
+        vprop_in_f.extend(b.vprop_in.functions);
+        ndce_in_f.extend(b.ndce_in.functions);
+        rtl_opt_f.extend(b.rtl_opt.functions);
+        ltl_f.extend(b.ltl.functions);
+        ltl_tun_f.extend(b.ltl_tunneled.functions);
+        lin_raw_f.extend(b.linear_raw.functions);
+        lin_f.extend(b.linear.functions);
+        mach_f.extend(b.mach.functions);
+        asm_f.extend(b.asm.functions);
+        ra_map.extend(b.ra_map);
+        if let Some(c) = &b.counters {
+            counters.add(c);
+        }
+        ms_parts.push(b.pass_ms);
+    }
+    let metrics = opts.metrics.then(|| crate::obs::UnitMetrics {
+        counters,
+        pass_ms: merge_pass_ms(ms_parts),
+    });
+    CompiledUnit {
+        clight: typed.clone(),
+        clight_simpl: prefix.clight_simpl,
+        csharp: prefix.csharp,
+        cminor: prefix.cminor,
+        cminorsel: prefix.cminorsel,
+        rtl: prefix.rtl,
+        rtl_vprop_in: RtlProgram {
+            functions: vprop_in_f,
+            externs: ex.clone(),
+        },
+        rtl_ndce_in: RtlProgram {
+            functions: ndce_in_f,
+            externs: ex.clone(),
+        },
+        rtl_opt: RtlProgram {
+            functions: rtl_opt_f,
+            externs: ex.clone(),
+        },
+        ltl: LtlProgram {
+            functions: ltl_f,
+            externs: ex.clone(),
+        },
+        ltl_tunneled: LtlProgram {
+            functions: ltl_tun_f,
+            externs: ex.clone(),
+        },
+        linear_raw: LinProgram {
+            functions: lin_raw_f,
+            externs: ex.clone(),
+        },
+        linear: LinProgram {
+            functions: lin_f,
+            externs: ex.clone(),
+        },
+        mach: backend::mach::MachProgram {
+            functions: mach_f,
+            externs: ex.clone(),
+        },
+        asm: AsmProgram {
+            functions: asm_f,
+            externs: ex,
+        },
+        ra_map,
         diagnostics: Vec::new(),
-        metrics: None,
-    };
+        metrics,
+    }
+}
+
+/// Validate the merged unit and fold the validation-phase counter delta
+/// plus the static IR counters into its metrics — the last per-unit step,
+/// run on whichever worker owns the unit.
+fn finalize_unit(unit: &mut CompiledUnit, symtab: &SymbolTable, opts: CompilerOptions) {
+    let snap = opts.metrics.then(crate::obs::ObsSnapshot::take);
+    let mut pass_ms: Vec<(&'static str, f64)> = Vec::new();
     if opts.validate {
-        unit.diagnostics = span(on, ms, "validate", || {
-            crate::validate::validate_unit(&unit, symtab)
+        // The validators borrow the whole unit; stash the findings after.
+        let diags = span(opts.metrics, &mut pass_ms, "validate", || {
+            crate::validate::validate_unit(unit, symtab)
         });
+        unit.diagnostics = diags;
     }
     if let Some(snap) = snap {
-        let mut counters = snap.delta();
-        counters.add(&crate::obs::ir_counters(&unit));
-        unit.metrics = Some(crate::obs::UnitMetrics { counters, pass_ms });
+        let ir = crate::obs::ir_counters(unit);
+        if let Some(m) = unit.metrics.as_mut() {
+            m.counters.add(&snap.delta());
+            m.counters.add(&ir);
+            m.pass_ms.extend(pass_ms);
+        }
     }
-    Ok(unit)
+}
+
+/// Reassemble one unit from its prefix and per-function artifacts, then
+/// validate and finalize its metrics. The serial composition
+/// `unit_prefix` → [`fn_back_end`]* → `assemble_unit` is [`compile_program`].
+pub fn assemble_unit(
+    typed: &clight::Program,
+    symtab: &SymbolTable,
+    opts: CompilerOptions,
+    prefix: UnitPrefix,
+    backs: Vec<FnBack>,
+) -> CompiledUnit {
+    let mut unit = merge_unit(typed, opts, prefix, backs);
+    finalize_unit(&mut unit, symtab, opts);
+    unit
+}
+
+/// Compile an already-typed program against a given symbol table.
+///
+/// This is the serial composition of the decomposed pipeline: the
+/// cross-function prefix, each function's back end in order on this
+/// thread, then reassembly + validation — byte-identical artifacts,
+/// diagnostics and counter totals to the parallel scheduler's.
+///
+/// # Errors
+/// See [`compile_unit`].
+pub fn compile_program(
+    typed: &clight::Program,
+    symtab: &SymbolTable,
+    opts: CompilerOptions,
+) -> Result<CompiledUnit, CompileError> {
+    let prefix = unit_prefix(typed, symtab, opts)?;
+    let mut backs = Vec::with_capacity(prefix.rtl_pre.functions.len());
+    for f in &prefix.rtl_pre.functions {
+        backs.push(fn_back_end(f, &prefix.rtl_pre.externs, &prefix.romem, opts)?);
+    }
+    Ok(assemble_unit(typed, symtab, opts, prefix, backs))
 }
 
 /// One-stop compilation of a set of sources sharing a symbol table: parses
@@ -349,12 +620,19 @@ pub fn compile_all(
 
 /// [`compile_all`] with an explicit degree of parallelism.
 ///
-/// The front end (parse + type-check) and the per-unit pass pipelines fan
-/// out over the worker pool; `build_symtab` is the one shared barrier
-/// between them, exactly as in the serial pipeline. `Jobs::N(1)` runs the
-/// serial loops unchanged; any other setting produces byte-identical units
-/// in the same order, with the *first-by-index* error on failure — the
-/// campaign and CLI checksum tests assert this equivalence.
+/// The function-level scheduler (ISSUE 9, DESIGN.md §14). Four phases fan
+/// out over the worker pool with `build_symtab` as the one shared barrier:
+///
+/// 1. front end per unit (parse + type-check),
+/// 2. cross-function prefix per unit (Clight → RTL, `Tailcall`/`Inlining`),
+/// 3. per-function back ends, flattened across *all* units in
+///    `(unit, function)` order — the work items the pool schedules,
+/// 4. reassembly (serial concatenation) + per-unit validation.
+///
+/// `Jobs::N(1)` runs the serial loops unchanged; any other setting
+/// produces byte-identical units in the same order, with the
+/// *first-by-index* error on failure — the campaign and CLI checksum tests
+/// assert this equivalence.
 ///
 /// # Errors
 /// See [`compile_unit`]; with several failing units the reported error is
@@ -369,9 +647,118 @@ pub fn compile_all_jobs(
     // Shared barrier: the symbol table spans every unit.
     let refs: Vec<&clight::Program> = typed.iter().collect();
     let symtab = build_symtab(&refs).map_err(CompileError::Link)?;
-    // Back-end fan-out: per-unit pass pipelines against the shared table.
-    let units = par::try_par_map(jobs, &typed, |_, t| compile_program(t, &symtab, opts))?;
+    let units = compile_typed_jobs(&typed, &symtab, opts, jobs)?;
     Ok((units, symtab))
+}
+
+/// The post-barrier half of [`compile_all_jobs`]: compile already
+/// type-checked units against a symbol table built elsewhere. The serve
+/// cache ([`crate::serve`]) uses this to push only its cache *misses*
+/// through the function-level scheduler while the shared table still spans
+/// every unit of the batch — per-unit artifacts and metrics are invariant
+/// to which other units happened to hit.
+///
+/// # Errors
+/// See [`compile_all_jobs`]: the serial pipeline's first error.
+pub fn compile_typed_jobs(
+    typed: &[clight::Program],
+    symtab: &SymbolTable,
+    opts: CompilerOptions,
+    jobs: Jobs,
+) -> Result<Vec<CompiledUnit>, CompileError> {
+    // Cross-function prefix per unit. No early abort: every unit's result
+    // is collected so the error reported below is the serial pipeline's
+    // first, not the pool's fastest.
+    let prefixes: Vec<Result<UnitPrefix, CompileError>> =
+        par::par_map(jobs, typed, |_, t| unit_prefix(t, symtab, opts));
+    // The global per-function work list, flattened in (unit, function)
+    // order so a linear scan of the results reproduces serial error order.
+    let items: Vec<(usize, usize)> = prefixes
+        .iter()
+        .enumerate()
+        .flat_map(|(u, p)| {
+            let n = p.as_ref().map_or(0, |p| p.rtl_pre.functions.len());
+            (0..n).map(move |f| (u, f))
+        })
+        .collect();
+    let backs: Vec<Option<Result<FnBack, CompileError>>> =
+        par::par_map(jobs, &items, |_, &(u, f)| {
+            let Ok(p) = &prefixes[u] else { return None };
+            Some(fn_back_end(
+                &p.rtl_pre.functions[f],
+                &p.rtl_pre.externs,
+                &p.romem,
+                opts,
+            ))
+        });
+    // Regroup per unit, surfacing the first error in serial order: lowest
+    // unit index first, then lowest function index within the unit.
+    let mut first_err: Option<CompileError> = None;
+    let mut bi = backs.into_iter();
+    let mut grouped: Vec<(UnitPrefix, Vec<FnBack>)> = Vec::with_capacity(prefixes.len());
+    for p in prefixes {
+        match p {
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+            Ok(p) => {
+                let n = p.rtl_pre.functions.len();
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    match bi.next().flatten() {
+                        Some(Ok(b)) => v.push(b),
+                        Some(Err(e)) => {
+                            if first_err.is_none() {
+                                first_err = Some(e);
+                            }
+                        }
+                        None => {}
+                    }
+                }
+                grouped.push((p, v));
+            }
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    // Reassembly is pure Vec concatenation (serial, ticks no counters);
+    // validation + metric finalization fan back out per unit.
+    let mut units: Vec<CompiledUnit> = grouped
+        .into_iter()
+        .zip(typed)
+        .map(|((p, v), t)| merge_unit(t, opts, p, v))
+        .collect();
+    let finals: Vec<(Vec<compcerto_validate::Diagnostic>, Option<crate::obs::Counters>, f64)> =
+        par::par_map(jobs, &units, |_, u| {
+            let snap = opts.metrics.then(crate::obs::ObsSnapshot::take);
+            let mut ms: Vec<(&'static str, f64)> = Vec::new();
+            let diags = if opts.validate {
+                span(opts.metrics, &mut ms, "validate", || {
+                    crate::validate::validate_unit(u, symtab)
+                })
+            } else {
+                Vec::new()
+            };
+            let validate_ms = ms.first().map_or(0.0, |(_, v)| *v);
+            (diags, snap.map(|s| s.delta()), validate_ms)
+        });
+    for (u, (diags, delta, validate_ms)) in units.iter_mut().zip(finals) {
+        u.diagnostics = diags;
+        if let Some(delta) = delta {
+            let ir = crate::obs::ir_counters(u);
+            if let Some(m) = u.metrics.as_mut() {
+                m.counters.add(&delta);
+                m.counters.add(&ir);
+                if opts.validate {
+                    m.pass_ms.push(("validate", validate_ms));
+                }
+            }
+        }
+    }
+    Ok(units)
 }
 
 impl CompiledUnit {

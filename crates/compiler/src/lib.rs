@@ -18,6 +18,7 @@ pub mod closed;
 pub mod difftest;
 pub mod driver;
 pub mod envfault;
+pub mod json;
 pub mod extlib;
 pub mod faultinj;
 pub mod harness;
@@ -25,6 +26,7 @@ pub mod obs;
 pub mod par;
 pub mod registry;
 pub mod resilience;
+pub mod serve;
 pub mod sloc;
 pub mod validate;
 pub mod workload;
@@ -57,6 +59,9 @@ pub use harness::{
 pub use registry::{pass_registry, PassInfo};
 pub use resilience::{
     compile_all_resilient, contain, DegradeReason, ResilientBatch, UnitOutcome,
+};
+pub use serve::{
+    run_stdio, run_unix, ServeConfig, Server, CACHE_SCHEMA, MAX_FRAME_BYTES, SERVE_SCHEMA,
 };
 pub use validate::validate_unit;
 pub use workload::{WorkloadCfg, WorkloadGen};

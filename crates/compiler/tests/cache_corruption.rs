@@ -1,0 +1,138 @@
+//! Corruption battery for the serve cache (ISSUE 9): every cache read
+//! re-derives the payload checksum, so a truncated, bit-flipped or
+//! mislabeled entry is detected, evicted (`serve.cache.evict`) and
+//! recompiled transparently — corruption can cost time, never wrong bytes.
+
+mod serve_util;
+
+use std::path::{Path, PathBuf};
+
+use serve_util::{artifacts_only, compile_req, fresh_dir, request_stats, Serve};
+
+const UNIT: &str =
+    "int mix(int a, int b) { int r; r = a * 3 + b; if (r > 10) { r = r - b; } return r; }";
+
+/// The single cache entry in `dir` (these tests compile one unit).
+fn sole_entry(dir: &Path) -> PathBuf {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("read cache dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    assert_eq!(entries.len(), 1, "expected exactly one cache entry");
+    entries.pop().expect("entry")
+}
+
+/// Compile once cold, corrupt the entry with `mutate`, then assert the
+/// next request evicts + recompiles to the same bytes and the one after
+/// that hits again (the entry was rewritten clean).
+fn corruption_round_trip(tag: &str, mutate: impl FnOnce(&Path)) {
+    let dir = fresh_dir(tag);
+    let mut s = Serve::spawn(&dir, &[]);
+    let batch = compile_req(1, &[UNIT]);
+
+    let cold = s.req(&batch);
+    assert_eq!(
+        request_stats(&cold),
+        "\"cache\":{\"hit\":0,\"miss\":1,\"evict\":0}"
+    );
+    mutate(&sole_entry(&dir));
+
+    let evicted = s.req(&batch);
+    assert_eq!(
+        request_stats(&evicted),
+        "\"cache\":{\"hit\":0,\"miss\":1,\"evict\":1}",
+        "a corrupt entry must be evicted and recompiled: {evicted}"
+    );
+    assert_eq!(
+        artifacts_only(&cold),
+        artifacts_only(&evicted),
+        "recompilation after eviction must reproduce the cold bytes"
+    );
+
+    let warm = s.req(&batch);
+    assert_eq!(
+        request_stats(&warm),
+        "\"cache\":{\"hit\":1,\"miss\":0,\"evict\":0}",
+        "the rewritten entry must hit again: {warm}"
+    );
+
+    // The cumulative counter agrees with the per-request stats.
+    let stats = s.req("{\"schema\":\"compcerto-serve/1\",\"op\":\"stats\",\"id\":2}");
+    assert!(stats.contains("\"serve.cache.evict\":1"), "{stats}");
+
+    assert_eq!(s.eof_wait().code(), Some(0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_entry_is_evicted() {
+    corruption_round_trip("truncate", |path| {
+        let raw = std::fs::read_to_string(path).expect("read entry");
+        std::fs::write(path, &raw[..raw.len() / 2]).expect("truncate entry");
+    });
+}
+
+#[test]
+fn bit_flipped_payload_is_evicted() {
+    corruption_round_trip("bitflip", |path| {
+        // Flip one byte in the middle of the artifact payload; the entry
+        // stays well-formed JSON, so only the checksum can catch it.
+        let raw = std::fs::read_to_string(path).expect("read entry");
+        let at = raw.find("AllocFrame").expect("asm text in payload");
+        let mut bytes = raw.into_bytes();
+        bytes[at] ^= 0x01;
+        std::fs::write(path, bytes).expect("rewrite entry");
+    });
+}
+
+#[test]
+fn wrong_key_entry_is_evicted() {
+    corruption_round_trip("wrongkey", |path| {
+        // The entry claims a different key than its filename — a
+        // misplaced or maliciously renamed artifact must not be served.
+        let raw = std::fs::read_to_string(path).expect("read entry");
+        let key_at = raw.find("\"key\":\"").expect("key member") + 7;
+        let mut bytes = raw.into_bytes();
+        bytes[key_at] = if bytes[key_at] == b'0' { b'1' } else { b'0' };
+        std::fs::write(path, bytes).expect("rewrite entry");
+    });
+}
+
+#[test]
+fn wrong_schema_entry_is_evicted() {
+    corruption_round_trip("schema", |path| {
+        let raw = std::fs::read_to_string(path).expect("read entry");
+        std::fs::write(path, raw.replace("compcerto-cache/1", "compcerto-cache/0"))
+            .expect("rewrite entry");
+    });
+}
+
+#[test]
+fn garbage_entry_is_evicted() {
+    corruption_round_trip("garbage", |path| {
+        std::fs::write(path, "not json at all \x7f\x00").expect("rewrite entry");
+    });
+}
+
+#[test]
+fn eviction_deletes_the_corrupt_file() {
+    let dir = fresh_dir("evict-deletes");
+    let mut s = Serve::spawn(&dir, &[]);
+    let batch = compile_req(1, &[UNIT]);
+    let _ = s.req(&batch);
+    let entry = sole_entry(&dir);
+    std::fs::write(&entry, "garbage").expect("corrupt entry");
+    let _ = s.req(&batch);
+    // The recompile rewrote the entry; it must now be valid again (the
+    // warm request below never sees the corrupt bytes).
+    let raw = std::fs::read_to_string(&entry).expect("entry rewritten");
+    assert!(raw.contains("compcerto-cache/1"), "{raw}");
+    let warm = s.req(&batch);
+    assert_eq!(
+        request_stats(&warm),
+        "\"cache\":{\"hit\":1,\"miss\":0,\"evict\":0}"
+    );
+    assert_eq!(s.eof_wait().code(), Some(0));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,7 +1,7 @@
 //! The block-structured memory state (CompCert's `Mem.mem`).
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::chunk::Chunk;
 use crate::error::MemError;
@@ -176,10 +176,10 @@ impl BlockData {
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Mem {
     // Copy-on-write: cloning a memory state is O(#blocks) pointer copies;
-    // mutation clones only the touched block (`Rc::make_mut`). Interpreters
+    // mutation clones only the touched block (`Arc::make_mut`). Interpreters
     // clone memory on every step, so this is the hot path of the whole
     // system.
-    blocks: Vec<Option<Rc<BlockData>>>,
+    blocks: Vec<Option<Arc<BlockData>>>,
     // Total bytes of currently-valid blocks, maintained by `alloc`/`free`.
     // Invariant: `live_bytes == Σ (hi - lo)` over valid blocks, so the
     // derived `Eq` stays consistent. Kept O(1) because the budgeted runner
@@ -243,7 +243,7 @@ impl Mem {
                 non_concrete: size,
             }
         };
-        self.blocks.push(Some(Rc::new(BlockData {
+        self.blocks.push(Some(Arc::new(BlockData {
             lo,
             hi: lo + size as i64,
             contents,
@@ -510,14 +510,14 @@ impl Mem {
         self.blocks
             .get(b as usize)
             .and_then(|x| x.as_ref())
-            .map(Rc::as_ref)
+            .map(Arc::as_ref)
     }
 
     fn block_mut(&mut self, b: BlockId) -> Option<&mut BlockData> {
         self.blocks
             .get_mut(b as usize)
             .and_then(|x| x.as_mut())
-            .map(Rc::make_mut)
+            .map(Arc::make_mut)
     }
 }
 
