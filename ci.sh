@@ -172,6 +172,20 @@ cargo run -q --release -p bench --bin resilience_campaign -- --jobs 4 --check RE
 grep -q '"schema": "compcerto-resil/1"' RESIL.json
 grep -q '"aborts": 0,' RESIL.json
 
+echo "== schedule-exploration gate (threaded N x M oracle) =="
+# ISSUE 10 / EXPERIMENTS.md row B14: the thread-aware open semantics.
+# Re-run the committed 64-seed x 8-schedule campaign and gate against
+# SCHED.json — any cross-stage disagreement under any interleaving, or any
+# drift in the per-schedule verdict checksums, fails the build. The report
+# must be byte-identical across worker-pool widths (per-seed verdicts are
+# pure; the FNV chains fold in seed order).
+cargo run -q --release -p bench --bin sched_campaign -- --seeds 64 --jobs 1 --check SCHED.json
+cargo run -q --release -p bench --bin sched_campaign -- --seeds 64 --jobs 4 --check SCHED.json
+cargo run -q --release -p bench --bin sched_campaign -- --seeds 64 --jobs 16 --check SCHED.json
+grep -q '"schema": "compcerto-sched/1"' SCHED.json
+grep -q '"findings": 0,' SCHED.json
+grep -q '"schedules_budget_skipped": 0,' SCHED.json
+
 echo "== kill-and-resume smoke (checkpointed campaigns) =="
 # A campaign stopped at a block boundary and resumed in a fresh process
 # must produce a final report byte-identical to the uninterrupted run, and
@@ -191,5 +205,14 @@ cargo run -q -p bench --bin faultinj_campaign -- --seed 42 --per-class 5 \
     --ckpt /tmp/ci_fi.ckpt --resume > /tmp/ci_fi_resumed.txt 2>/dev/null
 cmp /tmp/ci_camp_1.txt /tmp/ci_fi_resumed.txt
 test ! -f /tmp/ci_fi.ckpt
+# Same for the schedule campaign: pause after one block, resume, and the
+# final report must still byte-match the committed baseline.
+cargo run -q --release -p bench --bin sched_campaign -- --seeds 64 --jobs auto --block 16 --max-blocks 1 \
+    --out /tmp/ci_sched_resume.json --ckpt /tmp/ci_sched.ckpt
+test -f /tmp/ci_sched.ckpt
+cargo run -q --release -p bench --bin sched_campaign -- --seeds 64 --jobs auto --block 16 --resume \
+    --out /tmp/ci_sched_resume.json --ckpt /tmp/ci_sched.ckpt
+cmp SCHED.json /tmp/ci_sched_resume.json
+test ! -f /tmp/ci_sched.ckpt
 
 echo "== ci ok =="

@@ -556,6 +556,17 @@ impl Parser {
             }
             Token::Ident(name) => {
                 self.bump();
+                // `f(…)` in expression position: calls are statements in
+                // this dialect, never subexpressions. Without this check
+                // the stray `(` surfaces later as a baffling generic error
+                // far from the call.
+                if matches!(self.peek(), Token::Punct("(")) {
+                    return self.err(format!(
+                        "call to `{name}` in expression position: calls are statements \
+                         in this dialect — bind the result first (`tmp = {name}(...);`) \
+                         and use `tmp` in the expression"
+                    ));
+                }
                 Ok(Expr::Var(name, Ty::Void))
             }
             Token::Kw(Kw::Sizeof) => {
@@ -664,6 +675,31 @@ mod tests {
     fn errors_report_lines() {
         let err = parse("int f(void) {\n  return $;\n}").unwrap_err();
         assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn call_in_expression_position_names_the_dialect_rule() {
+        // `return f(x);` is the idiomatic C a user writes first; the dialect
+        // only admits calls as statements. The diagnostic must say so and
+        // show the rewrite, not report a generic token mismatch somewhere
+        // after the stray `(`.
+        let err = parse("extern int f(int);\nint g(int x) {\n  return f(x);\n}").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "parse error at line 3: call to `f` in expression position: calls are statements \
+             in this dialect — bind the result first (`tmp = f(...);`) and use `tmp` in the \
+             expression"
+        );
+        // Same rule inside a condition and nested in arithmetic.
+        let err = parse("extern int p(int);\nint g(int x) { if (p(x)) { return 1; } return 0; }")
+            .unwrap_err();
+        assert!(err.to_string().contains("call to `p` in expression position"), "{err}");
+        let err = parse("extern int h(int);\nint g(int x) { int y; y = 1 + h(x); return y; }")
+            .unwrap_err();
+        assert!(err.to_string().contains("call to `h` in expression position"), "{err}");
+        // The statement forms stay legal.
+        assert!(parse("extern int f(int);\nint g(int x) { int r; r = f(x); return r; }").is_ok());
+        assert!(parse("extern int f(int);\nint g(int x) { f(x); return 0; }").is_ok());
     }
 
     #[test]

@@ -139,7 +139,7 @@ impl fmt::Display for ObsVal {
     }
 }
 
-fn obs_val(v: &Val) -> ObsVal {
+pub(crate) fn obs_val(v: &Val) -> ObsVal {
     match v {
         Val::Int(n) => ObsVal::Int(*n),
         Val::Long(n) => ObsVal::Long(*n),
@@ -398,7 +398,7 @@ impl StagePrograms {
 // Per-interface stage runners
 // ---------------------------------------------------------------------------
 
-fn name_of(symtab: &SymbolTable, vf: &Val) -> String {
+pub(crate) fn name_of(symtab: &SymbolTable, vf: &Val) -> String {
     match vf {
         Val::Ptr(b, 0) => symtab
             .ident_of(*b)
@@ -410,7 +410,7 @@ fn name_of(symtab: &SymbolTable, vf: &Val) -> String {
 
 /// Read back the final contents of every mutable global, laid out per its
 /// [`InitDatum`] list. Unreadable cells observe as [`ObsVal::Undef`].
-fn read_globals(symtab: &SymbolTable, m: &Mem) -> Vec<(String, Vec<ObsVal>)> {
+pub(crate) fn read_globals(symtab: &SymbolTable, m: &Mem) -> Vec<(String, Vec<ObsVal>)> {
     let mut out = Vec::new();
     for (b, name, kind) in symtab.iter() {
         let GlobKind::Var { init, readonly } = kind else {
@@ -554,7 +554,7 @@ fn run_linear_stage(
 /// Build an M-level query from a C-level one: register arguments in
 /// `r0..r3`, overflow arguments stored in a freshly allocated argument
 /// region `sp` points to (mirroring [`Ca::transport_query`]).
-fn m_query(q: &CQuery) -> Option<MQuery> {
+pub(crate) fn m_query(q: &CQuery) -> Option<MQuery> {
     let mut m2 = q.mem.clone();
     let spb = m2.alloc(0, abi::size_arguments(&q.sig).max(0));
     let mut rs = [Val::Undef; NREGS];

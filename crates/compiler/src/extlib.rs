@@ -115,6 +115,10 @@ impl ExtLib {
             .define("mystery", dbl)
             .define("twice", dbl)
             .define("ext", idf)
+            // The threaded scheduler's explicit interleaving point: a
+            // semantically inert identity whose only effect is suspending
+            // the calling thread at the open boundary.
+            .define("yield", idf)
             .define_memfn("sum2", sum2)
     }
 

@@ -26,6 +26,7 @@ pub mod obs;
 pub mod par;
 pub mod registry;
 pub mod resilience;
+pub mod sched;
 pub mod serve;
 pub mod sloc;
 pub mod validate;
@@ -59,6 +60,11 @@ pub use harness::{
 pub use registry::{pass_registry, PassInfo};
 pub use resilience::{
     compile_all_resilient, contain, DegradeReason, ResilientBatch, UnitOutcome,
+};
+pub use sched::{
+    check_query_sched, intern_sched_counter_key, run_seed_sched, run_seed_sched_obs, SchedCfg,
+    SchedObs, SchedSeedOutcome, SchedSeedReport, SchedStageOutcome, SchedVerdict,
+    SCHED_AUX_SALT, SCHED_COUNTER_KEYS,
 };
 pub use serve::{
     run_stdio, run_unix, ServeConfig, Server, CACHE_SCHEMA, MAX_FRAME_BYTES, SERVE_SCHEMA,

@@ -187,10 +187,14 @@ impl Cache {
     /// recompiled and rewritten by the caller.
     ///
     /// Entries are only ever written by [`Cache::store`], so the probe
-    /// validates the fixed layout with a single pass over the file instead
-    /// of a full JSON parse (the probe is the warm-path hot loop; the
-    /// checksum over the unescaped payload is what guarantees integrity).
-    fn probe(&self, key: &str) -> Probe {
+    /// validates the fixed layout with a single prefix match over the file
+    /// instead of a full JSON parse (the probe is the warm-path hot loop;
+    /// the checksum over the unescaped payload is what guarantees payload
+    /// integrity). Every field `store` emits participates: the `compiler`
+    /// and `options` fingerprints are already folded into the key, so for
+    /// an untampered entry they can only hold the caller's values — a
+    /// mismatch proves corruption and evicts, same as a bad checksum.
+    fn probe(&self, key: &str, compiler_fp: &str, opts_fp: &str) -> Probe {
         let path = self.entry_path(key);
         let raw = match std::fs::read_to_string(&path) {
             Ok(r) => r,
@@ -198,16 +202,13 @@ impl Cache {
             // Unreadable (permissions, encoding): treat as corrupt.
             Err(_) => return self.evict(&path),
         };
-        let header = format!("{{\"schema\":\"{CACHE_SCHEMA}\",\"key\":\"{key}\",\"compiler\":\"");
+        let header = format!(
+            "{{\"schema\":\"{CACHE_SCHEMA}\",\"key\":\"{key}\",\"compiler\":\"{compiler_fp}\",\
+             \"options\":\"{opts_fp}\",\"payload_fnv\":\""
+        );
         let Some(rest) = raw.strip_prefix(&header) else {
             return self.evict(&path);
         };
-        // `compiler` and `options` are hex fingerprints already folded into
-        // the key; skip to the checksum + payload pair.
-        let Some(at) = rest.find("\",\"payload_fnv\":\"") else {
-            return self.evict(&path);
-        };
-        let rest = &rest[at + "\",\"payload_fnv\":\"".len()..];
         let (Some(want_fnv), Some(escaped)) = (
             rest.get(..16),
             rest.get(16..)
@@ -456,7 +457,7 @@ impl Server {
             match (src, t) {
                 (Ok(src), Ok(_)) => {
                     let key = cache_key(src, &self.opts_fp, &self.compiler_fp, &symtab_fp);
-                    let probe = self.cache.probe(&key);
+                    let probe = self.cache.probe(&key, &self.compiler_fp, &self.opts_fp);
                     match probe {
                         Probe::Hit(_) => hits += 1,
                         Probe::Miss => misses += 1,

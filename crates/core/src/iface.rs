@@ -253,6 +253,44 @@ impl LanguageInterface for One {
     const NAME: &'static str = "1";
 }
 
+// ---------------------------------------------------------------------------
+// Shared-memory access
+// ---------------------------------------------------------------------------
+
+/// Uniform access to the memory component carried by every question and
+/// answer of the concrete interfaces ([`C`], [`L`], [`M`], [`A`]).
+///
+/// In an open semantics, memory travels *out* of a component through its
+/// questions and back *in* through the answers it receives — that seam is
+/// exactly where CompCertOC threads shared memory between concurrently
+/// executing components. The threaded composition operator
+/// ([`crate::threaded::ThreadedLts`]) uses this trait to splice its single
+/// authoritative global memory into whichever thread it dispatches next,
+/// independent of the interface level the components speak.
+pub trait SharedMem {
+    /// The memory component of this move.
+    fn mem(&self) -> &Mem;
+    /// Replace the memory component of this move.
+    fn set_mem(&mut self, m: Mem);
+}
+
+macro_rules! shared_mem_impl {
+    ($($t:ty),*) => {$(
+        impl SharedMem for $t {
+            fn mem(&self) -> &Mem {
+                &self.mem
+            }
+            fn set_mem(&mut self, m: Mem) {
+                self.mem = m;
+            }
+        }
+    )*};
+}
+
+// `ARegs` serves as both the question and the answer of `A`, so one impl
+// covers both directions there.
+shared_mem_impl!(CQuery, CReply, LQuery, LReply, MQuery, MReply, ARegs);
+
 /// Calling-convention constants shared by the whole pipeline: which machine
 /// registers carry arguments, results, and which are callee-save.
 pub mod abi {

@@ -26,7 +26,10 @@
 //!   expressions, refinement laws, and the rewriting engine that derives the
 //!   whole-compiler convention (paper §5, Figs. 10–11);
 //! * [`sim`] — the differential forward-simulation checker (the executable
-//!   analog of paper Fig. 6).
+//!   analog of paper Fig. 6);
+//! * [`threaded`] — the thread-aware composition operator: component
+//!   instances sharing global memory under an explicit deterministic
+//!   [`threaded::Schedule`] (CompCertOC, Zhang et al. PLDI 2025).
 //!
 //! # Quickstart
 //!
@@ -65,3 +68,4 @@ pub mod rng;
 pub mod seqcomp;
 pub mod sim;
 pub mod symtab;
+pub mod threaded;

@@ -29,6 +29,11 @@ pub struct GenCfg {
     pub nlocals: usize,
     /// Emit outgoing questions (`inc`, `sum2`) to the environment.
     pub external_calls: bool,
+    /// Let external calls render as the scheduler's `yield` (a coin per
+    /// `ExtCall` site). Off by default — and when off the generator draws
+    /// nothing extra, so default-config programs are byte-identical to
+    /// pre-yield releases (the committed campaign baselines depend on it).
+    pub yield_calls: bool,
     /// Let unit 0 define and use the globals `acc` / `buf` / `lim`.
     pub use_memory: bool,
     /// Maximum expression depth.
@@ -44,6 +49,7 @@ impl Default for GenCfg {
             max_params: 6,
             nlocals: 3,
             external_calls: true,
+            yield_calls: false,
             use_memory: true,
             expr_depth: 2,
         }
@@ -71,6 +77,8 @@ struct FnCtx<'a> {
     /// Whether memory statements are allowed (unit 0 only).
     memory: bool,
     external: bool,
+    /// Whether `ExtCall` sites may flip to `yield` (see [`GenCfg::yield_calls`]).
+    yield_calls: bool,
     /// Next loop-counter index to allocate.
     next_counter: u32,
 }
@@ -113,6 +121,7 @@ fn gen_fn(
         callees: defined,
         memory,
         external: cfg.external_calls,
+        yield_calls: cfg.yield_calls,
         next_counter: 0,
     };
     let mut stmts = Vec::with_capacity(cfg.stmts_per_fn);
@@ -179,10 +188,13 @@ fn gen_stmt(rng: &mut SplitMix64, cx: &mut FnCtx<'_>, depth: u32, nesting: u32) 
                 args,
             }
         }
-        9 if cx.external => GStmt::ExtCall {
-            v,
-            e: gen_expr(rng, cx, 1),
-        },
+        9 if cx.external => {
+            let e = gen_expr(rng, cx, 1);
+            // Short-circuit keeps the rng stream untouched when the knob is
+            // off, so default-config programs match pre-yield releases.
+            let yld = cx.yield_calls && rng.coin();
+            GStmt::ExtCall { v, e, yld }
+        }
         10 if cx.external => GStmt::ExtPtrCall {
             v,
             a: gen_expr(rng, cx, 1),
@@ -283,6 +295,36 @@ mod tests {
                 assert!(!s.contains("buf["), "seed {seed} unit {i}:\n{s}");
             }
         }
+    }
+
+    #[test]
+    fn yield_knob_gates_yield_sites_and_decls() {
+        let base = GenCfg::default();
+        let ycfg = GenCfg {
+            yield_calls: true,
+            ..GenCfg::default()
+        };
+        let mut saw_yield = false;
+        for seed in 0..50u64 {
+            // Off (the default): no yield anywhere — committed baselines
+            // depend on default-config programs staying untouched.
+            for s in generate(seed, &base).render() {
+                assert!(!s.contains("yield"), "seed {seed}:\n{s}");
+            }
+            let p = generate(seed, &ycfg);
+            p.check_invariants()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            for s in p.render() {
+                if s.contains("= yield(") {
+                    saw_yield = true;
+                    assert!(s.contains("extern int yield(int);"), "seed {seed}:\n{s}");
+                }
+                if s.contains("= inc(") {
+                    assert!(s.contains("extern int inc(int);"), "seed {seed}:\n{s}");
+                }
+            }
+        }
+        assert!(saw_yield, "50 seeds with yield_calls on produced no yield site");
     }
 
     #[test]

@@ -87,8 +87,12 @@ pub enum GStmt {
         callee: String,
         args: Vec<GExpr>,
     },
-    /// `v{v} = inc(e);` — an outgoing question to the environment.
-    ExtCall { v: u32, e: GExpr },
+    /// `v{v} = inc(e);` — an outgoing question to the environment; with
+    /// `yld` set it renders as `v{v} = yield(e);`, the semantically inert
+    /// external the threaded scheduler uses as an explicit interleaving
+    /// point (both forms are the same constructor so grammar coverage and
+    /// the committed campaign baselines are unaffected).
+    ExtCall { v: u32, e: GExpr, yld: bool },
     /// `w[0] = (long)(a); w[1] = (long)(b); ws = sum2(w); v{v} = (int) ws;`
     ///
     /// Passes a pointer to a stack array across the open boundary — the
@@ -209,11 +213,22 @@ impl GStmt {
 
     fn uses_inc(&self) -> bool {
         match self {
-            GStmt::ExtCall { .. } => true,
+            GStmt::ExtCall { yld, .. } => !*yld,
             GStmt::IfElse { then_s, else_s, .. } => {
                 then_s.iter().any(GStmt::uses_inc) || else_s.iter().any(GStmt::uses_inc)
             }
             GStmt::Loop { body, .. } => body.iter().any(GStmt::uses_inc),
+            _ => false,
+        }
+    }
+
+    fn uses_yield(&self) -> bool {
+        match self {
+            GStmt::ExtCall { yld, .. } => *yld,
+            GStmt::IfElse { then_s, else_s, .. } => {
+                then_s.iter().any(GStmt::uses_yield) || else_s.iter().any(GStmt::uses_yield)
+            }
+            GStmt::Loop { body, .. } => body.iter().any(GStmt::uses_yield),
             _ => false,
         }
     }
@@ -292,8 +307,9 @@ impl GStmt {
                 let args: Vec<String> = args.iter().map(GExpr::render).collect();
                 let _ = writeln!(out, "{pad}v{v} = {callee}({});", args.join(", "));
             }
-            GStmt::ExtCall { v, e } => {
-                let _ = writeln!(out, "{pad}v{v} = inc({});", e.render());
+            GStmt::ExtCall { v, e, yld } => {
+                let f = if *yld { "yield" } else { "inc" };
+                let _ = writeln!(out, "{pad}v{v} = {f}({});", e.render());
             }
             GStmt::ExtPtrCall { v, a, b } => {
                 let _ = writeln!(out, "{pad}w[0] = (long) ({});", a.render());
@@ -403,8 +419,15 @@ impl GProgram {
                     .funcs
                     .iter()
                     .any(|f| f.stmts.iter().any(GStmt::uses_scratch));
+                let uses_yield = unit
+                    .funcs
+                    .iter()
+                    .any(|f| f.stmts.iter().any(GStmt::uses_yield));
                 if uses_inc {
                     out.push_str("extern int inc(int);\n");
+                }
+                if uses_yield {
+                    out.push_str("extern int yield(int);\n");
                 }
                 if uses_sum2 {
                     out.push_str("extern long sum2(long*);\n");
